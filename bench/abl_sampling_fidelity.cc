@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: how much error do the three sampling levers introduce?
+ *
+ * DESIGN.md commits this reproduction to sampled simulation (the paper
+ * burned hours per network on GPGPU-Sim; the benches here take seconds).
+ * This bench quantifies the cost: CifarNet — small enough to simulate
+ * exactly — is run (a) fully, (b) with warp sampling, (c) with
+ * loop-channel sampling, (d) with the full bench policy, and the
+ * extrapolated statistics are compared against ground truth.
+ */
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace tango;
+
+rt::NetRun
+runWith(const rt::RunPolicy &p)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    return rt::runNetworkByName(gpu, "cifarnet", p);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    rt::RunPolicy exact;
+    exact.sim.fullSim = true;
+    exact.sim.maxResidentCtas = 0;
+
+    rt::RunPolicy warpOnly = exact;
+    warpOnly.sim.fullSim = false;
+    warpOnly.sim.maxWarpsPerCta = 6;
+
+    rt::RunPolicy loopOnly = exact;
+    loopOnly.sim.fullSim = false;
+    loopOnly.maxLoopChannels = 8;
+
+    const rt::RunPolicy benchP = rt::benchPolicy();
+
+    struct Row
+    {
+        const char *name;
+        rt::NetRun run;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"exact", runWith(exact)});
+    rows.push_back({"warp-sampled (6/CTA)", runWith(warpOnly)});
+    rows.push_back({"loop-sampled (8 ch)", runWith(loopOnly)});
+    rows.push_back({"bench policy (all)", runWith(benchP)});
+
+    const rt::NetRun &gt = rows[0].run;
+    Table t("Sampling-fidelity ablation (CifarNet, GP102)");
+    t.header({"policy", "time (ms)", "time err", "instrs", "instr err",
+              "L2 misses", "conv share"});
+    for (const auto &r : rows) {
+        const double tErr =
+            r.run.totalTimeSec / gt.totalTimeSec - 1.0;
+        const double iGt = gt.totals.sumPrefix("op.");
+        const double iErr = r.run.totals.sumPrefix("op.") / iGt - 1.0;
+        t.row({r.name, Table::num(r.run.totalTimeSec * 1e3, 3),
+               Table::pct(tErr), Table::num(r.run.totals.sumPrefix("op."), 0),
+               Table::pct(iErr),
+               Table::num(r.run.totals.get("mem.l2.misses"), 0),
+               Table::pct(r.run.figTypeTime("Conv") /
+                          r.run.totalTimeSec)});
+        bench::registerValue(std::string("ablation/") + r.name +
+                                 "/time_err",
+                             "rel_err", tErr);
+    }
+    t.print(std::cout);
+    std::cout << "Instruction counts extrapolate exactly (the loops are "
+                 "homogeneous); timing error stays within tens of "
+                 "percent while the bench policy is orders of magnitude "
+                 "faster to simulate.\n";
+
+    bench::registerSimSpeed();
+    return bench::runHarness(argc, argv);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness.
+ *
+ * Every bench binary reproduces one table or figure of the paper: it runs
+ * the relevant networks on the virtual GPU (memoized, so repeated queries
+ * are free), prints the figure's series as aligned tables, and registers
+ * google-benchmark entries whose counters carry the headline numbers (so
+ * the values also appear in benchmark-formatted output and JSON).
+ */
+
+#ifndef TANGO_BENCH_BENCH_UTIL_HH
+#define TANGO_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "kernels/kernels.hh"
+#include "nn/models/models.hh"
+#include "profiler/profiler.hh"
+#include "runtime/report.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango::bench {
+
+/** Configuration knobs for a memoized network run. */
+struct RunKey
+{
+    std::string net;
+    std::string platform = "GP102";    // GP102 | GK210 | TX1
+    uint32_t l1dBytes = 64 * 1024;     // 0 = bypassed
+    sim::SchedPolicy sched = sim::SchedPolicy::GTO;
+    bool memStudy = false;             // use rt::memStudyPolicy()
+    bool stallStudy = false;           // use rt::stallStudyPolicy()
+
+    std::string
+    str() const
+    {
+        return net + "/" + platform + "/l1=" +
+               std::to_string(l1dBytes / 1024) + "K/" +
+               sim::schedName(sched) + (memStudy ? "/mem" : "") +
+               (stallStudy ? "/stall" : "");
+    }
+    bool
+    operator<(const RunKey &o) const
+    {
+        return str() < o.str();
+    }
+};
+
+/** @return the GpuConfig for a RunKey. */
+inline sim::GpuConfig
+makeConfig(const RunKey &key)
+{
+    sim::GpuConfig cfg = key.platform == "GK210" ? sim::keplerGK210()
+                         : key.platform == "TX1" ? sim::maxwellTX1()
+                                                 : sim::pascalGP102();
+    cfg.l1dBytes = key.l1dBytes;
+    cfg.scheduler = key.sched;
+    return cfg;
+}
+
+/** Run (or recall) a network under a configuration. */
+inline const rt::NetRun &
+netRun(const RunKey &key)
+{
+    static std::map<RunKey, std::unique_ptr<rt::NetRun>> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+    sim::Gpu gpu(makeConfig(key));
+    auto run = std::make_unique<rt::NetRun>(rt::runNetworkByName(
+        gpu, key.net,
+        key.memStudy     ? rt::memStudyPolicy()
+        : key.stallStudy ? rt::stallStudyPolicy()
+                         : rt::benchPolicy()));
+    auto [pos, inserted] = cache.emplace(key, std::move(run));
+    (void)inserted;
+    return *pos->second;
+}
+
+/** Register a no-op benchmark whose counter carries a reproduced value. */
+inline void
+registerValue(const std::string &name, const std::string &counter,
+              double value)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [counter, value](benchmark::State &state) {
+            for (auto _ : state) {
+                benchmark::DoNotOptimize(value);
+            }
+            state.counters[counter] = value;
+        })
+        ->Iterations(1);
+}
+
+/** A real timing benchmark: simulate one small conv kernel end to end
+ *  (measures this machine's simulation throughput). */
+inline void
+registerSimSpeed()
+{
+    benchmark::RegisterBenchmark(
+        "BM_SimulateConvKernel", [](benchmark::State &state) {
+            sim::Gpu gpu(sim::pascalGP102());
+            kern::ConvDesc d;
+            d.C = 3;
+            d.H = d.W = 12;
+            d.K = 4;
+            d.R = d.S = 3;
+            d.pad = 1;
+            d.filterSrc = kern::ChannelSrc::GridX;
+            d.pixelMap = kern::PixelMap::TileOrigin;
+            d.grid = {4, 1, 1};
+            d.block = {12, 12, 1};
+            const uint32_t in = gpu.mem().allocate(4 * 3 * 12 * 12);
+            const uint32_t w = gpu.mem().allocate(4 * 4 * 3 * 3 * 3);
+            const uint32_t b = gpu.mem().allocate(4 * 4);
+            const uint32_t out = gpu.mem().allocate(4 * 4 * 12 * 12);
+            auto launch = kern::makeConvLaunch(d, in, w, b, out);
+            sim::SimPolicy p;
+            p.fullSim = true;
+            uint64_t instr = 0;
+            for (auto _ : state) {
+                auto ks = gpu.launch(launch, p);
+                instr += static_cast<uint64_t>(ks.stats.get("issued"));
+            }
+            state.counters["warp_instrs_per_s"] = benchmark::Counter(
+                static_cast<double>(instr), benchmark::Counter::kIsRate);
+        });
+}
+
+/** Standard bench epilogue: init + run google-benchmark. */
+inline int
+runHarness(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace tango::bench
+
+#endif // TANGO_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table I reproduction: per-network input data, model provenance and
+ * output, plus the structural statistics (layers, parameters, MACs) of
+ * the synthetic pre-trained models this reproduction ships.
+ */
+
+#include "bench_util.hh"
+
+#include "nn/weights.hh"
+
+namespace {
+
+using namespace tango;
+
+void
+printTable()
+{
+    Table t("Table I: inputs, pre-trained models and outputs");
+    t.header({"network", "input data", "pre-trained model", "output",
+              "layers", "params(M)", "MACs(M)"});
+
+    auto rnnRow = [&](const nn::RnnModel &m) {
+        nn::RnnModel copy = m;
+        nn::initWeights(copy);
+        const double params =
+            double(copy.weights.size() + copy.fcW.size() + copy.fcB.size());
+        t.row({m.name,
+               "bitcoin prices of past two days (scaled, synthetic walk)",
+               "synthetic He-init (paper: kaggle bitcoin predictor)",
+               "projected next price", std::to_string(m.seqLen) + " steps",
+               Table::num(params / 1e6, 3), Table::num(params / 1e6, 3)});
+    };
+    rnnRow(nn::models::buildGru());
+    rnnRow(nn::models::buildLstm());
+
+    const struct
+    {
+        const char *name;
+        const char *input;
+        const char *model;
+        const char *output;
+    } cnns[] = {
+        {"cifarnet", "speed-limit-35 image (synthetic 3x32x32)",
+         "synthetic He-init (paper: traffic-signal CifarNet)",
+         "confidence for all 9 classes"},
+        {"alexnet", "cat image (synthetic 3x227x227)",
+         "synthetic He-init (paper: BVLC AlexNet)", "recognized class id"},
+        {"squeezenet", "cat image (synthetic 3x227x227)",
+         "synthetic He-init (paper: SqueezeNet v1.0)",
+         "recognized class id"},
+        {"resnet", "cat image (synthetic 3x224x224)",
+         "synthetic He-init (paper: MSRA ResNet-50)",
+         "recognized class id"},
+        {"vggnet", "killer-whale image (synthetic 3x224x224)",
+         "synthetic He-init (paper: VGG-16)", "recognized class id"},
+    };
+    for (const auto &c : cnns) {
+        nn::Network net = nn::models::buildCnn(c.name);
+        // Structural statistics need the parameter tensors.
+        nn::initWeights(net);
+        t.row({c.name, c.input, c.model, c.output,
+               std::to_string(net.layers().size()),
+               Table::num(double(net.totalParams()) / 1e6, 1),
+               Table::num(double(net.totalMacs()) / 1e6, 0)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tango::setVerbose(false);
+    printTable();
+    tango::bench::registerSimSpeed();
+    return tango::bench::runHarness(argc, argv);
+}

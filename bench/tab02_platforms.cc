@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table II + Table IV reproduction: the GPU platform configurations
+ * (server GK210, mobile TX1, simulated GP102) and the PynQ-Z1 FPGA
+ * platform the energy comparison models.
+ */
+
+#include "bench_util.hh"
+
+#include "fpga/pynq.hh"
+
+namespace {
+
+using namespace tango;
+
+void
+printGpus()
+{
+    const sim::GpuConfig cfgs[] = {sim::keplerGK210(), sim::maxwellTX1(),
+                                   sim::pascalGP102()};
+    Table t("Table II: GPU architectures used for evaluation");
+    t.header({"parameter", "Server (GK210)", "Mobile (TX1)",
+              "Simulator (GP102)"});
+    auto row = [&](const std::string &name, auto get) {
+        std::vector<std::string> cells = {name};
+        for (const auto &c : cfgs)
+            cells.push_back(get(c));
+        t.row(cells);
+    };
+    row("CUDA cores", [](const sim::GpuConfig &c) {
+        return std::to_string(c.numSms * c.coresPerSm);
+    });
+    row("SMs", [](const sim::GpuConfig &c) {
+        return std::to_string(c.numSms);
+    });
+    row("L1D per SM", [](const sim::GpuConfig &c) {
+        return std::to_string(c.l1dBytes / 1024) + " KB";
+    });
+    row("L2", [](const sim::GpuConfig &c) {
+        return std::to_string(c.l2Bytes / 1024) + " KB";
+    });
+    row("Registers per SM", [](const sim::GpuConfig &c) {
+        return std::to_string(c.regFileBytesPerSm / 4);
+    });
+    row("Shared mem per SM", [](const sim::GpuConfig &c) {
+        return std::to_string(c.smemBytesPerSm / 1024) + " KB";
+    });
+    row("Core clock", [](const sim::GpuConfig &c) {
+        return Table::num(c.coreClockGhz, 3) + " GHz";
+    });
+    row("Warp scheduler", [](const sim::GpuConfig &c) {
+        return std::string(sim::schedName(c.scheduler)) +
+               " (default; lrr, tlv selectable)";
+    });
+    t.print(std::cout);
+}
+
+void
+printFpga()
+{
+    fpga::PynqConfig c;
+    Table t("Table IV: FPGA platform used for evaluation (PynQ-Z1)");
+    t.header({"parameter", "value"});
+    t.row({"Programmable logic", "Xilinx Zynq Z7020 (modelled)"});
+    t.row({"DSP slices", std::to_string(c.dspSlices)});
+    t.row({"BRAM", std::to_string(c.bramBytes / 1024) + " KB"});
+    t.row({"Kernel clock", Table::num(c.clockMhz, 0) + " MHz"});
+    t.row({"DDR bandwidth share",
+           Table::num(c.ddrBytesPerSec / 1e6, 0) + " MB/s"});
+    t.row({"Board power", Table::num(c.boardPowerW, 1) + " W"});
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tango::setVerbose(false);
+    printGpus();
+    std::cout << "\n";
+    printFpga();
+    tango::bench::registerSimSpeed();
+    return tango::bench::runHarness(argc, argv);
+}

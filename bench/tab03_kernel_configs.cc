@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table III reproduction: per-kernel launch configuration and SRAM usage
+ * — gridDim, blockDim, registers per thread, static shared memory and
+ * constant memory — for every kernel of every network.
+ */
+
+#include "bench_util.hh"
+
+#include "runtime/lowering.hh"
+
+namespace {
+
+using namespace tango;
+
+std::string
+dimStr(const sim::Dim3 &d)
+{
+    return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+           std::to_string(d.z) + ")";
+}
+
+void
+printNet(const std::string &name)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    Table t("Table III (" + name + "): kernel configuration and SRAM usage");
+    t.header({"kernel", "gridDim", "blockDim", "regs", "smem", "cmem"});
+
+    auto addKernels = [&](const std::vector<rt::LoweredKernel> &kernels) {
+        for (const auto &k : kernels) {
+            const auto &p = *k.launch.program;
+            t.row({p.name, dimStr(k.launch.grid), dimStr(k.launch.block),
+                   std::to_string(p.numRegs), std::to_string(p.smemBytes),
+                   std::to_string(p.cmemBytes)});
+        }
+    };
+
+    if (name == "gru" || name == "lstm") {
+        nn::RnnModel m = name == "gru" ? nn::models::buildGru()
+                                       : nn::models::buildLstm();
+        auto low = rt::lowerRnn(m, gpu.mem(), false);
+        addKernels(low.kernels);
+    } else {
+        nn::Network net = nn::models::buildCnn(name);
+        auto low = rt::lower(net, gpu.mem(), false);
+        addKernels(low.kernels);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tango::setVerbose(false);
+    for (const auto &name : nn::models::allNames())
+        printNet(name);
+    tango::bench::registerSimSpeed();
+    return tango::bench::runHarness(argc, argv);
+}

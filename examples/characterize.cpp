@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Characterize: the suite's command-line workhorse.
+ *
+ *     characterize [network] [--platform GP102|GK210|TX1]
+ *                  [--sched gto|lrr|tlv] [--l1 KB] [--quant] [--exact]
+ *
+ * Runs one network (default: all seven) under the chosen configuration
+ * and prints the full characterization: per-layer-type time, instruction
+ * and data-type mixes, stall breakdown, cache statistics, power and
+ * footprint — the per-network view behind every figure in the paper.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "profiler/profiler.hh"
+#include "runtime/report.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace {
+
+using namespace tango;
+
+struct Options
+{
+    std::vector<std::string> nets;
+    std::string platform = "GP102";
+    sim::SchedPolicy sched = sim::SchedPolicy::GTO;
+    int l1Kb = -1;
+    bool quant = false;
+    bool exact = false;
+};
+
+void
+usage()
+{
+    std::cout
+        << "usage: characterize [network ...] [--platform GP102|GK210|"
+           "TX1]\n"
+           "                    [--sched gto|lrr|tlv] [--l1 KB] [--quant]"
+           " [--exact]\n"
+           "networks: gru lstm cifarnet alexnet squeezenet resnet vggnet"
+           " mobilenet\n";
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--platform") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.platform = v;
+        } else if (a == "--sched") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const std::string s = v;
+            opt.sched = s == "lrr"   ? sim::SchedPolicy::LRR
+                        : s == "tlv" ? sim::SchedPolicy::TLV
+                                     : sim::SchedPolicy::GTO;
+        } else if (a == "--l1") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.l1Kb = std::atoi(v);
+        } else if (a == "--quant") {
+            opt.quant = true;
+        } else if (a == "--exact") {
+            opt.exact = true;
+        } else if (a == "--help" || a == "-h") {
+            return false;
+        } else {
+            opt.nets.push_back(a);
+        }
+    }
+    if (opt.nets.empty())
+        opt.nets = nn::models::allNames();
+    return true;
+}
+
+void
+characterize(const Options &opt, const std::string &name)
+{
+    sim::GpuConfig cfg = opt.platform == "GK210" ? sim::keplerGK210()
+                         : opt.platform == "TX1" ? sim::maxwellTX1()
+                                                 : sim::pascalGP102();
+    if (opt.l1Kb >= 0)
+        cfg.l1dBytes = static_cast<uint32_t>(opt.l1Kb) * 1024;
+    cfg.scheduler = opt.sched;
+    sim::Gpu gpu(cfg);
+
+    rt::RunPolicy policy = rt::benchPolicy();
+    if (opt.exact) {
+        policy = rt::RunPolicy{};
+        policy.sim.fullSim = true;
+        policy.sim.maxResidentCtas = 0;
+    }
+
+    rt::NetRun run;
+    if (name == "gru" || name == "lstm") {
+        nn::RnnModel m = name == "gru" ? nn::models::buildGru()
+                                       : nn::models::buildLstm();
+        rt::Runtime rtm(gpu);
+        run = rtm.runRnn(m, policy);
+    } else {
+        nn::Network net = nn::models::buildCnn(name);
+        if (opt.quant) {
+            nn::initWeights(net);
+            nn::quantizeConvWeights(net);
+        }
+        rt::Runtime rtm(gpu);
+        run = rtm.runCnn(net, policy);
+    }
+
+    std::cout << "\n##### " << name << " on " << cfg.name
+              << " (l1=" << cfg.l1dBytes / 1024
+              << "KB, sched=" << sim::schedName(cfg.scheduler)
+              << (opt.quant ? ", quantized" : "") << ")\n";
+    rt::printRunSummary(std::cout, run);
+    rt::printSeries(std::cout, "time per layer type",
+                    prof::layerTimeBreakdown(run), true);
+    rt::printSeries(std::cout, "top operations",
+                    prof::topN(prof::opBreakdown(run.totals), 10), true);
+    rt::printSeries(std::cout, "data types",
+                    prof::dtypeBreakdown(run.totals), true);
+    rt::printSeries(std::cout, "stall cycles",
+                    prof::stallBreakdown(run.totals), true);
+
+    Table mem("memory system");
+    mem.header({"metric", "value"});
+    const double l1a = run.totals.get("mem.l1d.accesses");
+    const double l2a = run.totals.get("mem.l2.accesses");
+    mem.row({"L1D accesses", Table::num(l1a, 0)});
+    mem.row({"L1D miss ratio",
+             Table::pct(l1a > 0 ? run.totals.get("mem.l1d.misses") / l1a
+                                : 0.0)});
+    mem.row({"L2 accesses", Table::num(l2a, 0)});
+    mem.row({"L2 miss ratio",
+             Table::pct(l2a > 0 ? run.totals.get("mem.l2.misses") / l2a
+                                : 0.0)});
+    mem.row({"DRAM bursts", Table::num(run.totals.get("dram.accesses"),
+                                       0)});
+    mem.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Options opt;
+    if (!parse(argc, argv, opt)) {
+        usage();
+        return 1;
+    }
+    for (const auto &name : opt.nets)
+        characterize(opt, name);
+    std::cout << "\ncharacterize: OK\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: run one CifarNet inference *entirely on the simulated GPU*
+ * and print the class probabilities plus the architectural statistics
+ * the suite collects along the way.
+ *
+ * This is the smallest end-to-end use of the public API:
+ *   1. build a network model (nn::models),
+ *   2. generate its deterministic pre-trained weights (nn::initWeights),
+ *   3. create a virtual GPU (sim::Gpu) and a Runtime,
+ *   4. run with full simulation + functional checking,
+ *   5. read statistics from the returned NetRun.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "profiler/profiler.hh"
+#include "runtime/report.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+int
+main()
+{
+    using namespace tango;
+
+    // 1. The network: CifarNet trained (synthetically) for 9 traffic
+    //    signals, as in the paper's Table I.
+    nn::Network net = nn::models::buildCifarNet();
+    nn::initWeights(net);
+
+    // 2. A synthetic "speed limit 35" input image.
+    const nn::Tensor image = nn::models::makeInputImage(3, 32, 32);
+
+    // 3. The virtual GPU: the paper's GPGPU-Sim Pascal configuration.
+    sim::Gpu gpu(sim::pascalGP102());
+    rt::Runtime runtime(gpu);
+
+    // 4. Full cycle-level simulation of every CTA, with the device
+    //    outputs checked against the CPU reference as we go.
+    rt::RunPolicy policy;
+    policy.sim.fullSim = true;
+    policy.functional = true;
+    policy.check = true;
+    policy.tolerance = 2e-4f;
+
+    inform("simulating CifarNet on %s (%u SMs)...",
+           gpu.config().name.c_str(), gpu.config().numSms);
+    const rt::NetRun run = runtime.runCnn(net, policy, &image);
+
+    if (run.checkFailures != 0) {
+        warn("%llu device/reference mismatches!",
+             static_cast<unsigned long long>(run.checkFailures));
+        return 1;
+    }
+
+    // 5a. The network's answer (softmax output of the last layer).
+    const nn::Tensor probs = net.forward(image);
+    std::printf("\nclass probabilities (9 traffic signals):\n");
+    for (uint32_t c = 0; c < probs.size(); c++)
+        std::printf("  class %u: %.4f\n", c, probs[c]);
+    std::printf("predicted class: %u\n\n",
+                static_cast<unsigned>(probs.argmax()));
+
+    // 5b. Architectural statistics, exactly as the benches report them.
+    rt::printRunSummary(std::cout, run);
+
+    const prof::Series ops = prof::topN(prof::opBreakdown(run.totals), 8);
+    rt::printSeries(std::cout, "top operations", ops, true);
+
+    const prof::Series stalls = prof::stallBreakdown(run.totals);
+    rt::printSeries(std::cout, "stall cycle breakdown", stalls, true);
+
+    std::printf("quickstart: OK (device outputs matched the CPU "
+                "reference)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stock forecast: the paper's RNN scenario.  Both recurrent models (GRU
+ * and LSTM) predict the next bitcoin price from the past two days'
+ * (scaled) prices — here a deterministic synthetic price walk — with the
+ * whole recurrence executed on the simulated GPU and checked against the
+ * CPU reference.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace {
+
+void
+forecast(tango::nn::RnnModel model)
+{
+    using namespace tango;
+
+    nn::initWeights(model);
+
+    sim::Gpu gpu(sim::maxwellTX1());   // the paper's mobile platform
+    rt::Runtime runtime(gpu);
+
+    rt::RunPolicy policy;
+    policy.sim.fullSim = true;
+    policy.functional = true;
+    policy.check = true;
+    policy.tolerance = 1e-3f;
+
+    // A longer walk; each prediction uses a sliding 2-step window.
+    const auto walk = nn::models::makeStockSequence(10);
+    std::printf("%s: scaled price walk:", model.name.c_str());
+    for (float p : walk)
+        std::printf(" %.3f", p);
+    std::printf("\n");
+
+    double timeUs = 0.0, energyMj = 0.0;
+    for (size_t t = 0; t + model.seqLen < walk.size(); t++) {
+        const std::vector<float> window(walk.begin() + t,
+                                        walk.begin() + t + model.seqLen);
+        float pred = 0.0f;
+        const rt::NetRun run =
+            runtime.runRnn(model, policy, &window, &pred);
+        if (run.checkFailures) {
+            warn("%s: simulation/reference mismatch",
+                 model.name.c_str());
+            std::exit(1);
+        }
+        timeUs += run.totalTimeSec * 1e6;
+        energyMj += run.totalEnergyJ * 1e3;
+        std::printf("  day %2zu..%zu -> predict %.4f (actual next: "
+                    "%.4f)\n",
+                    t, t + model.seqLen - 1, pred,
+                    walk[t + model.seqLen]);
+    }
+    std::printf("%s on TX1: %.1f us simulated inference time, %.3f mJ "
+                "total\n\n",
+                model.name.c_str(), timeUs, energyMj);
+}
+
+} // namespace
+
+int
+main()
+{
+    tango::setVerbose(false);
+    forecast(tango::nn::models::buildGru());
+    forecast(tango::nn::models::buildLstm());
+    std::printf("stock_forecast: OK\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tango {
+
+namespace {
+bool verboseFlag = true;
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stdout, "info: ");
+    std::vfprintf(stdout, fmt, ap);
+    std::fprintf(stdout, "\n");
+    va_end(ap);
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+} // namespace tango

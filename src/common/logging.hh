@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 fatal/panic/warn style.
+ *
+ * fatal()  — the run cannot continue because of a user error (bad config,
+ *            invalid arguments).  Exits with status 1.
+ * panic()  — an internal invariant was violated (a bug in tango itself).
+ *            Aborts so a core dump / debugger can catch it.
+ * warn()   — something is suspicious but the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef TANGO_COMMON_LOGGING_HH
+#define TANGO_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tango {
+
+/** Terminate the run due to a user-facing error (exit(1)). */
+[[noreturn]] void fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Terminate the run due to an internal bug (abort()). */
+[[noreturn]] void panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+/** panic() unless the condition holds. */
+#define TANGO_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::tango::panic("assertion failed: %s: " #cond, __func__);     \
+    } while (0)
+
+} // namespace tango
+
+#endif // TANGO_COMMON_LOGGING_HH

@@ -1,0 +1,87 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace tango {
+
+namespace {
+inline uint32_t
+rotl(uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (int i = 0; i < 4; i++)
+        s_[i] = static_cast<uint32_t>(splitmix64(sm) >> 16);
+    // Avoid the all-zero state, which is a fixed point.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint32_t
+Rng::next()
+{
+    const uint32_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint32_t t = s_[1] << 9;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 11);
+    return result;
+}
+
+float
+Rng::uniform()
+{
+    // 24 mantissa bits -> uniform in [0, 1)
+    return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+float
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    float u1 = uniform();
+    float u2 = uniform();
+    if (u1 < 1e-12f)
+        u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530718f * u2;
+    spare_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return r * std::cos(theta);
+}
+
+uint32_t
+Rng::below(uint32_t n)
+{
+    if (n == 0)
+        return 0;
+    return next() % n;
+}
+
+} // namespace tango

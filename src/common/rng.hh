@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic data in tango (weights, inputs) is produced by this
+ * xoshiro128** generator so every run — and every platform — sees exactly
+ * the same bits.  std::mt19937 distributions are not guaranteed identical
+ * across standard libraries; this generator is self-contained.
+ */
+
+#ifndef TANGO_COMMON_RNG_HH
+#define TANGO_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace tango {
+
+/** Deterministic xoshiro128** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed always yields the same stream. */
+    explicit Rng(uint64_t seed = 0x7a6e676fULL);
+
+    /** @return the next raw 32-bit value. */
+    uint32_t next();
+
+    /** @return a float uniform in [0, 1). */
+    float uniform();
+
+    /** @return a float uniform in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** @return a standard-normal float (Box-Muller). */
+    float gaussian();
+
+    /** @return an integer uniform in [0, n). */
+    uint32_t below(uint32_t n);
+
+  private:
+    uint32_t s_[4];
+    bool haveSpare_ = false;
+    float spare_ = 0.0f;
+};
+
+} // namespace tango
+
+#endif // TANGO_COMMON_RNG_HH

@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+namespace tango {
+
+void
+StatSet::add(const std::string &name, double v)
+{
+    stats_[name] += v;
+}
+
+void
+StatSet::set(const std::string &name, double v)
+{
+    stats_[name] = v;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[k, v] : other.stats_)
+        stats_[k] += v;
+}
+
+void
+StatSet::scale(double factor)
+{
+    for (auto &[k, v] : stats_)
+        v *= factor;
+}
+
+double
+StatSet::sumPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second;
+    }
+    return total;
+}
+
+} // namespace tango

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace tango {
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() > header_.size())
+        cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); i++)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; i++) {
+            const std::string &c = i < cells.size() ? cells[i] : std::string();
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2) << c;
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << "# " << title_ << "\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); i++) {
+            if (i)
+                os << ",";
+            os << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    os.flush();
+}
+
+} // namespace tango

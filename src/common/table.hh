@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harness to print the
+ * paper's figure/table series in a uniform format.
+ */
+
+#ifndef TANGO_COMMON_TABLE_HH
+#define TANGO_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tango {
+
+/** A simple column-aligned ASCII table with an optional title. */
+class Table
+{
+  public:
+    /** @param title heading printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Append one row (cells beyond the header width are dropped). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 3);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int prec = 1);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, comma separated, title as comment). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tango
+
+#endif // TANGO_COMMON_TABLE_HH

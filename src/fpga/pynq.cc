@@ -1,0 +1,53 @@
+#include "fpga/pynq.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "runtime/lowering.hh"
+
+namespace tango::fpga {
+
+FpgaRun
+runOnPynq(const nn::Network &net, const PynqConfig &cfg)
+{
+    FpgaRun run;
+    run.netName = net.name;
+    run.peakPowerW = cfg.boardPowerW;
+
+    const double macsPerSec =
+        cfg.dspSlices * cfg.dspUtilization * cfg.clockMhz * 1e6;
+
+    for (const auto &l : net.layers()) {
+        if (l.kind == nn::LayerKind::Input ||
+            l.kind == nn::LayerKind::Concat) {
+            continue;
+        }
+        FpgaLayerRun fr;
+        fr.name = l.name;
+
+        // Dedicated pipeline: one MAC per DSP per cycle once full.
+        fr.computeSec = static_cast<double>(l.macs()) / macsPerSec;
+
+        // Working set: input + output + weights.  When it exceeds BRAM,
+        // the layer is split into sub-kernels that each reload code and
+        // re-stream their slice of the data (paper Section IV-E1).
+        const uint64_t inBytes = 4ull * l.C * l.H * l.W;
+        const uint64_t outBytes = 4ull * l.outputSize();
+        const uint64_t wBytes = rt::layerWeightBytes(l);
+        const uint64_t workingSet = inBytes + outBytes + wBytes;
+        fr.subKernels = static_cast<uint32_t>(
+            std::max<uint64_t>(1, (workingSet + cfg.bramBytes - 1) /
+                                      cfg.bramBytes));
+        fr.streamSec =
+            static_cast<double>(workingSet) / cfg.ddrBytesPerSec;
+        fr.loadSec = cfg.kernelLoadSec * fr.subKernels;
+
+        run.totalTimeSec += fr.totalSec();
+        run.layers.push_back(fr);
+    }
+    run.totalEnergyJ = run.totalTimeSec * cfg.boardPowerW;
+    return run;
+}
+
+} // namespace tango::fpga

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytical model of the Xilinx PynQ-Z1 FPGA platform (paper Table IV).
+ *
+ * The paper synthesized the OpenCL kernels to RTL with Vivado HLS and ran
+ * them on the PynQ's Zynq Z7020 fabric.  No FPGA is available here, so
+ * this model reproduces the two effects Fig 6 turns on:
+ *  - a dedicated, DSP-limited datapath at a low clock: slower than the
+ *    TX1's general-purpose SMs (the paper saw 1.7-1.8x longer runtimes),
+ *    amplified by slow code loading and the small on-chip BRAM forcing
+ *    layers to be split into sub-kernels streamed from DDR;
+ *  - a much lower device power (the paper saw 2.28-3.2x below TX1), so
+ *    total energy still ends up 1.34-1.74x *better* than the GPU.
+ */
+
+#ifndef TANGO_FPGA_PYNQ_HH
+#define TANGO_FPGA_PYNQ_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace tango::fpga {
+
+/** PynQ-Z1 resources (Table IV) and model constants. */
+struct PynqConfig
+{
+    double clockMhz = 100.0;          ///< HLS kernel clock
+    uint32_t dspSlices = 220;         ///< Z7020 DSP48 count
+    double dspUtilization = 0.75;     ///< usable fraction after routing
+    uint64_t bramBytes = 630 * 1024;  ///< on-chip buffer (Table IV)
+    double ddrBytesPerSec = 350e6;    ///< streaming bandwidth share
+    double kernelLoadSec = 0.010;     ///< per-sub-kernel code load (paper:
+                                      ///< "slower code loading time")
+    double boardPowerW = 2.5;         ///< device-level draw (Wattsup)
+};
+
+/** Per-layer model output. */
+struct FpgaLayerRun
+{
+    std::string name;
+    double computeSec = 0.0;
+    double streamSec = 0.0;
+    double loadSec = 0.0;
+    uint32_t subKernels = 1;
+
+    double totalSec() const { return computeSec + streamSec + loadSec; }
+};
+
+/** Whole-network model output. */
+struct FpgaRun
+{
+    std::string netName;
+    std::vector<FpgaLayerRun> layers;
+    double totalTimeSec = 0.0;
+    double totalEnergyJ = 0.0;
+    double peakPowerW = 0.0;
+};
+
+/** Model one inference of @p net on the PynQ. */
+FpgaRun runOnPynq(const nn::Network &net, const PynqConfig &cfg = {});
+
+} // namespace tango::fpga
+
+#endif // TANGO_FPGA_PYNQ_HH

@@ -1,0 +1,245 @@
+#include "kernels/kernels.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+namespace {
+
+constexpr float log2e = 1.4426950408889634f;
+
+} // namespace
+
+std::shared_ptr<Program>
+buildMap(const MapDesc &d)
+{
+    Builder b(d.name);
+    b.constant(12);    // C H W
+
+    Reg pA = b.param(0);
+    Reg pB = b.param(1);       // second input / gamma / mean
+    Reg pC = b.param(2);       // beta / var
+    Reg pOut = b.param(3);
+
+    Reg rH = b.ldc(DType::U32, 4);
+    Reg rWd = b.ldc(DType::U32, 8);
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+
+    Reg k;
+    switch (d.channelSrc) {
+      case ChannelSrc::GridX:
+        k = b.movS(SReg::CtaIdX);
+        break;
+      case ChannelSrc::GridZ:
+        k = b.movS(SReg::CtaIdZ);
+        break;
+      case ChannelSrc::Loop:
+        k = b.reg();
+        break;
+    }
+
+    // Per-channel parameters, hoisted out of the pixel loops.
+    Reg g = b.reg(), be = b.reg(), tOff = b.reg(), tAddr = b.reg();
+    auto loadChannelParams = [&] {
+        if (d.kind == MapKind::Scale) {
+            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+            b.ld(DType::F32, Space::Global, g, tAddr);
+            b.emit3(Op::Add, DType::U32, tAddr, pC, tOff);
+            b.ld(DType::F32, Space::Global, be, tAddr);
+        } else if (d.kind == MapKind::BatchNorm) {
+            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+            b.ld(DType::F32, Space::Global, be, tAddr);   // mean
+            b.emit3(Op::Add, DType::U32, tAddr, pC, tOff);
+            b.ld(DType::F32, Space::Global, g, tAddr);    // var
+            b.emit3f(Op::Add, g, g, d.eps);
+            b.emit2(Op::Rsqrt, DType::F32, g, g);         // 1/sqrt(var+eps)
+        }
+    };
+
+    Reg tV = b.reg(), tV2 = b.reg(), tBase = b.reg();
+    auto emitElem = [&](Reg x, Reg y) {
+        // idx = (k*H + y)*W + x
+        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+        b.emit3(Op::Add, DType::U32, tBase, tBase, y);
+        b.emit3(Op::Mul, DType::U32, tBase, tBase, rWd);
+        b.emit3(Op::Add, DType::U32, tBase, tBase, x);
+        b.emit3i(Op::Shl, DType::U32, tBase, tBase, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pA, tBase);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        switch (d.kind) {
+          case MapKind::Relu:
+            b.emit3f(Op::Max, tV, tV, 0.0f);
+            break;
+          case MapKind::Scale:
+            // v = v*gamma + beta
+            b.mad(DType::F32, tV, tV, g, be);
+            break;
+          case MapKind::BatchNorm:
+            b.emit3(Op::Sub, DType::F32, tV, tV, be);
+            b.emit3(Op::Mul, DType::F32, tV, tV, g);
+            break;
+          case MapKind::Eltwise:
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tBase);
+            b.ld(DType::F32, Space::Global, tV2, tAddr);
+            b.emit3(Op::Add, DType::F32, tV, tV, tV2);
+            break;
+        }
+        if (d.relu)
+            b.emit3f(Op::Max, tV, tV, 0.0f);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tBase);
+        b.st(DType::F32, Space::Global, tAddr, tV);
+    };
+
+    auto withPixels = [&] {
+        switch (d.pixelMap) {
+          case PixelMap::StrideLoop: {
+            Reg yy = b.reg(), xx = b.reg();
+            detail::stridedLoop(b, yy, ty, rH, d.block.y, [&] {
+                detail::stridedLoop(b, xx, tx, rWd, d.block.x,
+                            [&] { emitElem(xx, yy); });
+            });
+            break;
+          }
+          case PixelMap::RowBlock: {
+            Reg y = b.movS(SReg::CtaIdX);
+            emitElem(tx, y);
+            break;
+          }
+          case PixelMap::FromGridXY: {
+            Reg bx = b.movS(SReg::CtaIdX);
+            Reg by = b.movS(SReg::CtaIdY);
+            Reg x = b.reg(), y = b.reg();
+            b.emit3i(Op::Mul, DType::U32, x, bx, d.block.x);
+            b.emit3(Op::Add, DType::U32, x, x, tx);
+            b.emit3i(Op::Mul, DType::U32, y, by, d.block.y);
+            b.emit3(Op::Add, DType::U32, y, y, ty);
+            emitElem(x, y);
+            break;
+          }
+          case PixelMap::TileOrigin:
+            emitElem(tx, ty);
+            break;
+        }
+    };
+
+    if (d.channelSrc == ChannelSrc::Loop) {
+        b.forLoopI(k, 0, d.C, [&] {
+            loadChannelParams();
+            withPixels();
+        });
+    } else {
+        loadChannelParams();
+        withPixels();
+    }
+
+    return b.finish();
+}
+
+KernelLaunch
+makeMapLaunch(const MapDesc &d, uint32_t a, uint32_t bptr, uint32_t c,
+              uint32_t out)
+{
+    KernelLaunch l;
+    l.program = buildMap(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {a, bptr, c, out};
+    l.constData = detail::packConst({d.C, d.H, d.W});
+    return l;
+}
+
+std::shared_ptr<Program>
+buildSoftmax(const SoftmaxDesc &d)
+{
+    Builder b(d.name);
+    b.constant(4);    // n
+    const uint32_t T = d.threads;
+    const uint32_t shOff = b.shared(T * 4);
+
+    Reg pIn = b.param(0);
+    Reg pOut = b.param(1);
+    Reg rN = b.ldc(DType::U32, 0);
+    Reg tx = b.movS(SReg::TidX);
+
+    Reg tV = b.reg(), tOff = b.reg(), tAddr = b.reg();
+    Reg m = b.reg(), s = b.reg(), i = b.reg();
+
+    // Phase 1: strided local max, then an all-threads serial reduction of
+    // the T partials in shared memory (the naive but branch-free pattern).
+    b.movF(m, -3.4e38f);
+    detail::stridedLoop(b, i, tx, rN, T, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3(Op::Max, DType::F32, m, m, tV);
+    });
+    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+    b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
+    b.st(DType::F32, Space::Shared, tAddr, m);
+    b.bar();
+    b.movF(m, -3.4e38f);
+    b.forLoopI(i, 0, T, [&] {
+        b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+        b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
+        b.emit3(Op::Max, DType::F32, m, m, tV);
+    });
+    b.bar();
+
+    // Phase 2: out[i] = exp(in[i]-m) and strided local sum.
+    b.movF(s, 0.0f);
+    detail::stridedLoop(b, i, tx, rN, T, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3(Op::Sub, DType::F32, tV, tV, m);
+        b.emit3f(Op::Mul, tV, tV, log2e);
+        b.emit2(Op::Ex2, DType::F32, tV, tV);
+        b.emit3(Op::Add, DType::F32, s, s, tV);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.st(DType::F32, Space::Global, tAddr, tV);
+    });
+    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+    b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
+    b.st(DType::F32, Space::Shared, tAddr, s);
+    b.bar();
+    b.movF(s, 0.0f);
+    b.forLoopI(i, 0, T, [&] {
+        b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+        b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
+        b.emit3(Op::Add, DType::F32, s, s, tV);
+    });
+    b.emit2(Op::Rcp, DType::F32, s, s);
+
+    // Phase 3: normalize in place.
+    detail::stridedLoop(b, i, tx, rN, T, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3(Op::Mul, DType::F32, tV, tV, s);
+        b.st(DType::F32, Space::Global, tAddr, tV);
+    });
+
+    return b.finish();
+}
+
+KernelLaunch
+makeSoftmaxLaunch(const SoftmaxDesc &d, uint32_t in, uint32_t out)
+{
+    KernelLaunch l;
+    l.program = buildSoftmax(d);
+    l.grid = {1, 1, 1};
+    l.block = {d.threads, 1, 1};
+    l.params = {in, out};
+    l.constData = detail::packConst({d.n});
+    return l;
+}
+
+} // namespace tango::kern

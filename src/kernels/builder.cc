@@ -1,0 +1,516 @@
+#include "kernels/builder.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace tango::kern {
+
+Builder::Builder(std::string name) : prog_(std::make_shared<Program>())
+{
+    prog_->name = std::move(name);
+}
+
+Reg
+Builder::reg()
+{
+    if (!freeRegs_.empty()) {
+        Reg r{freeRegs_.back()};
+        freeRegs_.pop_back();
+        return r;
+    }
+    TANGO_ASSERT(nextReg_ < 250, "register budget exceeded");
+    Reg r{static_cast<uint8_t>(nextReg_++)};
+    prog_->numRegs = nextReg_;
+    return r;
+}
+
+void
+Builder::release(Reg r)
+{
+    if (r.valid())
+        freeRegs_.push_back(r.idx);
+}
+
+PredReg
+Builder::pred()
+{
+    TANGO_ASSERT(nextPred_ < 16, "predicate budget exceeded");
+    PredReg p{static_cast<uint8_t>(nextPred_++)};
+    prog_->numPreds = nextPred_;
+    return p;
+}
+
+uint32_t
+Builder::shared(uint32_t bytes)
+{
+    const uint32_t off = prog_->smemBytes;
+    prog_->smemBytes += (bytes + 3) & ~3u;
+    return off;
+}
+
+uint32_t
+Builder::constant(uint32_t bytes)
+{
+    const uint32_t off = prog_->cmemBytes;
+    prog_->cmemBytes += (bytes + 3) & ~3u;
+    return off;
+}
+
+void
+Builder::guard(PredReg p, bool negate)
+{
+    guard_ = p.idx;
+    guardNeg_ = negate;
+}
+
+void
+Builder::endGuard()
+{
+    guard_ = sim::noPred;
+    guardNeg_ = false;
+}
+
+Instr &
+Builder::push(Instr ins)
+{
+    TANGO_ASSERT(!finished_, "emit after finish()");
+    ins.pred = guard_;
+    ins.predNeg = guardNeg_;
+    prog_->code.push_back(ins);
+    return prog_->code.back();
+}
+
+Reg
+Builder::movS(SReg s)
+{
+    Reg d = reg();
+    Instr ins;
+    ins.op = Op::Mov;
+    ins.type = DType::U32;
+    ins.dst = d.idx;
+    ins.sreg = s;
+    push(ins);
+    return d;
+}
+
+Reg
+Builder::immU(uint32_t v)
+{
+    Reg d = reg();
+    movU(d, v);
+    return d;
+}
+
+Reg
+Builder::immF(float v)
+{
+    Reg d = reg();
+    movF(d, v);
+    return d;
+}
+
+void
+Builder::movR(Reg d, Reg a, DType t)
+{
+    Instr ins;
+    ins.op = Op::Mov;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    push(ins);
+}
+
+void
+Builder::movU(Reg d, uint32_t v)
+{
+    Instr ins;
+    ins.op = Op::Mov;
+    ins.type = DType::U32;
+    ins.dst = d.idx;
+    ins.src[0] = Instr::immReg;
+    ins.imm = v;
+    push(ins);
+}
+
+void
+Builder::movF(Reg d, float v)
+{
+    Instr ins;
+    ins.op = Op::Mov;
+    ins.type = DType::F32;
+    ins.dst = d.idx;
+    ins.src[0] = Instr::immReg;
+    ins.imm = std::bit_cast<uint32_t>(v);
+    push(ins);
+}
+
+void
+Builder::emit3(Op op, DType t, Reg d, Reg a, Reg b)
+{
+    Instr ins;
+    ins.op = op;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = b.idx;
+    push(ins);
+}
+
+void
+Builder::emit3i(Op op, DType t, Reg d, Reg a, uint32_t imm)
+{
+    Instr ins;
+    ins.op = op;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = Instr::immReg;
+    ins.imm = imm;
+    push(ins);
+}
+
+void
+Builder::emit3f(Op op, Reg d, Reg a, float imm)
+{
+    Instr ins;
+    ins.op = op;
+    ins.type = DType::F32;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = Instr::immReg;
+    ins.imm = std::bit_cast<uint32_t>(imm);
+    push(ins);
+}
+
+void
+Builder::emit2(Op op, DType t, Reg d, Reg a)
+{
+    Instr ins;
+    ins.op = op;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    push(ins);
+}
+
+void
+Builder::mad(DType t, Reg d, Reg a, Reg b, Reg c)
+{
+    Instr ins;
+    ins.op = Op::Mad;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = b.idx;
+    ins.src[2] = c.idx;
+    push(ins);
+}
+
+Reg
+Builder::add(DType t, Reg a, Reg b)
+{
+    Reg d = reg();
+    emit3(Op::Add, t, d, a, b);
+    return d;
+}
+
+Reg
+Builder::addi(DType t, Reg a, uint32_t imm)
+{
+    Reg d = reg();
+    emit3i(Op::Add, t, d, a, imm);
+    return d;
+}
+
+Reg
+Builder::mul(DType t, Reg a, Reg b)
+{
+    Reg d = reg();
+    emit3(Op::Mul, t, d, a, b);
+    return d;
+}
+
+Reg
+Builder::muli(DType t, Reg a, uint32_t imm)
+{
+    Reg d = reg();
+    emit3i(Op::Mul, t, d, a, imm);
+    return d;
+}
+
+Reg
+Builder::shli(Reg a, uint32_t sh)
+{
+    Reg d = reg();
+    emit3i(Op::Shl, DType::U32, d, a, sh);
+    return d;
+}
+
+Reg
+Builder::madr(DType t, Reg a, Reg b, Reg c)
+{
+    Reg d = reg();
+    mad(t, d, a, b, c);
+    return d;
+}
+
+Reg
+Builder::cvt(DType to, DType from, Reg a)
+{
+    Reg d = reg();
+    cvtTo(to, from, d, a);
+    return d;
+}
+
+void
+Builder::cvtTo(DType to, DType from, Reg d, Reg a)
+{
+    Instr ins;
+    ins.op = Op::Cvt;
+    ins.type = to;
+    ins.type2 = from;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    push(ins);
+}
+
+void
+Builder::setp(PredReg p, DType t, Cmp c, Reg a, Reg b)
+{
+    Instr ins;
+    ins.op = Op::Set;
+    ins.type = t;
+    ins.cmp = c;
+    ins.dst = p.idx;
+    ins.dstIsPred = true;
+    ins.src[0] = a.idx;
+    ins.src[1] = b.idx;
+    push(ins);
+}
+
+void
+Builder::setpi(PredReg p, DType t, Cmp c, Reg a, uint32_t imm)
+{
+    Instr ins;
+    ins.op = Op::Set;
+    ins.type = t;
+    ins.cmp = c;
+    ins.dst = p.idx;
+    ins.dstIsPred = true;
+    ins.src[0] = a.idx;
+    ins.src[1] = Instr::immReg;
+    ins.imm = imm;
+    push(ins);
+}
+
+void
+Builder::selp(DType t, Reg d, Reg a, Reg b, PredReg p)
+{
+    Instr ins;
+    ins.op = Op::Selp;
+    ins.type = t;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = b.idx;
+    ins.src[2] = p.idx;
+    push(ins);
+}
+
+void
+Builder::ld(DType t, Space sp, Reg d, Reg addr, uint32_t off)
+{
+    Instr ins;
+    ins.op = Op::Ld;
+    ins.type = t;
+    ins.space = sp;
+    ins.dst = d.idx;
+    ins.src[0] = addr.idx;
+    ins.imm = off;
+    push(ins);
+}
+
+void
+Builder::st(DType t, Space sp, Reg addr, Reg v, uint32_t off)
+{
+    Instr ins;
+    ins.op = Op::St;
+    ins.type = t;
+    ins.space = sp;
+    ins.src[0] = addr.idx;
+    ins.src[1] = v.idx;
+    ins.imm = off;
+    push(ins);
+}
+
+Reg
+Builder::param(uint32_t index)
+{
+    Reg d = reg();
+    Instr ins;
+    ins.op = Op::Ld;
+    ins.type = DType::U32;
+    ins.space = Space::Param;
+    ins.dst = d.idx;
+    ins.src[0] = Instr::immReg;
+    ins.imm = index * 4;
+    push(ins);
+    return d;
+}
+
+Reg
+Builder::ldc(DType t, uint32_t off)
+{
+    Reg d = reg();
+    Instr ins;
+    ins.op = Op::Ld;
+    ins.type = t;
+    ins.space = Space::Const;
+    ins.dst = d.idx;
+    ins.src[0] = Instr::immReg;
+    ins.imm = off;
+    push(ins);
+    return d;
+}
+
+void
+Builder::setr(DType t, Cmp c, Reg d, Reg a, Reg b)
+{
+    Instr ins;
+    ins.op = Op::Set;
+    ins.type = t;
+    ins.cmp = c;
+    ins.dst = d.idx;
+    ins.src[0] = a.idx;
+    ins.src[1] = b.idx;
+    push(ins);
+}
+
+Label
+Builder::label()
+{
+    Label l{static_cast<int>(labelPos_.size())};
+    labelPos_.push_back(-1);
+    return l;
+}
+
+void
+Builder::bind(Label l)
+{
+    TANGO_ASSERT(l.id >= 0 && labelPos_[l.id] < 0, "label rebind");
+    labelPos_[l.id] = static_cast<int>(prog_->code.size());
+}
+
+void
+Builder::bra(Label l)
+{
+    Instr ins;
+    ins.op = Op::Bra;
+    push(ins);
+    fixups_.emplace_back(prog_->code.size() - 1, l.id);
+}
+
+void
+Builder::braIf(Label l, PredReg p, bool negate)
+{
+    Instr ins;
+    ins.op = Op::Bra;
+    ins.pred = p.idx;       // branch condition, applied regardless of guard
+    ins.predNeg = negate;
+    prog_->code.push_back(ins);
+    fixups_.emplace_back(prog_->code.size() - 1, l.id);
+}
+
+void
+Builder::ssy(Label reconv)
+{
+    Instr ins;
+    ins.op = Op::Ssy;
+    push(ins);
+    fixups_.emplace_back(prog_->code.size() - 1, reconv.id);
+}
+
+void
+Builder::bar()
+{
+    Instr ins;
+    ins.op = Op::Bar;
+    push(ins);
+}
+
+void
+Builder::retp()
+{
+    Instr ins;
+    ins.op = Op::Retp;
+    push(ins);
+}
+
+void
+Builder::nop()
+{
+    Instr ins;
+    ins.op = Op::Nop;
+    push(ins);
+}
+
+void
+Builder::exit()
+{
+    Instr ins;
+    ins.op = Op::Exit;
+    push(ins);
+}
+
+void
+Builder::forLoop(Reg i, uint32_t begin, Reg end,
+                 const std::function<void()> &body)
+{
+    // Loop counters use s32 arithmetic, like `for (int i = ...)` in the
+    // original CUDA C (this is where the s32 share of Fig 10 comes from).
+    movU(i, begin);
+    Label head = label();
+    Label done = label();
+    PredReg p = pred();
+    bind(head);
+    setp(p, DType::S32, Cmp::Ge, i, end);
+    braIf(done, p);
+    body();
+    emit3i(Op::Add, DType::S32, i, i, 1);
+    bra(head);
+    bind(done);
+}
+
+void
+Builder::forLoopI(Reg i, uint32_t begin, uint32_t end,
+                  const std::function<void()> &body)
+{
+    movU(i, begin);
+    Label head = label();
+    Label done = label();
+    PredReg p = pred();
+    bind(head);
+    setpi(p, DType::S32, Cmp::Ge, i, end);
+    braIf(done, p);
+    body();
+    emit3i(Op::Add, DType::S32, i, i, 1);
+    bra(head);
+    bind(done);
+}
+
+std::shared_ptr<Program>
+Builder::finish()
+{
+    TANGO_ASSERT(!finished_, "double finish()");
+    if (prog_->code.empty() || prog_->code.back().op != Op::Exit)
+        exit();
+    for (const auto &[pc, id] : fixups_) {
+        TANGO_ASSERT(id >= 0 && labelPos_[id] >= 0, "unbound label");
+        prog_->code[pc].target = labelPos_[id];
+    }
+    finished_ = true;
+    prog_->validate();
+    return prog_;
+}
+
+} // namespace tango::kern

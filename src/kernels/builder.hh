@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A small assembler ("kernel DSL") for emitting tango virtual-ISA programs.
+ *
+ * This is the layer in which the suite's layer kernels are written — the
+ * role CUDA C plays in the original Tango.  The builder hands out virtual
+ * registers (which are physical — kernels are written with modest register
+ *  budgets, as in the paper's Table III), emits typed instructions,
+ * supports guard predicates, labels with back-patching, and structured
+ * loops.
+ */
+
+#ifndef TANGO_KERNELS_BUILDER_HH
+#define TANGO_KERNELS_BUILDER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace tango::kern {
+
+using sim::Cmp;
+using sim::Dim3;
+using sim::DType;
+using sim::Instr;
+using sim::Op;
+using sim::Program;
+using sim::Space;
+using sim::SReg;
+
+/** A general-purpose register handle. */
+struct Reg
+{
+    uint8_t idx = 0xff;
+    bool valid() const { return idx != 0xff; }
+};
+
+/** A predicate register handle. */
+struct PredReg
+{
+    uint8_t idx = 0xff;
+    bool valid() const { return idx != 0xff; }
+};
+
+/** A forward-referencable code label. */
+struct Label
+{
+    int id = -1;
+};
+
+/** Program builder; one instance per kernel. */
+class Builder
+{
+  public:
+    /** @param name kernel name recorded into the Program. */
+    explicit Builder(std::string name);
+
+    // ----- resources ------------------------------------------------------
+    /** Allocate a fresh register (reuses released ones). */
+    Reg reg();
+    /** Return a register to the pool. */
+    void release(Reg r);
+    /** Allocate a predicate register. */
+    PredReg pred();
+
+    /** Declare static shared memory; @return byte offset of the block. */
+    uint32_t shared(uint32_t bytes);
+    /** Declare constant-bank usage; @return byte offset of the block. */
+    uint32_t constant(uint32_t bytes);
+
+    // ----- guards ---------------------------------------------------------
+    /** All subsequently emitted instructions execute under @p p. */
+    void guard(PredReg p, bool negate = false);
+    /** Clear the active guard. */
+    void endGuard();
+
+    // ----- moves / immediates ----------------------------------------------
+    Reg movS(SReg s);                    ///< read a special register
+    Reg immU(uint32_t v);                ///< materialize a u32 immediate
+    Reg immF(float v);                   ///< materialize an f32 immediate
+    void movR(Reg d, Reg a, DType t = DType::U32);
+    void movU(Reg d, uint32_t v);
+    void movF(Reg d, float v);
+
+    // ----- arithmetic (three-address, explicit destination) ----------------
+    void emit3(Op op, DType t, Reg d, Reg a, Reg b);
+    void emit3i(Op op, DType t, Reg d, Reg a, uint32_t imm);
+    void emit3f(Op op, Reg d, Reg a, float imm);
+    void emit2(Op op, DType t, Reg d, Reg a);
+    void mad(DType t, Reg d, Reg a, Reg b, Reg c);
+
+    // Convenience wrappers that allocate the destination.
+    Reg add(DType t, Reg a, Reg b);
+    Reg addi(DType t, Reg a, uint32_t imm);
+    Reg mul(DType t, Reg a, Reg b);
+    Reg muli(DType t, Reg a, uint32_t imm);
+    Reg shli(Reg a, uint32_t sh);
+    Reg madr(DType t, Reg a, Reg b, Reg c);
+    Reg cvt(DType to, DType from, Reg a);
+    /** cvt with an explicit destination register. */
+    void cvtTo(DType to, DType from, Reg d, Reg a);
+
+    // ----- comparisons ------------------------------------------------------
+    /** setp: p = (a cmp b). */
+    void setp(PredReg p, DType t, Cmp c, Reg a, Reg b);
+    void setpi(PredReg p, DType t, Cmp c, Reg a, uint32_t imm);
+    /** selp: d = p ? a : b. */
+    void selp(DType t, Reg d, Reg a, Reg b, PredReg p);
+
+    // ----- memory -----------------------------------------------------------
+    /** ld: d = space[addr + off]. */
+    void ld(DType t, Space sp, Reg d, Reg addr, uint32_t off = 0);
+    /** st: space[addr + off] = v. */
+    void st(DType t, Space sp, Reg addr, Reg v, uint32_t off = 0);
+    /** Load a 32-bit kernel parameter by index. */
+    Reg param(uint32_t index);
+    /** Load from the constant bank at an immediate byte offset. */
+    Reg ldc(DType t, uint32_t off);
+    /** set-to-register: d = (a cmp b) ? 1 : 0. */
+    void setr(DType t, Cmp c, Reg d, Reg a, Reg b);
+
+    // ----- control flow -----------------------------------------------------
+    Label label();
+    void bind(Label l);
+    void bra(Label l);
+    void braIf(Label l, PredReg p, bool negate = false);
+    void ssy(Label reconv);
+    void bar();
+    void retp();
+    void nop();
+    void exit();
+
+    /**
+     * Emit a canonical counted loop: for (i = begin; i < end; i++) body.
+     * @param i    pre-allocated counter register (u32).
+     * @param end  loop bound register (u32).
+     */
+    void forLoop(Reg i, uint32_t begin, Reg end,
+                 const std::function<void()> &body);
+    /** Counted loop with an immediate bound. */
+    void forLoopI(Reg i, uint32_t begin, uint32_t end,
+                  const std::function<void()> &body);
+
+    // ----- finalization -----------------------------------------------------
+    /** Seal the program (appends exit if missing) and validate it. */
+    std::shared_ptr<Program> finish();
+
+    /** @return instructions emitted so far. */
+    size_t size() const { return prog_->code.size(); }
+
+  private:
+    Instr &push(Instr ins);
+
+    std::shared_ptr<Program> prog_;
+    std::vector<uint8_t> freeRegs_;
+    uint32_t nextReg_ = 0;
+    uint32_t nextPred_ = 0;
+    std::vector<int> labelPos_;                  // label id -> pc (-1 open)
+    std::vector<std::pair<size_t, int>> fixups_; // (pc, label id)
+    uint8_t guard_ = sim::noPred;
+    bool guardNeg_ = false;
+    bool finished_ = false;
+};
+
+} // namespace tango::kern
+
+#endif // TANGO_KERNELS_BUILDER_HH

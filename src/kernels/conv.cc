@@ -1,0 +1,242 @@
+#include "kernels/kernels.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+void
+ConvDesc::derive()
+{
+    if (P == 0)
+        P = (H + 2 * pad - R) / stride + 1;
+    if (Q == 0)
+        Q = (W + 2 * pad - S) / stride + 1;
+}
+
+std::shared_ptr<Program>
+buildConv(const ConvDesc &desc)
+{
+    ConvDesc d = desc;
+    d.derive();
+
+    Builder b(d.name);
+    b.constant(d.quantWeights ? 36 : 32);    // C H W K R S P Q [wscale]
+
+    // Pointer parameters.
+    Reg pIn = b.param(0);
+    Reg pW = b.param(1);
+    Reg pB = b.param(2);
+    Reg pOut = b.param(3);
+
+    // Dimensions from constant memory (uniform across the warp).
+    Reg rC = b.ldc(DType::U32, 0);
+    Reg rH = b.ldc(DType::U32, 4);
+    Reg rWd = b.ldc(DType::U32, 8);
+    Reg rK = b.ldc(DType::U32, 12);
+    Reg rR = b.ldc(DType::U32, 16);
+    Reg rS = b.ldc(DType::U32, 20);
+    Reg rP = b.ldc(DType::U32, 24);
+    Reg rQ = b.ldc(DType::U32, 28);
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+    // Quantization extension: per-layer weight scale (Q15 dequantize).
+    Reg rWs;
+    if (d.quantWeights)
+        rWs = b.ldc(DType::F32, 32);
+
+    // Temporaries reused across iterations (fixed register budget).
+    Reg acc = b.reg(), tIy = b.reg(), tRow = b.reg(), tIx = b.reg();
+    Reg tV = b.reg(), tWv = b.reg(), tOff = b.reg(), tAddr = b.reg();
+    Reg tF1 = b.reg(), tF2 = b.reg();
+    Reg tKC = b.reg(), tKc = b.reg(), tWRow = b.reg();
+    Reg xs = b.reg(), ys = b.reg();
+    Reg c = b.reg(), r = b.reg();
+    PredReg pLd = b.pred();
+    PredReg pSt = b.pred();
+
+    // One output value: out[k, y, x].
+    auto emitOutput = [&](Reg k, Reg x, Reg y) {
+        if (d.bias) {
+            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+            b.ld(DType::F32, Space::Global, acc, tAddr);
+        } else {
+            b.movF(acc, 0.0f);
+        }
+        // xs = x*stride - pad; ys = y*stride - pad (u32 wraparound is the
+        // idiomatic unsigned bounds trick: iy >= H also catches iy < 0).
+        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+        b.emit3i(Op::Add, DType::U32, xs, xs,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+        b.emit3i(Op::Add, DType::U32, ys, ys,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        b.emit3(Op::Mul, DType::U32, tKC, k, rC);
+
+        b.forLoop(c, 0, rC, [&] {
+            // kc = (k*C + c) * R
+            b.emit3(Op::Add, DType::U32, tKc, tKC, c);
+            b.emit3(Op::Mul, DType::U32, tKc, tKc, rR);
+            b.forLoop(r, 0, rR, [&] {
+                b.emit3(Op::Add, DType::U32, tIy, ys, r);
+                // rowBase = (c*H + iy) * W          (mad + mul)
+                b.mad(DType::U32, tRow, c, rH, tIy);
+                b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
+                // wRow = ((k*C + c)*R + r) * S      (mad)
+                b.emit3(Op::Add, DType::U32, tWRow, tKc, r);
+                b.emit3(Op::Mul, DType::U32, tWRow, tWRow, rS);
+                b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+                Label reconv = b.label();
+                b.ssy(reconv);
+                // The filter-width loop is fully unrolled (S is a build
+                // constant), as the CUDA compiler does for small bounds.
+                for (uint32_t sIdx = 0; sIdx < d.S; sIdx++) {
+                    b.emit3i(Op::Add, DType::U32, tIx, xs, sIdx);
+                    b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
+                    b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
+                    b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
+                    // in[(rowBase + ix) * 4]
+                    b.emit3(Op::Add, DType::U32, tOff, tRow, tIx);
+                    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                    b.movF(tV, 0.0f);
+                    b.guard(pLd);
+                    b.ld(DType::F32, Space::Global, tV, tAddr);
+                    b.endGuard();
+                    if (d.quantWeights) {
+                        // w is s16 Q-format: w[(wRow + s) * 2], then
+                        // dequantize: f32(w) * scale.
+                        b.emit3i(Op::Add, DType::U32, tOff, tWRow, sIdx);
+                        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 1);
+                        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+                        b.ld(DType::S16, Space::Global, tWv, tAddr);
+                        b.cvtTo(DType::F32, DType::S16, tWv, tWv);
+                        b.emit3(Op::Mul, DType::F32, tWv, tWv, rWs);
+                        b.mad(DType::F32, acc, tV, tWv, acc);
+                    } else {
+                        // w[(wRow + s) * 4]
+                        b.emit3i(Op::Add, DType::U32, tOff, tWRow, sIdx);
+                        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+                        b.ld(DType::F32, Space::Global, tWv, tAddr);
+                        b.mad(DType::F32, acc, tV, tWv, acc);
+                    }
+                }
+                b.retp();
+                b.bind(reconv);
+            });
+        });
+
+        if (d.relu)
+            b.emit3f(Op::Max, acc, acc, 0.0f);
+
+        // Guarded store of out[((k*P + y)*Q + x) * 4].
+        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+        b.mad(DType::U32, tOff, k, rP, y);
+        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pSt);
+        b.st(DType::F32, Space::Global, tAddr, acc);
+        b.endGuard();
+    };
+
+    // Resolve the filter index.
+    Reg k;
+    switch (d.filterSrc) {
+      case ChannelSrc::GridX:
+        k = b.movS(SReg::CtaIdX);
+        if (d.filterBase)
+            b.emit3i(Op::Add, DType::U32, k, k, d.filterBase);
+        break;
+      case ChannelSrc::GridZ:
+        k = b.movS(SReg::CtaIdZ);
+        break;
+      case ChannelSrc::Loop:
+        k = b.reg();
+        break;
+    }
+
+    // Resolve pixel coordinates and emit the body (possibly under loops).
+    auto withPixels = [&](const std::function<void(Reg, Reg)> &body) {
+        switch (d.pixelMap) {
+          case PixelMap::TileOrigin: {
+            Reg x = tx, y = ty;
+            if (d.tileX) {
+                x = b.reg();
+                b.emit3i(Op::Add, DType::U32, x, tx, d.tileX);
+            }
+            if (d.tileY) {
+                y = b.reg();
+                b.emit3i(Op::Add, DType::U32, y, ty, d.tileY);
+            }
+            body(x, y);
+            break;
+          }
+          case PixelMap::FromGridXY: {
+            Reg bx = b.movS(SReg::CtaIdX);
+            Reg by = b.movS(SReg::CtaIdY);
+            Reg x = b.reg(), y = b.reg();
+            b.emit3i(Op::Mul, DType::U32, x, bx, d.block.x);
+            b.emit3(Op::Add, DType::U32, x, x, tx);
+            b.emit3i(Op::Mul, DType::U32, y, by, d.block.y);
+            b.emit3(Op::Add, DType::U32, y, y, ty);
+            body(x, y);
+            break;
+          }
+          case PixelMap::RowBlock: {
+            Reg y = b.movS(SReg::CtaIdX);
+            body(tx, y);
+            break;
+          }
+          case PixelMap::StrideLoop: {
+            Reg yy = b.reg(), xx = b.reg();
+            detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
+                detail::stridedLoop(b, xx, tx, rQ, d.block.x,
+                            [&] { body(xx, yy); });
+            });
+            break;
+          }
+        }
+    };
+
+    if (d.filterSrc == ChannelSrc::Loop) {
+        withPixels([&](Reg x, Reg y) {
+            b.forLoop(k, 0, rK, [&] { emitOutput(k, x, y); });
+        });
+    } else {
+        withPixels([&](Reg x, Reg y) { emitOutput(k, x, y); });
+    }
+
+    return b.finish();
+}
+
+KernelLaunch
+makeConvLaunch(const ConvDesc &desc, uint32_t in, uint32_t weights,
+               uint32_t bias, uint32_t out, float weight_scale)
+{
+    ConvDesc d = desc;
+    d.derive();
+    KernelLaunch l;
+    l.program = buildConv(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {in, weights, bias, out};
+    l.constData = detail::packConst({d.C, d.H, d.W, d.K, d.R, d.S, d.P, d.Q});
+    if (d.quantWeights) {
+        l.constData.resize(36);
+        std::memcpy(l.constData.data() + 32, &weight_scale, 4);
+    }
+    return l;
+}
+
+} // namespace tango::kern

@@ -1,0 +1,136 @@
+#include "kernels/kernels.hh"
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+void
+DepthwiseDesc::derive()
+{
+    if (P == 0)
+        P = (H + 2 * pad - R) / stride + 1;
+    if (Q == 0)
+        Q = (W + 2 * pad - S) / stride + 1;
+}
+
+std::shared_ptr<Program>
+buildDepthwise(const DepthwiseDesc &desc)
+{
+    // Depthwise convolution (MobileNet): channel c of the output is the
+    // spatial convolution of channel c of the input with its own RxS
+    // filter — no cross-channel reduction.  Mapping: one block per
+    // channel, the block striding over the output plane (ResNet style).
+    DepthwiseDesc d = desc;
+    d.derive();
+
+    Builder b(d.name);
+    b.constant(20);    // C H W P Q
+
+    Reg pIn = b.param(0);
+    Reg pW = b.param(1);
+    Reg pB = b.param(2);
+    Reg pOut = b.param(3);
+
+    Reg rC = b.ldc(DType::U32, 0);
+    Reg rH = b.ldc(DType::U32, 4);
+    Reg rWd = b.ldc(DType::U32, 8);
+    Reg rP = b.ldc(DType::U32, 12);
+    Reg rQ = b.ldc(DType::U32, 16);
+    (void)rC;
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+    Reg k = b.movS(SReg::CtaIdX);
+
+    Reg acc = b.reg(), tIy = b.reg(), tIx = b.reg(), tRow = b.reg();
+    Reg tV = b.reg(), tWv = b.reg(), tOff = b.reg(), tAddr = b.reg();
+    Reg tF1 = b.reg(), tF2 = b.reg(), xs = b.reg(), ys = b.reg();
+    Reg tBase = b.reg(), tWBase = b.reg();
+    PredReg pLd = b.pred();
+    PredReg pSt = b.pred();
+
+    auto emitOutput = [&](Reg x, Reg y) {
+        if (d.bias) {
+            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+            b.ld(DType::F32, Space::Global, acc, tAddr);
+        } else {
+            b.movF(acc, 0.0f);
+        }
+        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+        b.emit3i(Op::Add, DType::U32, xs, xs,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+        b.emit3i(Op::Add, DType::U32, ys, ys,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        // Input plane base: k*H; filter base: k*R*S.
+        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+        b.emit3i(Op::Mul, DType::U32, tWBase, k, d.R * d.S);
+        for (uint32_t r = 0; r < d.R; r++) {
+            b.emit3i(Op::Add, DType::U32, tIy, ys, r);
+            b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+            b.emit3(Op::Add, DType::U32, tRow, tBase, tIy);
+            b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
+            for (uint32_t s = 0; s < d.S; s++) {
+                b.emit3i(Op::Add, DType::U32, tIx, xs, s);
+                b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
+                b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
+                b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
+                b.emit3(Op::Add, DType::U32, tOff, tRow, tIx);
+                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                b.movF(tV, 0.0f);
+                b.guard(pLd);
+                b.ld(DType::F32, Space::Global, tV, tAddr);
+                b.endGuard();
+                b.emit3i(Op::Add, DType::U32, tOff, tWBase,
+                         r * d.S + s);
+                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+                b.ld(DType::F32, Space::Global, tWv, tAddr);
+                b.mad(DType::F32, acc, tV, tWv, acc);
+            }
+        }
+        if (d.relu)
+            b.emit3f(Op::Max, acc, acc, 0.0f);
+        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+        b.mad(DType::U32, tOff, k, rP, y);
+        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pSt);
+        b.st(DType::F32, Space::Global, tAddr, acc);
+        b.endGuard();
+    };
+
+    Reg yy = b.reg(), xx = b.reg();
+    detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
+        detail::stridedLoop(b, xx, tx, rQ, d.block.x,
+                            [&] { emitOutput(xx, yy); });
+    });
+
+    return b.finish();
+}
+
+KernelLaunch
+makeDepthwiseLaunch(const DepthwiseDesc &desc, uint32_t in,
+                    uint32_t weights, uint32_t bias, uint32_t out)
+{
+    DepthwiseDesc d = desc;
+    d.derive();
+    KernelLaunch l;
+    l.program = buildDepthwise(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {in, weights, bias, out};
+    l.constData = detail::packConst({d.C, d.H, d.W, d.P, d.Q});
+    return l;
+}
+
+} // namespace tango::kern

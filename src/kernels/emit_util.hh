@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared emission helpers for the layer kernels (internal).
+ */
+
+#ifndef TANGO_KERNELS_EMIT_UTIL_HH
+#define TANGO_KERNELS_EMIT_UTIL_HH
+
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "kernels/builder.hh"
+
+namespace tango::kern::detail {
+
+/**
+ * Emit a strided loop: for (v = init; v < bound; v += step) body().
+ *
+ * The exit test is divergent whenever `init` differs across the lanes of a
+ * warp (thread-id based strides), so the loop is wrapped in an SSY region:
+ * lanes that exit early park at the reconvergence point until the rest of
+ * the warp catches up.  Without this, early lanes would run ahead past
+ * barriers and read shared memory before it is written.
+ */
+inline void
+stridedLoop(Builder &b, Reg v, Reg init, Reg bound, uint32_t step,
+            const std::function<void()> &body)
+{
+    Label head = b.label();
+    Label done = b.label();
+    PredReg p = b.pred();
+    b.ssy(done);
+    b.movR(v, init);
+    b.bind(head);
+    b.setp(p, DType::S32, Cmp::Ge, v, bound);
+    b.braIf(done, p);
+    body();
+    b.emit3i(Op::Add, DType::S32, v, v, step);
+    b.bra(head);
+    b.bind(done);
+}
+
+/** Pack 32-bit values into a constant-bank byte image. */
+inline std::vector<uint8_t>
+packConst(std::initializer_list<uint32_t> vals)
+{
+    std::vector<uint8_t> out(vals.size() * 4);
+    size_t i = 0;
+    for (uint32_t v : vals) {
+        std::memcpy(out.data() + i * 4, &v, 4);
+        i++;
+    }
+    return out;
+}
+
+} // namespace tango::kern::detail
+
+#endif // TANGO_KERNELS_EMIT_UTIL_HH

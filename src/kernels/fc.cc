@@ -1,0 +1,120 @@
+#include "kernels/kernels.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+
+namespace tango::kern {
+
+namespace {
+
+std::vector<uint8_t>
+packConst(std::initializer_list<uint32_t> vals)
+{
+    std::vector<uint8_t> out(vals.size() * 4);
+    size_t i = 0;
+    for (uint32_t v : vals) {
+        std::memcpy(out.data() + i * 4, &v, 4);
+        i++;
+    }
+    return out;
+}
+
+} // namespace
+
+std::shared_ptr<Program>
+buildFc(const FcDesc &d)
+{
+    Builder b(d.name);
+    b.constant(8);    // inN outN
+
+    Reg pIn = b.param(0);
+    Reg pW = b.param(1);
+    Reg pB = b.param(2);
+    Reg pOut = b.param(3);
+
+    Reg rIn = b.ldc(DType::U32, 0);
+    Reg rOut = b.ldc(DType::U32, 4);
+
+    // Linear output-neuron index from block and thread coordinates:
+    // n = ((cz*gy + cy)*gx + cx) * blockSize + (ty*ntx + tx).
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+    Reg n = b.movS(SReg::CtaIdX);
+    if (d.grid.y > 1 || d.grid.z > 1) {
+        Reg cy = b.movS(SReg::CtaIdY);
+        Reg cz = b.movS(SReg::CtaIdZ);
+        b.emit3i(Op::Mul, DType::U32, cz, cz, d.grid.y);
+        b.emit3(Op::Add, DType::U32, cy, cy, cz);
+        b.emit3i(Op::Mul, DType::U32, cy, cy, d.grid.x);
+        b.emit3(Op::Add, DType::U32, n, n, cy);
+    }
+    const uint32_t blockSize = static_cast<uint32_t>(d.block.count());
+    if (blockSize > 1) {
+        b.emit3i(Op::Mul, DType::U32, n, n, blockSize);
+        Reg tl = b.reg();
+        b.emit3i(Op::Mul, DType::U32, tl, ty, d.block.x);
+        b.emit3(Op::Add, DType::U32, tl, tl, tx);
+        b.emit3(Op::Add, DType::U32, n, n, tl);
+    }
+
+    PredReg pN = b.pred();
+    b.setp(pN, DType::U32, Cmp::Lt, n, rOut);
+
+    Reg acc = b.reg(), tV = b.reg(), tWv = b.reg();
+    Reg tOff = b.reg(), tAddr = b.reg(), nIn = b.reg();
+    Reg i = b.reg();
+
+    if (d.bias) {
+        b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+        b.movF(acc, 0.0f);
+        b.guard(pN);
+        b.ld(DType::F32, Space::Global, acc, tAddr);
+        b.endGuard();
+    } else {
+        b.movF(acc, 0.0f);
+    }
+
+    b.emit3(Op::Mul, DType::U32, nIn, n, rIn);
+    b.forLoop(i, 0, rIn, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3(Op::Add, DType::U32, tOff, nIn, i);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+        b.movF(tWv, 0.0f);
+        b.guard(pN);
+        b.ld(DType::F32, Space::Global, tWv, tAddr);
+        b.endGuard();
+        b.mad(DType::F32, acc, tV, tWv, acc);
+    });
+
+    if (d.relu)
+        b.emit3f(Op::Max, acc, acc, 0.0f);
+
+    b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
+    b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+    b.guard(pN);
+    b.st(DType::F32, Space::Global, tAddr, acc);
+    b.endGuard();
+
+    return b.finish();
+}
+
+KernelLaunch
+makeFcLaunch(const FcDesc &d, uint32_t in, uint32_t weights, uint32_t bias,
+             uint32_t out)
+{
+    KernelLaunch l;
+    l.program = buildFc(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {in, weights, bias, out};
+    l.constData = packConst({d.inN, d.outN});
+    return l;
+}
+
+} // namespace tango::kern

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Layer kernels of the Tango suite, written in the builder DSL.
+ *
+ * Each descriptor names a layer computation plus its *mapping* — how
+ * neurons are assigned to the CUDA-style grid/block geometry.  The
+ * mappings reproduce the paper's Table III: CifarNet runs whole layers in
+ * a single (32,32) block looping over filters in-thread; AlexNet uses one
+ * block per filter with output tiles split across multiple kernels;
+ * ResNet blocks stride over the output plane; VGG tiles the plane over
+ * grid (x, y) with filters on grid z; fully-connected layers use one
+ * thread per output neuron (AlexNet: one *block* per neuron).
+ *
+ * Every build function returns a validated Program; every makeLaunch
+ * function pairs it with geometry, pointer parameters and the constant
+ * bank (layer dimensions live in constant memory, as in the original
+ * kernels — hence the cmem columns of Table III).
+ */
+
+#ifndef TANGO_KERNELS_KERNELS_HH
+#define TANGO_KERNELS_KERNELS_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/program.hh"
+
+namespace tango::kern {
+
+using sim::Dim3;
+using sim::KernelLaunch;
+using sim::Program;
+
+/** How a kernel finds its output-filter / channel index. */
+enum class ChannelSrc : uint8_t {
+    GridX,   ///< k = ctaid.x (+ base)            — AlexNet, ResNet
+    GridZ,   ///< k = ctaid.z                     — VGGNet
+    Loop     ///< in-thread loop over all filters — CifarNet, SqueezeNet
+};
+
+/** How threads map onto the output plane. */
+enum class PixelMap : uint8_t {
+    TileOrigin,  ///< (x, y) = (tileX + tid.x, tileY + tid.y)  — AlexNet
+    FromGridXY,  ///< (x, y) = ctaid.{x,y} * ntid + tid        — VGGNet
+    RowBlock,    ///< y = ctaid.x, x = tid.x                   — SqueezeNet
+    StrideLoop   ///< block tile strides over the whole plane  — ResNet
+};
+
+/** 2-D convolution (+ optional bias and fused ReLU). */
+struct ConvDesc
+{
+    std::string name = "conv";
+    // Layer shape.
+    uint32_t C = 1, H = 1, W = 1;   ///< input channels / height / width
+    uint32_t K = 1, R = 1, S = 1;   ///< filters / kernel height / width
+    uint32_t stride = 1, pad = 0;
+    uint32_t P = 0, Q = 0;          ///< output dims (0 = derive)
+    bool relu = false;
+    bool bias = true;
+    /** Quantization extension: weights stored as s16 (Q15) and
+     *  dequantized in-kernel by a per-layer scale from constant memory. */
+    bool quantWeights = false;
+
+    // Mapping.
+    ChannelSrc filterSrc = ChannelSrc::GridX;
+    PixelMap pixelMap = PixelMap::TileOrigin;
+    uint32_t filterBase = 0;        ///< first filter (partitioned launches)
+    uint32_t tileX = 0, tileY = 0;  ///< output-tile origin
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+
+    /** Fill P/Q when left zero. */
+    void derive();
+};
+
+std::shared_ptr<Program> buildConv(const ConvDesc &d);
+/** @param weight_scale Q15 dequantization scale (quantWeights only). */
+KernelLaunch makeConvLaunch(const ConvDesc &d, uint32_t in, uint32_t weights,
+                            uint32_t bias, uint32_t out,
+                            float weight_scale = 0.0f);
+
+/** Depthwise convolution (MobileNet extension): per-channel RxS filter,
+ *  no cross-channel reduction. */
+struct DepthwiseDesc
+{
+    std::string name = "dwconv";
+    uint32_t C = 1, H = 1, W = 1;   ///< channels / height / width
+    uint32_t R = 3, S = 3;          ///< filter size
+    uint32_t stride = 1, pad = 1;
+    uint32_t P = 0, Q = 0;
+    bool relu = false;
+    bool bias = true;
+    Dim3 grid{1, 1, 1}, block{16, 16, 1};
+
+    void derive();
+};
+
+std::shared_ptr<Program> buildDepthwise(const DepthwiseDesc &d);
+KernelLaunch makeDepthwiseLaunch(const DepthwiseDesc &d, uint32_t in,
+                                 uint32_t weights, uint32_t bias,
+                                 uint32_t out);
+
+/** Max/average pooling (also global average pooling). */
+struct PoolDesc
+{
+    std::string name = "pool";
+    uint32_t C = 1, H = 1, W = 1;
+    uint32_t win = 2, stride = 2, pad = 0;
+    uint32_t P = 0, Q = 0;
+    bool avg = false;               ///< average instead of max
+    bool globalAvg = false;         ///< one thread per channel, whole plane
+    ChannelSrc channelSrc = ChannelSrc::GridX;
+    PixelMap pixelMap = PixelMap::TileOrigin;
+    uint32_t tileX = 0, tileY = 0;
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+
+    void derive();
+};
+
+std::shared_ptr<Program> buildPool(const PoolDesc &d);
+KernelLaunch makePoolLaunch(const PoolDesc &d, uint32_t in, uint32_t out);
+
+/** Fully-connected (inner-product) layer. */
+struct FcDesc
+{
+    std::string name = "fc";
+    uint32_t inN = 1, outN = 1;
+    bool relu = false;
+    bool bias = true;
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+};
+
+std::shared_ptr<Program> buildFc(const FcDesc &d);
+KernelLaunch makeFcLaunch(const FcDesc &d, uint32_t in, uint32_t weights,
+                          uint32_t bias, uint32_t out);
+
+/** Element-wise / per-channel map kernels. */
+enum class MapKind : uint8_t {
+    Relu,       ///< out = max(0, a)
+    Scale,      ///< out = a * gamma[c] + beta[c]
+    BatchNorm,  ///< out = (a - mean[c]) * rsqrt(var[c] + eps)
+    Eltwise     ///< out = a + b (+ optional fused ReLU)
+};
+
+struct MapDesc
+{
+    std::string name = "map";
+    MapKind kind = MapKind::Relu;
+    uint32_t C = 1, H = 1, W = 1;
+    bool relu = false;              ///< fused ReLU (Eltwise/Scale)
+    float eps = 1e-5f;              ///< BatchNorm epsilon
+    ChannelSrc channelSrc = ChannelSrc::GridX;
+    PixelMap pixelMap = PixelMap::StrideLoop;
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+};
+
+std::shared_ptr<Program> buildMap(const MapDesc &d);
+/** @param b second input (Eltwise) or per-channel params, see impl. */
+KernelLaunch makeMapLaunch(const MapDesc &d, uint32_t a, uint32_t b,
+                           uint32_t c, uint32_t out);
+
+/** Softmax over a vector (single CTA, shared-memory reduction). */
+struct SoftmaxDesc
+{
+    std::string name = "softmax";
+    uint32_t n = 1;                 ///< vector length
+    uint32_t threads = 32;          ///< CTA width
+};
+
+std::shared_ptr<Program> buildSoftmax(const SoftmaxDesc &d);
+KernelLaunch makeSoftmaxLaunch(const SoftmaxDesc &d, uint32_t in,
+                               uint32_t out);
+
+/** Local response normalization (AlexNet's Norm layers). */
+struct LrnDesc
+{
+    std::string name = "norm";
+    uint32_t C = 1, H = 1, W = 1;
+    uint32_t localSize = 5;
+    float alpha = 1e-4f, beta = 0.75f, k = 2.0f;
+    uint32_t tileX = 0, tileY = 0;  ///< plane tile origin (AlexNet split)
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+};
+
+std::shared_ptr<Program> buildLrn(const LrnDesc &d);
+KernelLaunch makeLrnLaunch(const LrnDesc &d, uint32_t in, uint32_t out);
+
+/** Recurrent cells: one kernel per time step, one thread per hidden unit.
+ *
+ * Weight layout (f32):
+ *   W[g][hidden][input], U[g][hidden][hidden], b[g][hidden]
+ * with g = 2 gates + candidate for GRU (order: update z, reset r, cand n)
+ * and 4 gates for LSTM (order: input i, forget f, cell g, output o).
+ */
+struct RnnCellDesc
+{
+    std::string name = "rnn";
+    bool lstm = false;              ///< LSTM (4 gates) vs GRU (3 matrices)
+    uint32_t inputSize = 1;
+    uint32_t hidden = 100;
+    Dim3 grid{1, 1, 1}, block{1, 1, 1};
+};
+
+std::shared_ptr<Program> buildRnnCell(const RnnCellDesc &d);
+/**
+ * @param x input vector  @param h previous hidden state
+ * @param c previous cell state (LSTM; ignored for GRU)
+ * @param w packed weights  @param hOut next hidden  @param cOut next cell
+ */
+KernelLaunch makeRnnCellLaunch(const RnnCellDesc &d, uint32_t x, uint32_t h,
+                               uint32_t c, uint32_t w, uint32_t hOut,
+                               uint32_t cOut);
+
+/** @return bytes of packed weights for an RNN cell. */
+uint64_t rnnWeightBytes(const RnnCellDesc &d);
+
+/**
+ * Dense readout for the RNN models: out[0] = b + w . h, computed as a
+ * parallel reduction (one thread per hidden unit, shared-memory partials)
+ * so the prediction head is not a serial latency chain.
+ */
+struct RnnReadoutDesc
+{
+    std::string name = "rnn.fc";
+    uint32_t hidden = 100;
+};
+
+std::shared_ptr<Program> buildRnnReadout(const RnnReadoutDesc &d);
+KernelLaunch makeRnnReadoutLaunch(const RnnReadoutDesc &d, uint32_t h,
+                                  uint32_t w, uint32_t bias, uint32_t out);
+
+} // namespace tango::kern
+
+#endif // TANGO_KERNELS_KERNELS_HH

@@ -1,0 +1,120 @@
+#include "kernels/kernels.hh"
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+namespace {
+
+constexpr float log2e = 1.4426950408889634f;
+
+} // namespace
+
+std::shared_ptr<Program>
+buildLrn(const LrnDesc &d)
+{
+    // Across-channel local response normalization (AlexNet):
+    //   out[c,y,x] = in[c,y,x] / (k + alpha/n * sum_j in[j,y,x]^2)^beta
+    // with j in the window of `localSize` channels centred on c.
+    Builder b(d.name);
+    b.constant(12);    // C H W
+
+    Reg pIn = b.param(0);
+    Reg pOut = b.param(1);
+
+    Reg rC = b.ldc(DType::U32, 0);
+    Reg rH = b.ldc(DType::U32, 4);
+    Reg rWd = b.ldc(DType::U32, 8);
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+    Reg k = b.movS(SReg::CtaIdX);
+
+    Reg x = tx, y = ty;
+    if (d.tileX) {
+        x = b.reg();
+        b.emit3i(Op::Add, DType::U32, x, tx, d.tileX);
+    }
+    if (d.tileY) {
+        y = b.reg();
+        b.emit3i(Op::Add, DType::U32, y, ty, d.tileY);
+    }
+
+    Reg sum = b.reg(), tV = b.reg(), tOff = b.reg(), tAddr = b.reg();
+    Reg tJc = b.reg(), tF1 = b.reg(), tF2 = b.reg(), j = b.reg();
+    Reg pix = b.reg();
+    PredReg pLd = b.pred();
+    PredReg pSt = b.pred();
+
+    // pix = y*W + x (plane offset shared by every channel access).
+    b.emit3(Op::Mul, DType::U32, pix, y, rWd);
+    b.emit3(Op::Add, DType::U32, pix, pix, x);
+
+    b.movF(sum, 0.0f);
+    const uint32_t half = d.localSize / 2;
+    // The window is a small build constant: fully unrolled.
+    for (uint32_t j = 0; j < d.localSize; j++) {
+        // jc = k - half + j; valid iff jc < C (unsigned wrap covers < 0)
+        b.emit3i(Op::Add, DType::U32, tJc, k,
+                 static_cast<uint32_t>(static_cast<int32_t>(j) -
+                                       static_cast<int32_t>(half)));
+        b.setr(DType::U16, Cmp::Lt, tF1, tJc, rC);
+        b.setpi(pLd, DType::U16, Cmp::Ne, tF1, 0);
+        b.emit3(Op::Mul, DType::U32, tOff, tJc, rH);
+        b.mad(DType::U32, tOff, tOff, rWd, pix);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+        b.movF(tV, 0.0f);
+        b.guard(pLd);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.endGuard();
+        b.mad(DType::F32, sum, tV, tV, sum);
+    }
+
+    // scale = k_const + (alpha/n) * sum;  denom = scale^beta
+    b.emit3f(Op::Mul, sum, sum, d.alpha / float(d.localSize));
+    b.emit3f(Op::Add, sum, sum, d.k);
+    // scale^beta = 2^(beta * log2(scale))
+    b.emit2(Op::Lg2, DType::F32, sum, sum);
+    b.emit3f(Op::Mul, sum, sum, d.beta);
+    b.emit2(Op::Ex2, DType::F32, sum, sum);
+    b.emit2(Op::Rcp, DType::F32, sum, sum);
+
+    // out[k,y,x] = in[k,y,x] * 1/denom   (guarded for partial tiles)
+    b.setr(DType::U16, Cmp::Lt, tF1, x, rWd);
+    b.setr(DType::U16, Cmp::Lt, tF2, y, rH);
+    b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+    b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+    b.emit3(Op::Mul, DType::U32, tOff, k, rH);
+    b.mad(DType::U32, tOff, tOff, rWd, pix);
+    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+    b.movF(tV, 0.0f);
+    b.guard(pSt);
+    b.ld(DType::F32, Space::Global, tV, tAddr);
+    b.endGuard();
+    b.emit3(Op::Mul, DType::F32, tV, tV, sum);
+    b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+    b.guard(pSt);
+    b.st(DType::F32, Space::Global, tAddr, tV);
+    b.endGuard();
+
+    (void)log2e;
+    return b.finish();
+}
+
+KernelLaunch
+makeLrnLaunch(const LrnDesc &d, uint32_t in, uint32_t out)
+{
+    KernelLaunch l;
+    l.program = buildLrn(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {in, out};
+    l.constData = detail::packConst({d.C, d.H, d.W});
+    return l;
+}
+
+} // namespace tango::kern

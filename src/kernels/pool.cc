@@ -1,0 +1,221 @@
+#include "kernels/kernels.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+namespace {
+
+constexpr float negInf = -3.4e38f;
+
+} // namespace
+
+void
+PoolDesc::derive()
+{
+    if (globalAvg) {
+        P = Q = 1;
+        return;
+    }
+    if (P == 0)
+        P = (H + 2 * pad - win) / stride + 1;
+    if (Q == 0)
+        Q = (W + 2 * pad - win) / stride + 1;
+}
+
+std::shared_ptr<Program>
+buildPool(const PoolDesc &desc)
+{
+    PoolDesc d = desc;
+    d.derive();
+
+    Builder b(d.name);
+    b.constant(20);    // C H W P Q
+
+    Reg pIn = b.param(0);
+    Reg pOut = b.param(1);
+
+    Reg rC = b.ldc(DType::U32, 0);
+    Reg rH = b.ldc(DType::U32, 4);
+    Reg rWd = b.ldc(DType::U32, 8);
+    Reg rP = b.ldc(DType::U32, 12);
+    Reg rQ = b.ldc(DType::U32, 16);
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+
+    Reg acc = b.reg(), tIy = b.reg(), tIx = b.reg(), tV = b.reg();
+    Reg tOff = b.reg(), tAddr = b.reg(), tF1 = b.reg(), tF2 = b.reg();
+    Reg tBase = b.reg(), xs = b.reg(), ys = b.reg();
+    Reg i = b.reg(), j = b.reg();
+    PredReg pLd = b.pred();
+    PredReg pSt = b.pred();
+
+    if (d.globalAvg) {
+        // One thread per channel: average the whole input plane.
+        Reg k = b.movS(SReg::CtaIdX);
+        b.emit3i(Op::Mul, DType::U32, k, k, d.block.x);
+        b.emit3(Op::Add, DType::U32, k, k, tx);
+        PredReg pK = b.pred();
+        b.setp(pK, DType::U32, Cmp::Lt, k, rC);
+        b.movF(acc, 0.0f);
+        // base = k*H*W
+        b.emit3(Op::Mul, DType::U32, tBase, rH, rWd);
+        b.emit3(Op::Mul, DType::U32, tBase, tBase, k);
+        b.forLoop(i, 0, rH, [&] {
+            b.forLoop(j, 0, rWd, [&] {
+                b.emit3(Op::Mul, DType::U32, tOff, i, rWd);
+                b.emit3(Op::Add, DType::U32, tOff, tOff, j);
+                b.emit3(Op::Add, DType::U32, tOff, tOff, tBase);
+                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                b.guard(pK);
+                b.ld(DType::F32, Space::Global, tV, tAddr);
+                b.endGuard();
+                b.emit3(Op::Add, DType::F32, acc, acc, tV);
+            });
+        });
+        b.emit3f(Op::Mul, acc, acc, 1.0f / (float(d.H) * float(d.W)));
+        b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pK);
+        b.st(DType::F32, Space::Global, tAddr, acc);
+        b.endGuard();
+        return b.finish();
+    }
+
+    auto emitOutput = [&](Reg k, Reg x, Reg y) {
+        b.movF(acc, d.avg ? 0.0f : negInf);
+        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+        b.emit3i(Op::Add, DType::U32, xs, xs,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+        b.emit3i(Op::Add, DType::U32, ys, ys,
+                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+        // base = k*H (plane row base built per i)
+        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+        // The pooling window is small and a build constant, so it is
+        // fully unrolled, as the compiler would.
+        for (uint32_t i = 0; i < d.win; i++) {
+            b.emit3i(Op::Add, DType::U32, tIy, ys, i);
+            b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+            for (uint32_t j = 0; j < d.win; j++) {
+                b.emit3i(Op::Add, DType::U32, tIx, xs, j);
+                b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
+                b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
+                b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
+                b.emit3(Op::Add, DType::U32, tOff, tBase, tIy);
+                b.mad(DType::U32, tOff, tOff, rWd, tIx);
+                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                b.movF(tV, d.avg ? 0.0f : negInf);
+                b.guard(pLd);
+                b.ld(DType::F32, Space::Global, tV, tAddr);
+                b.endGuard();
+                if (d.avg)
+                    b.emit3(Op::Add, DType::F32, acc, acc, tV);
+                else
+                    b.emit3(Op::Max, DType::F32, acc, acc, tV);
+            }
+        }
+        if (d.avg)
+            b.emit3f(Op::Mul, acc, acc, 1.0f / float(d.win * d.win));
+        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+        b.mad(DType::U32, tOff, k, rP, y);
+        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pSt);
+        b.st(DType::F32, Space::Global, tAddr, acc);
+        b.endGuard();
+    };
+
+    Reg k;
+    switch (d.channelSrc) {
+      case ChannelSrc::GridX:
+        k = b.movS(SReg::CtaIdX);
+        break;
+      case ChannelSrc::GridZ:
+        k = b.movS(SReg::CtaIdZ);
+        break;
+      case ChannelSrc::Loop:
+        k = b.reg();
+        break;
+    }
+
+    auto withPixels = [&](const std::function<void(Reg, Reg)> &body) {
+        switch (d.pixelMap) {
+          case PixelMap::TileOrigin: {
+            Reg x = tx, y = ty;
+            if (d.tileX) {
+                x = b.reg();
+                b.emit3i(Op::Add, DType::U32, x, tx, d.tileX);
+            }
+            if (d.tileY) {
+                y = b.reg();
+                b.emit3i(Op::Add, DType::U32, y, ty, d.tileY);
+            }
+            body(x, y);
+            break;
+          }
+          case PixelMap::FromGridXY: {
+            Reg bx = b.movS(SReg::CtaIdX);
+            Reg by = b.movS(SReg::CtaIdY);
+            Reg x = b.reg(), y = b.reg();
+            b.emit3i(Op::Mul, DType::U32, x, bx, d.block.x);
+            b.emit3(Op::Add, DType::U32, x, x, tx);
+            b.emit3i(Op::Mul, DType::U32, y, by, d.block.y);
+            b.emit3(Op::Add, DType::U32, y, y, ty);
+            body(x, y);
+            break;
+          }
+          case PixelMap::RowBlock: {
+            Reg y = b.movS(SReg::CtaIdX);
+            body(tx, y);
+            break;
+          }
+          case PixelMap::StrideLoop: {
+            Reg yy = b.reg(), xx = b.reg();
+            detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
+                detail::stridedLoop(b, xx, tx, rQ, d.block.x,
+                            [&] { body(xx, yy); });
+            });
+            break;
+          }
+        }
+    };
+
+    if (d.channelSrc == ChannelSrc::Loop) {
+        withPixels([&](Reg x, Reg y) {
+            b.forLoopI(k, 0, d.C, [&] { emitOutput(k, x, y); });
+        });
+    } else {
+        withPixels([&](Reg x, Reg y) { emitOutput(k, x, y); });
+    }
+
+    return b.finish();
+}
+
+KernelLaunch
+makePoolLaunch(const PoolDesc &desc, uint32_t in, uint32_t out)
+{
+    PoolDesc d = desc;
+    d.derive();
+    KernelLaunch l;
+    l.program = buildPool(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {in, out};
+    l.constData = detail::packConst({d.C, d.H, d.W, d.P, d.Q});
+    return l;
+}
+
+} // namespace tango::kern

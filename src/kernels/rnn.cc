@@ -1,0 +1,286 @@
+#include "kernels/kernels.hh"
+
+#include "common/logging.hh"
+#include "kernels/builder.hh"
+#include "kernels/emit_util.hh"
+
+namespace tango::kern {
+
+namespace {
+
+constexpr float log2e = 1.4426950408889634f;
+
+} // namespace
+
+uint64_t
+rnnWeightBytes(const RnnCellDesc &d)
+{
+    const uint64_t g = d.lstm ? 4 : 3;
+    return 4ull * (g * d.hidden * d.inputSize +   // W
+                   g * d.hidden * d.hidden +      // U
+                   g * d.hidden);                 // b
+}
+
+std::shared_ptr<Program>
+buildRnnCell(const RnnCellDesc &d)
+{
+    const uint32_t G = d.lstm ? 4 : 3;
+    const uint32_t in = d.inputSize;
+    const uint32_t hid = d.hidden;
+    const uint32_t wBase = 0;                       // W[g][hid][in]
+    const uint32_t uBase = G * hid * in;            // U[g][hid][hid]
+    const uint32_t bBase = uBase + G * hid * hid;   // b[g][hid]
+
+    Builder b(d.name);
+    b.constant(8);    // inputSize hidden
+
+    Reg pX = b.param(0);
+    Reg pH = b.param(1);
+    Reg pC = b.param(2);
+    Reg pW = b.param(3);
+    Reg pHOut = b.param(4);
+    Reg pCOut = b.param(5);
+
+    Reg rIn = b.ldc(DType::U32, 0);
+    Reg rHid = b.ldc(DType::U32, 4);
+
+    const uint32_t shX = b.shared(in * 4);
+    const uint32_t shH = b.shared(hid * 4);
+    const uint32_t blockSize = static_cast<uint32_t>(d.block.count());
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg ty = b.movS(SReg::TidY);
+    // Linear thread id == hidden unit index j.
+    Reg j = b.reg();
+    b.emit3i(Op::Mul, DType::U32, j, ty, d.block.x);
+    b.emit3(Op::Add, DType::U32, j, j, tx);
+
+    Reg tV = b.reg(), tOff = b.reg(), tAddr = b.reg(), i = b.reg();
+
+    // Cooperatively stage x and h into shared memory.
+    detail::stridedLoop(b, i, j, rIn, blockSize, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pX, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3i(Op::Add, DType::U32, tAddr, tOff, shX);
+        b.st(DType::F32, Space::Shared, tAddr, tV);
+    });
+    detail::stridedLoop(b, i, j, rHid, blockSize, [&] {
+        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pH, tOff);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.emit3i(Op::Add, DType::U32, tAddr, tOff, shH);
+        b.st(DType::F32, Space::Shared, tAddr, tV);
+    });
+    b.bar();
+
+    PredReg pJ = b.pred();
+    b.setp(pJ, DType::U32, Cmp::Lt, j, rHid);
+
+    Reg tWv = b.reg(), tSv = b.reg();
+
+    // acc = b[g][j] + Mat[g]^T . (shared vector).  Weights are stored
+    // input-major — Mat[g][i][j] — so the warp's lane-j loads coalesce
+    // into one segment per iteration (each weight is touched exactly
+    // once; this is why the paper's RNNs see no benefit from the L1D).
+    auto gateAccum = [&](Reg acc, uint32_t gate, bool over_hidden) {
+        const uint32_t len = over_hidden ? hid : in;
+        const uint32_t mat = over_hidden ? uBase + gate * hid * hid
+                                         : wBase + gate * hid * in;
+        const uint32_t sh = over_hidden ? shH : shX;
+        b.forLoopI(i, 0, len, [&] {
+            // off = mat + i*hidden + j
+            b.mad(DType::U32, tOff, i, rHid, j);
+            b.emit3i(Op::Add, DType::U32, tOff, tOff, mat);
+            b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+            b.movF(tWv, 0.0f);
+            b.guard(pJ);
+            b.ld(DType::F32, Space::Global, tWv, tAddr);
+            b.endGuard();
+            b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+            b.ld(DType::F32, Space::Shared, tSv, tAddr, sh);
+            b.mad(DType::F32, acc, tWv, tSv, acc);
+        });
+    };
+    auto gateInit = [&](Reg acc, uint32_t gate) {
+        b.emit3i(Op::Add, DType::U32, tOff, j, bBase + gate * hid);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+        b.movF(acc, 0.0f);
+        b.guard(pJ);
+        b.ld(DType::F32, Space::Global, acc, tAddr);
+        b.endGuard();
+    };
+    // v = sigmoid(v) = 1 / (1 + 2^(-v*log2e))
+    auto sigmoid = [&](Reg v) {
+        b.emit3f(Op::Mul, v, v, -log2e);
+        b.emit2(Op::Ex2, DType::F32, v, v);
+        b.emit3f(Op::Add, v, v, 1.0f);
+        b.emit2(Op::Rcp, DType::F32, v, v);
+    };
+    // v = tanh(v) = 2*sigmoid(2v) - 1
+    auto tanhf = [&](Reg v) {
+        b.emit3f(Op::Mul, v, v, 2.0f);
+        sigmoid(v);
+        b.emit3f(Op::Mul, v, v, 2.0f);
+        b.emit3f(Op::Add, v, v, -1.0f);
+    };
+    auto loadSharedH = [&](Reg dst) {
+        b.emit3i(Op::Shl, DType::U32, tAddr, j, 2);
+        b.ld(DType::F32, Space::Shared, dst, tAddr, shH);
+    };
+    auto storeOut = [&](Reg ptr, Reg v) {
+        b.emit3i(Op::Shl, DType::U32, tOff, j, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, ptr, tOff);
+        b.guard(pJ);
+        b.st(DType::F32, Space::Global, tAddr, v);
+        b.endGuard();
+    };
+
+    if (!d.lstm) {
+        // GRU: z (update), r (reset), n (candidate).
+        Reg az = b.reg(), ar = b.reg(), anx = b.reg(), anh = b.reg();
+        gateInit(az, 0);
+        gateAccum(az, 0, false);
+        gateAccum(az, 0, true);
+        gateInit(ar, 1);
+        gateAccum(ar, 1, false);
+        gateAccum(ar, 1, true);
+        gateInit(anx, 2);
+        gateAccum(anx, 2, false);
+        b.movF(anh, 0.0f);
+        gateAccum(anh, 2, true);
+        sigmoid(az);
+        sigmoid(ar);
+        // n = tanh(anx + r * anh)
+        b.mad(DType::F32, anx, ar, anh, anx);
+        tanhf(anx);
+        // h' = n + z*(h - n)
+        Reg hj = b.reg();
+        loadSharedH(hj);
+        b.emit3(Op::Sub, DType::F32, hj, hj, anx);
+        b.mad(DType::F32, anx, az, hj, anx);
+        storeOut(pHOut, anx);
+        (void)pC;
+        (void)pCOut;
+    } else {
+        // LSTM: i, f, g, o.
+        Reg ai = b.reg(), af = b.reg(), ag = b.reg(), ao = b.reg();
+        for (uint32_t g = 0; g < 4; g++) {
+            Reg acc = (g == 0) ? ai : (g == 1) ? af : (g == 2) ? ag : ao;
+            gateInit(acc, g);
+            gateAccum(acc, g, false);
+            gateAccum(acc, g, true);
+        }
+        sigmoid(ai);
+        sigmoid(af);
+        tanhf(ag);
+        sigmoid(ao);
+        // c' = f*c + i*g
+        Reg cj = b.reg();
+        b.emit3i(Op::Shl, DType::U32, tOff, j, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pC, tOff);
+        b.movF(cj, 0.0f);
+        b.guard(pJ);
+        b.ld(DType::F32, Space::Global, cj, tAddr);
+        b.endGuard();
+        b.emit3(Op::Mul, DType::F32, ai, ai, ag);      // i*g
+        b.emit3(Op::Mul, DType::F32, cj, af, cj);      // f*c
+        b.emit3(Op::Add, DType::F32, cj, cj, ai);      // c'
+        storeOut(pCOut, cj);
+        // h' = o * tanh(c')
+        Reg th = b.reg();
+        b.movR(th, cj, DType::F32);
+        tanhf(th);
+        b.emit3(Op::Mul, DType::F32, th, ao, th);
+        storeOut(pHOut, th);
+    }
+
+    return b.finish();
+}
+
+std::shared_ptr<Program>
+buildRnnReadout(const RnnReadoutDesc &d)
+{
+    Builder b(d.name);
+    b.constant(4);    // hidden
+    const uint32_t sh = b.shared(d.hidden * 4);
+
+    Reg pH = b.param(0);
+    Reg pW = b.param(1);
+    Reg pB = b.param(2);
+    Reg pOut = b.param(3);
+    Reg rHid = b.ldc(DType::U32, 0);
+
+    Reg tx = b.movS(SReg::TidX);
+    Reg tOff = b.reg(), tAddr = b.reg(), tW = b.reg(), tH = b.reg();
+    PredReg pJ = b.pred();
+    b.setp(pJ, DType::U32, Cmp::Lt, tx, rHid);
+
+    // partial[j] = w[j] * h[j]  (coalesced global reads, used once)
+    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+    b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+    b.movF(tW, 0.0f);
+    b.guard(pJ);
+    b.ld(DType::F32, Space::Global, tW, tAddr);
+    b.endGuard();
+    b.emit3(Op::Add, DType::U32, tAddr, pH, tOff);
+    b.movF(tH, 0.0f);
+    b.guard(pJ);
+    b.ld(DType::F32, Space::Global, tH, tAddr);
+    b.endGuard();
+    b.emit3(Op::Mul, DType::F32, tW, tW, tH);
+    b.emit3i(Op::Add, DType::U32, tAddr, tOff, sh);
+    b.st(DType::F32, Space::Shared, tAddr, tW);
+    b.bar();
+
+    // Thread 0 reduces the partials from shared memory (latency ~smem,
+    // not DRAM) and adds the bias.  The divergent region is SSY-fenced.
+    PredReg p0 = b.pred();
+    b.setpi(p0, DType::U32, Cmp::Ne, tx, 0);
+    Label done = b.label();
+    b.ssy(done);
+    b.braIf(done, p0);
+    Reg acc = b.reg(), i = b.reg(), tV = b.reg();
+    Reg bAddr = b.reg();
+    b.movR(bAddr, pB);
+    b.ld(DType::F32, Space::Global, acc, bAddr);
+    b.forLoop(i, 0, rHid, [&] {
+        b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+        b.ld(DType::F32, Space::Shared, tV, tAddr, sh);
+        b.emit3(Op::Add, DType::F32, acc, acc, tV);
+    });
+    b.st(DType::F32, Space::Global, pOut, acc);
+    b.bind(done);
+
+    return b.finish();
+}
+
+KernelLaunch
+makeRnnReadoutLaunch(const RnnReadoutDesc &d, uint32_t h, uint32_t w,
+                     uint32_t bias, uint32_t out)
+{
+    KernelLaunch l;
+    l.program = buildRnnReadout(d);
+    l.grid = {1, 1, 1};
+    l.block = {d.hidden, 1, 1};
+    l.params = {h, w, bias, out};
+    l.constData = detail::packConst({d.hidden});
+    return l;
+}
+
+KernelLaunch
+makeRnnCellLaunch(const RnnCellDesc &d, uint32_t x, uint32_t h, uint32_t c,
+                  uint32_t w, uint32_t hOut, uint32_t cOut)
+{
+    KernelLaunch l;
+    l.program = buildRnnCell(d);
+    l.grid = d.grid;
+    l.block = d.block;
+    l.params = {x, h, c, w, hOut, cOut};
+    l.constData = detail::packConst({d.inputSize, d.hidden});
+    return l;
+}
+
+} // namespace tango::kern

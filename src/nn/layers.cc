@@ -1,0 +1,294 @@
+#include "nn/network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tango::nn {
+
+namespace {
+
+Tensor
+convRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.K, l.P, l.Q});
+    for (uint32_t k = 0; k < l.K; k++) {
+        for (uint32_t y = 0; y < l.P; y++) {
+            for (uint32_t x = 0; x < l.Q; x++) {
+                float acc = l.bias ? l.biasT[k] : 0.0f;
+                for (uint32_t c = 0; c < l.C; c++) {
+                    for (uint32_t r = 0; r < l.R; r++) {
+                        const int32_t iy =
+                            int32_t(y * l.stride) - int32_t(l.pad) +
+                            int32_t(r);
+                        if (iy < 0 || iy >= int32_t(l.H))
+                            continue;
+                        for (uint32_t s = 0; s < l.S; s++) {
+                            const int32_t ix =
+                                int32_t(x * l.stride) - int32_t(l.pad) +
+                                int32_t(s);
+                            if (ix < 0 || ix >= int32_t(l.W))
+                                continue;
+                            acc = std::fma(in.at(c, iy, ix),
+                                           l.weights.at4(k, c, r, s), acc);
+                        }
+                    }
+                }
+                if (l.relu)
+                    acc = std::max(acc, 0.0f);
+                out.at(k, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+depthwiseRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.C, l.P, l.Q});
+    for (uint32_t c = 0; c < l.C; c++) {
+        for (uint32_t y = 0; y < l.P; y++) {
+            for (uint32_t x = 0; x < l.Q; x++) {
+                float acc = l.bias ? l.biasT[c] : 0.0f;
+                for (uint32_t r = 0; r < l.R; r++) {
+                    const int32_t iy = int32_t(y * l.stride) -
+                                       int32_t(l.pad) + int32_t(r);
+                    if (iy < 0 || iy >= int32_t(l.H))
+                        continue;
+                    for (uint32_t s = 0; s < l.S; s++) {
+                        const int32_t ix = int32_t(x * l.stride) -
+                                           int32_t(l.pad) + int32_t(s);
+                        if (ix < 0 || ix >= int32_t(l.W))
+                            continue;
+                        acc = std::fma(
+                            in.at(c, iy, ix),
+                            l.weights[(uint64_t(c) * l.R + r) * l.S + s],
+                            acc);
+                    }
+                }
+                if (l.relu)
+                    acc = std::max(acc, 0.0f);
+                out.at(c, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+poolRef(const Layer &l, const Tensor &in)
+{
+    if (l.globalAvg) {
+        Tensor out({l.C});
+        for (uint32_t c = 0; c < l.C; c++) {
+            float acc = 0.0f;
+            for (uint32_t y = 0; y < l.H; y++) {
+                for (uint32_t x = 0; x < l.W; x++)
+                    acc += in.at(c, y, x);
+            }
+            out[c] = acc * (1.0f / (float(l.H) * float(l.W)));
+        }
+        return out;
+    }
+    Tensor out({l.C, l.P, l.Q});
+    for (uint32_t c = 0; c < l.C; c++) {
+        for (uint32_t y = 0; y < l.P; y++) {
+            for (uint32_t x = 0; x < l.Q; x++) {
+                float acc = l.avg ? 0.0f : -3.4e38f;
+                for (uint32_t i = 0; i < l.R; i++) {
+                    const int32_t iy =
+                        int32_t(y * l.stride) - int32_t(l.pad) + int32_t(i);
+                    for (uint32_t j = 0; j < l.S; j++) {
+                        const int32_t ix = int32_t(x * l.stride) -
+                                           int32_t(l.pad) + int32_t(j);
+                        float v = l.avg ? 0.0f : -3.4e38f;
+                        if (iy >= 0 && iy < int32_t(l.H) && ix >= 0 &&
+                            ix < int32_t(l.W)) {
+                            v = in.at(c, iy, ix);
+                        }
+                        acc = l.avg ? acc + v : std::max(acc, v);
+                    }
+                }
+                if (l.avg)
+                    acc *= 1.0f / float(l.R * l.S);
+                out.at(c, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+fcRef(const Layer &l, const Tensor &in)
+{
+    TANGO_ASSERT(in.size() == l.inN, "fc input size mismatch");
+    Tensor out({l.outN});
+    for (uint32_t n = 0; n < l.outN; n++) {
+        float acc = l.bias ? l.biasT[n] : 0.0f;
+        for (uint32_t i = 0; i < l.inN; i++)
+            acc = std::fma(in[i], l.weights[uint64_t(n) * l.inN + i], acc);
+        if (l.relu)
+            acc = std::max(acc, 0.0f);
+        out[n] = acc;
+    }
+    return out;
+}
+
+Tensor
+lrnRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.C, l.H, l.W});
+    const int half = int(l.localSize) / 2;
+    for (uint32_t c = 0; c < l.C; c++) {
+        for (uint32_t y = 0; y < l.H; y++) {
+            for (uint32_t x = 0; x < l.W; x++) {
+                float sum = 0.0f;
+                for (int j = int(c) - half; j <= int(c) + half; j++) {
+                    if (j < 0 || j >= int(l.C))
+                        continue;
+                    const float v = in.at(uint32_t(j), y, x);
+                    sum = std::fma(v, v, sum);
+                }
+                const float scale =
+                    l.lrnK + l.alpha / float(l.localSize) * sum;
+                out.at(c, y, x) =
+                    in.at(c, y, x) / std::pow(scale, l.beta);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNormRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.C, l.H, l.W});
+    for (uint32_t c = 0; c < l.C; c++) {
+        const float rstd = 1.0f / std::sqrt(l.var[c] + l.eps);
+        for (uint32_t y = 0; y < l.H; y++) {
+            for (uint32_t x = 0; x < l.W; x++)
+                out.at(c, y, x) = (in.at(c, y, x) - l.mean[c]) * rstd;
+        }
+    }
+    return out;
+}
+
+Tensor
+scaleRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.C, l.H, l.W});
+    for (uint32_t c = 0; c < l.C; c++) {
+        for (uint32_t y = 0; y < l.H; y++) {
+            for (uint32_t x = 0; x < l.W; x++) {
+                float v = std::fma(in.at(c, y, x), l.gamma[c], l.betaT[c]);
+                if (l.relu)
+                    v = std::max(v, 0.0f);
+                out.at(c, y, x) = v;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+reluRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.C, l.H, l.W});
+    for (uint64_t i = 0; i < in.size(); i++)
+        out[i] = std::max(in[i], 0.0f);
+    return out;
+}
+
+Tensor
+eltwiseRef(const Layer &l, const Tensor &a, const Tensor &b)
+{
+    TANGO_ASSERT(a.size() == b.size(), "eltwise size mismatch");
+    Tensor out({l.C, l.H, l.W});
+    for (uint64_t i = 0; i < a.size(); i++) {
+        float v = a[i] + b[i];
+        if (l.relu)
+            v = std::max(v, 0.0f);
+        out[i] = v;
+    }
+    return out;
+}
+
+Tensor
+softmaxRef(const Layer &l, const Tensor &in)
+{
+    Tensor out({l.outN});
+    TANGO_ASSERT(in.size() == l.outN, "softmax size mismatch");
+    float m = -std::numeric_limits<float>::infinity();
+    for (uint64_t i = 0; i < in.size(); i++)
+        m = std::max(m, in[i]);
+    float sum = 0.0f;
+    for (uint64_t i = 0; i < in.size(); i++) {
+        out[i] = std::exp(in[i] - m);
+        sum += out[i];
+    }
+    const float inv = 1.0f / sum;
+    for (uint64_t i = 0; i < in.size(); i++)
+        out[i] *= inv;
+    return out;
+}
+
+Tensor
+concatRef(const Layer &l, const std::vector<const Tensor *> &ins)
+{
+    Tensor out({l.K, l.P, l.Q});
+    uint32_t cOff = 0;
+    for (const Tensor *t : ins) {
+        const uint32_t c = t->dim(0);
+        for (uint32_t ch = 0; ch < c; ch++) {
+            for (uint32_t y = 0; y < l.P; y++) {
+                for (uint32_t x = 0; x < l.Q; x++)
+                    out.at(cOff + ch, y, x) = t->at(ch, y, x);
+            }
+        }
+        cOff += c;
+    }
+    TANGO_ASSERT(cOff == l.K, "concat channel mismatch");
+    return out;
+}
+
+} // namespace
+
+Tensor
+referenceForward(const Layer &layer, const std::vector<const Tensor *> &ins)
+{
+    TANGO_ASSERT(!ins.empty() && ins[0] != nullptr, "layer without input");
+    const Tensor &in = *ins[0];
+    switch (layer.kind) {
+      case LayerKind::Input:
+        return in;
+      case LayerKind::Conv:
+        return convRef(layer, in);
+      case LayerKind::Depthwise:
+        return depthwiseRef(layer, in);
+      case LayerKind::Pool:
+        return poolRef(layer, in);
+      case LayerKind::FC:
+        return fcRef(layer, in);
+      case LayerKind::LRN:
+        return lrnRef(layer, in);
+      case LayerKind::BatchNorm:
+        return batchNormRef(layer, in);
+      case LayerKind::Scale:
+        return scaleRef(layer, in);
+      case LayerKind::ReLU:
+        return reluRef(layer, in);
+      case LayerKind::Eltwise:
+        TANGO_ASSERT(ins.size() == 2, "eltwise needs two inputs");
+        return eltwiseRef(layer, in, *ins[1]);
+      case LayerKind::Softmax:
+        return softmaxRef(layer, in);
+      case LayerKind::Concat:
+        return concatRef(layer, ins);
+    }
+    panic("unhandled layer kind");
+}
+
+} // namespace tango::nn

@@ -1,0 +1,131 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+Network
+buildAlexNet()
+{
+    // AlexNet (no channel groups), 3x227x227 -> 1000 classes.
+    // Table III mapping: one block per filter; the 55x55 plane of the
+    // first stage is tiled as 32+23 across four kernels (Conv 1-1..1-4 and
+    // Norm 1-1..1-4); wide later stages split filters across two kernels.
+    Network net;
+    net.name = "alexnet";
+    net.inC = 3;
+    net.inH = net.inW = 227;
+
+    int prev = -1;
+
+    const std::vector<TileSplit> split55 = {
+        {0, 0, 32, 32}, {32, 0, 23, 32}, {0, 32, 32, 23}, {32, 32, 23, 23}};
+
+    auto conv = [&](const std::string &name, uint32_t c, uint32_t hw,
+                    uint32_t k, uint32_t rs, uint32_t stride, uint32_t pad,
+                    uint32_t filters_per_kernel, uint32_t block_hw,
+                    const std::vector<TileSplit> &tiles) {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = "Conv";
+        l.C = c;
+        l.H = l.W = hw;
+        l.K = k;
+        l.R = l.S = rs;
+        l.stride = stride;
+        l.pad = pad;
+        l.P = l.Q = (hw + 2 * pad - rs) / stride + 1;
+        l.relu = true;
+        l.inputs = {prev};
+        l.hint.chanSrc = kern::ChannelSrc::GridX;
+        l.hint.pixMap = kern::PixelMap::TileOrigin;
+        l.hint.filtersPerKernel = filters_per_kernel;
+        l.hint.grid = {filters_per_kernel ? filters_per_kernel : k, 1, 1};
+        l.hint.block = {block_hw, block_hw, 1};
+        l.hint.tiles = tiles;
+        prev = net.add(l);
+        return l.P;
+    };
+    auto lrn = [&](const std::string &name, uint32_t c, uint32_t hw,
+                   uint32_t block_hw, const std::vector<TileSplit> &tiles) {
+        Layer l;
+        l.kind = LayerKind::LRN;
+        l.name = name;
+        l.figType = "Norm";
+        l.C = c;
+        l.H = l.W = hw;
+        l.localSize = 5;
+        l.inputs = {prev};
+        l.hint.chanSrc = kern::ChannelSrc::GridX;
+        l.hint.pixMap = kern::PixelMap::TileOrigin;
+        l.hint.grid = {c, 1, 1};
+        l.hint.block = {block_hw, block_hw, 1};
+        l.hint.tiles = tiles;
+        prev = net.add(l);
+    };
+    auto pool = [&](const std::string &name, uint32_t c, uint32_t hw) {
+        Layer l;
+        l.kind = LayerKind::Pool;
+        l.name = name;
+        l.figType = "Pooling";
+        l.C = c;
+        l.H = l.W = hw;
+        l.R = l.S = 3;
+        l.stride = 2;
+        l.P = l.Q = (hw - 3) / 2 + 1;
+        l.inputs = {prev};
+        l.hint.chanSrc = kern::ChannelSrc::GridX;
+        l.hint.pixMap = kern::PixelMap::TileOrigin;
+        l.hint.grid = {c, 1, 1};
+        l.hint.block = {l.P, l.Q, 1};
+        prev = net.add(l);
+        return l.P;
+    };
+    auto fc = [&](const std::string &name, uint32_t in, uint32_t out,
+                  bool relu) {
+        Layer l;
+        l.kind = LayerKind::FC;
+        l.name = name;
+        l.figType = "FC";
+        l.inN = in;
+        l.outN = out;
+        l.relu = relu;
+        l.inputs = {prev};
+        // Table III: one single-thread block per output neuron.
+        l.hint.grid = {out, 1, 1};
+        l.hint.block = {1, 1, 1};
+        prev = net.add(l);
+    };
+
+    // conv1: 11x11/4, 96 filters, 227 -> 55 (four output tiles).
+    conv("conv1", 3, 227, 96, 11, 4, 0, 0, 32, split55);
+    lrn("norm1", 96, 55, 32, split55);
+    pool("pool1", 96, 55);                       // -> 27
+    // conv2: 5x5 pad 2, 256 filters over two 128-filter kernels.
+    conv("conv2", 96, 27, 256, 5, 1, 2, 128, 27, {});
+    lrn("norm2", 256, 27, 27, {});
+    pool("pool2", 256, 27);                      // -> 13
+    conv("conv3", 256, 13, 384, 3, 1, 1, 0, 13, {});
+    conv("conv4", 384, 13, 384, 3, 1, 1, 192, 13, {});
+    conv("conv5", 384, 13, 256, 3, 1, 1, 128, 13, {});
+    pool("pool3", 256, 13);                      // -> 6
+
+    fc("fc6", 256 * 6 * 6, 4096, true);
+    fc("fc7", 4096, 4096, true);
+    fc("fc8", 4096, 1000, false);
+
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.name = "softmax";
+    sm.figType = "Others";
+    sm.inN = sm.outN = 1000;
+    sm.inputs = {prev};
+    sm.hint.grid = {1, 1, 1};
+    sm.hint.block = {32, 1, 1};
+    net.add(sm);
+
+    return net;
+}
+
+} // namespace tango::nn::models

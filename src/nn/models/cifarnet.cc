@@ -1,0 +1,154 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tango::nn::models {
+
+namespace {
+
+/** CifarNet / Table III mapping: one (32,32) block per layer, filters
+ *  looped inside the thread. */
+LaunchHint
+cifarHint()
+{
+    LaunchHint h;
+    h.chanSrc = kern::ChannelSrc::Loop;
+    h.pixMap = kern::PixelMap::TileOrigin;
+    h.grid = {1, 1, 1};
+    h.block = {32, 32, 1};
+    return h;
+}
+
+} // namespace
+
+Network
+buildCifarNet()
+{
+    // The cifar10-quick structure trained for 9 traffic signals (paper
+    // Table I): conv(5x5,32) -> maxpool -> conv(5x5,32)+relu -> avgpool ->
+    // conv(5x5,64)+relu -> avgpool -> fc(64) -> fc(9) -> softmax.
+    Network net;
+    net.name = "cifarnet";
+    net.inC = 3;
+    net.inH = net.inW = 32;
+
+    int prev = -1;
+    auto conv = [&](const std::string &name, uint32_t c, uint32_t hw,
+                    uint32_t k, bool relu) {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = "Conv";
+        l.C = c;
+        l.H = l.W = hw;
+        l.K = k;
+        l.R = l.S = 5;
+        l.stride = 1;
+        l.pad = 2;
+        l.P = l.Q = hw;
+        l.relu = relu;
+        l.inputs = {prev};
+        l.hint = cifarHint();
+        prev = net.add(l);
+    };
+    auto pool = [&](const std::string &name, uint32_t c, uint32_t hw,
+                    bool avg) {
+        Layer l;
+        l.kind = LayerKind::Pool;
+        l.name = name;
+        l.figType = "Pooling";
+        l.C = c;
+        l.H = l.W = hw;
+        l.R = l.S = 3;
+        l.stride = 2;
+        l.P = l.Q = (hw - 3) / 2 + 1;
+        l.avg = avg;
+        l.inputs = {prev};
+        l.hint = cifarHint();
+        prev = net.add(l);
+    };
+
+    conv("conv1", 3, 32, 32, false);
+    pool("pool1", 32, 32, false);         // -> 15x15
+    conv("conv2", 32, 15, 32, true);
+    pool("pool2", 32, 15, true);          // -> 7x7
+    conv("conv3", 32, 7, 64, true);
+    pool("pool3", 64, 7, true);           // -> 3x3
+
+    Layer fc1;
+    fc1.kind = LayerKind::FC;
+    fc1.name = "fc1";
+    fc1.figType = "FC";
+    fc1.inN = 64 * 3 * 3;
+    fc1.outN = 64;
+    fc1.inputs = {prev};
+    fc1.hint.grid = {1, 1, 1};
+    fc1.hint.block = {64, 1, 1};
+    prev = net.add(fc1);
+
+    Layer fc2;
+    fc2.kind = LayerKind::FC;
+    fc2.name = "fc2";
+    fc2.figType = "FC";
+    fc2.inN = 64;
+    fc2.outN = 9;              // nine traffic signals
+    fc2.inputs = {prev};
+    fc2.hint.grid = {1, 1, 1};
+    fc2.hint.block = {32, 1, 1};   // Table III: 32-thread block, guarded
+    prev = net.add(fc2);
+
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.name = "softmax";
+    sm.figType = "Others";
+    sm.inN = sm.outN = 9;
+    sm.inputs = {prev};
+    sm.hint.grid = {1, 1, 1};
+    sm.hint.block = {32, 1, 1};
+    net.add(sm);
+
+    return net;
+}
+
+Tensor
+makeInputImage(uint32_t c, uint32_t h, uint32_t w, uint64_t seed)
+{
+    Tensor t({c, h, w});
+    Rng rng(seed);
+    // Smooth synthetic "photo": low-frequency gradients plus noise, in a
+    // mean-subtracted range like preprocessed ImageNet inputs.
+    for (uint32_t ch = 0; ch < c; ch++) {
+        const float phase = 0.7f * float(ch);
+        for (uint32_t y = 0; y < h; y++) {
+            for (uint32_t x = 0; x < w; x++) {
+                const float fy = float(y) / float(h);
+                const float fx = float(x) / float(w);
+                float v = 0.5f * fy + 0.3f * fx + 0.2f * phase;
+                v += 0.15f * rng.gaussian();
+                t.at(ch, y, x) = v - 0.5f;
+            }
+        }
+    }
+    return t;
+}
+
+std::vector<float>
+makeStockSequence(uint32_t steps, uint64_t seed)
+{
+    // Scaled bitcoin-style price walk in [0, 1].
+    Rng rng(seed);
+    std::vector<float> out(steps);
+    float p = 0.45f;
+    for (uint32_t i = 0; i < steps; i++) {
+        p += 0.04f * rng.gaussian();
+        if (p < 0.05f)
+            p = 0.05f;
+        if (p > 0.95f)
+            p = 0.95f;
+        out[i] = p;
+    }
+    return out;
+}
+
+} // namespace tango::nn::models

@@ -1,0 +1,131 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+namespace {
+
+/** MobileNet mapping: one block per channel striding the plane (the
+ *  depthwise structure maps naturally onto the ResNet-style hint). */
+LaunchHint
+mobiHint(uint32_t channels)
+{
+    LaunchHint h;
+    h.chanSrc = kern::ChannelSrc::GridX;
+    h.pixMap = kern::PixelMap::StrideLoop;
+    h.grid = {channels, 1, 1};
+    h.block = {16, 16, 1};
+    return h;
+}
+
+} // namespace
+
+Network
+buildMobileNet()
+{
+    // MobileNet v1 (width 1.0, 224x224) — the extension network the
+    // paper names as in development (Section III): a stem convolution
+    // followed by 13 depthwise-separable blocks (depthwise 3x3 +
+    // pointwise 1x1), global average pooling and a classifier.
+    Network net;
+    net.name = "mobilenet";
+    net.inC = 3;
+    net.inH = net.inW = 224;
+
+    int prev = -1;
+    uint32_t c = 3, h = 224;
+
+    auto conv = [&](const std::string &name, uint32_t k, uint32_t rs,
+                    uint32_t stride, uint32_t pad) {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = "Conv";
+        l.C = c;
+        l.H = l.W = h;
+        l.K = k;
+        l.R = l.S = rs;
+        l.stride = stride;
+        l.pad = pad;
+        l.P = l.Q = (h + 2 * pad - rs) / stride + 1;
+        l.relu = true;
+        l.inputs = {prev};
+        l.hint = mobiHint(k);
+        prev = net.add(l);
+        c = k;
+        h = l.P;
+    };
+    auto dw = [&](const std::string &name, uint32_t stride) {
+        Layer l;
+        l.kind = LayerKind::Depthwise;
+        l.name = name;
+        l.figType = "Conv";   // depthwise counts as convolution work
+        l.C = c;
+        l.H = l.W = h;
+        l.K = c;
+        l.R = l.S = 3;
+        l.stride = stride;
+        l.pad = 1;
+        l.P = l.Q = (h + 2 - 3) / stride + 1;
+        l.relu = true;
+        l.inputs = {prev};
+        l.hint = mobiHint(c);
+        prev = net.add(l);
+        h = l.P;
+    };
+
+    conv("conv1", 32, 3, 2, 1);        // 224 -> 112
+    const struct
+    {
+        uint32_t out;
+        uint32_t stride;
+    } blocks[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                  {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                  {512, 1}, {1024, 2}, {1024, 1}};
+    int bi = 2;
+    for (const auto &blk : blocks) {
+        dw("conv" + std::to_string(bi) + "_dw", blk.stride);
+        conv("conv" + std::to_string(bi) + "_pw", blk.out, 1, 1, 0);
+        bi++;
+    }
+
+    Layer gap;
+    gap.kind = LayerKind::Pool;
+    gap.name = "global_avg_pool";
+    gap.figType = "Pooling";
+    gap.C = 1024;
+    gap.H = gap.W = h;   // 7
+    gap.globalAvg = true;
+    gap.avg = true;
+    gap.P = gap.Q = 1;
+    gap.inputs = {prev};
+    gap.hint.grid = {1, 1, 1};
+    gap.hint.block = {1024, 1, 1};
+    prev = net.add(gap);
+
+    Layer fc;
+    fc.kind = LayerKind::FC;
+    fc.name = "fc1000";
+    fc.figType = "FC";
+    fc.inN = 1024;
+    fc.outN = 1000;
+    fc.inputs = {prev};
+    fc.hint.grid = {1000, 1, 1};
+    fc.hint.block = {1, 1, 1};
+    prev = net.add(fc);
+
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.name = "softmax";
+    sm.figType = "Others";
+    sm.inN = sm.outN = 1000;
+    sm.inputs = {prev};
+    sm.hint.grid = {1, 1, 1};
+    sm.hint.block = {32, 1, 1};
+    net.add(sm);
+
+    return net;
+}
+
+} // namespace tango::nn::models

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The seven networks of the Tango suite (paper Section III):
+ * five CNNs — CifarNet, AlexNet, SqueezeNet v1.0, ResNet-50, VGGNet-16 —
+ * and two RNNs — GRU and LSTM (bitcoin price predictors).
+ *
+ * Each builder returns the full layer structure with the launch hints of
+ * the paper's Table III.  Weights are NOT initialized by the builders
+ * (initWeights() does that) so timing-only studies can skip the cost of
+ * generating hundreds of megabytes of synthetic parameters.
+ */
+
+#ifndef TANGO_NN_MODELS_MODELS_HH
+#define TANGO_NN_MODELS_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace tango::nn::models {
+
+/** CifarNet: 3 conv + 2 FC, 3x32x32 input, 9 traffic-sign classes. */
+Network buildCifarNet();
+
+/** AlexNet: 5 conv + 3 FC, 3x227x227 input, 1000 classes. */
+Network buildAlexNet();
+
+/** SqueezeNet v1.0: conv + 8 fire modules + conv10, 3x227x227 input. */
+Network buildSqueezeNet();
+
+/** ResNet-50: 53 conv, bottleneck blocks with shortcuts, 3x224x224. */
+Network buildResNet50();
+
+/** VGGNet-16: 13 conv + 3 FC, 3x224x224 input. */
+Network buildVgg16();
+
+/** MobileNet v1 (extension; the paper lists it as in development):
+ *  depthwise-separable blocks, 3x224x224 input, 1000 classes. */
+Network buildMobileNet();
+
+/** GRU bitcoin price model: hidden 100, 2 time steps of 1 price value. */
+RnnModel buildGru();
+
+/** LSTM bitcoin price model: hidden 100, 2 time steps of 1 price value. */
+RnnModel buildLstm();
+
+/** All CNN names in the paper's figure order. */
+std::vector<std::string> cnnNames();
+
+/** All seven network names (RNNs first, as in Fig 2/3). */
+std::vector<std::string> allNames();
+
+/** Build a CNN by name ("cifarnet", "alexnet", ...). */
+Network buildCnn(const std::string &name);
+
+/** Deterministic synthetic input image for a network (the "cat image"). */
+Tensor makeInputImage(uint32_t c, uint32_t h, uint32_t w,
+                      uint64_t seed = 42);
+
+/** Deterministic synthetic scaled stock-price sequence. */
+std::vector<float> makeStockSequence(uint32_t steps, uint64_t seed = 42);
+
+} // namespace tango::nn::models
+
+#endif // TANGO_NN_MODELS_MODELS_HH

@@ -1,0 +1,207 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+namespace {
+
+/** ResNet / Table III mapping: one block per channel, a (32,32) block
+ *  striding over the whole output plane. */
+LaunchHint
+resHint(uint32_t channels)
+{
+    LaunchHint h;
+    h.chanSrc = kern::ChannelSrc::GridX;
+    h.pixMap = kern::PixelMap::StrideLoop;
+    h.grid = {channels, 1, 1};
+    h.block = {32, 32, 1};
+    return h;
+}
+
+} // namespace
+
+Network
+buildResNet50()
+{
+    Network net;
+    net.name = "resnet";
+    net.inC = 3;
+    net.inH = net.inW = 224;
+
+    int prev = -1;
+
+    auto conv = [&](const std::string &name, uint32_t c, uint32_t h,
+                    uint32_t k, uint32_t rs, uint32_t stride, uint32_t pad,
+                    int from) -> uint32_t {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = "Conv";
+        l.C = c;
+        l.H = l.W = h;
+        l.K = k;
+        l.R = l.S = rs;
+        l.stride = stride;
+        l.pad = pad;
+        l.P = l.Q = (h + 2 * pad - rs) / stride + 1;
+        l.bias = false;             // ResNet convs carry no bias (BN does)
+        l.inputs = {from};
+        l.hint = resHint(k);
+        prev = net.add(l);
+        return l.P;
+    };
+    auto bnScaleRelu = [&](const std::string &base, uint32_t c, uint32_t h,
+                           bool with_relu) {
+        Layer bn;
+        bn.kind = LayerKind::BatchNorm;
+        bn.name = base + "_bn";
+        bn.figType = "Norm";
+        bn.C = c;
+        bn.H = bn.W = h;
+        bn.inputs = {prev};
+        bn.hint = resHint(c);
+        prev = net.add(bn);
+
+        Layer sc;
+        sc.kind = LayerKind::Scale;
+        sc.name = base + "_scale";
+        sc.figType = "Scale";
+        sc.C = c;
+        sc.H = sc.W = h;
+        sc.inputs = {prev};
+        sc.hint = resHint(c);
+        prev = net.add(sc);
+
+        if (with_relu) {
+            Layer re;
+            re.kind = LayerKind::ReLU;
+            re.name = base + "_relu";
+            re.figType = "Relu";
+            re.C = c;
+            re.H = re.W = h;
+            re.inputs = {prev};
+            re.hint = resHint(c);
+            prev = net.add(re);
+        }
+    };
+
+    // Stem: conv 7x7/2 -> BN/Scale/ReLU -> maxpool 3x3/2.
+    uint32_t h = conv("conv1", 3, 224, 64, 7, 2, 3, -1);   // -> 112
+    bnScaleRelu("conv1", 64, h, true);
+    {
+        Layer l;
+        l.kind = LayerKind::Pool;
+        l.name = "pool1";
+        l.figType = "Pooling";
+        l.C = 64;
+        l.H = l.W = h;
+        l.R = l.S = 3;
+        l.stride = 2;
+        l.pad = 1;
+        l.P = l.Q = (h + 2 - 3) / 2 + 1;                   // -> 56
+        l.inputs = {prev};
+        l.hint = resHint(64);
+        prev = net.add(l);
+        h = l.P;
+    }
+
+    // Bottleneck stages: [3, 4, 6, 3] blocks, widths 64/128/256/512.
+    const uint32_t blocks[4] = {3, 4, 6, 3};
+    const uint32_t widths[4] = {64, 128, 256, 512};
+    uint32_t inC = 64;
+    for (uint32_t s = 0; s < 4; s++) {
+        const uint32_t w = widths[s];
+        for (uint32_t bidx = 0; bidx < blocks[s]; bidx++) {
+            const std::string base =
+                "res" + std::to_string(s + 2) + char('a' + bidx);
+            const uint32_t stride = (s > 0 && bidx == 0) ? 2 : 1;
+            const int blockIn = prev;
+            const uint32_t inH = h;
+
+            // Main path: 1x1 (w) -> 3x3 (w, stride) -> 1x1 (4w).
+            conv(base + "_branch2a", inC, inH, w, 1, stride, 0, blockIn);
+            bnScaleRelu(base + "_branch2a", w, inH / stride, true);
+            conv(base + "_branch2b", w, inH / stride, w, 3, 1, 1, prev);
+            bnScaleRelu(base + "_branch2b", w, inH / stride, true);
+            conv(base + "_branch2c", w, inH / stride, 4 * w, 1, 1, 0,
+                 prev);
+            bnScaleRelu(base + "_branch2c", 4 * w, inH / stride, false);
+            const int mainOut = prev;
+
+            // Shortcut: identity, or projection on the first block.
+            int shortcut = blockIn;
+            if (bidx == 0) {
+                conv(base + "_branch1", inC, inH, 4 * w, 1, stride, 0,
+                     blockIn);
+                bnScaleRelu(base + "_branch1", 4 * w, inH / stride, false);
+                shortcut = prev;
+            }
+
+            h = inH / stride;
+
+            Layer el;
+            el.kind = LayerKind::Eltwise;
+            el.name = base;
+            el.figType = "Eltwise";
+            el.C = 4 * w;
+            el.H = el.W = h;
+            el.inputs = {mainOut, shortcut};
+            el.hint = resHint(4 * w);
+            prev = net.add(el);
+
+            Layer re;
+            re.kind = LayerKind::ReLU;
+            re.name = base + "_relu";
+            re.figType = "Relu";
+            re.C = 4 * w;
+            re.H = re.W = h;
+            re.inputs = {prev};
+            re.hint = resHint(4 * w);
+            prev = net.add(re);
+
+            inC = 4 * w;
+        }
+    }
+
+    // Head: global average pool (7x7) -> fc 1000 -> softmax.
+    Layer gap;
+    gap.kind = LayerKind::Pool;
+    gap.name = "pool5";
+    gap.figType = "Pooling";
+    gap.C = 2048;
+    gap.H = gap.W = h;   // 7
+    gap.globalAvg = true;
+    gap.avg = true;
+    gap.P = gap.Q = 1;
+    gap.inputs = {prev};
+    gap.hint.grid = {2, 1, 1};
+    gap.hint.block = {1024, 1, 1};
+    gap.hint.chanSrc = kern::ChannelSrc::GridX;
+    prev = net.add(gap);
+
+    Layer fc;
+    fc.kind = LayerKind::FC;
+    fc.name = "fc1000";
+    fc.figType = "FC";
+    fc.inN = 2048;
+    fc.outN = 1000;
+    fc.inputs = {prev};
+    fc.hint.grid = {1000, 1, 1};
+    fc.hint.block = {1, 1, 1};
+    prev = net.add(fc);
+
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.name = "softmax";
+    sm.figType = "Others";
+    sm.inN = sm.outN = 1000;
+    sm.inputs = {prev};
+    sm.hint.grid = {1, 1, 1};
+    sm.hint.block = {32, 1, 1};
+    net.add(sm);
+
+    return net;
+}
+
+} // namespace tango::nn::models

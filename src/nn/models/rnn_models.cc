@@ -1,0 +1,66 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+RnnModel
+buildGru()
+{
+    // Bitcoin price predictor (paper Table I): two time steps of a scaled
+    // scalar price; hidden size 100; dense readout to one value.
+    // Table III: GRU Layer runs as one (10,10) block.
+    RnnModel m;
+    m.name = "gru";
+    m.lstm = false;
+    m.inputSize = 1;
+    m.hidden = 100;
+    m.seqLen = 2;
+    return m;
+}
+
+RnnModel
+buildLstm()
+{
+    // Table III: LSTM Layer runs as one (100,1,1) block.
+    RnnModel m;
+    m.name = "lstm";
+    m.lstm = true;
+    m.inputSize = 1;
+    m.hidden = 100;
+    m.seqLen = 2;
+    return m;
+}
+
+std::vector<std::string>
+cnnNames()
+{
+    return {"cifarnet", "alexnet", "squeezenet", "resnet", "vggnet"};
+}
+
+std::vector<std::string>
+allNames()
+{
+    return {"gru", "lstm", "cifarnet", "alexnet", "squeezenet", "resnet",
+            "vggnet"};
+}
+
+Network
+buildCnn(const std::string &name)
+{
+    if (name == "cifarnet")
+        return buildCifarNet();
+    if (name == "alexnet")
+        return buildAlexNet();
+    if (name == "squeezenet")
+        return buildSqueezeNet();
+    if (name == "resnet")
+        return buildResNet50();
+    if (name == "vggnet")
+        return buildVgg16();
+    if (name == "mobilenet")
+        return buildMobileNet();
+    fatal("unknown CNN '%s'", name.c_str());
+}
+
+} // namespace tango::nn::models

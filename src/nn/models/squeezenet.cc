@@ -1,0 +1,156 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+namespace {
+
+/** SqueezeNet / Table III mapping: one block per output row, columns as
+ *  threads, filters looped in-thread. */
+LaunchHint
+rowHint(uint32_t p, uint32_t q)
+{
+    LaunchHint h;
+    h.chanSrc = kern::ChannelSrc::Loop;
+    h.pixMap = kern::PixelMap::RowBlock;
+    h.grid = {p, 1, 1};
+    h.block = {q, 1, 1};
+    return h;
+}
+
+} // namespace
+
+Network
+buildSqueezeNet()
+{
+    // SqueezeNet v1.0: conv1(7x7/2,96) -> pool -> fire2..fire9 -> conv10
+    // (1x1, 1000) -> global average pool, 3x227x227 input.
+    Network net;
+    net.name = "squeezenet";
+    net.inC = 3;
+    net.inH = net.inW = 227;
+
+    int prev = -1;
+
+    auto conv = [&](const std::string &name, const std::string &fig,
+                    uint32_t c, uint32_t hw, uint32_t k, uint32_t rs,
+                    uint32_t stride, uint32_t pad) {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = fig;
+        l.C = c;
+        l.H = l.W = hw;
+        l.K = k;
+        l.R = l.S = rs;
+        l.stride = stride;
+        l.pad = pad;
+        l.P = l.Q = (hw + 2 * pad - rs) / stride + 1;
+        l.relu = true;
+        l.inputs = {prev};
+        l.hint = rowHint(l.P, l.Q);
+        prev = net.add(l);
+        return l.P;
+    };
+    auto pool = [&](const std::string &name, uint32_t c, uint32_t hw) {
+        Layer l;
+        l.kind = LayerKind::Pool;
+        l.name = name;
+        l.figType = "Pooling";
+        l.C = c;
+        l.H = l.W = hw;
+        l.R = l.S = 3;
+        l.stride = 2;
+        l.P = l.Q = (hw - 3) / 2 + 1;
+        l.inputs = {prev};
+        l.hint = rowHint(l.P, l.Q);
+        l.hint.chanSrc = kern::ChannelSrc::Loop;
+        prev = net.add(l);
+        return l.P;
+    };
+
+    // fire module: squeeze 1x1 (s) -> expand 1x1 (e) || expand 3x3 (e),
+    // outputs concatenated to 2e channels.
+    auto fire = [&](const std::string &name, uint32_t c, uint32_t hw,
+                    uint32_t s, uint32_t e) {
+        conv(name + "_squeeze1x1", "Fire_Squeeze", c, hw, s, 1, 1, 0);
+        const int sq = prev;
+
+        Layer e1;
+        e1.kind = LayerKind::Conv;
+        e1.name = name + "_expand1x1";
+        e1.figType = "Fire_Expand";
+        e1.C = s;
+        e1.H = e1.W = hw;
+        e1.K = e;
+        e1.R = e1.S = 1;
+        e1.P = e1.Q = hw;
+        e1.relu = true;
+        e1.inputs = {sq};
+        e1.hint = rowHint(hw, hw);
+        const int x1 = net.add(e1);
+
+        Layer e3;
+        e3.kind = LayerKind::Conv;
+        e3.name = name + "_expand3x3";
+        e3.figType = "Fire_Expand";
+        e3.C = s;
+        e3.H = e3.W = hw;
+        e3.K = e;
+        e3.R = e3.S = 3;
+        e3.pad = 1;
+        e3.P = e3.Q = hw;
+        e3.relu = true;
+        e3.inputs = {sq};
+        e3.hint = rowHint(hw, hw);
+        const int x3 = net.add(e3);
+
+        Layer cc;
+        cc.kind = LayerKind::Concat;
+        cc.name = name + "_concat";
+        cc.figType = "Fire_Expand";
+        cc.K = 2 * e;
+        cc.P = cc.Q = hw;
+        cc.inputs = {x1, x3};
+        const int cat = net.add(cc);
+        // Device path: the expands write straight into the concat buffer.
+        net.layers()[x1].concatInto = cat;
+        net.layers()[x1].outChannelOffset = 0;
+        net.layers()[x3].concatInto = cat;
+        net.layers()[x3].outChannelOffset = e;
+        prev = cat;
+    };
+
+    conv("conv1", "Conv", 3, 227, 96, 7, 2, 0);   // -> 111
+    pool("pool1", 96, 111);                       // -> 55
+    fire("fire2", 96, 55, 16, 64);
+    fire("fire3", 128, 55, 16, 64);
+    fire("fire4", 128, 55, 32, 128);
+    pool("pool4", 256, 55);                       // -> 27
+    fire("fire5", 256, 27, 32, 128);
+    fire("fire6", 256, 27, 48, 192);
+    fire("fire7", 384, 27, 48, 192);
+    fire("fire8", 384, 27, 64, 256);
+    pool("pool8", 512, 27);                       // -> 13
+    fire("fire9", 512, 13, 64, 256);
+    conv("conv10", "Conv", 512, 13, 1000, 1, 1, 0);   // 13x13x1000
+
+    Layer gap;
+    gap.kind = LayerKind::Pool;
+    gap.name = "global_avg_pool";
+    gap.figType = "Pooling";
+    gap.C = 1000;
+    gap.H = gap.W = 13;
+    gap.globalAvg = true;
+    gap.avg = true;
+    gap.P = gap.Q = 1;
+    gap.inputs = {prev};
+    gap.hint.grid = {1, 1, 1};
+    gap.hint.block = {1000, 1, 1};
+    net.add(gap);
+
+    return net;
+}
+
+} // namespace tango::nn::models

@@ -1,0 +1,136 @@
+#include "nn/models/models.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn::models {
+
+namespace {
+
+/** Tile edge for a plane of extent p (Table III block sizes). */
+uint32_t
+vggTile(uint32_t p)
+{
+    if (p >= 112)
+        return 14;
+    if (p >= 56)
+        return 7;
+    if (p >= 28)
+        return 4;
+    return 2;
+}
+
+/** VGG / Table III mapping: plane tiled over grid (x, y), channel on
+ *  grid z. */
+LaunchHint
+vggHint(uint32_t channels, uint32_t p, uint32_t q)
+{
+    const uint32_t t = vggTile(p);
+    LaunchHint h;
+    h.chanSrc = kern::ChannelSrc::GridZ;
+    h.pixMap = kern::PixelMap::FromGridXY;
+    h.grid = {(q + t - 1) / t, (p + t - 1) / t, channels};
+    h.block = {t, t, 1};
+    return h;
+}
+
+} // namespace
+
+Network
+buildVgg16()
+{
+    Network net;
+    net.name = "vggnet";
+    net.inC = 3;
+    net.inH = net.inW = 224;
+
+    int prev = -1;
+    uint32_t c = 3, h = 224;
+
+    auto conv = [&](const std::string &name, uint32_t k) {
+        Layer l;
+        l.kind = LayerKind::Conv;
+        l.name = name;
+        l.figType = "Conv";
+        l.C = c;
+        l.H = l.W = h;
+        l.K = k;
+        l.R = l.S = 3;
+        l.stride = 1;
+        l.pad = 1;
+        l.P = l.Q = h;
+        l.relu = true;
+        l.inputs = {prev};
+        l.hint = vggHint(k, l.P, l.Q);
+        prev = net.add(l);
+        c = k;
+    };
+    auto pool = [&](const std::string &name) {
+        Layer l;
+        l.kind = LayerKind::Pool;
+        l.name = name;
+        l.figType = "Pooling";
+        l.C = c;
+        l.H = l.W = h;
+        l.R = l.S = 2;
+        l.stride = 2;
+        l.P = l.Q = h / 2;
+        l.inputs = {prev};
+        l.hint = vggHint(c, l.P, l.Q);
+        prev = net.add(l);
+        h /= 2;
+    };
+
+    conv("conv1_1", 64);
+    conv("conv1_2", 64);
+    pool("pool1");                 // -> 112
+    conv("conv2_1", 128);
+    conv("conv2_2", 128);
+    pool("pool2");                 // -> 56
+    conv("conv3_1", 256);
+    conv("conv3_2", 256);
+    conv("conv3_3", 256);
+    pool("pool3");                 // -> 28
+    conv("conv4_1", 512);
+    conv("conv4_2", 512);
+    conv("conv4_3", 512);
+    pool("pool4");                 // -> 14
+    conv("conv5_1", 512);
+    conv("conv5_2", 512);
+    conv("conv5_3", 512);
+    pool("pool5");                 // -> 7
+
+    auto fc = [&](const std::string &name, uint32_t in, uint32_t out,
+                  bool relu, kern::Dim3 grid, kern::Dim3 block) {
+        Layer l;
+        l.kind = LayerKind::FC;
+        l.name = name;
+        l.figType = "FC";
+        l.inN = in;
+        l.outN = out;
+        l.relu = relu;
+        l.inputs = {prev};
+        l.hint.grid = grid;
+        l.hint.block = block;
+        prev = net.add(l);
+    };
+
+    // Table III: FC (4,4,4) blocks of (8,8) threads; FC (1,1,10) of
+    // (10,10) threads for the classifier.
+    fc("fc6", 512 * 7 * 7, 4096, true, {4, 4, 4}, {8, 8, 1});
+    fc("fc7", 4096, 4096, true, {4, 4, 4}, {8, 8, 1});
+    fc("fc8", 4096, 1000, false, {1, 1, 10}, {10, 10, 1});
+
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.name = "softmax";
+    sm.figType = "Others";
+    sm.inN = sm.outN = 1000;
+    sm.inputs = {prev};
+    sm.hint.grid = {1, 1, 1};
+    sm.hint.block = {32, 1, 1};
+    net.add(sm);
+
+    return net;
+}
+
+} // namespace tango::nn::models

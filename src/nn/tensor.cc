@@ -1,0 +1,40 @@
+#include "nn/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace tango::nn {
+
+Tensor::Tensor(std::vector<uint32_t> shape) : shape_(std::move(shape))
+{
+    uint64_t n = 1;
+    for (uint32_t d : shape_) {
+        TANGO_ASSERT(d > 0, "zero tensor dimension");
+        n *= d;
+    }
+    data_.assign(n, 0.0f);
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    std::string s;
+    for (size_t i = 0; i < shape_.size(); i++) {
+        if (i)
+            s += "x";
+        s += std::to_string(shape_[i]);
+    }
+    return s.empty() ? "scalar" : s;
+}
+
+uint64_t
+Tensor::argmax() const
+{
+    uint64_t best = 0;
+    for (uint64_t i = 1; i < size(); i++) {
+        if (data_[i] > data_[best])
+            best = i;
+    }
+    return best;
+}
+
+} // namespace tango::nn

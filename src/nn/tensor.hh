@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A minimal dense float tensor (CHW layout for feature maps).
+ *
+ * This is deliberately small: the suite needs exactly one dtype (f32, as
+ * the paper's kernels use) and contiguous row-major storage that matches
+ * the device-memory layout the kernels index into.
+ */
+
+#ifndef TANGO_NN_TENSOR_HH
+#define TANGO_NN_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tango::nn {
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<uint32_t> shape);
+
+    /** @return total element count. */
+    uint64_t size() const { return data_.size(); }
+
+    /** @return size in bytes. */
+    uint64_t bytes() const { return data_.size() * 4; }
+
+    const std::vector<uint32_t> &shape() const { return shape_; }
+
+    /** @return extent of dimension @p i (1 if absent). */
+    uint32_t dim(size_t i) const
+    {
+        return i < shape_.size() ? shape_[i] : 1;
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](uint64_t i) { return data_[i]; }
+    float operator[](uint64_t i) const { return data_[i]; }
+
+    /** 3-D accessor for (c, y, x) tensors. */
+    float &
+    at(uint32_t c, uint32_t y, uint32_t x)
+    {
+        return data_[(uint64_t(c) * shape_[1] + y) * shape_[2] + x];
+    }
+    float
+    at(uint32_t c, uint32_t y, uint32_t x) const
+    {
+        return data_[(uint64_t(c) * shape_[1] + y) * shape_[2] + x];
+    }
+
+    /** 4-D accessor for (k, c, r, s) weight tensors. */
+    float &
+    at4(uint32_t k, uint32_t c, uint32_t r, uint32_t s)
+    {
+        return data_[((uint64_t(k) * shape_[1] + c) * shape_[2] + r) *
+                         shape_[3] +
+                     s];
+    }
+    float
+    at4(uint32_t k, uint32_t c, uint32_t r, uint32_t s) const
+    {
+        return data_[((uint64_t(k) * shape_[1] + c) * shape_[2] + r) *
+                         shape_[3] +
+                     s];
+    }
+
+    /** @return "3x224x224"-style shape string. */
+    std::string shapeStr() const;
+
+    /** @return index of the maximum element (argmax). */
+    uint64_t argmax() const;
+
+  private:
+    std::vector<uint32_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace tango::nn
+
+#endif // TANGO_NN_TENSOR_HH

@@ -1,0 +1,278 @@
+#include "nn/weights.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tango::nn {
+
+namespace {
+
+/** FNV-1a hash for stable per-layer seeds. */
+uint64_t
+nameSeed(const std::string &net, const std::string &layer)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<uint8_t>(c);
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(net);
+    mix("/");
+    mix(layer);
+    return h;
+}
+
+void
+fillGaussian(Tensor &t, Rng &rng, float stddev)
+{
+    for (uint64_t i = 0; i < t.size(); i++)
+        t[i] = rng.gaussian() * stddev;
+}
+
+void
+fillConst(Tensor &t, float v)
+{
+    for (uint64_t i = 0; i < t.size(); i++)
+        t[i] = v;
+}
+
+/** Allocate (zeroed) parameter tensors of the right shapes. */
+void
+shapeLayer(Layer &l)
+{
+    switch (l.kind) {
+      case LayerKind::Conv:
+        l.weights = Tensor({l.K, l.C, l.R, l.S});
+        if (l.bias)
+            l.biasT = Tensor({l.K});
+        break;
+      case LayerKind::Depthwise:
+        l.weights = Tensor({l.C, l.R, l.S});
+        if (l.bias)
+            l.biasT = Tensor({l.C});
+        break;
+      case LayerKind::FC:
+        l.weights = Tensor({l.outN, l.inN});
+        if (l.bias)
+            l.biasT = Tensor({l.outN});
+        break;
+      case LayerKind::BatchNorm:
+        l.mean = Tensor({l.C});
+        l.var = Tensor({l.C});
+        break;
+      case LayerKind::Scale:
+        l.gamma = Tensor({l.C});
+        l.betaT = Tensor({l.C});
+        break;
+      default:
+        break;
+    }
+}
+
+void
+initLayer(const std::string &netName, Layer &l)
+{
+    Rng rng(nameSeed(netName, l.name));
+    shapeLayer(l);
+    switch (l.kind) {
+      case LayerKind::Conv: {
+        const float fanIn = float(l.C) * l.R * l.S;
+        fillGaussian(l.weights, rng, std::sqrt(2.0f / fanIn));
+        if (l.bias)
+            fillGaussian(l.biasT, rng, 0.05f);
+        break;
+      }
+      case LayerKind::Depthwise: {
+        fillGaussian(l.weights, rng,
+                     std::sqrt(2.0f / float(l.R * l.S)));
+        if (l.bias)
+            fillGaussian(l.biasT, rng, 0.05f);
+        break;
+      }
+      case LayerKind::FC: {
+        fillGaussian(l.weights, rng, std::sqrt(2.0f / float(l.inN)));
+        if (l.bias)
+            fillGaussian(l.biasT, rng, 0.05f);
+        break;
+      }
+      case LayerKind::BatchNorm: {
+        fillGaussian(l.mean, rng, 0.1f);
+        for (uint32_t c = 0; c < l.C; c++)
+            l.var[c] = 0.5f + rng.uniform();   // strictly positive
+        break;
+      }
+      case LayerKind::Scale: {
+        for (uint32_t c = 0; c < l.C; c++)
+            l.gamma[c] = 0.8f + 0.4f * rng.uniform();
+        fillGaussian(l.betaT, rng, 0.05f);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+/** Simple binary container: magic, rank, dims, payload. */
+constexpr uint32_t weightMagic = 0x544e4757;   // "TGNW"
+
+bool
+writeTensor(std::FILE *f, const Tensor &t)
+{
+    const uint32_t rank = static_cast<uint32_t>(t.shape().size());
+    if (std::fwrite(&weightMagic, 4, 1, f) != 1)
+        return false;
+    if (std::fwrite(&rank, 4, 1, f) != 1)
+        return false;
+    for (uint32_t d : t.shape()) {
+        if (std::fwrite(&d, 4, 1, f) != 1)
+            return false;
+    }
+    return t.size() == 0 ||
+           std::fwrite(t.data(), 4, t.size(), f) == t.size();
+}
+
+bool
+readTensor(std::FILE *f, Tensor &t)
+{
+    uint32_t magic = 0, rank = 0;
+    if (std::fread(&magic, 4, 1, f) != 1 || magic != weightMagic)
+        return false;
+    if (std::fread(&rank, 4, 1, f) != 1 || rank > 8)
+        return false;
+    std::vector<uint32_t> shape(rank);
+    for (uint32_t i = 0; i < rank; i++) {
+        if (std::fread(&shape[i], 4, 1, f) != 1)
+            return false;
+    }
+    Tensor loaded(shape);
+    if (loaded.size() &&
+        std::fread(loaded.data(), 4, loaded.size(), f) != loaded.size()) {
+        return false;
+    }
+    if (!t.shape().empty() && t.shape() != loaded.shape())
+        return false;
+    t = std::move(loaded);
+    return true;
+}
+
+std::vector<Tensor *>
+paramTensors(Layer &l)
+{
+    std::vector<Tensor *> out;
+    for (Tensor *t : {&l.weights, &l.biasT, &l.mean, &l.var, &l.gamma,
+                      &l.betaT}) {
+        if (t->size())
+            out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+initWeights(Network &net)
+{
+    for (Layer &l : net.layers())
+        initLayer(net.name, l);
+}
+
+void
+initWeights(RnnModel &model)
+{
+    Rng rng(nameSeed(model.name, "cell"));
+    const uint32_t G = model.lstm ? 4 : 3;
+    const uint64_t n = uint64_t(G) * model.hidden * model.inputSize +
+                       uint64_t(G) * model.hidden * model.hidden +
+                       uint64_t(G) * model.hidden;
+    model.weights = Tensor({static_cast<uint32_t>(n)});
+    // Small weights keep multi-step recurrences numerically tame.
+    fillGaussian(model.weights, rng,
+                 std::sqrt(1.0f / float(model.hidden)));
+    model.fcW = Tensor({model.hidden});
+    fillGaussian(model.fcW, rng, std::sqrt(1.0f / float(model.hidden)));
+    model.fcB = Tensor({1});
+    fillConst(model.fcB, 0.01f);
+}
+
+int
+quantizeConvWeights(Network &net)
+{
+    int count = 0;
+    for (Layer &l : net.layers()) {
+        if (l.kind != LayerKind::Conv || l.weights.size() == 0)
+            continue;
+        float maxAbs = 0.0f;
+        for (uint64_t i = 0; i < l.weights.size(); i++)
+            maxAbs = std::max(maxAbs, std::fabs(l.weights[i]));
+        if (maxAbs == 0.0f)
+            continue;
+        l.weightScale = maxAbs / 32767.0f;
+        l.weightsQ = Tensor(l.weights.shape());
+        for (uint64_t i = 0; i < l.weights.size(); i++) {
+            const float q =
+                std::round(l.weights[i] / l.weightScale);
+            l.weightsQ[i] = q;
+            l.weights[i] = q * l.weightScale;   // dequantized reference
+        }
+        l.quantWeights = true;
+        count++;
+    }
+    return count;
+}
+
+int
+saveWeightFiles(const Network &net, const std::string &dir)
+{
+    std::filesystem::create_directories(dir);
+    int count = 0;
+    for (const Layer &l : net.layers()) {
+        auto tensors = paramTensors(const_cast<Layer &>(l));
+        if (tensors.empty())
+            continue;
+        const std::string path = dir + "/" + net.name + "." + l.name + ".w";
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        if (!f)
+            fatal("cannot write weight file %s", path.c_str());
+        for (Tensor *t : tensors) {
+            if (!writeTensor(f, *t))
+                fatal("short write to %s", path.c_str());
+        }
+        std::fclose(f);
+        count++;
+    }
+    return count;
+}
+
+int
+loadWeightFiles(Network &net, const std::string &dir)
+{
+    int count = 0;
+    for (Layer &l : net.layers()) {
+        // Freshly built networks carry no parameter storage yet; size the
+        // tensors from the layer structure before reading into them.
+        if (paramTensors(l).empty())
+            shapeLayer(l);
+        auto tensors = paramTensors(l);
+        if (tensors.empty())
+            continue;
+        const std::string path = dir + "/" + net.name + "." + l.name + ".w";
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            fatal("cannot open weight file %s", path.c_str());
+        for (Tensor *t : tensors) {
+            if (!readTensor(f, *t))
+                fatal("corrupt weight file %s", path.c_str());
+        }
+        std::fclose(f);
+        count++;
+    }
+    return count;
+}
+
+} // namespace tango::nn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic pre-trained weights and per-layer weight files.
+ *
+ * The paper ships pre-trained Caffe-zoo model files split into per-layer
+ * weight files.  Those learned values are not available here (and the
+ * architectural statistics do not depend on them), so the weight store
+ * generates deterministic He-initialized weights — the same bits on every
+ * platform and every run — and can round-trip them through per-layer
+ * binary weight files exactly like the original suite.
+ */
+
+#ifndef TANGO_NN_WEIGHTS_HH
+#define TANGO_NN_WEIGHTS_HH
+
+#include <string>
+
+#include "nn/network.hh"
+
+namespace tango::nn {
+
+/** Fill every parameter tensor of @p net deterministically.
+ *  The stream is keyed on (net.name, layer.name), so adding a layer never
+ *  changes any other layer's weights. */
+void initWeights(Network &net);
+
+/** Fill an RNN model's parameters deterministically. */
+void initWeights(RnnModel &model);
+
+/** Quantization extension: convert every convolution layer's weights to
+ *  s16 Q-format (per-layer max-abs scale).  The layer's float weights are
+ *  replaced by their dequantized values, so the CPU reference and the
+ *  quantized kernels agree exactly.
+ *  @return number of layers quantized. */
+int quantizeConvWeights(Network &net);
+
+/** Write one binary weight file per layer into @p dir (created if needed).
+ *  @return number of files written. */
+int saveWeightFiles(const Network &net, const std::string &dir);
+
+/** Load per-layer weight files written by saveWeightFiles.
+ *  @return number of files loaded; fatal() on shape mismatch. */
+int loadWeightFiles(Network &net, const std::string &dir);
+
+} // namespace tango::nn
+
+#endif // TANGO_NN_WEIGHTS_HH

@@ -1,0 +1,129 @@
+#include "profiler/profiler.hh"
+
+#include <algorithm>
+
+#include "sim/isa.hh"
+
+namespace tango::prof {
+
+Series
+stallBreakdown(const StatSet &stats)
+{
+    Series out;
+    double total = 0.0;
+    for (size_t i = 0; i < sim::numStalls; i++) {
+        const std::string key =
+            std::string("stall.") +
+            sim::stallName(static_cast<sim::Stall>(i));
+        total += stats.get(key);
+    }
+    for (size_t i = 0; i < sim::numStalls; i++) {
+        const char *name = sim::stallName(static_cast<sim::Stall>(i));
+        const double v = stats.get(std::string("stall.") + name);
+        out.emplace_back(name, total > 0 ? v / total : 0.0);
+    }
+    return out;
+}
+
+Series
+opBreakdown(const StatSet &stats)
+{
+    Series out;
+    const double total = stats.sumPrefix("op.");
+    if (total <= 0)
+        return out;
+    for (const auto &[k, v] : stats.all()) {
+        if (k.rfind("op.", 0) == 0 && v > 0)
+            out.emplace_back(k.substr(3), v / total);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+Series
+dtypeBreakdown(const StatSet &stats)
+{
+    Series out;
+    const double total = stats.sumPrefix("dtype.");
+    if (total <= 0)
+        return out;
+    // Keep the paper's legend order: f32, u32, u16, s32, s16.
+    for (const char *t : {"f32", "u32", "u16", "s32", "s16"}) {
+        const double v = stats.get(std::string("dtype.") + t);
+        out.emplace_back(t, v / total);
+    }
+    return out;
+}
+
+Series
+topN(const Series &s, size_t n)
+{
+    Series out;
+    double rest = 0.0;
+    for (size_t i = 0; i < s.size(); i++) {
+        if (i < n)
+            out.push_back(s[i]);
+        else
+            rest += s[i].second;
+    }
+    if (rest > 0.0)
+        out.emplace_back("Others", rest);
+    return out;
+}
+
+Series
+layerTimeBreakdown(const rt::NetRun &run)
+{
+    Series out;
+    double total = 0.0;
+    for (const std::string &fig : run.figTypes())
+        total += run.figTypeTime(fig);
+    for (const std::string &fig : run.figTypes()) {
+        out.emplace_back(fig,
+                         total > 0 ? run.figTypeTime(fig) / total : 0.0);
+    }
+    return out;
+}
+
+Series
+layerEnergyBreakdown(const rt::NetRun &run)
+{
+    Series out;
+    double total = 0.0;
+    std::vector<std::pair<std::string, double>> vals;
+    for (const std::string &fig : run.figTypes()) {
+        double e = 0.0;
+        for (const auto &l : run.layers) {
+            if (l.figType == fig)
+                e += l.energyJ();
+        }
+        vals.emplace_back(fig, e);
+        total += e;
+    }
+    for (auto &[fig, e] : vals)
+        out.emplace_back(fig, total > 0 ? e / total : 0.0);
+    return out;
+}
+
+Series
+layerStat(const rt::NetRun &run, const std::string &stat)
+{
+    Series out;
+    for (const std::string &fig : run.figTypes())
+        out.emplace_back(fig, run.figTypeStat(fig, stat));
+    return out;
+}
+
+StatSet
+mergeTotals(const std::vector<const rt::NetRun *> &runs)
+{
+    StatSet out;
+    for (const rt::NetRun *r : runs)
+        out.merge(r->totals);
+    return out;
+}
+
+} // namespace tango::prof

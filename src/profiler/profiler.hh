@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Profiler-style aggregation of simulator statistics into the series the
+ * paper's figures plot: stall-cycle fractions (Fig 7), opcode mixes
+ * (Figs 8-9), data-type mixes (Fig 10) and layer-type breakdowns
+ * (Figs 1, 4, 13, 14).
+ */
+
+#ifndef TANGO_PROFILER_PROFILER_HH
+#define TANGO_PROFILER_PROFILER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "sim/stall.hh"
+
+namespace tango::prof {
+
+/** (label, value) series. */
+using Series = std::vector<std::pair<std::string, double>>;
+
+/** Stall-cycle fractions per nvprof category (sums to 1). */
+Series stallBreakdown(const StatSet &stats);
+
+/** Opcode mix as fractions of executed thread instructions, sorted
+ *  descending. */
+Series opBreakdown(const StatSet &stats);
+
+/** Data-type mix as fractions of typed instructions. */
+Series dtypeBreakdown(const StatSet &stats);
+
+/** Top-N entries of a series, with the rest folded into "Others". */
+Series topN(const Series &s, size_t n);
+
+/** Exec-time fraction per figure layer type for a network run. */
+Series layerTimeBreakdown(const rt::NetRun &run);
+
+/** Energy fraction per figure layer type. */
+Series layerEnergyBreakdown(const rt::NetRun &run);
+
+/** Sum of a raw counter per figure layer type. */
+Series layerStat(const rt::NetRun &run, const std::string &stat);
+
+/** Merge several stat sets (e.g. across networks for Fig 9). */
+StatSet mergeTotals(const std::vector<const rt::NetRun *> &runs);
+
+} // namespace tango::prof
+
+#endif // TANGO_PROFILER_PROFILER_HH

@@ -1,0 +1,68 @@
+#include "runtime/report.hh"
+
+#include "common/table.hh"
+
+namespace tango::rt {
+
+void
+printSeries(std::ostream &os, const std::string &title,
+            const std::vector<std::pair<std::string, double>> &series,
+            bool as_percent)
+{
+    Table t(title);
+    t.header({"label", "value"});
+    for (const auto &[k, v] : series) {
+        t.row({k, as_percent ? Table::pct(v) : Table::num(v, 6)});
+    }
+    t.print(os);
+}
+
+void
+printStacked(std::ostream &os, const std::string &title,
+             const std::vector<std::string> &groups,
+             const std::vector<std::string> &labels,
+             const std::vector<std::vector<double>> &values,
+             bool as_percent)
+{
+    Table t(title);
+    std::vector<std::string> hdr = {"label"};
+    for (const auto &g : groups)
+        hdr.push_back(g);
+    t.header(hdr);
+    for (size_t li = 0; li < labels.size(); li++) {
+        std::vector<std::string> row = {labels[li]};
+        for (size_t gi = 0; gi < groups.size(); gi++) {
+            const double v =
+                gi < values.size() && li < values[gi].size()
+                    ? values[gi][li]
+                    : 0.0;
+            row.push_back(as_percent ? Table::pct(v) : Table::num(v, 4));
+        }
+        t.row(row);
+    }
+    t.print(os);
+}
+
+void
+printRunSummary(std::ostream &os, const NetRun &run)
+{
+    Table t("summary: " + run.netName);
+    t.header({"metric", "value"});
+    t.row({"kernels launched",
+           std::to_string([&] {
+               size_t n = 0;
+               for (const auto &l : run.layers)
+                   n += l.kernels.size();
+               return n;
+           }())});
+    t.row({"estimated time (ms)", Table::num(run.totalTimeSec * 1e3, 3)});
+    t.row({"energy (J)", Table::num(run.totalEnergyJ, 4)});
+    t.row({"peak power (W)", Table::num(run.peakPowerW, 1)});
+    t.row({"thread instructions",
+           Table::num(run.totals.sumPrefix("op."), 0)});
+    t.row({"device memory (KB)",
+           Table::num(static_cast<double>(run.deviceBytes) / 1024.0, 0)});
+    t.print(os);
+}
+
+} // namespace tango::rt

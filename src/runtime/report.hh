@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Output helpers shared by the benchmark harness: uniform printing of
+ * label/value series and per-network summaries, so every bench binary
+ * emits the paper's rows in the same format.
+ */
+
+#ifndef TANGO_RUNTIME_REPORT_HH
+#define TANGO_RUNTIME_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hh"
+
+namespace tango::rt {
+
+/** Print a (label, value) series as an aligned two-column table. */
+void printSeries(std::ostream &os, const std::string &title,
+                 const std::vector<std::pair<std::string, double>> &series,
+                 bool as_percent = false);
+
+/** Print a stacked table: one row per label, one column per group. */
+void printStacked(
+    std::ostream &os, const std::string &title,
+    const std::vector<std::string> &groups,
+    const std::vector<std::string> &labels,
+    const std::vector<std::vector<double>> &values /* [group][label] */,
+    bool as_percent = false);
+
+/** One-paragraph summary of a network run (time, energy, instr counts). */
+void printRunSummary(std::ostream &os, const NetRun &run);
+
+} // namespace tango::rt
+
+#endif // TANGO_RUNTIME_REPORT_HH

@@ -1,0 +1,330 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+
+namespace tango::rt {
+
+double
+LayerRun::timeSec() const
+{
+    double t = 0.0;
+    for (const auto &k : kernels)
+        t += k.timeSec;
+    return t;
+}
+
+double
+LayerRun::energyJ() const
+{
+    double e = 0.0;
+    for (const auto &k : kernels)
+        e += k.energyJ;
+    return e;
+}
+
+double
+LayerRun::gpuCycles() const
+{
+    double c = 0.0;
+    for (const auto &k : kernels)
+        c += k.gpuCycles;
+    return c;
+}
+
+double
+NetRun::figTypeStat(const std::string &fig, const std::string &stat) const
+{
+    double total = 0.0;
+    for (const auto &l : layers) {
+        if (l.figType != fig)
+            continue;
+        for (const auto &k : l.kernels)
+            total += k.stats.get(stat);
+    }
+    return total;
+}
+
+double
+NetRun::figTypeTime(const std::string &fig) const
+{
+    double total = 0.0;
+    for (const auto &l : layers) {
+        if (l.figType == fig)
+            total += l.timeSec();
+    }
+    return total;
+}
+
+std::vector<std::string>
+NetRun::figTypes() const
+{
+    std::vector<std::string> out;
+    for (const auto &l : layers) {
+        if (std::find(out.begin(), out.end(), l.figType) == out.end())
+            out.push_back(l.figType);
+    }
+    return out;
+}
+
+namespace {
+
+/** Compare a device buffer against a reference tensor. */
+uint64_t
+checkBuffer(const sim::DeviceMemory &mem, uint32_t addr,
+            const nn::Tensor &ref, float tol, const std::string &what)
+{
+    uint64_t failures = 0;
+    for (uint64_t i = 0; i < ref.size(); i++) {
+        const float got = mem.read<float>(addr + 4 * i);
+        const float want = ref[i];
+        const float err = std::fabs(got - want);
+        const float lim = tol * std::max(1.0f, std::fabs(want));
+        if (!(err <= lim)) {   // catches NaN too
+            if (failures < 3) {
+                warn("%s[%llu]: got %g want %g", what.c_str(),
+                     static_cast<unsigned long long>(i), got, want);
+            }
+            failures++;
+        }
+    }
+    return failures;
+}
+
+void
+finalizeTotals(NetRun &run)
+{
+    for (const auto &l : run.layers) {
+        for (const auto &k : l.kernels) {
+            run.totals.merge(k.stats);
+            run.totalTimeSec += k.timeSec;
+            run.totalEnergyJ += k.energyJ;
+            run.peakPowerW = std::max(run.peakPowerW, k.peakPowerW);
+            run.maxRegsPerThread =
+                std::max(run.maxRegsPerThread, k.regsPerThread);
+            run.maxLiveRegs = std::max(run.maxLiveRegs, k.maxLiveRegs);
+            const uint32_t warps =
+                k.residentCtas *
+                ((static_cast<uint32_t>(k.block.count()) + 31) / 32);
+            run.maxResidentWarps = std::max(run.maxResidentWarps, warps);
+        }
+    }
+}
+
+} // namespace
+
+NetRun
+Runtime::runCnn(const nn::Network &net, const RunPolicy &policy,
+                const nn::Tensor *input)
+{
+    NetRun run;
+    run.netName = net.name;
+
+    sim::DeviceMemory &mem = gpu_.mem();
+    mem.reset();
+    gpu_.coldStart();   // addresses are being reused for new data
+    const bool upload = policy.functional || policy.check;
+    LoweredNet low = lower(net, mem, upload,
+                           upload ? 0 : policy.maxLoopChannels);
+    run.deviceBytes = low.deviceBytes;
+
+    // Functional preparation: reference outputs for every layer.
+    nn::Tensor localInput;
+    std::vector<nn::Tensor> refOuts;
+    if (upload) {
+        if (!input) {
+            localInput =
+                nn::models::makeInputImage(net.inC, net.inH, net.inW);
+            input = &localInput;
+        }
+        mem.copyIn(low.inputAddr, input->data(), input->bytes());
+        refOuts = net.forwardAll(*input);
+    }
+
+    // Group kernels by layer, preserving launch order.
+    const auto &layers = net.layers();
+    run.layers.reserve(layers.size());
+    size_t ki = 0;
+    for (size_t li = 0; li < layers.size(); li++) {
+        LayerRun lr;
+        lr.layerIndex = static_cast<int>(li);
+        lr.name = layers[li].name;
+        lr.figType = layers[li].figType;
+        while (ki < low.kernels.size() &&
+               low.kernels[ki].layerIndex == static_cast<int>(li)) {
+            sim::KernelStats ks =
+                gpu_.launch(low.kernels[ki].launch, policy.sim);
+            const double ws = low.kernels[ki].workScale;
+            if (ws != 1.0) {
+                // Loop-channel sampling: extrapolate to the full layer.
+                ks.stats.scale(ws);
+                ks.scale *= ws;
+                ks.smCycles = static_cast<uint64_t>(ks.smCycles * ws);
+                ks.gpuCycles *= ws;
+                ks.timeSec *= ws;
+                ks.energyJ *= ws;
+            }
+            lr.kernels.push_back(std::move(ks));
+            ki++;
+        }
+        if (upload && layers[li].kind != nn::LayerKind::Input) {
+            const nn::Tensor &ref = refOuts[li];
+            if (policy.check && !lr.kernels.empty() &&
+                layers[li].concatInto < 0) {
+                run.checkFailures +=
+                    checkBuffer(mem, low.layerOut[li], ref,
+                                policy.tolerance,
+                                net.name + "." + layers[li].name);
+            }
+            // Overwrite with the exact reference so CTA sampling cannot
+            // corrupt downstream layers.
+            mem.copyIn(low.layerOut[li], ref.data(), ref.bytes());
+        }
+        if (!lr.kernels.empty() ||
+            layers[li].kind == nn::LayerKind::Concat) {
+            run.layers.push_back(std::move(lr));
+        }
+    }
+    TANGO_ASSERT(ki == low.kernels.size(), "unconsumed kernels");
+
+    finalizeTotals(run);
+    return run;
+}
+
+NetRun
+Runtime::runRnn(const nn::RnnModel &model, const RunPolicy &policy,
+                const std::vector<float> *sequence, float *prediction)
+{
+    NetRun run;
+    run.netName = model.name;
+
+    sim::DeviceMemory &mem = gpu_.mem();
+    mem.reset();
+    gpu_.coldStart();   // addresses are being reused for new data
+    const bool upload = policy.functional || policy.check;
+    LoweredRnn low = lowerRnn(model, mem, upload);
+    run.deviceBytes = low.deviceBytes;
+
+    std::vector<float> localSeq;
+    if (upload) {
+        if (!sequence) {
+            localSeq = nn::models::makeStockSequence(model.seqLen *
+                                                     model.inputSize);
+            sequence = &localSeq;
+        }
+        TANGO_ASSERT(sequence->size() ==
+                         size_t(model.seqLen) * model.inputSize,
+                     "sequence length mismatch");
+        for (uint32_t t = 0; t < model.seqLen; t++) {
+            mem.copyIn(low.xAddr[t],
+                       sequence->data() + size_t(t) * model.inputSize,
+                       4ull * model.inputSize);
+        }
+        // Zero the initial hidden/cell state.
+        std::vector<float> zeros(model.hidden, 0.0f);
+        mem.copyIn(low.hAddr[0], zeros.data(), 4ull * model.hidden);
+        mem.copyIn(low.cAddr[0], zeros.data(), 4ull * model.hidden);
+    }
+
+    for (const auto &lk : low.kernels) {
+        LayerRun lr;
+        lr.layerIndex = lk.layerIndex;
+        lr.name = lk.launch.program->name + "#" +
+                  std::to_string(lk.layerIndex);
+        lr.figType = lk.figType;
+        lr.kernels.push_back(gpu_.launch(lk.launch, policy.sim));
+        run.layers.push_back(std::move(lr));
+    }
+
+    if (upload) {
+        if (policy.check && sequence) {
+            // Reference hidden state after the full sequence.
+            std::vector<float> h(model.hidden, 0.0f), c(model.hidden, 0.0f);
+            std::vector<float> x(model.inputSize);
+            for (uint32_t t = 0; t < model.seqLen; t++) {
+                std::copy_n(sequence->begin() +
+                                size_t(t) * model.inputSize,
+                            model.inputSize, x.begin());
+                model.step(x, h, c);
+            }
+            nn::Tensor refH({model.hidden});
+            std::copy(h.begin(), h.end(), refH.data());
+            run.checkFailures += checkBuffer(mem, low.finalH, refH,
+                                             policy.tolerance,
+                                             model.name + ".h");
+            const float refPred = model.forward(*sequence);
+            const float got = mem.read<float>(low.outAddr);
+            if (std::fabs(got - refPred) >
+                policy.tolerance * std::max(1.0f, std::fabs(refPred))) {
+                warn("%s prediction: got %g want %g", model.name.c_str(),
+                     got, refPred);
+                run.checkFailures++;
+            }
+        }
+        if (prediction)
+            *prediction = mem.read<float>(low.outAddr);
+    }
+
+    finalizeTotals(run);
+    return run;
+}
+
+RunPolicy
+benchPolicy()
+{
+    RunPolicy p;
+    p.sim.maxResidentCtas = 0;     // let the warp budget decide
+    p.sim.maxResidentWarps = 16;
+    p.sim.maxSampledCtas = 0;      // one resident wave
+    p.sim.maxWarpsPerCta = 6;
+    p.maxLoopChannels = 8;
+    return p;
+}
+
+RunPolicy
+memStudyPolicy()
+{
+    RunPolicy p;
+    p.sim.maxResidentCtas = 0;
+    p.sim.maxResidentWarps = 32;
+    p.sim.maxSampledCtas = 0;
+    p.sim.maxWarpsPerCta = 2;
+    p.maxLoopChannels = 8;
+    return p;
+}
+
+RunPolicy
+stallStudyPolicy()
+{
+    RunPolicy p;
+    p.sim.maxResidentCtas = 0;
+    p.sim.maxResidentWarps = 48;
+    p.sim.maxSampledCtas = 0;
+    p.sim.maxWarpsPerCta = 12;
+    p.maxLoopChannels = 8;
+    return p;
+}
+
+NetRun
+runNetworkByName(sim::Gpu &gpu, const std::string &name,
+                 const RunPolicy &policy)
+{
+    Runtime rt(gpu);
+    if (name == "gru" || name == "lstm") {
+        nn::RnnModel m =
+            name == "gru" ? nn::models::buildGru() : nn::models::buildLstm();
+        if (policy.functional || policy.check)
+            nn::initWeights(m);
+        return rt.runRnn(m, policy);
+    }
+    nn::Network net = nn::models::buildCnn(name);
+    if (policy.functional || policy.check)
+        nn::initWeights(net);
+    return rt.runCnn(net, policy);
+}
+
+} // namespace tango::rt

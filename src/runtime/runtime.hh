@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The Tango runtime: runs a network on a virtual GPU and collects the
+ * per-layer and whole-network statistics the paper's figures are built
+ * from.
+ *
+ * Two execution modes compose:
+ *  - functional: the CPU reference computes each layer's true output and
+ *    writes it into device memory after the layer's kernels run, so CTA
+ *    sampling never corrupts downstream inputs; with `check`, simulated
+ *    outputs are instead compared against the reference (small networks,
+ *    fullSim).
+ *  - timing-only (functional=false): buffers hold garbage, which is fine —
+ *    the kernels' control flow and addresses are data-independent.
+ */
+
+#ifndef TANGO_RUNTIME_RUNTIME_HH
+#define TANGO_RUNTIME_RUNTIME_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "runtime/lowering.hh"
+#include "sim/gpu.hh"
+
+namespace tango::rt {
+
+/** Execution policy for one network run. */
+struct RunPolicy
+{
+    sim::SimPolicy sim;
+    bool functional = false;   ///< write reference outputs after each layer
+    bool check = false;        ///< compare device outputs vs the reference
+    float tolerance = 1e-4f;   ///< relative tolerance for check
+    /** Timing-only loop-channel sampling (see rt::lower); ignored when
+     *  functional or check is set. */
+    uint32_t maxLoopChannels = 0;
+};
+
+/** Statistics of one layer (possibly several kernels). */
+struct LayerRun
+{
+    int layerIndex = -1;
+    std::string name;
+    std::string figType;
+    std::vector<sim::KernelStats> kernels;
+
+    double timeSec() const;
+    double energyJ() const;
+    double gpuCycles() const;
+};
+
+/** Statistics of a full network run. */
+struct NetRun
+{
+    std::string netName;
+    std::vector<LayerRun> layers;
+    uint64_t deviceBytes = 0;
+    StatSet totals;          ///< merged op/dtype/evt/stall counters
+    double totalTimeSec = 0.0;
+    double totalEnergyJ = 0.0;
+    double peakPowerW = 0.0;      ///< max over kernels (paper Fig 3)
+    uint32_t maxRegsPerThread = 0;
+    uint32_t maxLiveRegs = 0;
+    uint32_t maxResidentWarps = 0;   ///< warps/SM at the widest kernel
+    uint64_t checkFailures = 0;   ///< mismatches found in check mode
+
+    /** Sum a counter over layers whose figType is @p fig. */
+    double figTypeStat(const std::string &fig,
+                       const std::string &stat) const;
+    /** Total time of layers with figType @p fig. */
+    double figTypeTime(const std::string &fig) const;
+    /** All distinct figTypes in first-appearance order. */
+    std::vector<std::string> figTypes() const;
+};
+
+/** Runs networks on a Gpu. */
+class Runtime
+{
+  public:
+    explicit Runtime(sim::Gpu &gpu) : gpu_(gpu) {}
+
+    /** Run a CNN.  @param input network input (nullptr = synthetic). */
+    NetRun runCnn(const nn::Network &net, const RunPolicy &policy,
+                  const nn::Tensor *input = nullptr);
+
+    /** Run an RNN model over a price sequence (nullptr = synthetic).
+     *  The device-predicted value is returned in *prediction if given. */
+    NetRun runRnn(const nn::RnnModel &model, const RunPolicy &policy,
+                  const std::vector<float> *sequence = nullptr,
+                  float *prediction = nullptr);
+
+  private:
+    sim::Gpu &gpu_;
+};
+
+/** Build + run a network by name ("gru", "lstm", or a CNN name) with
+ *  weights left ungenerated — the standard timing-study entry point. */
+NetRun runNetworkByName(sim::Gpu &gpu, const std::string &name,
+                        const RunPolicy &policy);
+
+/** The sampling policy the benchmark harness uses: a ~16-warp budget per
+ *  SM, 6 sampled warps per CTA — a few seconds per network, with every
+ *  statistic extrapolated to the full grid. */
+RunPolicy benchPolicy();
+
+/** The policy for memory-locality studies (Figs 13/14): many co-resident
+ *  CTAs with few warps each, so cross-CTA data reuse (filters sharing
+ *  the same input planes) is visible to the shared L2 the way it is on
+ *  real hardware. */
+RunPolicy memStudyPolicy();
+
+/** The policy for stall-cycle studies (Fig 7): a near-hardware warp
+ *  residency so latency hiding behaves realistically and the stall mix
+ *  is not trivially memory-dependency-bound. */
+RunPolicy stallStudyPolicy();
+
+} // namespace tango::rt
+
+#endif // TANGO_RUNTIME_RUNTIME_HH

@@ -1,0 +1,157 @@
+#include "sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.sizeBytes > 0) {
+        TANGO_ASSERT(cfg_.lineBytes > 0 && cfg_.assoc > 0, "bad geometry");
+        sets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.assoc);
+        TANGO_ASSERT(sets_ > 0, "cache smaller than one set");
+        lines_.resize(size_t(sets_) * cfg_.assoc);
+    }
+    mshrs_.resize(cfg_.mshrs);
+}
+
+void
+Cache::retireMshrs(uint64_t now)
+{
+    for (auto &m : mshrs_) {
+        if (m.valid && m.fillCycle <= now)
+            m.valid = false;
+    }
+}
+
+Cache::Result
+Cache::access(uint32_t addr, bool write, uint64_t now)
+{
+    Result res;
+    stats_.accesses++;
+    if (write)
+        stats_.writeAccesses++;
+    if (bypassed()) {
+        stats_.misses++;
+        return res;
+    }
+    retireMshrs(now);
+
+    const uint64_t la = lineAddr(addr);
+    const uint32_t set = static_cast<uint32_t>(la % sets_);
+    Line *base = &lines_[size_t(set) * cfg_.assoc];
+
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        Line &l = base[w];
+        if (l.valid && l.tag == la) {
+            l.lastUse = ++useClock_;
+            stats_.hits++;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: pick an invalid way, else the LRU way.
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg_.assoc; w++) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+
+    stats_.misses++;
+
+    // A miss on a line already being fetched hits in the MSHR file.
+    for (const auto &m : mshrs_) {
+        if (m.valid && m.lineAddr == la) {
+            res.mshrMerged = true;
+            break;
+        }
+    }
+
+    // Fill (allocate) unless this is a no-allocate write.
+    if (!write || cfg_.writeAllocate) {
+        victim->valid = true;
+        victim->tag = la;
+        victim->lastUse = ++useClock_;
+    }
+    return res;
+}
+
+bool
+Cache::mshrAvailable(uint32_t addr, uint64_t now)
+{
+    if (bypassed())
+        return true;
+    retireMshrs(now);
+    const uint64_t la = lineAddr(addr);
+    for (const auto &m : mshrs_) {
+        if (m.valid && m.lineAddr == la)
+            return true;    // merge
+    }
+    for (const auto &m : mshrs_) {
+        if (!m.valid)
+            return true;
+    }
+    stats_.mshrFullEvents++;
+    return false;
+}
+
+void
+Cache::allocateMshr(uint32_t addr, uint64_t fill)
+{
+    if (bypassed())
+        return;
+    const uint64_t la = lineAddr(addr);
+    for (auto &m : mshrs_) {
+        if (m.valid && m.lineAddr == la) {
+            // Merged: extend to the later fill time.
+            if (fill > m.fillCycle)
+                m.fillCycle = fill;
+            return;
+        }
+    }
+    for (auto &m : mshrs_) {
+        if (!m.valid) {
+            m.valid = true;
+            m.lineAddr = la;
+            m.fillCycle = fill;
+            return;
+        }
+    }
+    // Caller must check mshrAvailable() first; dropping the reservation
+    // only makes timing slightly optimistic, so warn rather than die.
+    warn("MSHR allocation with full file (line 0x%llx)",
+         static_cast<unsigned long long>(la));
+}
+
+uint64_t
+Cache::pendingFillCycle(uint32_t addr, uint64_t now)
+{
+    if (bypassed())
+        return 0;
+    retireMshrs(now);
+    const uint64_t la = lineAddr(addr);
+    for (const auto &m : mshrs_) {
+        if (m.valid && m.lineAddr == la)
+            return m.fillCycle;
+    }
+    return 0;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    for (auto &m : mshrs_)
+        m.valid = false;
+    stats_ = CacheStats{};
+    useClock_ = 0;
+}
+
+} // namespace tango::sim

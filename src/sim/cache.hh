@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and MSHR tracking.
+ *
+ * Used for both the per-SM L1D and the GPU-shared L2.  The model is a
+ * state-plus-latency model (not a full event-driven pipeline): a lookup
+ * updates tag state and reports hit/miss; outstanding misses occupy MSHR
+ * slots until an absolute fill cycle, and a full MSHR file surfaces as a
+ * memory_throttle stall in the core.
+ */
+
+#ifndef TANGO_SIM_CACHE_HH
+#define TANGO_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tango::sim {
+
+/** Cache geometry + MSHR count. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 64 * 1024;
+    uint32_t assoc = 4;
+    uint32_t lineBytes = 128;
+    uint32_t mshrs = 32;
+    bool writeAllocate = false;     ///< L1: write-through no-allocate
+};
+
+/** Running counters for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writeAccesses = 0;
+    uint64_t mshrFullEvents = 0;
+
+    double
+    missRatio() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+};
+
+/** One set-associative LRU cache with a finite MSHR file. */
+class Cache
+{
+  public:
+    /** @param cfg geometry; sizeBytes == 0 builds a pass-through (bypass). */
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Lookup result. */
+    struct Result
+    {
+        bool hit = false;
+        bool mshrMerged = false;    ///< miss merged into an in-flight line
+    };
+
+    /**
+     * Probe and update the cache for one line-sized access.
+     * @param addr byte address (any byte within the line).
+     * @param write whether the access is a store.
+     * @param now current core cycle (retires expired MSHRs first).
+     * @return hit/miss and MSHR-merge information.
+     */
+    Result access(uint32_t addr, bool write, uint64_t now);
+
+    /** @return whether an MSHR slot (or mergeable entry) is available for
+     *  @p addr at cycle @p now; counts a throttle event when not. */
+    bool mshrAvailable(uint32_t addr, uint64_t now);
+
+    /** Reserve an MSHR for the line of @p addr until cycle @p fill. */
+    void allocateMshr(uint32_t addr, uint64_t fill);
+
+    /** @return the pending fill cycle for @p addr's line, or 0 when the
+     *  line is not (or no longer) in flight.  A tag "hit" on a line whose
+     *  fill is pending must wait for the fill, not the hit latency. */
+    uint64_t pendingFillCycle(uint32_t addr, uint64_t now);
+
+    /** @return true when the cache is a bypass shim (size 0). */
+    bool bypassed() const { return sets_ == 0; }
+
+    /** Reset tags, MSHRs and statistics. */
+    void reset();
+
+    /** Zero the statistics but keep tag state (per-kernel stat windows
+     *  over a warm cache). */
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Invalidate all MSHRs.  Fill times are absolute cycles, so a new
+     *  launch (whose clock restarts at zero) must drop them while keeping
+     *  the warm tags. */
+    void
+    newTimeDomain()
+    {
+        for (auto &m : mshrs_)
+            m.valid = false;
+    }
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    struct Mshr
+    {
+        uint64_t lineAddr = 0;
+        uint64_t fillCycle = 0;
+        bool valid = false;
+    };
+
+    uint64_t lineAddr(uint32_t addr) const { return addr / cfg_.lineBytes; }
+    void retireMshrs(uint64_t now);
+
+    CacheConfig cfg_;
+    uint32_t sets_ = 0;
+    std::vector<Line> lines_;   // sets_ * assoc
+    std::vector<Mshr> mshrs_;
+    CacheStats stats_;
+    uint64_t useClock_ = 0;
+};
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_CACHE_HH

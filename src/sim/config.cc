@@ -1,0 +1,101 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+const char *
+schedName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::GTO: return "gto";
+      case SchedPolicy::LRR: return "lrr";
+      case SchedPolicy::TLV: return "tlv";
+    }
+    return "?";
+}
+
+uint32_t
+GpuConfig::occupancyCtas(uint32_t threads_per_cta, uint32_t regs_per_thread,
+                         uint32_t smem_per_cta) const
+{
+    TANGO_ASSERT(threads_per_cta > 0, "empty CTA");
+    uint32_t limit = maxCtasPerSm;
+    limit = std::min(limit, maxThreadsPerSm / threads_per_cta);
+    uint32_t warps = (threads_per_cta + 31) / 32;
+    limit = std::min(limit, maxWarpsPerSm / std::max(1u, warps));
+    uint32_t reg_bytes = std::max(1u, regs_per_thread) * 4 * threads_per_cta;
+    limit = std::min(limit, regFileBytesPerSm / reg_bytes);
+    if (smem_per_cta > 0)
+        limit = std::min(limit, smemBytesPerSm / smem_per_cta);
+    return std::max(1u, limit);
+}
+
+GpuConfig
+pascalGP102()
+{
+    GpuConfig c;
+    c.name = "GP102";
+    c.numSms = 28;
+    c.coresPerSm = 128;
+    c.maxWarpsPerSm = 64;
+    c.regFileBytesPerSm = 256 * 1024;
+    c.smemBytesPerSm = 96 * 1024;
+    c.l1dBytes = 64 * 1024;          // paper: 64KB default, 128/256 swept
+    c.l2Bytes = 3 * 1024 * 1024;
+    c.coreClockGhz = 1.48;
+    c.scheduler = SchedPolicy::GTO;  // paper: gto default; lrr, tlv swept
+    return c;
+}
+
+GpuConfig
+keplerGK210()
+{
+    GpuConfig c;
+    c.name = "GK210";
+    c.numSms = 15;                   // 2880 cores / 192 per SMX
+    c.coresPerSm = 192;
+    c.maxWarpsPerSm = 64;
+    c.regFileBytesPerSm = 512 * 1024;
+    c.smemBytesPerSm = 128 * 1024;   // paper: 128KB shared/L1 per block
+    c.l1dBytes = 48 * 1024;
+    c.l2Bytes = 1536 * 1024;
+    c.l2HitLatency = 220;
+    c.dramLatency = 280;
+    c.coreClockGhz = 0.875;
+    c.issueWidth = 2;
+    // Kepler-class process burns more static power per SM.
+    c.power.idleCoreW = 1.9;
+    c.power.constDynamicW = 0.8;
+    c.power.boardStaticW = 18.0;
+    return c;
+}
+
+GpuConfig
+maxwellTX1()
+{
+    GpuConfig c;
+    c.name = "TX1";
+    c.numSms = 2;                    // 256 cores / 128 per SMM
+    c.coresPerSm = 128;
+    c.maxWarpsPerSm = 64;
+    c.regFileBytesPerSm = 128 * 1024; // paper: 32768 regs
+    c.smemBytesPerSm = 48 * 1024;
+    c.l1dBytes = 24 * 1024;
+    c.l2Bytes = 256 * 1024;
+    c.l2HitLatency = 160;
+    c.dramLatency = 300;             // LPDDR4
+    c.dramIssueInterval = 6.0;       // much lower bandwidth than server GDDR
+    c.coreClockGhz = 0.998;
+    c.issueWidth = 2;
+    // Mobile part: low leakage, but the whole-board draw (DRAM, SoC
+    // fabric, regulators) that a Wattsup meter sees is a few watts.
+    c.power.idleCoreW = 0.9;
+    c.power.constDynamicW = 0.4;
+    c.power.boardStaticW = 3.4;
+    return c;
+}
+
+} // namespace tango::sim

@@ -1,0 +1,38 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+
+namespace tango::sim {
+
+Dram::Dram(uint32_t latency, double issue_interval)
+    : latency_(latency), issueInterval_(std::max(issue_interval, 0.0))
+{
+}
+
+uint64_t
+Dram::queueDelay(uint64_t now) const
+{
+    const double d = nextFree_ - static_cast<double>(now);
+    return d > 0.0 ? static_cast<uint64_t>(d) : 0;
+}
+
+uint64_t
+Dram::schedule(uint64_t now)
+{
+    const double start = std::max(nextFree_, static_cast<double>(now));
+    const uint64_t qd = static_cast<uint64_t>(start) - now;
+    queueCycles_ += qd;
+    nextFree_ = start + issueInterval_;
+    accesses_++;
+    return static_cast<uint64_t>(start) + latency_;
+}
+
+void
+Dram::reset()
+{
+    nextFree_ = 0.0;
+    accesses_ = 0;
+    queueCycles_ = 0;
+}
+
+} // namespace tango::sim

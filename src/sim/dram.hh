@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A simple DRAM service model: fixed access latency plus a serialization
+ * queue that bounds sustained bandwidth (one burst every `issueInterval`
+ * core cycles).  Queueing delay feeds back into load latencies so
+ * bandwidth-bound kernels slow down, and queue saturation is visible to the
+ * core as memory throttling.
+ */
+
+#ifndef TANGO_SIM_DRAM_HH
+#define TANGO_SIM_DRAM_HH
+
+#include <cstdint>
+
+namespace tango::sim {
+
+/** Aggregate DRAM channel model. */
+class Dram
+{
+  public:
+    /**
+     * @param latency intrinsic access latency in core cycles.
+     * @param issue_interval min core cycles between burst starts.
+     */
+    Dram(uint32_t latency, double issue_interval);
+
+    /**
+     * Schedule one burst (line fill) at cycle @p now.
+     * @return the absolute cycle at which the data is available.
+     */
+    uint64_t schedule(uint64_t now);
+
+    /** @return queueing delay a burst issued at @p now would see. */
+    uint64_t queueDelay(uint64_t now) const;
+
+    /** @return total bursts served. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** @return total queueing cycles accumulated (contention measure). */
+    uint64_t totalQueueCycles() const { return queueCycles_; }
+
+    /** Clear queue state and statistics. */
+    void reset();
+
+    /** Zero the statistics but keep the queue state. */
+    void
+    clearStats()
+    {
+        accesses_ = 0;
+        queueCycles_ = 0;
+    }
+
+  private:
+    uint32_t latency_;
+    double issueInterval_;
+    double nextFree_ = 0.0;
+    uint64_t accesses_ = 0;
+    uint64_t queueCycles_ = 0;
+};
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_DRAM_HH

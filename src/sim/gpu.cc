@@ -1,0 +1,183 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/cache.hh"
+
+namespace tango::sim {
+
+Gpu::Gpu(GpuConfig cfg) : cfg_(std::move(cfg))
+{
+    ensureMemorySystem();
+}
+
+void
+Gpu::ensureMemorySystem()
+{
+    if (l2_ && l2BytesBuilt_ == cfg_.l2Bytes)
+        return;
+    CacheConfig l2cfg;
+    l2cfg.sizeBytes = cfg_.l2Bytes;
+    l2cfg.assoc = cfg_.l2Assoc;
+    l2cfg.lineBytes = cfg_.lineBytes;
+    l2cfg.mshrs = cfg_.l2Mshrs;
+    l2cfg.writeAllocate = true;
+    l2_ = std::make_unique<Cache>(l2cfg);
+    dram_ = std::make_unique<Dram>(cfg_.dramLatency, cfg_.dramIssueInterval);
+    l2BytesBuilt_ = cfg_.l2Bytes;
+}
+
+void
+Gpu::coldStart()
+{
+    if (l2_)
+        l2_->reset();
+    if (dram_)
+        dram_->reset();
+}
+
+double
+Gpu::staticPowerW(uint32_t active_sms) const
+{
+    const PowerParams &p = cfg_.power;
+    return p.idleCoreW * cfg_.numSms +
+           p.constDynamicW * std::max(1u, active_sms) + p.boardStaticW;
+}
+
+KernelStats
+Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
+{
+    TANGO_ASSERT(launch.program != nullptr, "launch without a program");
+    launch.program->validate();
+
+    const uint64_t totalCtas = launch.grid.count();
+    const uint32_t threadsPerCta = launch.threadsPerCta();
+
+    const uint32_t occupancy = cfg_.occupancyCtas(
+        threadsPerCta, launch.program->numRegs, launch.program->smemBytes);
+    uint32_t resident = occupancy;
+    if (policy.maxResidentCtas > 0)
+        resident = std::min(resident, policy.maxResidentCtas);
+    if (policy.maxResidentWarps > 0) {
+        // Warp-budget cap evaluated against the *simulated* warps per
+        // CTA (warp sampling below shrinks large blocks).  Single-warp
+        // CTAs (AlexNet's one-thread-per-neuron FC blocks) are cheap to
+        // simulate and latency-critical, so they get twice the budget —
+        // closer to the 32-CTA hardware residency.
+        const uint32_t wpc =
+            std::min(launch.warpsPerCta(),
+                     policy.maxWarpsPerCta > 0 ? policy.maxWarpsPerCta
+                                               : launch.warpsPerCta());
+        uint32_t budget = policy.maxResidentWarps;
+        if (wpc == 1)
+            budget *= 2;
+        resident = std::min(
+            resident, std::max(1u, budget / std::max(1u, wpc)));
+    }
+    resident = static_cast<uint32_t>(
+        std::min<uint64_t>(resident, totalCtas));
+    resident = std::max(resident, 1u);
+
+    // Pick the CTAs to simulate: everything for small grids or fullSim,
+    // otherwise an evenly-strided sample (keeps spatial locality diverse).
+    uint64_t sampled = policy.fullSim
+                           ? totalCtas
+                           : (policy.maxSampledCtas ? policy.maxSampledCtas
+                                                    : resident);
+    sampled = std::min(sampled, totalCtas);
+    sampled = std::max<uint64_t>(sampled, 1);
+
+    std::vector<uint64_t> ids(sampled);
+    if (sampled == totalCtas) {
+        for (uint64_t i = 0; i < sampled; i++)
+            ids[i] = i;
+    } else {
+        for (uint64_t i = 0; i < sampled; i++)
+            ids[i] = i * totalCtas / sampled;
+    }
+
+    // Warp sampling within CTAs: only for barrier-free kernels (their
+    // warps are independent) and never when full functional outputs are
+    // requested.
+    const uint32_t warpsTotal = launch.warpsPerCta();
+    uint32_t warpsSampled = warpsTotal;
+    if (!policy.fullSim && policy.maxWarpsPerCta > 0 &&
+        policy.maxWarpsPerCta < warpsTotal) {
+        bool hasBar = false;
+        for (const Instr &ins : launch.program->code) {
+            if (ins.op == Op::Bar) {
+                hasBar = true;
+                break;
+            }
+        }
+        if (!hasBar)
+            warpsSampled = policy.maxWarpsPerCta;
+    }
+    std::vector<uint32_t> warpIds(warpsSampled);
+    for (uint32_t i = 0; i < warpsSampled; i++)
+        warpIds[i] = i * warpsTotal / warpsSampled;
+    const double warpScale =
+        static_cast<double>(warpsTotal) / warpsSampled;
+
+    // The L2 and DRAM persist across launches (a layer's consumer reads
+    // the data the producer just wrote through a warm L2, as on real
+    // hardware); only the statistics window is per-kernel.
+    ensureMemorySystem();
+    l2_->clearStats();
+    l2_->newTimeDomain();   // the kernel clock restarts at zero
+    dram_->reset();         // queue times are absolute cycles too
+
+    SmCore core(cfg_, mem_, *l2_, *dram_);
+    KernelStats ks = core.run(launch, ids, warpIds, resident, policy);
+
+    ks.totalCtas = totalCtas;
+    ks.sampledCtas = sampled;
+    ks.occupancyCtas = static_cast<uint32_t>(
+        std::min<uint64_t>(occupancy, totalCtas));
+    ks.totalWarpsPerCta = warpsTotal;
+    ks.sampledWarpsPerCta = warpsSampled;
+    ks.scale = static_cast<double>(totalCtas) / static_cast<double>(sampled) *
+               warpScale;
+    ks.stats.scale(ks.scale);
+
+    // Whole-GPU time extrapolation by CTA waves; warp sampling
+    // extrapolates linearly (exact for compute-bound kernels).
+    const uint64_t ctasPerWaveGpu = uint64_t(resident) * cfg_.numSms;
+    const double wavesTotal =
+        std::ceil(static_cast<double>(totalCtas) / ctasPerWaveGpu);
+    const double wavesSim =
+        std::ceil(static_cast<double>(sampled) / resident);
+    ks.gpuCycles = static_cast<double>(ks.smCycles) * wavesTotal / wavesSim *
+                   warpScale;
+    ks.timeSec = ks.gpuCycles / (cfg_.coreClockGhz * 1e9);
+    ks.activeSms = static_cast<uint32_t>(std::min<uint64_t>(
+        cfg_.numSms, (totalCtas + resident - 1) / resident));
+
+    // Power: dynamic energy from (scaled) events + static over the run.
+    const PowerBreakdown pb =
+        computeBreakdown(ks.stats, cfg_, ks.gpuCycles, ks.activeSms);
+    ks.energyJ = pb.totalJ();
+    ks.avgPowerW = ks.timeSec > 0 ? ks.energyJ / ks.timeSec : 0.0;
+
+    // Peak power: the measured busiest window, extrapolated to the full
+    // warp population, but never beyond the issue-saturated rate (energy
+    // per issue x issue width x clock).
+    double dynJ = 0.0;
+    for (size_t i = 0; i < numPowerComps; i++) {
+        const auto c = static_cast<PowerComp>(i);
+        if (c != PowerComp::IDLE_CORE && c != PowerComp::CONST_DYNAMIC)
+            dynJ += pb.energyJ[i];
+    }
+    const double issued = std::max(1.0, ks.stats.get("issued"));
+    const double perIssueJ = dynJ / issued;
+    const double clockHz = cfg_.coreClockGhz * 1e9;
+    const double saturatedW = perIssueJ * cfg_.issueWidth * clockHz;
+    const double windowW =
+        std::min(ks.peakWindowDynW * warpScale, saturatedW);
+    ks.peakPowerW = windowW * ks.activeSms + staticPowerW(ks.activeSms);
+    return ks;
+}
+
+} // namespace tango::sim

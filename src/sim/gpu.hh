@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The top-level virtual GPU: device memory + an SM model + the shared L2
+ * and DRAM, with CTA sampling and whole-GPU extrapolation.
+ *
+ * One SM is simulated in cycle detail; statistics are scaled by
+ * (total CTAs / simulated CTAs) and execution time is extrapolated by CTA
+ * waves across all SMs, in the spirit of sampled simulation (the paper ran
+ * full networks on GPGPU-Sim over many hours; the benches here must finish
+ * in seconds).  Small kernels — and anything launched with
+ * SimPolicy::fullSim — are simulated exactly and functionally.
+ */
+
+#ifndef TANGO_SIM_GPU_HH
+#define TANGO_SIM_GPU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/core.hh"
+#include "sim/dram.hh"
+#include "sim/memory.hh"
+#include "sim/power.hh"
+
+namespace tango::sim {
+
+/** A virtual GPU device. */
+class Gpu
+{
+  public:
+    /** @param cfg the platform to model. */
+    explicit Gpu(GpuConfig cfg);
+
+    /** @return the device's global memory. */
+    DeviceMemory &mem() { return mem_; }
+    const DeviceMemory &mem() const { return mem_; }
+
+    /** @return the platform configuration (mutable for sweeps between
+     *  launches; never mutate mid-launch). */
+    GpuConfig &config() { return cfg_; }
+    const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Launch a kernel and simulate it under @p policy.
+     * @return complete, scaled statistics including power.
+     */
+    KernelStats launch(const KernelLaunch &launch,
+                       const SimPolicy &policy = {});
+
+    /** @return the static (always-on) power of the whole device in W. */
+    double staticPowerW(uint32_t active_sms) const;
+
+    /** Drop all warm L2/DRAM state (e.g. between unrelated networks). */
+    void coldStart();
+
+  private:
+    /** (Re)build the shared L2 + DRAM if the config changed. */
+    void ensureMemorySystem();
+
+    GpuConfig cfg_;
+    DeviceMemory mem_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Dram> dram_;
+    uint32_t l2BytesBuilt_ = 0;
+};
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_GPU_HH

@@ -1,0 +1,604 @@
+#include "sim/interp.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+namespace {
+
+inline float
+asF32(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+inline uint32_t
+asU32(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+/** Canonicalize a 32-bit value to its storage form for narrow types. */
+inline uint32_t
+canonical(DType t, uint32_t v)
+{
+    switch (t) {
+      case DType::U16:
+        return v & 0xffffu;
+      case DType::S16:
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(v & 0xffffu)));
+      default:
+        return v;
+    }
+}
+
+inline bool
+isSigned(DType t)
+{
+    return t == DType::S32 || t == DType::S16;
+}
+
+inline bool
+isFloat(DType t)
+{
+    return t == DType::F32;
+}
+
+/** Evaluate a comparison on two values of type @p t. */
+bool
+compare(Cmp c, DType t, uint32_t a, uint32_t b)
+{
+    if (isFloat(t)) {
+        float x = asF32(a), y = asF32(b);
+        switch (c) {
+          case Cmp::Eq: return x == y;
+          case Cmp::Ne: return x != y;
+          case Cmp::Lt: return x < y;
+          case Cmp::Le: return x <= y;
+          case Cmp::Gt: return x > y;
+          case Cmp::Ge: return x >= y;
+        }
+    } else if (isSigned(t)) {
+        auto x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
+        switch (c) {
+          case Cmp::Eq: return x == y;
+          case Cmp::Ne: return x != y;
+          case Cmp::Lt: return x < y;
+          case Cmp::Le: return x <= y;
+          case Cmp::Gt: return x > y;
+          case Cmp::Ge: return x >= y;
+        }
+    } else {
+        switch (c) {
+          case Cmp::Eq: return a == b;
+          case Cmp::Ne: return a != b;
+          case Cmp::Lt: return a < b;
+          case Cmp::Le: return a <= b;
+          case Cmp::Gt: return a > b;
+          case Cmp::Ge: return a >= b;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+WarpExec::WarpExec(const KernelLaunch &launch, Dim3 cta_id,
+                   uint32_t warp_in_cta, DeviceMemory &gmem,
+                   std::vector<uint8_t> &smem)
+    : launch_(launch), prog_(*launch.program), gmem_(gmem), smem_(smem),
+      ctaId_(cta_id), warpInCta_(warp_in_cta)
+{
+    regs_.assign(size_t(prog_.numRegs) * warpSize, 0);
+    preds_.assign(std::max<uint32_t>(prog_.numPreds, 1), 0);
+
+    const Dim3 &b = launch_.block;
+    const uint32_t threads = static_cast<uint32_t>(b.count());
+    active_ = 0;
+    for (uint32_t lane = 0; lane < warpSize; lane++) {
+        const uint32_t linear = warp_in_cta * warpSize + lane;
+        if (linear >= threads) {
+            tidX_[lane] = tidY_[lane] = tidZ_[lane] = 0;
+            continue;
+        }
+        tidX_[lane] = linear % b.x;
+        tidY_[lane] = (linear / b.x) % b.y;
+        tidZ_[lane] = linear / (b.x * b.y);
+        active_ |= (1u << lane);
+    }
+    done_ = (active_ == 0) || prog_.code.empty();
+}
+
+uint32_t
+WarpExec::readReg(uint32_t lane, uint8_t r) const
+{
+    return regs_[size_t(r) * warpSize + lane];
+}
+
+void
+WarpExec::writeReg(uint32_t lane, uint8_t r, uint32_t v)
+{
+    regs_[size_t(r) * warpSize + lane] = v;
+}
+
+uint32_t
+WarpExec::operand(uint32_t lane, const Instr &ins, int i) const
+{
+    return ins.src[i] == Instr::immReg ? ins.imm : readReg(lane, ins.src[i]);
+}
+
+void
+WarpExec::resolve()
+{
+    // Lanes that executed Exit are recorded by clearing them from every
+    // mask as entries are popped; active_ lanes are always live.
+    while (!done_) {
+        if (rpc_ >= 0 && pc_ == static_cast<uint32_t>(rpc_)) {
+            TANGO_ASSERT(!stack_.empty(), "reconvergence with empty stack");
+            StackEntry e = stack_.back();
+            stack_.pop_back();
+            pc_ = e.pc;
+            rpc_ = e.rpc;
+            active_ = e.mask;
+            continue;
+        }
+        if (active_ == 0) {
+            if (stack_.empty()) {
+                done_ = true;
+                break;
+            }
+            StackEntry e = stack_.back();
+            stack_.pop_back();
+            pc_ = e.pc;
+            rpc_ = e.rpc;
+            active_ = e.mask;
+            continue;
+        }
+        break;
+    }
+}
+
+const Instr &
+WarpExec::peek()
+{
+    resolve();
+    TANGO_ASSERT(!done_, "peek on retired warp");
+    return prog_.code[pc_];
+}
+
+uint32_t
+WarpExec::pc()
+{
+    resolve();
+    return pc_;
+}
+
+Step
+WarpExec::step()
+{
+    resolve();
+    Step st;
+    if (done_) {
+        st.warpDone = true;
+        return st;
+    }
+    const Instr &ins = prog_.code[pc_];
+    st.op = ins.op;
+    st.type = ins.type;
+    st.unit = opUnitTyped(ins.op, ins.type);
+
+    // Guard predicate (for Bra the predicate is the branch condition and is
+    // handled below instead).
+    Mask exec = active_;
+    if (ins.pred != noPred && ins.op != Op::Bra) {
+        const Mask pv = preds_[ins.pred];
+        exec &= ins.predNeg ? ~pv : pv;
+    }
+    st.activeCount = static_cast<uint32_t>(std::popcount(exec));
+
+    uint32_t next_pc = pc_ + 1;
+
+    switch (ins.op) {
+      case Op::Nop:
+      case Op::Retp:
+      case Op::Callp:
+      case Op::Bar:
+        break;
+
+      case Op::Ssy:
+        stack_.push_back({static_cast<uint32_t>(ins.target), rpc_, active_,
+                          true});
+        rpc_ = ins.target;
+        break;
+
+      case Op::Exit: {
+        // Exec-masked lanes retire.  Remaining lanes (if any) continue; if
+        // none remain the resolver pops pending paths or retires the warp.
+        const Mask dying = exec;
+        active_ &= ~dying;
+        for (auto &e : stack_)
+            e.mask &= ~dying;
+        // Surviving guarded-off lanes fall through; if none survive the
+        // resolver pops pending paths or retires the warp.
+        break;
+      }
+
+      case Op::Bra: {
+        Mask taken = active_;
+        if (ins.pred != noPred) {
+            const Mask pv = preds_[ins.pred];
+            taken &= ins.predNeg ? ~pv : pv;
+        }
+        const Mask not_taken = active_ & ~taken;
+        st.controlTransfer = true;
+        if (taken == active_) {
+            next_pc = static_cast<uint32_t>(ins.target);
+        } else if (taken == 0) {
+            next_pc = pc_ + 1;
+            st.controlTransfer = false;
+        } else {
+            // Divergence: continue on the taken path, queue the rest.
+            stack_.push_back({pc_ + 1, rpc_, not_taken, false});
+            active_ = taken;
+            next_pc = static_cast<uint32_t>(ins.target);
+        }
+        st.activeCount = static_cast<uint32_t>(std::popcount(active_));
+        break;
+      }
+
+      case Op::Mov: {
+        st.writesReg = true;
+        if (ins.sreg != SReg::None) {
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                uint32_t v = 0;
+                switch (ins.sreg) {
+                  case SReg::TidX: v = tidX_[lane]; break;
+                  case SReg::TidY: v = tidY_[lane]; break;
+                  case SReg::TidZ: v = tidZ_[lane]; break;
+                  case SReg::CtaIdX: v = ctaId_.x; break;
+                  case SReg::CtaIdY: v = ctaId_.y; break;
+                  case SReg::CtaIdZ: v = ctaId_.z; break;
+                  case SReg::NTidX: v = launch_.block.x; break;
+                  case SReg::NTidY: v = launch_.block.y; break;
+                  case SReg::NTidZ: v = launch_.block.z; break;
+                  case SReg::LaneId: v = lane; break;
+                  case SReg::WarpId: v = warpInCta_; break;
+                  case SReg::None: break;
+                }
+                writeReg(lane, ins.dst, v);
+            }
+        } else {
+            st.numSrcRegs = ins.src[0] == Instr::immReg ? 0 : 1;
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (exec & (1u << lane))
+                    writeReg(lane, ins.dst, operand(lane, ins, 0));
+            }
+        }
+        break;
+      }
+
+      case Op::Ld: {
+        st.isMem = true;
+        st.space = ins.space;
+        st.writesReg = true;
+        st.numSrcRegs = ins.src[0] == Instr::immReg ? 0 : 1;
+        const uint32_t bytes = dtypeBytes(ins.type);
+        uint32_t addrs[warpSize];
+        for (uint32_t lane = 0; lane < warpSize; lane++) {
+            if (!(exec & (1u << lane)))
+                continue;
+            // Immediate-only addressing: base is 0, offset is the imm.
+            const uint32_t base = ins.src[0] == Instr::immReg
+                                      ? 0
+                                      : readReg(lane, ins.src[0]);
+            const uint32_t addr = base + ins.imm;
+            addrs[lane] = addr;
+            uint32_t raw = 0;
+            switch (ins.space) {
+              case Space::Global:
+                TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
+                             "global load out of range");
+                std::memcpy(&raw, gmem_.data() + addr, bytes);
+                break;
+              case Space::Shared:
+                TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
+                             "shared load out of range");
+                std::memcpy(&raw, smem_.data() + addr, bytes);
+                break;
+              case Space::Const:
+                TANGO_ASSERT(uint64_t(addr) + bytes <=
+                                 launch_.constData.size(),
+                             "const load out of range");
+                std::memcpy(&raw, launch_.constData.data() + addr, bytes);
+                break;
+              case Space::Param:
+                TANGO_ASSERT(uint64_t(addr) + bytes <=
+                                 launch_.params.size() * 4,
+                             "param load out of range");
+                std::memcpy(&raw,
+                            reinterpret_cast<const uint8_t *>(
+                                launch_.params.data()) + addr,
+                            bytes);
+                break;
+            }
+            writeReg(lane, ins.dst, canonical(ins.type, raw));
+        }
+        // Access shaping for the memory model.
+        if (ins.space == Space::Global) {
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                const uint32_t seg = addrs[lane] & ~127u;
+                bool found = false;
+                for (uint32_t s = 0; s < st.numSegments; s++) {
+                    if (st.segments[s] == seg) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    st.segments[st.numSegments++] = seg;
+            }
+        } else if (ins.space == Space::Shared) {
+            uint32_t perBank[warpSize] = {};
+            uint32_t bankAddr[warpSize] = {};
+            uint32_t maxSer = 1;
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                const uint32_t bank = (addrs[lane] / 4) % warpSize;
+                if (perBank[bank] == 0 || bankAddr[bank] != addrs[lane]) {
+                    perBank[bank]++;
+                    bankAddr[bank] = addrs[lane];
+                }
+                if (perBank[bank] > maxSer)
+                    maxSer = perBank[bank];
+            }
+            st.sharedSerialization = maxSer;
+        } else if (ins.space == Space::Const) {
+            uint32_t first = 0;
+            bool haveFirst = false;
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                if (!haveFirst) {
+                    first = addrs[lane];
+                    haveFirst = true;
+                } else if (addrs[lane] != first) {
+                    st.constUniform = false;
+                    break;
+                }
+            }
+            // The constant-cache model probes lane 0's address.
+            st.segments[0] = first;
+        }
+        break;
+      }
+
+      case Op::St: {
+        st.isMem = true;
+        st.isStore = true;
+        st.space = ins.space;
+        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
+                        (ins.src[1] == Instr::immReg ? 0 : 1);
+        const uint32_t bytes = dtypeBytes(ins.type);
+        for (uint32_t lane = 0; lane < warpSize; lane++) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const uint32_t base = ins.src[0] == Instr::immReg
+                                      ? 0
+                                      : readReg(lane, ins.src[0]);
+            const uint32_t addr = base + ins.imm;
+            const uint32_t val = operand(lane, ins, 1);
+            switch (ins.space) {
+              case Space::Global:
+                TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
+                             "global store out of range");
+                std::memcpy(gmem_.data() + addr, &val, bytes);
+                break;
+              case Space::Shared:
+                TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
+                             "shared store out of range");
+                std::memcpy(smem_.data() + addr, &val, bytes);
+                break;
+              default:
+                panic("store to read-only space");
+            }
+            if (ins.space == Space::Global) {
+                const uint32_t seg = addr & ~127u;
+                bool found = false;
+                for (uint32_t s = 0; s < st.numSegments; s++) {
+                    if (st.segments[s] == seg) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    st.segments[st.numSegments++] = seg;
+            }
+        }
+        break;
+      }
+
+      case Op::Set: {
+        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
+                        (ins.src[1] == Instr::immReg ? 0 : 1);
+        if (ins.dstIsPred) {
+            Mask result = preds_[ins.dst] & ~exec;
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                if (compare(ins.cmp, ins.type, operand(lane, ins, 0),
+                            operand(lane, ins, 1))) {
+                    result |= (1u << lane);
+                }
+            }
+            preds_[ins.dst] = result;
+        } else {
+            st.writesReg = true;
+            for (uint32_t lane = 0; lane < warpSize; lane++) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                const bool r = compare(ins.cmp, ins.type,
+                                       operand(lane, ins, 0),
+                                       operand(lane, ins, 1));
+                writeReg(lane, ins.dst, r ? 1u : 0u);
+            }
+        }
+        break;
+      }
+
+      case Op::Selp: {
+        st.writesReg = true;
+        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
+                        (ins.src[1] == Instr::immReg ? 0 : 1);
+        const Mask pv = preds_[ins.src[2]];
+        for (uint32_t lane = 0; lane < warpSize; lane++) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const bool take = (pv >> lane) & 1u;
+            writeReg(lane, ins.dst,
+                     take ? operand(lane, ins, 0) : operand(lane, ins, 1));
+        }
+        break;
+      }
+
+      default: {
+        // Arithmetic / logic with up to three operands.
+        st.writesReg = true;
+        int nsrc;
+        switch (ins.op) {
+          case Op::Abs: case Op::Not: case Op::Cvt: case Op::Rcp:
+          case Op::Rsqrt: case Op::Sqrt: case Op::Ex2: case Op::Lg2:
+            nsrc = 1;
+            break;
+          case Op::Mad: case Op::Mad24:
+            nsrc = 3;
+            break;
+          default:
+            nsrc = 2;
+            break;
+        }
+        for (int i = 0; i < nsrc; i++) {
+            if (ins.src[i] != Instr::immReg)
+                st.numSrcRegs++;
+        }
+        for (uint32_t lane = 0; lane < warpSize; lane++) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const uint32_t a = operand(lane, ins, 0);
+            const uint32_t b = nsrc > 1 ? operand(lane, ins, 1) : 0;
+            const uint32_t c = nsrc > 2 ? operand(lane, ins, 2) : 0;
+            uint32_t r = 0;
+            if (isFloat(ins.type)) {
+                const float x = asF32(a), y = asF32(b), z = asF32(c);
+                float f = 0.0f;
+                switch (ins.op) {
+                  case Op::Add: f = x + y; break;
+                  case Op::Sub: f = x - y; break;
+                  case Op::Mul: f = x * y; break;
+                  case Op::Div: f = x / y; break;
+                  case Op::Mad: f = std::fmaf(x, y, z); break;
+                  case Op::Min: f = std::fmin(x, y); break;
+                  case Op::Max: f = std::fmax(x, y); break;
+                  case Op::Abs: f = std::fabs(x); break;
+                  case Op::Rcp: f = 1.0f / x; break;
+                  case Op::Rsqrt: f = 1.0f / std::sqrt(x); break;
+                  case Op::Sqrt: f = std::sqrt(x); break;
+                  case Op::Ex2: f = std::exp2(x); break;
+                  case Op::Lg2: f = std::log2(x); break;
+                  case Op::Cvt:
+                    // f32 <- integer source
+                    f = isSigned(ins.type2)
+                            ? static_cast<float>(static_cast<int32_t>(a))
+                            : static_cast<float>(a);
+                    break;
+                  default:
+                    panic("op %s not valid on f32", opName(ins.op));
+                }
+                r = asU32(f);
+            } else {
+                switch (ins.op) {
+                  case Op::Add: r = a + b; break;
+                  case Op::Sub: r = a - b; break;
+                  case Op::Mul: r = a * b; break;
+                  case Op::Div:
+                    if (isSigned(ins.type)) {
+                        r = b ? static_cast<uint32_t>(
+                                    static_cast<int32_t>(a) /
+                                    static_cast<int32_t>(b))
+                              : 0;
+                    } else {
+                        r = b ? a / b : 0;
+                    }
+                    break;
+                  case Op::Mad: r = a * b + c; break;
+                  case Op::Mad24:
+                    r = (a & 0xffffffu) * (b & 0xffffffu) + c;
+                    break;
+                  case Op::Min:
+                    r = isSigned(ins.type)
+                            ? static_cast<uint32_t>(
+                                  std::min(static_cast<int32_t>(a),
+                                           static_cast<int32_t>(b)))
+                            : std::min(a, b);
+                    break;
+                  case Op::Max:
+                    r = isSigned(ins.type)
+                            ? static_cast<uint32_t>(
+                                  std::max(static_cast<int32_t>(a),
+                                           static_cast<int32_t>(b)))
+                            : std::max(a, b);
+                    break;
+                  case Op::Abs:
+                    r = isSigned(ins.type)
+                            ? static_cast<uint32_t>(
+                                  std::abs(static_cast<int32_t>(a)))
+                            : a;
+                    break;
+                  case Op::And: r = a & b; break;
+                  case Op::Or: r = a | b; break;
+                  case Op::Xor: r = a ^ b; break;
+                  case Op::Not: r = ~a; break;
+                  case Op::Shl: r = a << (b & 31u); break;
+                  case Op::Shr:
+                    r = isSigned(ins.type)
+                            ? static_cast<uint32_t>(
+                                  static_cast<int32_t>(a) >> (b & 31u))
+                            : a >> (b & 31u);
+                    break;
+                  case Op::Cvt:
+                    if (isFloat(ins.type2)) {
+                        const float x = asF32(a);
+                        r = isSigned(ins.type)
+                                ? static_cast<uint32_t>(
+                                      static_cast<int32_t>(x))
+                                : static_cast<uint32_t>(
+                                      x < 0.0f ? 0.0f : x);
+                    } else {
+                        r = a;
+                    }
+                    break;
+                  default:
+                    panic("op %s not valid on int", opName(ins.op));
+                }
+            }
+            writeReg(lane, ins.dst, canonical(ins.type, r));
+        }
+        break;
+      }
+    }
+
+    pc_ = next_pc;
+    resolve();
+    st.warpDone = done_;
+    return st;
+}
+
+} // namespace tango::sim

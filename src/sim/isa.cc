@@ -1,0 +1,306 @@
+#include "sim/isa.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    Unit unit;
+    uint32_t latency;
+};
+
+// Latencies are core-clock result latencies in the style of GPGPU-Sim's
+// Pascal configuration: simple int ops 4-6, fp32 6, SFU transcendentals ~20.
+constexpr std::array<OpInfo, static_cast<size_t>(Op::NumOps)> opTable = {{
+    {"abs",   Unit::SP,   4},
+    {"add",   Unit::SP,   4},   // FPU when type is F32; see opUnit()
+    {"and",   Unit::SP,   4},
+    {"bar",   Unit::CTRL, 4},
+    {"bra",   Unit::CTRL, 4},
+    {"callp", Unit::CTRL, 8},
+    {"cvt",   Unit::SP,   6},
+    {"div",   Unit::SFU,  40},
+    {"ex2",   Unit::SFU,  20},
+    {"exit",  Unit::CTRL, 1},
+    {"ld",    Unit::LDST, 2},   // memory latency comes from the cache model
+    {"lg2",   Unit::SFU,  20},
+    {"mad",   Unit::SP,   6},
+    {"mad24", Unit::SP,   5},
+    {"max",   Unit::SP,   4},
+    {"min",   Unit::SP,   4},
+    {"mov",   Unit::SP,   2},
+    {"mul",   Unit::SP,   5},
+    {"nop",   Unit::SP,   1},
+    {"not",   Unit::SP,   4},
+    {"or",    Unit::SP,   4},
+    {"rcp",   Unit::SFU,  20},
+    {"retp",  Unit::CTRL, 8},
+    {"rsqrt", Unit::SFU,  20},
+    {"selp",  Unit::SP,   4},
+    {"set",   Unit::SP,   4},
+    {"shl",   Unit::SP,   4},
+    {"shr",   Unit::SP,   4},
+    {"sqrt",  Unit::SFU,  22},
+    {"ssy",   Unit::CTRL, 1},
+    {"st",    Unit::LDST, 2},
+    {"sub",   Unit::SP,   4},
+    {"xor",   Unit::SP,   4},
+}};
+
+const OpInfo &
+info(Op op)
+{
+    auto idx = static_cast<size_t>(op);
+    TANGO_ASSERT(idx < opTable.size(), "bad opcode");
+    return opTable[idx];
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    return info(op).name;
+}
+
+const char *
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F32: return "f32";
+      case DType::U32: return "u32";
+      case DType::S32: return "s32";
+      case DType::U16: return "u16";
+      case DType::S16: return "s16";
+      case DType::Pred: return "pred";
+      case DType::None: return "none";
+    }
+    return "?";
+}
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::SP: return "SP";
+      case Unit::FPU: return "FPU";
+      case Unit::SFU: return "SFU";
+      case Unit::LDST: return "LDST";
+      case Unit::CTRL: return "CTRL";
+    }
+    return "?";
+}
+
+Unit
+opUnit(Op op)
+{
+    return info(op).unit;
+}
+
+uint32_t
+opLatency(Op op)
+{
+    return info(op).latency;
+}
+
+uint32_t
+dtypeBytes(DType t)
+{
+    switch (t) {
+      case DType::F32:
+      case DType::U32:
+      case DType::S32:
+        return 4;
+      case DType::U16:
+      case DType::S16:
+        return 2;
+      case DType::Pred:
+      case DType::None:
+        return 1;
+    }
+    return 4;
+}
+
+Unit
+opUnitTyped(Op op, DType t)
+{
+    Unit u = opUnit(op);
+    if (u == Unit::SP && t == DType::F32) {
+        switch (op) {
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Mad:
+          case Op::Min: case Op::Max: case Op::Abs: case Op::Set:
+          case Op::Cvt: case Op::Selp:
+            return Unit::FPU;
+          default:
+            break;
+        }
+    }
+    return u;
+}
+
+int
+instrSourceRegs(const Instr &ins, uint8_t out[3])
+{
+    int nsrc;
+    switch (ins.op) {
+      case Op::Nop: case Op::Exit: case Op::Bar: case Op::Bra:
+      case Op::Ssy: case Op::Retp: case Op::Callp:
+        nsrc = 0;
+        break;
+      case Op::Mov:
+        nsrc = ins.sreg == SReg::None ? 1 : 0;
+        break;
+      case Op::Abs: case Op::Not: case Op::Cvt: case Op::Rcp:
+      case Op::Rsqrt: case Op::Sqrt: case Op::Ex2: case Op::Lg2:
+      case Op::Ld:
+        nsrc = 1;
+        break;
+      case Op::Mad: case Op::Mad24:
+        nsrc = 3;
+        break;
+      case Op::Selp:
+        nsrc = 2;   // src[2] is a predicate-file index, not a register
+        break;
+      default:
+        nsrc = 2;
+        break;
+    }
+    int n = 0;
+    for (int i = 0; i < nsrc; i++) {
+        if (ins.src[i] != Instr::immReg)
+            out[n++] = ins.src[i];
+    }
+    return n;
+}
+
+bool
+instrWritesReg(const Instr &ins)
+{
+    switch (ins.op) {
+      case Op::St:
+      case Op::Bra:
+      case Op::Ssy:
+      case Op::Bar:
+      case Op::Exit:
+      case Op::Nop:
+      case Op::Retp:
+      case Op::Callp:
+        return false;
+      case Op::Set:
+        return !ins.dstIsPred;
+      default:
+        return true;
+    }
+}
+
+std::string
+disasm(const Instr &ins)
+{
+    char buf[160];
+    std::string out;
+    if (ins.pred != noPred) {
+        std::snprintf(buf, sizeof(buf), "@%sp%u ", ins.predNeg ? "!" : "",
+                      ins.pred);
+        out += buf;
+    }
+    out += opName(ins.op);
+    if (ins.type != DType::None) {
+        out += ".";
+        out += dtypeName(ins.type);
+    }
+    auto srcStr = [&](int i) -> std::string {
+        if (ins.src[i] == Instr::immReg) {
+            if (ins.type == DType::F32) {
+                float f;
+                __builtin_memcpy(&f, &ins.imm, 4);
+                std::snprintf(buf, sizeof(buf), "%g", f);
+            } else {
+                std::snprintf(buf, sizeof(buf), "%u", ins.imm);
+            }
+            return buf;
+        }
+        std::snprintf(buf, sizeof(buf), "r%u", ins.src[i]);
+        return buf;
+    };
+    switch (ins.op) {
+      case Op::Bra:
+        std::snprintf(buf, sizeof(buf), " -> %d", ins.target);
+        out += buf;
+        break;
+      case Op::Ssy:
+        std::snprintf(buf, sizeof(buf), " reconv %d", ins.target);
+        out += buf;
+        break;
+      case Op::Exit:
+      case Op::Nop:
+      case Op::Bar:
+      case Op::Retp:
+        break;
+      case Op::Ld:
+        std::snprintf(buf, sizeof(buf), " r%u, [%s + %u]", ins.dst,
+                      srcStr(0).c_str(), ins.imm);
+        out += buf;
+        break;
+      case Op::St:
+        std::snprintf(buf, sizeof(buf), " [%s + %u], %s", srcStr(0).c_str(),
+                      ins.imm, srcStr(1).c_str());
+        out += buf;
+        break;
+      case Op::Mov:
+        if (ins.sreg != SReg::None) {
+            static const char *sregNames[] = {
+                "none", "%tid.x", "%tid.y", "%tid.z", "%ctaid.x", "%ctaid.y",
+                "%ctaid.z", "%ntid.x", "%ntid.y", "%ntid.z", "%laneid",
+                "%warpid"
+            };
+            std::snprintf(buf, sizeof(buf), " r%u, %s", ins.dst,
+                          sregNames[static_cast<int>(ins.sreg)]);
+        } else {
+            std::snprintf(buf, sizeof(buf), " r%u, %s", ins.dst,
+                          srcStr(0).c_str());
+        }
+        out += buf;
+        break;
+      case Op::Set:
+        std::snprintf(buf, sizeof(buf), " %s%u, %s, %s",
+                      ins.dstIsPred ? "p" : "r", ins.dst, srcStr(0).c_str(),
+                      srcStr(1).c_str());
+        out += buf;
+        break;
+      case Op::Mad:
+      case Op::Mad24:
+      case Op::Selp:
+        std::snprintf(buf, sizeof(buf), " r%u, %s, %s, %s", ins.dst,
+                      srcStr(0).c_str(), srcStr(1).c_str(),
+                      srcStr(2).c_str());
+        out += buf;
+        break;
+      case Op::Abs:
+      case Op::Not:
+      case Op::Cvt:
+      case Op::Rcp:
+      case Op::Rsqrt:
+      case Op::Sqrt:
+      case Op::Ex2:
+      case Op::Lg2:
+        std::snprintf(buf, sizeof(buf), " r%u, %s", ins.dst,
+                      srcStr(0).c_str());
+        out += buf;
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), " r%u, %s, %s", ins.dst,
+                      srcStr(0).c_str(), srcStr(1).c_str());
+        out += buf;
+        break;
+    }
+    return out;
+}
+
+} // namespace tango::sim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The tango virtual GPU ISA.
+ *
+ * A small PTX-like register ISA: enough to express the one-thread-per-neuron
+ * DNN kernels of the Tango suite while exposing the same opcode vocabulary
+ * the paper reports in its instruction-mix figures (Fig 8/9): add, mad, mul,
+ * shl, set, mov, ld, ssy, nop, bra, and so on.
+ *
+ * Instructions are typed (f32/u32/s32/u16/s16) so the simulator can report
+ * the data-type mix of Fig 10 directly.
+ */
+
+#ifndef TANGO_SIM_ISA_HH
+#define TANGO_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tango::sim {
+
+/** Opcodes.  The set mirrors the legend of the paper's Fig 8. */
+enum class Op : uint8_t {
+    Abs, Add, And, Bar, Bra, Callp, Cvt, Div, Ex2, Exit,
+    Ld, Lg2, Mad, Mad24, Max, Min, Mov, Mul, Nop, Not,
+    Or, Rcp, Retp, Rsqrt, Selp, Set, Shl, Shr, Sqrt, Ssy,
+    St, Sub, Xor,
+    NumOps
+};
+
+/** Operand / instruction data types (paper Fig 10 vocabulary + Pred). */
+enum class DType : uint8_t { F32, U32, S32, U16, S16, Pred, None };
+
+/** Comparison operators for Set/Selp. */
+enum class Cmp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** Memory spaces for Ld/St. */
+enum class Space : uint8_t { Global, Shared, Const, Param };
+
+/** Special (hardware) registers readable through Mov. */
+enum class SReg : uint8_t {
+    None, TidX, TidY, TidZ, CtaIdX, CtaIdY, CtaIdZ,
+    NTidX, NTidY, NTidZ, LaneId, WarpId
+};
+
+/** Functional-unit classes used by the SM timing model. */
+enum class Unit : uint8_t { SP, FPU, SFU, LDST, CTRL };
+
+/** No-guard-predicate sentinel for Instr::pred. */
+inline constexpr uint8_t noPred = 0xff;
+
+/**
+ * One decoded instruction.
+ *
+ * Register operands index into the per-thread register file; a source may
+ * instead be the immediate (src == immReg).  Predicated execution uses a
+ * small separate predicate file.
+ */
+struct Instr
+{
+    /** Marks a source operand as "the immediate field". */
+    static constexpr uint8_t immReg = 0xff;
+
+    Op op = Op::Nop;
+    DType type = DType::None;
+    DType type2 = DType::None;  ///< source type for Cvt
+    uint8_t dst = 0;            ///< destination register (or predicate for Set/Pred)
+    uint8_t src[3] = {0, 0, 0}; ///< source registers (immReg -> use imm)
+    uint32_t imm = 0;           ///< immediate bits (f32 or integer, per type)
+    Cmp cmp = Cmp::Eq;          ///< comparison for Set
+    Space space = Space::Global;///< memory space for Ld/St
+    SReg sreg = SReg::None;     ///< special-register source for Mov
+    uint8_t pred = noPred;      ///< guard predicate register (noPred = always)
+    bool predNeg = false;       ///< execute when guard predicate is false
+    bool dstIsPred = false;     ///< Set writes a predicate instead of a register
+    int32_t target = -1;        ///< branch target / SSY reconvergence point
+};
+
+/** @return the mnemonic for an opcode ("add", "mad", ...). */
+const char *opName(Op op);
+
+/** @return the printable name of a data type ("f32", "u32", ...). */
+const char *dtypeName(DType t);
+
+/** @return the printable name of a functional unit. */
+const char *unitName(Unit u);
+
+/** @return the functional unit an opcode executes on. */
+Unit opUnit(Op op);
+
+/** @return the result latency (in core cycles) for a non-memory opcode. */
+uint32_t opLatency(Op op);
+
+/** @return the size in bytes of one element of @p t (pred counts as 1). */
+uint32_t dtypeBytes(DType t);
+
+/** @return the functional unit accounting for the data type (fp32 ALU ops
+ *  execute on the FPU rather than the integer SP pipe). */
+Unit opUnitTyped(Op op, DType t);
+
+/** Collect the general-purpose source registers of @p ins into @p out.
+ *  @return the number of register sources (immediates excluded). */
+int instrSourceRegs(const Instr &ins, uint8_t out[3]);
+
+/** @return whether @p ins writes a general-purpose destination register. */
+bool instrWritesReg(const Instr &ins);
+
+/** Render one instruction as assembly text (targets as absolute indices). */
+std::string disasm(const Instr &ins);
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_ISA_HH

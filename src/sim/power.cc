@@ -1,0 +1,93 @@
+#include "sim/power.hh"
+
+#include <algorithm>
+
+namespace tango::sim {
+
+const char *
+powerCompName(PowerComp c)
+{
+    switch (c) {
+      case PowerComp::IB: return "IBP";
+      case PowerComp::IC: return "ICP";
+      case PowerComp::DC: return "DCP";
+      case PowerComp::TC: return "TCP";
+      case PowerComp::CC: return "CCP";
+      case PowerComp::SHRD: return "SHRDP";
+      case PowerComp::RF: return "RFP";
+      case PowerComp::SP: return "SPP";
+      case PowerComp::SFU: return "SFUP";
+      case PowerComp::FPU: return "FPUP";
+      case PowerComp::SCHED: return "SCHEDP";
+      case PowerComp::L2C: return "L2CP";
+      case PowerComp::MC: return "MCP";
+      case PowerComp::NOC: return "NOCP";
+      case PowerComp::DRAM: return "DRAMP";
+      case PowerComp::PIPE: return "PIPEP";
+      case PowerComp::IDLE_CORE: return "IDLE_COREP";
+      case PowerComp::CONST_DYNAMIC: return "CONST_DYNAMICP";
+      case PowerComp::NumComps: break;
+    }
+    return "?";
+}
+
+double
+PowerBreakdown::totalJ() const
+{
+    double t = 0.0;
+    for (double e : energyJ)
+        t += e;
+    return t;
+}
+
+void
+PowerBreakdown::merge(const PowerBreakdown &other)
+{
+    for (size_t i = 0; i < numPowerComps; i++)
+        energyJ[i] += other.energyJ[i];
+}
+
+PowerBreakdown
+computeBreakdown(const StatSet &events, const GpuConfig &cfg, double cycles,
+                 double active_sms)
+{
+    const PowerParams &p = cfg.power;
+    PowerBreakdown b;
+    auto put = [&](PowerComp c, double count, double pj) {
+        b.energyJ[static_cast<size_t>(c)] += count * pj * 1e-12;
+    };
+    put(PowerComp::IB, events.get("evt.ib"), p.ibAccess);
+    put(PowerComp::IC, events.get("evt.ic"), p.icAccess);
+    put(PowerComp::DC, events.get("evt.l1d"), p.dcAccess);
+    put(PowerComp::TC, events.get("evt.tc"), p.tcAccess);
+    put(PowerComp::CC, events.get("evt.cc"), p.ccAccess);
+    put(PowerComp::SHRD, events.get("evt.shrd"), p.shrdAccess);
+    put(PowerComp::RF, events.get("evt.rf_operand"), p.rfOperand);
+    put(PowerComp::SP, events.get("evt.sp"), p.spOp);
+    put(PowerComp::SFU, events.get("evt.sfu"), p.sfuOp);
+    put(PowerComp::FPU, events.get("evt.fpu"), p.fpuOp);
+    put(PowerComp::SCHED, events.get("evt.sched"), p.schedCycle);
+    put(PowerComp::L2C, events.get("evt.l2"), p.l2Access);
+    put(PowerComp::MC, events.get("evt.mc"), p.mcAccess);
+    put(PowerComp::NOC, events.get("evt.noc"), p.nocFlit);
+    put(PowerComp::DRAM, events.get("evt.dram"), p.dramAccess);
+    put(PowerComp::PIPE, events.get("evt.pipe"), p.pipeIssue);
+
+    const double seconds = cycles / (cfg.coreClockGhz * 1e9);
+    // Leakage applies to every SM on the die; background dynamic power only
+    // to the SMs that are clocked and busy, plus the board-level draw.
+    b.energyJ[static_cast<size_t>(PowerComp::IDLE_CORE)] +=
+        p.idleCoreW * cfg.numSms * seconds;
+    b.energyJ[static_cast<size_t>(PowerComp::CONST_DYNAMIC)] +=
+        (p.constDynamicW * std::max(1.0, active_sms) + p.boardStaticW) *
+        seconds;
+    return b;
+}
+
+double
+averagePowerW(const PowerBreakdown &b, double seconds)
+{
+    return seconds > 0.0 ? b.totalJ() / seconds : 0.0;
+}
+
+} // namespace tango::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPUWattch-style power model.
+ *
+ * The core records raw micro-architectural event counts (register operands,
+ * ALU ops, cache accesses, DRAM bursts, ...).  This model converts those
+ * counts into per-component dynamic energy, adds per-cycle static/idle
+ * power, and reports the component breakdown of the paper's Fig 5 plus the
+ * windowed peak power of Fig 3.
+ */
+
+#ifndef TANGO_SIM_POWER_HH
+#define TANGO_SIM_POWER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/config.hh"
+
+namespace tango::sim {
+
+/** The micro-architecture components of the paper's Fig 5 legend. */
+enum class PowerComp : uint8_t {
+    IB, IC, DC, TC, CC, SHRD, RF, SP, SFU, FPU, SCHED,
+    L2C, MC, NOC, DRAM, PIPE, IDLE_CORE, CONST_DYNAMIC,
+    NumComps
+};
+
+inline constexpr size_t numPowerComps =
+    static_cast<size_t>(PowerComp::NumComps);
+
+/** @return the paper's label for a component ("RFP", "L2CP", ...). */
+const char *powerCompName(PowerComp c);
+
+/** Energy per component for one kernel (or one aggregated run). */
+struct PowerBreakdown
+{
+    /** Energy per component in joules. */
+    std::array<double, numPowerComps> energyJ{};
+
+    /** @return total energy in joules. */
+    double totalJ() const;
+
+    /** Accumulate another breakdown. */
+    void merge(const PowerBreakdown &other);
+};
+
+/**
+ * Convert event counters into a component energy breakdown.
+ *
+ * @param events  raw event counters (see core.cc for the names).
+ * @param cfg     platform (supplies per-event energies + static power).
+ * @param cycles  core cycles the events span.
+ * @param active_sms SMs that were busy (idle power applies to all SMs,
+ *                   dynamic events are already whole-GPU counts).
+ * @return per-component energy in joules.
+ */
+PowerBreakdown computeBreakdown(const StatSet &events, const GpuConfig &cfg,
+                                double cycles, double active_sms);
+
+/** @return average power in watts for a breakdown spanning @p seconds. */
+double averagePowerW(const PowerBreakdown &b, double seconds);
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_POWER_HH

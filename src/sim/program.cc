@@ -1,0 +1,93 @@
+#include "sim/program.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+uint32_t
+Program::maxLiveRegs() const
+{
+    // Linear-scan liveness approximation: a register is live from its first
+    // write to its last read.  Control flow is ignored, which matches the
+    // "max live" metric closely for the mostly-structured kernels we build.
+    std::vector<int> firstWrite(numRegs, -1);
+    std::vector<int> lastRead(numRegs, -1);
+    uint8_t srcs[3];
+    for (size_t pc = 0; pc < code.size(); pc++) {
+        const Instr &ins = code[pc];
+        const int n = instrSourceRegs(ins, srcs);
+        for (int i = 0; i < n; i++) {
+            if (srcs[i] < numRegs)
+                lastRead[srcs[i]] = static_cast<int>(pc);
+        }
+        if (instrWritesReg(ins) && ins.dst < numRegs &&
+            firstWrite[ins.dst] < 0) {
+            firstWrite[ins.dst] = static_cast<int>(pc);
+        }
+    }
+    // Sweep program points, counting intervals covering each point.
+    uint32_t live = 0, maxLive = 0;
+    std::vector<int> delta(code.size() + 1, 0);
+    for (uint32_t r = 0; r < numRegs; r++) {
+        if (firstWrite[r] < 0)
+            continue;
+        int end = std::max(lastRead[r], firstWrite[r]);
+        delta[firstWrite[r]] += 1;
+        delta[end + 1] -= 1;
+    }
+    for (size_t pc = 0; pc <= code.size(); pc++) {
+        live += delta[pc];
+        maxLive = std::max(maxLive, live);
+    }
+    return maxLive;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    char buf[32];
+    for (size_t i = 0; i < code.size(); i++) {
+        std::snprintf(buf, sizeof(buf), "%4zu: ", i);
+        out += buf;
+        out += disasm(code[i]);
+        out += "\n";
+    }
+    return out;
+}
+
+void
+Program::validate() const
+{
+    uint8_t srcs[3];
+    for (size_t pc = 0; pc < code.size(); pc++) {
+        const Instr &ins = code[pc];
+        if (instrWritesReg(ins) && ins.dst >= numRegs)
+            panic("%s: pc %zu writes r%u >= numRegs %u", name.c_str(), pc,
+                  ins.dst, numRegs);
+        const int n = instrSourceRegs(ins, srcs);
+        for (int i = 0; i < n; i++) {
+            if (srcs[i] >= numRegs)
+                panic("%s: pc %zu reads r%u >= numRegs %u", name.c_str(),
+                      pc, srcs[i], numRegs);
+        }
+        if (ins.pred != noPred && ins.pred >= numPreds)
+            panic("%s: pc %zu guarded by p%u >= numPreds %u", name.c_str(),
+                  pc, ins.pred, numPreds);
+        if ((ins.op == Op::Bra || ins.op == Op::Ssy) &&
+            (ins.target < 0 ||
+             static_cast<size_t>(ins.target) > code.size())) {
+            panic("%s: pc %zu branch target %d out of range", name.c_str(),
+                  pc, ins.target);
+        }
+        if (ins.op == Op::Set && ins.dstIsPred && ins.dst >= numPreds)
+            panic("%s: pc %zu sets p%u >= numPreds %u", name.c_str(), pc,
+                  ins.dst, numPreds);
+    }
+    if (code.empty() || code.back().op != Op::Exit)
+        panic("%s: program must end with exit", name.c_str());
+}
+
+} // namespace tango::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Kernel programs and launch descriptors.
+ *
+ * A Program is a straight vector of Instr plus resource metadata (register
+ * count, shared/constant memory bytes).  A KernelLaunch pairs a program with
+ * a CUDA-style grid/block geometry — the same (gridDim, blockDim) pairs the
+ * paper lists in Table III.
+ */
+
+#ifndef TANGO_SIM_PROGRAM_HH
+#define TANGO_SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/isa.hh"
+
+namespace tango::sim {
+
+/** CUDA-style 3-component dimension. */
+struct Dim3
+{
+    uint32_t x = 1, y = 1, z = 1;
+
+    uint64_t count() const { return uint64_t(x) * y * z; }
+    bool operator==(const Dim3 &o) const = default;
+};
+
+/** A compiled kernel program. */
+struct Program
+{
+    std::string name;            ///< kernel name, e.g. "alexnet.conv1_1"
+    std::vector<Instr> code;     ///< the instruction stream
+    uint32_t numRegs = 0;        ///< architectural registers per thread
+    uint32_t numPreds = 0;       ///< predicate registers per thread
+    uint32_t smemBytes = 0;      ///< static shared memory per CTA
+    uint32_t cmemBytes = 0;      ///< constant-bank bytes referenced
+
+    /** @return maximum number of simultaneously live registers
+     *  (linear-scan def/use approximation; always <= numRegs). */
+    uint32_t maxLiveRegs() const;
+
+    /** @return full disassembly, one instruction per line. */
+    std::string disassemble() const;
+
+    /** Sanity-check operands, targets and register bounds; panics on error. */
+    void validate() const;
+};
+
+/** One kernel launch: program + geometry + parameter block. */
+struct KernelLaunch
+{
+    std::shared_ptr<const Program> program;
+    Dim3 grid;
+    Dim3 block;
+    /** Kernel parameters (32-bit words; pointers are global addresses). */
+    std::vector<uint32_t> params;
+    /** Constant-bank contents for this launch (dims, scales, ...). */
+    std::vector<uint8_t> constData;
+
+    uint64_t totalThreads() const { return grid.count() * block.count(); }
+    uint32_t threadsPerCta() const
+    {
+        return static_cast<uint32_t>(block.count());
+    }
+    uint32_t warpsPerCta() const { return (threadsPerCta() + 31) / 32; }
+};
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_PROGRAM_HH

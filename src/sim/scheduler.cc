@@ -1,0 +1,182 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+namespace tango::sim {
+
+namespace {
+
+/** Greedy-then-oldest. */
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    void
+    reset(uint32_t num_slots) override
+    {
+        n_ = num_slots;
+        current_ = -1;
+    }
+
+    int
+    pick(const std::vector<uint8_t> &issuable,
+         const std::vector<uint64_t> &age) override
+    {
+        if (current_ >= 0 && static_cast<uint32_t>(current_) < n_ &&
+            issuable[current_]) {
+            return current_;
+        }
+        int best = -1;
+        for (uint32_t i = 0; i < n_; i++) {
+            if (!issuable[i])
+                continue;
+            if (best < 0 || age[i] < age[best])
+                best = static_cast<int>(i);
+        }
+        current_ = best;
+        return best;
+    }
+
+    void
+    notifyRetired(uint32_t slot) override
+    {
+        if (current_ == static_cast<int>(slot))
+            current_ = -1;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    int current_ = -1;
+};
+
+/** Loose round-robin. */
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    void
+    reset(uint32_t num_slots) override
+    {
+        n_ = num_slots;
+        next_ = 0;
+    }
+
+    int
+    pick(const std::vector<uint8_t> &issuable,
+         const std::vector<uint64_t> &) override
+    {
+        for (uint32_t k = 0; k < n_; k++) {
+            const uint32_t i = (next_ + k) % n_;
+            if (issuable[i]) {
+                next_ = (i + 1) % n_;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    uint32_t next_ = 0;
+};
+
+/** Two-level: round-robin within a small active set; a warp issuing a
+ *  long-latency operation is demoted and the oldest pending warp promoted. */
+class TlvScheduler : public WarpScheduler
+{
+  public:
+    static constexpr uint32_t activeSetSize = 8;
+
+    void
+    reset(uint32_t num_slots) override
+    {
+        n_ = num_slots;
+        next_ = 0;
+        active_.assign(n_, 0);
+        for (uint32_t i = 0; i < n_ && i < activeSetSize; i++)
+            active_[i] = 1;
+    }
+
+    int
+    pick(const std::vector<uint8_t> &issuable,
+         const std::vector<uint64_t> &age) override
+    {
+        // Round-robin over the active set.
+        for (uint32_t k = 0; k < n_; k++) {
+            const uint32_t i = (next_ + k) % n_;
+            if (active_[i] && issuable[i]) {
+                next_ = (i + 1) % n_;
+                return static_cast<int>(i);
+            }
+        }
+        // Active set fully stalled: promote the oldest issuable pending
+        // warp (demoting a stalled active one) and issue from it.
+        int promote = -1;
+        for (uint32_t i = 0; i < n_; i++) {
+            if (active_[i] || !issuable[i])
+                continue;
+            if (promote < 0 || age[i] < age[promote])
+                promote = static_cast<int>(i);
+        }
+        if (promote < 0)
+            return -1;
+        demoteOne();
+        active_[promote] = 1;
+        next_ = (promote + 1) % n_;
+        return promote;
+    }
+
+    void
+    notifyLongLatency(uint32_t slot) override
+    {
+        // Demote; promotion happens lazily in pick().
+        if (slot < n_)
+            active_[slot] = 0;
+    }
+
+    void
+    notifyRetired(uint32_t slot) override
+    {
+        if (slot < n_)
+            active_[slot] = 0;
+    }
+
+  private:
+    void
+    demoteOne()
+    {
+        uint32_t count = 0;
+        for (uint32_t i = 0; i < n_; i++)
+            count += active_[i];
+        if (count < activeSetSize)
+            return;
+        // Demote the slot after the RR pointer (round-robin victim).
+        for (uint32_t k = 0; k < n_; k++) {
+            const uint32_t i = (next_ + k) % n_;
+            if (active_[i]) {
+                active_[i] = 0;
+                return;
+            }
+        }
+    }
+
+    uint32_t n_ = 0;
+    uint32_t next_ = 0;
+    std::vector<uint8_t> active_;
+};
+
+} // namespace
+
+std::unique_ptr<WarpScheduler>
+makeScheduler(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::GTO:
+        return std::make_unique<GtoScheduler>();
+      case SchedPolicy::LRR:
+        return std::make_unique<LrrScheduler>();
+      case SchedPolicy::TLV:
+        return std::make_unique<TlvScheduler>();
+    }
+    return std::make_unique<GtoScheduler>();
+}
+
+} // namespace tango::sim

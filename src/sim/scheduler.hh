@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Warp scheduling policies: GTO, LRR and TLV (paper Section IV-F).
+ *
+ * Each SM cycle the core presents the set of issuable warp slots; the
+ * scheduler picks one.  GTO keeps issuing from the same warp until it
+ * stalls and then falls back to the oldest warp; LRR rotates; TLV keeps a
+ * small active set and swaps out warps that issue long-latency operations.
+ */
+
+#ifndef TANGO_SIM_SCHEDULER_HH
+#define TANGO_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace tango::sim {
+
+/** Abstract warp scheduler. */
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /** Resize bookkeeping for @p num_slots warp slots. */
+    virtual void reset(uint32_t num_slots) = 0;
+
+    /**
+     * Pick a warp to issue.
+     * @param issuable issuable[i] != 0 iff slot i can issue this cycle.
+     * @param age      age[i] = arrival order (smaller = older).
+     * @return slot index, or -1 if none is issuable.
+     */
+    virtual int pick(const std::vector<uint8_t> &issuable,
+                     const std::vector<uint64_t> &age) = 0;
+
+    /** Inform the scheduler a slot issued a long-latency (memory) op. */
+    virtual void notifyLongLatency(uint32_t slot) { (void)slot; }
+
+    /** Inform the scheduler a slot retired. */
+    virtual void notifyRetired(uint32_t slot) { (void)slot; }
+};
+
+/** @return a scheduler implementing @p policy. */
+std::unique_ptr<WarpScheduler> makeScheduler(SchedPolicy policy);
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_SCHEDULER_HH

@@ -1,0 +1,25 @@
+#include "sim/stall.hh"
+
+namespace tango::sim {
+
+const char *
+stallName(Stall s)
+{
+    switch (s) {
+      case Stall::InstFetch: return "inst_fetch";
+      case Stall::ExecDependency: return "exec_dependency";
+      case Stall::MemoryDependency: return "memory_dependency";
+      case Stall::Texture: return "texture";
+      case Stall::Sync: return "sync";
+      case Stall::Other: return "other";
+      case Stall::PipeBusy: return "pipe_busy";
+      case Stall::ConstantMemoryDependency:
+        return "constant_memory_dependency";
+      case Stall::MemoryThrottle: return "memory_throttle";
+      case Stall::NotSelected: return "not_selected";
+      case Stall::NumStalls: break;
+    }
+    return "?";
+}
+
+} // namespace tango::sim

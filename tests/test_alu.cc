@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Exhaustive ALU semantics: every arithmetic/logic opcode of the virtual
+ * ISA executed on the interpreter against a C++ reference, over a sweep
+ * of random operands and all integer types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "kernels/builder.hh"
+#include "sim/interp.hh"
+#include "sim/memory.hh"
+
+namespace tango::sim {
+namespace {
+
+/** Execute `dst = op(a, b, c)` for one warp and return lane 0's result. */
+uint32_t
+runOp(Op op, DType t, uint32_t a, uint32_t b, uint32_t c,
+      DType srcType = DType::None)
+{
+    DeviceMemory mem(1 << 16);
+    const uint32_t out = mem.allocate(16);
+
+    kern::Builder bld("alu");
+    kern::Reg ra = bld.immU(a);
+    kern::Reg rb = bld.immU(b);
+    kern::Reg rc = bld.immU(c);
+    kern::Reg rd = bld.reg();
+    switch (op) {
+      case Op::Mad:
+        bld.mad(t, rd, ra, rb, rc);
+        break;
+      case Op::Cvt:
+        rd = bld.cvt(t, srcType, ra);
+        break;
+      case Op::Abs:
+      case Op::Not:
+      case Op::Rcp:
+      case Op::Rsqrt:
+      case Op::Sqrt:
+      case Op::Ex2:
+      case Op::Lg2:
+        bld.emit2(op, t, rd, ra);
+        break;
+      default:
+        bld.emit3(op, t, rd, ra, rb);
+        break;
+    }
+    kern::Reg addr = bld.immU(out);
+    bld.st(DType::U32, Space::Global, addr, rd);
+    KernelLaunch l;
+    l.program = bld.finish();
+    l.grid = l.block = {1, 1, 1};
+    std::vector<uint8_t> smem(1);
+    WarpExec w(l, {0, 0, 0}, 0, mem, smem);
+    while (!w.done())
+        w.step();
+    return mem.read<uint32_t>(out);
+}
+
+float
+f(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+uint32_t
+u(float x)
+{
+    return std::bit_cast<uint32_t>(x);
+}
+
+class AluRandom : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AluRandom, IntegerOpsMatchCpp)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 50; iter++) {
+        const uint32_t a = rng.next();
+        const uint32_t b = rng.next();
+        EXPECT_EQ(runOp(Op::Add, DType::U32, a, b, 0), a + b);
+        EXPECT_EQ(runOp(Op::Sub, DType::U32, a, b, 0), a - b);
+        EXPECT_EQ(runOp(Op::Mul, DType::U32, a, b, 0), a * b);
+        EXPECT_EQ(runOp(Op::And, DType::U32, a, b, 0), a & b);
+        EXPECT_EQ(runOp(Op::Or, DType::U32, a, b, 0), a | b);
+        EXPECT_EQ(runOp(Op::Xor, DType::U32, a, b, 0), a ^ b);
+        EXPECT_EQ(runOp(Op::Not, DType::U32, a, 0, 0), ~a);
+        EXPECT_EQ(runOp(Op::Shl, DType::U32, a, b, 0), a << (b & 31));
+        EXPECT_EQ(runOp(Op::Shr, DType::U32, a, b, 0), a >> (b & 31));
+        EXPECT_EQ(runOp(Op::Shr, DType::S32, a, b, 0),
+                  uint32_t(int32_t(a) >> (b & 31)));
+        EXPECT_EQ(runOp(Op::Min, DType::U32, a, b, 0), std::min(a, b));
+        EXPECT_EQ(runOp(Op::Max, DType::U32, a, b, 0), std::max(a, b));
+        EXPECT_EQ(runOp(Op::Min, DType::S32, a, b, 0),
+                  uint32_t(std::min(int32_t(a), int32_t(b))));
+        EXPECT_EQ(runOp(Op::Max, DType::S32, a, b, 0),
+                  uint32_t(std::max(int32_t(a), int32_t(b))));
+        EXPECT_EQ(runOp(Op::Abs, DType::S32, a, 0, 0),
+                  uint32_t(std::abs(int32_t(a))));
+        if (b != 0) {
+            EXPECT_EQ(runOp(Op::Div, DType::U32, a, b, 0), a / b);
+        }
+    }
+}
+
+TEST_P(AluRandom, FloatOpsMatchCpp)
+{
+    Rng rng(GetParam() + 7);
+    for (int iter = 0; iter < 50; iter++) {
+        const float x = rng.gaussian() * 10.0f;
+        const float y = rng.gaussian() * 10.0f + 0.1f;
+        const uint32_t a = u(x), b = u(y);
+        EXPECT_EQ(f(runOp(Op::Add, DType::F32, a, b, 0)), x + y);
+        EXPECT_EQ(f(runOp(Op::Sub, DType::F32, a, b, 0)), x - y);
+        EXPECT_EQ(f(runOp(Op::Mul, DType::F32, a, b, 0)), x * y);
+        EXPECT_EQ(f(runOp(Op::Div, DType::F32, a, b, 0)), x / y);
+        EXPECT_EQ(f(runOp(Op::Min, DType::F32, a, b, 0)),
+                  std::fmin(x, y));
+        EXPECT_EQ(f(runOp(Op::Max, DType::F32, a, b, 0)),
+                  std::fmax(x, y));
+        EXPECT_EQ(f(runOp(Op::Abs, DType::F32, a, 0, 0)), std::fabs(x));
+        const float ax = std::fabs(x) + 0.01f;
+        EXPECT_NEAR(f(runOp(Op::Sqrt, DType::F32, u(ax), 0, 0)),
+                    std::sqrt(ax), 1e-5f * std::sqrt(ax) + 1e-7f);
+        EXPECT_NEAR(f(runOp(Op::Rcp, DType::F32, u(ax), 0, 0)), 1.0f / ax,
+                    1e-5f / ax);
+        EXPECT_NEAR(f(runOp(Op::Rsqrt, DType::F32, u(ax), 0, 0)),
+                    1.0f / std::sqrt(ax), 2e-5f);
+    }
+}
+
+TEST_P(AluRandom, NarrowTypesCanonicalize)
+{
+    Rng rng(GetParam() + 13);
+    for (int iter = 0; iter < 50; iter++) {
+        const uint32_t a = rng.next();
+        const uint32_t b = rng.next();
+        EXPECT_EQ(runOp(Op::Add, DType::U16, a, b, 0), (a + b) & 0xffff);
+        const uint32_t s = runOp(Op::Add, DType::S16, a, b, 0);
+        EXPECT_EQ(s, uint32_t(int32_t(int16_t((a + b) & 0xffff))));
+        EXPECT_EQ(runOp(Op::And, DType::U16, a, b, 0), (a & b) & 0xffff);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(AluEdge, Mad24MasksTo24Bits)
+{
+    // Raw-instruction program: d = mad24(a, b, c).
+    DeviceMemory mem(1 << 16);
+    const uint32_t out = mem.allocate(16);
+    Program p;
+    p.name = "mad24";
+    p.numRegs = 5;
+    auto movU = [&](uint8_t dst, uint32_t v) {
+        Instr i;
+        i.op = Op::Mov;
+        i.type = DType::U32;
+        i.dst = dst;
+        i.src[0] = Instr::immReg;
+        i.imm = v;
+        p.code.push_back(i);
+    };
+    const uint32_t a = 0x12345678, b = 0x0abcdef0, c = 99;
+    movU(0, a);
+    movU(1, b);
+    movU(2, c);
+    movU(3, out);
+    Instr mad;
+    mad.op = Op::Mad24;
+    mad.type = DType::U32;
+    mad.dst = 4;
+    mad.src[0] = 0;
+    mad.src[1] = 1;
+    mad.src[2] = 2;
+    p.code.push_back(mad);
+    Instr st;
+    st.op = Op::St;
+    st.type = DType::U32;
+    st.space = Space::Global;
+    st.src[0] = 3;
+    st.src[1] = 4;
+    p.code.push_back(st);
+    Instr ex;
+    ex.op = Op::Exit;
+    p.code.push_back(ex);
+    p.validate();
+
+    KernelLaunch l;
+    l.program = std::make_shared<Program>(p);
+    l.grid = l.block = {1, 1, 1};
+    std::vector<uint8_t> smem(1);
+    WarpExec w(l, {0, 0, 0}, 0, mem, smem);
+    while (!w.done())
+        w.step();
+    EXPECT_EQ(mem.read<uint32_t>(out),
+              (a & 0xffffffu) * (b & 0xffffffu) + c);
+}
+
+TEST(AluEdge, CvtConversions)
+{
+    // f32 -> s32 truncates toward zero; s32 -> f32 exact for small ints.
+    EXPECT_EQ(runOp(Op::Cvt, DType::S32, u(3.9f), 0, 0, DType::F32), 3u);
+    EXPECT_EQ(runOp(Op::Cvt, DType::S32, u(-3.9f), 0, 0, DType::F32),
+              uint32_t(-3));
+    EXPECT_EQ(f(runOp(Op::Cvt, DType::F32, uint32_t(-7), 0, 0,
+                      DType::S32)),
+              -7.0f);
+    EXPECT_EQ(f(runOp(Op::Cvt, DType::F32, 42u, 0, 0, DType::U32)),
+              42.0f);
+    // f32 -> u32 clamps negatives to zero.
+    EXPECT_EQ(runOp(Op::Cvt, DType::U32, u(-5.0f), 0, 0, DType::F32), 0u);
+}
+
+TEST(AluEdge, DivByZeroIsZero)
+{
+    EXPECT_EQ(runOp(Op::Div, DType::U32, 42, 0, 0), 0u);
+    EXPECT_EQ(runOp(Op::Div, DType::S32, 42, 0, 0), 0u);
+}
+
+TEST(AluEdge, ShiftsMaskAmount)
+{
+    EXPECT_EQ(runOp(Op::Shl, DType::U32, 1, 33, 0), 2u);   // 33 & 31 = 1
+    EXPECT_EQ(runOp(Op::Shr, DType::U32, 4, 33, 0), 2u);
+}
+
+TEST(AluEdge, FloatSpecials)
+{
+    // exp2/log2 round trip.
+    const float x = 3.0f;
+    const float e = f(runOp(Op::Ex2, DType::F32, u(x), 0, 0));
+    EXPECT_NEAR(e, 8.0f, 1e-4f);
+    const float l = f(runOp(Op::Lg2, DType::F32, u(8.0f), 0, 0));
+    EXPECT_NEAR(l, 3.0f, 1e-5f);
+    // rcp(inf) = 0.
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(f(runOp(Op::Rcp, DType::F32, u(inf), 0, 0)), 0.0f);
+}
+
+TEST(AluEdge, MadIsFused)
+{
+    // mad.f32 must behave like fmaf (single rounding).
+    DeviceMemory mem(1 << 16);
+    const uint32_t out = mem.allocate(16);
+    kern::Builder bld("fma");
+    kern::Reg a = bld.immF(1.0f + 0x1p-23f);
+    kern::Reg b = bld.immF(1.0f - 0x1p-23f);
+    kern::Reg c = bld.immF(-1.0f);
+    kern::Reg d = bld.reg();
+    bld.mad(DType::F32, d, a, b, c);
+    kern::Reg addr = bld.immU(out);
+    bld.st(DType::F32, Space::Global, addr, d);
+    KernelLaunch l;
+    l.program = bld.finish();
+    l.grid = l.block = {1, 1, 1};
+    std::vector<uint8_t> smem(1);
+    WarpExec w(l, {0, 0, 0}, 0, mem, smem);
+    while (!w.done())
+        w.step();
+    const float got = mem.read<float>(out);
+    const float want =
+        std::fmaf(1.0f + 0x1p-23f, 1.0f - 0x1p-23f, -1.0f);
+    EXPECT_EQ(got, want);
+    EXPECT_NE(got, 0.0f);   // non-fused would round to exactly 0
+}
+
+} // namespace
+} // namespace tango::sim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cache model unit tests: hits/misses, LRU replacement, set mapping,
+ * MSHR behaviour, bypass mode, and DRAM queueing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+
+namespace tango::sim {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;   // 2 sets x 4 ways x 128B
+    c.assoc = 4;
+    c.lineBytes = 128;
+    c.mshrs = 2;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false, 0).hit);
+    EXPECT_TRUE(c.access(0x1000, false, 1).hit);
+    EXPECT_TRUE(c.access(0x1040, false, 2).hit);   // same line
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());
+    // 2 sets: lines with even line index map to set 0.  Fill set 0's four
+    // ways, then a fifth line evicts the least recently used.
+    const uint32_t setStride = 2 * 128;   // same set every 2 lines
+    for (uint32_t i = 0; i < 4; i++)
+        c.access(i * setStride, false, i);
+    // Touch line 0 so line 1 becomes LRU.
+    c.access(0, false, 10);
+    // New line evicts line at setStride (the LRU).
+    c.access(4 * setStride, false, 11);
+    EXPECT_TRUE(c.access(0, false, 12).hit);
+    EXPECT_FALSE(c.access(1 * setStride, false, 13).hit);   // evicted
+}
+
+TEST(Cache, WriteNoAllocateLeavesLineCold)
+{
+    CacheConfig cfg = smallCache();
+    cfg.writeAllocate = false;
+    Cache c(cfg);
+    c.access(0x2000, true, 0);   // write miss, no allocate
+    EXPECT_FALSE(c.access(0x2000, false, 1).hit);
+    EXPECT_EQ(c.stats().writeAccesses, 1u);
+}
+
+TEST(Cache, WriteAllocateWarmsLine)
+{
+    CacheConfig cfg = smallCache();
+    cfg.writeAllocate = true;
+    Cache c(cfg);
+    c.access(0x2000, true, 0);
+    EXPECT_TRUE(c.access(0x2000, false, 1).hit);
+}
+
+TEST(Cache, BypassAlwaysMisses)
+{
+    CacheConfig cfg = smallCache();
+    cfg.sizeBytes = 0;
+    Cache c(cfg);
+    EXPECT_TRUE(c.bypassed());
+    for (int i = 0; i < 5; i++)
+        EXPECT_FALSE(c.access(0x1000, false, i).hit);
+    EXPECT_EQ(c.stats().misses, 5u);
+}
+
+TEST(Cache, MshrFillAndMerge)
+{
+    Cache c(smallCache());
+    EXPECT_TRUE(c.mshrAvailable(0x1000, 0));
+    c.allocateMshr(0x1000, 100);
+    c.allocateMshr(0x2000, 100);
+    // Full for a third distinct line...
+    EXPECT_FALSE(c.mshrAvailable(0x3000, 10));
+    // ...but a miss on an in-flight line merges.
+    EXPECT_TRUE(c.mshrAvailable(0x1000, 10));
+    // After the fill time everything frees up.
+    EXPECT_TRUE(c.mshrAvailable(0x3000, 101));
+    EXPECT_EQ(c.stats().mshrFullEvents, 1u);
+}
+
+TEST(Cache, MshrMergeVisibleInAccess)
+{
+    Cache c(smallCache());
+    c.access(0x1000, false, 0);
+    c.allocateMshr(0x1000, 50);
+    // Evict the (already allocated) line so the next access misses, then
+    // check that the in-flight MSHR is reported as a merge.
+    const uint32_t setStride = 2 * 128;
+    for (uint32_t i = 1; i <= 4; i++)
+        c.access(0x1000 + i * setStride, false, i);
+    const Cache::Result r = c.access(0x1000, false, 10);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.mshrMerged);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.access(0x1000, false, 0);
+    c.allocateMshr(0x1000, 1000);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.access(0x1000, false, 0).hit);
+    EXPECT_TRUE(c.mshrAvailable(0x2000, 0));
+    EXPECT_TRUE(c.mshrAvailable(0x3000, 0));
+}
+
+TEST(Cache, MissRatioArithmetic)
+{
+    CacheStats s;
+    EXPECT_EQ(s.missRatio(), 0.0);
+    s.accesses = 10;
+    s.misses = 3;
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.3);
+}
+
+TEST(Dram, LatencyAndQueueing)
+{
+    Dram d(100, 4.0);
+    EXPECT_EQ(d.schedule(0), 100u);     // first burst: just latency
+    EXPECT_EQ(d.schedule(0), 104u);     // second queues behind it
+    EXPECT_EQ(d.schedule(0), 108u);
+    EXPECT_EQ(d.accesses(), 3u);
+    EXPECT_GT(d.totalQueueCycles(), 0u);
+}
+
+TEST(Dram, IdleQueueDrains)
+{
+    Dram d(100, 4.0);
+    d.schedule(0);
+    // Far in the future the queue is empty again.
+    EXPECT_EQ(d.schedule(1000), 1100u);
+    EXPECT_EQ(d.queueDelay(2000), 0u);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    Dram d(50, 2.0);
+    d.schedule(0);
+    d.schedule(0);
+    d.reset();
+    EXPECT_EQ(d.accesses(), 0u);
+    EXPECT_EQ(d.schedule(0), 50u);
+}
+
+} // namespace
+} // namespace tango::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism, StatSet
+ * arithmetic and Table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace tango {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        const float v = r.uniform();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; i++) {
+        const float v = r.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        const double v = r.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    s.add("x", 2.0);
+    s.add("x", 3.0);
+    EXPECT_EQ(s.get("x"), 5.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_FALSE(s.has("y"));
+}
+
+TEST(StatSet, MergeAccumulates)
+{
+    StatSet a, b;
+    a.set("x", 1.0);
+    a.set("y", 2.0);
+    b.set("y", 3.0);
+    b.set("z", 4.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 1.0);
+    EXPECT_EQ(a.get("y"), 5.0);
+    EXPECT_EQ(a.get("z"), 4.0);
+}
+
+TEST(StatSet, ScaleMultipliesEverything)
+{
+    StatSet s;
+    s.set("a", 2.0);
+    s.set("b", 3.0);
+    s.scale(2.5);
+    EXPECT_EQ(s.get("a"), 5.0);
+    EXPECT_EQ(s.get("b"), 7.5);
+}
+
+TEST(StatSet, SumPrefix)
+{
+    StatSet s;
+    s.set("op.add", 10.0);
+    s.set("op.mul", 5.0);
+    s.set("opx", 100.0);
+    s.set("evt.l2", 7.0);
+    EXPECT_EQ(s.sumPrefix("op."), 15.0);
+    EXPECT_EQ(s.sumPrefix("evt."), 7.0);
+    EXPECT_EQ(s.sumPrefix("zz."), 0.0);
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t("demo");
+    t.header({"a", "bbbb"});
+    t.row({"x", "1"});
+    t.row({"yy", "22"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_NE(out.find("yy"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t("csv");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("1,2"), std::string::npos);
+    EXPECT_NE(os.str().find("# csv"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+}
+
+} // namespace
+} // namespace tango

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PynQ FPGA model tests: monotonicity in work, BRAM partitioning, the
+ * Fig 6 energy relationship against the TX1 simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/pynq.hh"
+#include "nn/models/models.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango::fpga {
+namespace {
+
+TEST(Pynq, TimeScalesWithWork)
+{
+    const nn::Network cifar = nn::models::buildCifarNet();
+    const nn::Network alex = nn::models::buildAlexNet();
+    const FpgaRun rc = runOnPynq(cifar);
+    const FpgaRun ra = runOnPynq(alex);
+    EXPECT_GT(ra.totalTimeSec, rc.totalTimeSec);
+    // AlexNet has ~150x the MACs of CifarNet; compute time should scale.
+    double convComputeA = 0.0, convComputeC = 0.0;
+    for (const auto &l : ra.layers)
+        convComputeA += l.computeSec;
+    for (const auto &l : rc.layers)
+        convComputeC += l.computeSec;
+    EXPECT_GT(convComputeA / convComputeC, 50.0);
+}
+
+TEST(Pynq, SubKernelsFollowBram)
+{
+    const nn::Network alex = nn::models::buildAlexNet();
+    const FpgaRun r = runOnPynq(alex);
+    // AlexNet's big FC layers exceed 630KB BRAM many times over.
+    bool fcPartitioned = false;
+    for (const auto &l : r.layers) {
+        if (l.name == "fc6") {
+            EXPECT_GT(l.subKernels, 100u);   // ~150MB / 630KB
+            fcPartitioned = true;
+        }
+    }
+    EXPECT_TRUE(fcPartitioned);
+}
+
+TEST(Pynq, EnergyIsPowerTimesTime)
+{
+    const nn::Network net = nn::models::buildCifarNet();
+    const PynqConfig cfg;
+    const FpgaRun r = runOnPynq(net, cfg);
+    EXPECT_NEAR(r.totalEnergyJ, r.totalTimeSec * cfg.boardPowerW,
+                r.totalEnergyJ * 1e-9);
+    EXPECT_EQ(r.peakPowerW, cfg.boardPowerW);
+}
+
+TEST(Pynq, LayersExcludeZeroWork)
+{
+    const nn::Network sq = nn::models::buildSqueezeNet();
+    const FpgaRun r = runOnPynq(sq);
+    for (const auto &l : r.layers) {
+        EXPECT_GT(l.totalSec(), 0.0) << l.name;
+    }
+}
+
+TEST(Fig6Shape, Tx1FasterButHungrier)
+{
+    // The paper's Fig 6 relationship: TX1 runs faster, burns more peak
+    // power, and ends up with MORE energy than PynQ.
+    for (const char *name : {"cifarnet", "squeezenet"}) {
+        sim::Gpu gpu(sim::maxwellTX1());
+        const rt::NetRun g =
+            rt::runNetworkByName(gpu, name, rt::benchPolicy());
+        const FpgaRun f = runOnPynq(nn::models::buildCnn(name));
+
+        EXPECT_LT(g.totalTimeSec, f.totalTimeSec) << name;   // GPU faster
+        EXPECT_GT(g.peakPowerW, 1.5 * f.peakPowerW) << name; // more power
+        const double gpuEnergy = g.peakPowerW * g.totalTimeSec;
+        const double fpgaEnergy = f.peakPowerW * f.totalTimeSec;
+        EXPECT_GT(gpuEnergy, fpgaEnergy) << name;            // more energy
+        EXPECT_LT(gpuEnergy, 20.0 * fpgaEnergy) << name;     // same ballpark
+    }
+}
+
+TEST(Pynq, ConfigKnobsMatter)
+{
+    const nn::Network net = nn::models::buildCifarNet();
+    PynqConfig fast;
+    fast.dspSlices = 2000;
+    fast.ddrBytesPerSec = 10e9;
+    fast.kernelLoadSec = 0.0;
+    const FpgaRun slow = runOnPynq(net);
+    const FpgaRun quick = runOnPynq(net, fast);
+    EXPECT_LT(quick.totalTimeSec, slow.totalTimeSec);
+}
+
+} // namespace
+} // namespace tango::fpga

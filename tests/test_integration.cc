@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-module integration tests: every network runs end to end on the
+ * virtual GPU and reproduces the paper's headline observations in
+ * miniature (the benches reproduce them at full scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "profiler/profiler.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango {
+namespace {
+
+using rt::RunPolicy;
+
+rt::NetRun
+benchRun(const std::string &net, sim::GpuConfig cfg = sim::pascalGP102())
+{
+    sim::Gpu gpu(std::move(cfg));
+    return rt::runNetworkByName(gpu, net, rt::benchPolicy());
+}
+
+TEST(Integration, EveryNetworkRunsAndReportsSaneStats)
+{
+    for (const auto &name : nn::models::allNames()) {
+        const rt::NetRun run = benchRun(name);
+        EXPECT_GT(run.totalTimeSec, 0.0) << name;
+        EXPECT_GT(run.totalEnergyJ, 0.0) << name;
+        EXPECT_GT(run.peakPowerW, 10.0) << name;
+        EXPECT_GT(run.totals.sumPrefix("op."), 1e5) << name;
+        EXPECT_GT(run.deviceBytes, 0u) << name;
+        // Stall fractions sum to ~1.
+        double sum = 0.0;
+        for (const auto &[k, v] : prof::stallBreakdown(run.totals))
+            sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << name;
+    }
+}
+
+TEST(Integration, Observation2_L1HelpsCnnsNotRnns)
+{
+    sim::GpuConfig noL1 = sim::pascalGP102();
+    noL1.l1dBytes = 0;
+    // AlexNet: clear speedup with L1.
+    const double alexWith = benchRun("alexnet").totalTimeSec;
+    const double alexWithout = benchRun("alexnet", noL1).totalTimeSec;
+    EXPECT_LT(alexWith, alexWithout * 0.95);
+    // GRU: negligible effect.
+    const double gruWith = benchRun("gru").totalTimeSec;
+    const double gruWithout = benchRun("gru", noL1).totalTimeSec;
+    EXPECT_NEAR(gruWith / gruWithout, 1.0, 0.15);
+}
+
+TEST(Integration, Observation3_BiggerLayersHigherPeakPower)
+{
+    const double cifar = benchRun("cifarnet").peakPowerW;
+    const double alex = benchRun("alexnet").peakPowerW;
+    const double gru = benchRun("gru").peakPowerW;
+    EXPECT_GT(alex, 2.0 * cifar);
+    EXPECT_LE(gru, cifar * 1.1);
+}
+
+TEST(Integration, Observation7_TopOpsDominate)
+{
+    std::vector<const rt::NetRun *> ptrs;
+    std::vector<rt::NetRun> runs;
+    runs.reserve(3);
+    for (const char *n : {"gru", "cifarnet", "alexnet"})
+        runs.push_back(benchRun(n));
+    for (const auto &r : runs)
+        ptrs.push_back(&r);
+    const prof::Series ops =
+        prof::opBreakdown(prof::mergeTotals(ptrs));
+    double top4 = 0.0, top10 = 0.0;
+    for (size_t i = 0; i < ops.size(); i++) {
+        if (i < 4)
+            top4 += ops[i].second;
+        if (i < 10)
+            top10 += ops[i].second;
+    }
+    EXPECT_GT(top4, 0.5);
+    EXPECT_GT(top10, 0.9);
+}
+
+TEST(Integration, Observation8_IntegerHeavyDespiteF32Data)
+{
+    const rt::NetRun run = benchRun("resnet");
+    const prof::Series d = prof::dtypeBreakdown(run.totals);
+    double f32 = 0.0, ints = 0.0;
+    for (const auto &[name, frac] : d) {
+        if (name == "f32")
+            f32 = frac;
+        else
+            ints += frac;
+    }
+    EXPECT_LT(f32, 0.5);
+    EXPECT_GT(ints, 0.5);
+}
+
+TEST(Integration, Observation11_ConvLocalityBeatsFc)
+{
+    // Locality studies need many co-resident CTAs (memStudyPolicy) so
+    // the cross-CTA input reuse of convolution reaches the shared L2.
+    sim::GpuConfig noL1 = sim::pascalGP102();
+    noL1.l1dBytes = 0;
+    sim::Gpu gpu(noL1);
+    const rt::NetRun run =
+        rt::runNetworkByName(gpu, "alexnet", rt::memStudyPolicy());
+    const double convAcc = run.figTypeStat("Conv", "mem.l2.accesses");
+    const double convMiss = run.figTypeStat("Conv", "mem.l2.misses");
+    const double fcAcc = run.figTypeStat("FC", "mem.l2.accesses");
+    const double fcMiss = run.figTypeStat("FC", "mem.l2.misses");
+    ASSERT_GT(convAcc, 0.0);
+    ASSERT_GT(fcAcc, 0.0);
+    EXPECT_LT(convMiss / convAcc, fcMiss / fcAcc);
+}
+
+TEST(Integration, Gk210SlowerThanGp102)
+{
+    // Same workload, older/slower machine: more wall time.
+    const double pascal = benchRun("cifarnet").totalTimeSec;
+    const double kepler =
+        benchRun("cifarnet", sim::keplerGK210()).totalTimeSec;
+    EXPECT_GT(kepler, pascal);
+}
+
+TEST(Integration, Tx1SlowerThanServerParts)
+{
+    const double tx1 =
+        benchRun("squeezenet", sim::maxwellTX1()).totalTimeSec;
+    const double gp102 = benchRun("squeezenet").totalTimeSec;
+    EXPECT_GT(tx1, gp102 * 2.0);
+}
+
+TEST(Integration, SchedulerChoiceChangesTiming)
+{
+    sim::GpuConfig lrr = sim::pascalGP102();
+    lrr.scheduler = sim::SchedPolicy::LRR;
+    const double gto = benchRun("alexnet").totalTimeSec;
+    const double lrrT = benchRun("alexnet", lrr).totalTimeSec;
+    EXPECT_NE(gto, lrrT);
+    EXPECT_NEAR(lrrT / gto, 1.0, 0.35);   // same ballpark
+}
+
+TEST(Integration, RnnFootprintTiny)
+{
+    EXPECT_LT(benchRun("gru").deviceBytes, 500u * 1024);
+    EXPECT_LT(benchRun("lstm").deviceBytes, 500u * 1024);
+}
+
+} // namespace
+} // namespace tango

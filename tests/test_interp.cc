@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Interpreter tests: arithmetic semantics, memory spaces, predication,
+ * special registers, SIMT divergence/reconvergence and coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/builder.hh"
+#include "sim/interp.hh"
+#include "sim/memory.hh"
+
+namespace tango::sim {
+namespace {
+
+/** Run every warp of a single-CTA launch to completion, functionally. */
+void
+runCta(const KernelLaunch &launch, DeviceMemory &mem)
+{
+    std::vector<uint8_t> smem(
+        std::max<uint32_t>(launch.program->smemBytes, 1), 0);
+    const uint32_t warps = launch.warpsPerCta();
+    std::vector<WarpExec> execs;
+    execs.reserve(warps);
+    for (uint32_t w = 0; w < warps; w++)
+        execs.emplace_back(launch, Dim3{0, 0, 0}, w, mem, smem);
+    // Round-robin warps one step at a time; honour barriers.
+    bool progress = true;
+    std::vector<bool> atBar(warps, false);
+    while (progress) {
+        progress = false;
+        uint32_t waiting = 0, done = 0;
+        for (uint32_t w = 0; w < warps; w++) {
+            if (execs[w].done()) {
+                done++;
+                continue;
+            }
+            if (atBar[w]) {
+                waiting++;
+                continue;
+            }
+            const Step st = execs[w].step();
+            progress = true;
+            if (st.op == Op::Bar && !execs[w].done())
+                atBar[w] = true;
+        }
+        if (!progress && done < warps) {
+            // Everyone is at the barrier: release.
+            ASSERT_EQ(waiting + done, warps) << "deadlock";
+            for (uint32_t w = 0; w < warps; w++)
+                atBar[w] = false;
+            progress = true;
+        }
+    }
+}
+
+TEST(Interp, IntegerArithmetic)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(64);
+
+    kern::Builder b("int");
+    kern::Reg a = b.immU(7);
+    kern::Reg c = b.immU(5);
+    kern::Reg sum = b.add(DType::U32, a, c);
+    kern::Reg prod = b.mul(DType::U32, a, c);
+    kern::Reg sh = b.shli(a, 3);
+    kern::Reg m = b.madr(DType::U32, a, c, sum);
+    kern::Reg addr = b.immU(out);
+    b.st(DType::U32, Space::Global, addr, sum, 0);
+    b.st(DType::U32, Space::Global, addr, prod, 4);
+    b.st(DType::U32, Space::Global, addr, sh, 8);
+    b.st(DType::U32, Space::Global, addr, m, 12);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = l.block = {1, 1, 1};
+    runCta(l, mem);
+
+    EXPECT_EQ(mem.read<uint32_t>(out), 12u);
+    EXPECT_EQ(mem.read<uint32_t>(out + 4), 35u);
+    EXPECT_EQ(mem.read<uint32_t>(out + 8), 56u);
+    EXPECT_EQ(mem.read<uint32_t>(out + 12), 7u * 5u + 12u);
+}
+
+TEST(Interp, FloatArithmeticAndSfu)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(64);
+
+    kern::Builder b("float");
+    kern::Reg x = b.immF(3.0f);
+    kern::Reg y = b.immF(4.0f);
+    kern::Reg s = b.add(DType::F32, x, y);
+    kern::Reg p = b.mul(DType::F32, x, y);
+    kern::Reg r = b.reg();
+    b.emit2(Op::Rsqrt, DType::F32, r, y);   // 0.5
+    kern::Reg e = b.reg();
+    b.emit2(Op::Ex2, DType::F32, e, x);     // 8
+    kern::Reg addr = b.immU(out);
+    b.st(DType::F32, Space::Global, addr, s, 0);
+    b.st(DType::F32, Space::Global, addr, p, 4);
+    b.st(DType::F32, Space::Global, addr, r, 8);
+    b.st(DType::F32, Space::Global, addr, e, 12);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = l.block = {1, 1, 1};
+    runCta(l, mem);
+
+    EXPECT_FLOAT_EQ(mem.read<float>(out), 7.0f);
+    EXPECT_FLOAT_EQ(mem.read<float>(out + 4), 12.0f);
+    EXPECT_NEAR(mem.read<float>(out + 8), 0.5f, 1e-6f);
+    EXPECT_NEAR(mem.read<float>(out + 12), 8.0f, 1e-5f);
+}
+
+TEST(Interp, NarrowTypesCanonicalize)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(64);
+
+    kern::Builder b("narrow");
+    kern::Reg a = b.immU(0x1fffe);           // 131070
+    kern::Reg t = b.addi(DType::U16, a, 1);  // wraps to 16 bits: 0xffff
+    kern::Reg s = b.reg();
+    b.movU(s, 0xffff);                       // as s16: -1
+    kern::Reg s2 = b.addi(DType::S16, s, 0); // canonicalizes to sext(-1)
+    kern::Reg addr = b.immU(out);
+    b.st(DType::U32, Space::Global, addr, t, 0);
+    b.st(DType::U32, Space::Global, addr, s2, 4);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = l.block = {1, 1, 1};
+    runCta(l, mem);
+
+    EXPECT_EQ(mem.read<uint32_t>(out), 0xffffu);
+    EXPECT_EQ(mem.read<uint32_t>(out + 4), 0xffffffffu);
+}
+
+TEST(Interp, SpecialRegistersPerLane)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 64);
+
+    kern::Builder b("sregs");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg ty = b.movS(SReg::TidY);
+    kern::Reg ntx = b.movS(SReg::NTidX);
+    // linear = ty*ntx + tx
+    kern::Reg lin = b.madr(DType::U32, ty, ntx, tx);
+    kern::Reg off = b.shli(lin, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    b.st(DType::U32, Space::Global, addr, lin);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {8, 8, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), i);
+}
+
+TEST(Interp, PredicatedExecution)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 32);
+    // Pre-fill with sentinel.
+    for (uint32_t i = 0; i < 32; i++)
+        mem.write<uint32_t>(out + 4 * i, 999);
+
+    kern::Builder b("pred");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::PredReg p = b.pred();
+    b.setpi(p, DType::U32, Cmp::Lt, tx, 10);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    b.guard(p);
+    b.st(DType::U32, Space::Global, addr, tx);
+    b.endGuard();
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 32; i++) {
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), i < 10 ? i : 999u)
+            << "lane " << i;
+    }
+}
+
+TEST(Interp, SelpSelects)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 32);
+
+    kern::Builder b("selp");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::PredReg p = b.pred();
+    b.setpi(p, DType::U32, Cmp::Ge, tx, 16);
+    kern::Reg hi = b.immU(1);
+    kern::Reg lo = b.immU(0);
+    kern::Reg v = b.reg();
+    b.selp(DType::U32, v, hi, lo, p);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    b.st(DType::U32, Space::Global, addr, v);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 32; i++)
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), i >= 16 ? 1u : 0u);
+}
+
+TEST(Interp, DivergentBranchBothPathsExecute)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 32);
+
+    // if (tx < 8) out[tx] = 100; else out[tx] = 200;   (via ssy + bra)
+    kern::Builder b("diverge");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    kern::PredReg p = b.pred();
+    b.setpi(p, DType::U32, Cmp::Lt, tx, 8);
+    kern::Label elseL = b.label();
+    kern::Label endL = b.label();
+    b.ssy(endL);
+    b.braIf(elseL, p, /*negate=*/true);
+    kern::Reg v1 = b.immU(100);
+    b.st(DType::U32, Space::Global, addr, v1);
+    b.bra(endL);
+    b.bind(elseL);
+    kern::Reg v2 = b.immU(200);
+    b.st(DType::U32, Space::Global, addr, v2);
+    b.bind(endL);
+    // After reconvergence every lane adds 1 to its cell.
+    kern::Reg cur = b.reg();
+    b.ld(DType::U32, Space::Global, cur, addr);
+    kern::Reg inc = b.addi(DType::U32, cur, 1);
+    b.st(DType::U32, Space::Global, addr, inc);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 32; i++) {
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i),
+                  (i < 8 ? 100u : 200u) + 1u)
+            << "lane " << i;
+    }
+}
+
+TEST(Interp, DivergentLoopTripCounts)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 32);
+
+    // Each lane loops tx times: out[tx] = tx (accumulated by 1s).
+    kern::Builder b("divloop");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg acc = b.immU(0);
+    kern::Reg i = b.reg();
+    kern::Label head = b.label();
+    kern::Label done = b.label();
+    kern::PredReg p = b.pred();
+    b.ssy(done);
+    b.movU(i, 0);
+    b.bind(head);
+    b.setp(p, DType::U32, Cmp::Ge, i, tx);
+    b.braIf(done, p);
+    b.emit3i(Op::Add, DType::U32, acc, acc, 1);
+    b.emit3i(Op::Add, DType::U32, i, i, 1);
+    b.bra(head);
+    b.bind(done);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    b.st(DType::U32, Space::Global, addr, acc);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 32; i++)
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), i) << "lane " << i;
+}
+
+TEST(Interp, SharedMemoryAndBarrier)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 64);
+
+    // Two warps: each thread writes tid to shared, barrier, then reads
+    // the reversed slot.
+    kern::Builder b("smem");
+    const uint32_t sh = b.shared(64 * 4);
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg saddr = b.addi(DType::U32, off, sh);
+    b.st(DType::U32, Space::Shared, saddr, tx);
+    b.bar();
+    // rev = 63 - tx
+    kern::Reg c63 = b.immU(63);
+    kern::Reg rev = b.reg();
+    b.emit3(Op::Sub, DType::U32, rev, c63, tx);
+    kern::Reg roff = b.shli(rev, 2);
+    kern::Reg raddr = b.addi(DType::U32, roff, sh);
+    kern::Reg v = b.reg();
+    b.ld(DType::U32, Space::Shared, v, raddr);
+    kern::Reg gaddr = b.addi(DType::U32, off, out);
+    b.st(DType::U32, Space::Global, gaddr, v);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {64, 1, 1};
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), 63 - i);
+}
+
+TEST(Interp, ConstantAndParamLoads)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(16);
+
+    kern::Builder b("const");
+    b.constant(8);
+    kern::Reg c0 = b.ldc(DType::U32, 0);
+    kern::Reg c1 = b.ldc(DType::U32, 4);
+    kern::Reg p0 = b.param(0);
+    kern::Reg sum = b.add(DType::U32, c0, c1);
+    kern::Reg addr = b.immU(out);
+    b.st(DType::U32, Space::Global, addr, sum, 0);
+    b.st(DType::U32, Space::Global, addr, p0, 4);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = l.block = {1, 1, 1};
+    l.params = {777};
+    l.constData.resize(8);
+    const uint32_t a = 11, bb = 31;
+    std::memcpy(l.constData.data(), &a, 4);
+    std::memcpy(l.constData.data() + 4, &bb, 4);
+    runCta(l, mem);
+
+    EXPECT_EQ(mem.read<uint32_t>(out), 42u);
+    EXPECT_EQ(mem.read<uint32_t>(out + 4), 777u);
+}
+
+TEST(Interp, CoalescingCountsSegments)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t buf = mem.allocate(4 * 1024);
+
+    // Contiguous 4-byte loads by 32 lanes cover exactly one 128B segment.
+    kern::Builder b("coalesce");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, buf);
+    kern::Reg v = b.reg();
+    b.ld(DType::U32, Space::Global, v, addr);
+    // Strided loads (128B apart) need one segment per lane.
+    kern::Reg off2 = b.shli(tx, 7);
+    kern::Reg addr2 = b.addi(DType::U32, off2, buf);
+    kern::Reg v2 = b.reg();
+    b.ld(DType::U32, Space::Global, v2, addr2);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+
+    std::vector<uint8_t> smem(1);
+    WarpExec w(l, {0, 0, 0}, 0, mem, smem);
+    std::vector<Step> loads;
+    while (!w.done()) {
+        Step st = w.step();
+        if (st.op == Op::Ld && st.space == Space::Global)
+            loads.push_back(st);
+    }
+    ASSERT_EQ(loads.size(), 2u);
+    EXPECT_EQ(loads[0].numSegments, 1u);
+    EXPECT_EQ(loads[1].numSegments, 32u);
+}
+
+TEST(Interp, SharedBankConflictsDetected)
+{
+    DeviceMemory mem(1 << 20);
+
+    kern::Builder b("conflict");
+    const uint32_t sh = b.shared(4096);
+    kern::Reg tx = b.movS(SReg::TidX);
+    // addr = tx * 128 -> every lane hits bank 0 with distinct addresses.
+    kern::Reg off = b.shli(tx, 7);
+    kern::Reg saddr = b.addi(DType::U32, off, sh);
+    kern::Reg v = b.reg();
+    b.ld(DType::U32, Space::Shared, v, saddr);
+    // addr = tx * 4: conflict-free.
+    kern::Reg off2 = b.shli(tx, 2);
+    kern::Reg saddr2 = b.addi(DType::U32, off2, sh);
+    kern::Reg v2 = b.reg();
+    b.ld(DType::U32, Space::Shared, v2, saddr2);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+
+    std::vector<uint8_t> smem(4096, 0);
+    WarpExec w(l, {0, 0, 0}, 0, mem, smem);
+    std::vector<Step> loads;
+    while (!w.done()) {
+        Step st = w.step();
+        if (st.op == Op::Ld && st.space == Space::Shared)
+            loads.push_back(st);
+    }
+    ASSERT_EQ(loads.size(), 2u);
+    EXPECT_EQ(loads[0].sharedSerialization, 32u);
+    EXPECT_EQ(loads[1].sharedSerialization, 1u);
+}
+
+TEST(Interp, PartialWarpMasksInactiveLanes)
+{
+    DeviceMemory mem(1 << 20);
+    const uint32_t out = mem.allocate(4 * 32);
+    for (uint32_t i = 0; i < 32; i++)
+        mem.write<uint32_t>(out + 4 * i, 555);
+
+    kern::Builder b("partial");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg addr = b.addi(DType::U32, off, out);
+    b.st(DType::U32, Space::Global, addr, tx);
+
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {20, 1, 1};   // partial warp
+    runCta(l, mem);
+
+    for (uint32_t i = 0; i < 32; i++) {
+        EXPECT_EQ(mem.read<uint32_t>(out + 4 * i), i < 20 ? i : 555u)
+            << "lane " << i;
+    }
+}
+
+} // namespace
+} // namespace tango::sim

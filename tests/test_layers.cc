@@ -1,0 +1,328 @@
+/**
+ * @file
+ * CPU reference-layer tests: hand-computed small cases for every layer
+ * kind, plus algebraic properties (conv linearity, pooling bounds,
+ * softmax normalization).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+
+namespace tango::nn {
+namespace {
+
+Tensor
+filled(std::vector<uint32_t> shape, std::initializer_list<float> vals)
+{
+    Tensor t(std::move(shape));
+    size_t i = 0;
+    for (float v : vals)
+        t[i++] = v;
+    return t;
+}
+
+Tensor
+randomT(std::vector<uint32_t> shape, uint64_t seed)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (uint64_t i = 0; i < t.size(); i++)
+        t[i] = rng.gaussian();
+    return t;
+}
+
+TEST(ConvRef, IdentityKernel)
+{
+    // 1x1 kernel with weight 1 copies the input.
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.C = 1;
+    l.H = l.W = 3;
+    l.K = 1;
+    l.R = l.S = 1;
+    l.P = l.Q = 3;
+    l.bias = false;
+    l.weights = filled({1, 1, 1, 1}, {1.0f});
+    const Tensor in = randomT({1, 3, 3}, 1);
+    const Tensor out = referenceForward(l, {&in});
+    for (uint64_t i = 0; i < in.size(); i++)
+        EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(ConvRef, HandComputed3x3)
+{
+    // 3x3 input, 2x2 kernel of ones, stride 1, no pad -> 2x2 sums.
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.C = 1;
+    l.H = l.W = 3;
+    l.K = 1;
+    l.R = l.S = 2;
+    l.P = l.Q = 2;
+    l.bias = true;
+    l.weights = filled({1, 1, 2, 2}, {1, 1, 1, 1});
+    l.biasT = filled({1}, {0.5f});
+    const Tensor in = filled({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2 + 3 + 5 + 6 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 4 + 5 + 7 + 8 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 5 + 6 + 8 + 9 + 0.5f);
+}
+
+TEST(ConvRef, PaddingContributesZero)
+{
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.C = 1;
+    l.H = l.W = 2;
+    l.K = 1;
+    l.R = l.S = 3;
+    l.pad = 1;
+    l.P = l.Q = 2;
+    l.bias = false;
+    l.weights = Tensor({1, 1, 3, 3});
+    for (uint64_t i = 0; i < 9; i++)
+        l.weights[i] = 1.0f;
+    const Tensor in = filled({1, 2, 2}, {1, 2, 3, 4});
+    const Tensor out = referenceForward(l, {&in});
+    // Every output sees all four inputs minus what falls off the edge.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 3 + 4);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 1 + 2 + 3 + 4);
+}
+
+TEST(ConvRef, LinearityInInput)
+{
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.C = 2;
+    l.H = l.W = 5;
+    l.K = 3;
+    l.R = l.S = 3;
+    l.pad = 1;
+    l.P = l.Q = 5;
+    l.bias = false;
+    l.weights = randomT({3, 2, 3, 3}, 2);
+    const Tensor a = randomT({2, 5, 5}, 3);
+    Tensor a2({2, 5, 5});
+    for (uint64_t i = 0; i < a.size(); i++)
+        a2[i] = 2.0f * a[i];
+    const Tensor o1 = referenceForward(l, {&a});
+    const Tensor o2 = referenceForward(l, {&a2});
+    for (uint64_t i = 0; i < o1.size(); i++)
+        EXPECT_NEAR(o2[i], 2.0f * o1[i], 1e-4f);
+}
+
+TEST(PoolRef, MaxHandComputed)
+{
+    Layer l;
+    l.kind = LayerKind::Pool;
+    l.C = 1;
+    l.H = l.W = 4;
+    l.R = l.S = 2;
+    l.stride = 2;
+    l.P = l.Q = 2;
+    const Tensor in = filled({1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                         11, 12, 13, 14, 15, 16});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 6);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 8);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 14);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 16);
+}
+
+TEST(PoolRef, MaxBoundsProperty)
+{
+    Layer l;
+    l.kind = LayerKind::Pool;
+    l.C = 3;
+    l.H = l.W = 9;
+    l.R = l.S = 3;
+    l.stride = 2;
+    l.P = l.Q = 4;
+    const Tensor in = randomT({3, 9, 9}, 4);
+    const Tensor out = referenceForward(l, {&in});
+    float inMax = -1e30f, inMin = 1e30f;
+    for (uint64_t i = 0; i < in.size(); i++) {
+        inMax = std::max(inMax, in[i]);
+        inMin = std::min(inMin, in[i]);
+    }
+    for (uint64_t i = 0; i < out.size(); i++) {
+        EXPECT_LE(out[i], inMax);
+        EXPECT_GE(out[i], inMin);
+    }
+}
+
+TEST(PoolRef, GlobalAverage)
+{
+    Layer l;
+    l.kind = LayerKind::Pool;
+    l.C = 2;
+    l.H = l.W = 2;
+    l.globalAvg = true;
+    l.avg = true;
+    l.P = l.Q = 1;
+    const Tensor in = filled({2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out[0], 2.5f);
+    EXPECT_FLOAT_EQ(out[1], 25.0f);
+}
+
+TEST(FcRef, HandComputed)
+{
+    Layer l;
+    l.kind = LayerKind::FC;
+    l.inN = 3;
+    l.outN = 2;
+    l.weights = filled({2, 3}, {1, 2, 3, 4, 5, 6});
+    l.biasT = filled({2}, {0.5f, -0.5f});
+    const Tensor in = filled({3}, {1, 1, 1});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out[0], 6.5f);
+    EXPECT_FLOAT_EQ(out[1], 14.5f);
+}
+
+TEST(FcRef, ReluClamps)
+{
+    Layer l;
+    l.kind = LayerKind::FC;
+    l.inN = 1;
+    l.outN = 1;
+    l.relu = true;
+    l.weights = filled({1, 1}, {-1.0f});
+    l.biasT = filled({1}, {0.0f});
+    const Tensor in = filled({1}, {5.0f});
+    EXPECT_FLOAT_EQ(referenceForward(l, {&in})[0], 0.0f);
+}
+
+TEST(LrnRef, UniformInputNormalizes)
+{
+    Layer l;
+    l.kind = LayerKind::LRN;
+    l.C = 5;
+    l.H = l.W = 1;
+    l.localSize = 5;
+    Tensor in({5, 1, 1});
+    for (int c = 0; c < 5; c++)
+        in[c] = 2.0f;
+    const Tensor out = referenceForward(l, {&in});
+    // Middle channel sees all five: sum = 5*4 = 20.
+    const float scale = l.lrnK + l.alpha / 5.0f * 20.0f;
+    EXPECT_NEAR(out.at(2, 0, 0), 2.0f / std::pow(scale, l.beta), 1e-6f);
+}
+
+TEST(BatchNormRef, NormalizesToStandard)
+{
+    Layer l;
+    l.kind = LayerKind::BatchNorm;
+    l.C = 1;
+    l.H = 1;
+    l.W = 2;
+    l.mean = filled({1}, {2.0f});
+    l.var = filled({1}, {4.0f});
+    const Tensor in = filled({1, 1, 2}, {2.0f, 6.0f});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_NEAR(out[0], 0.0f, 1e-5f);
+    EXPECT_NEAR(out[1], 4.0f / std::sqrt(4.0f + l.eps), 1e-4f);
+}
+
+TEST(ScaleRef, AffinePerChannel)
+{
+    Layer l;
+    l.kind = LayerKind::Scale;
+    l.C = 2;
+    l.H = 1;
+    l.W = 1;
+    l.gamma = filled({2}, {2.0f, 3.0f});
+    l.betaT = filled({2}, {1.0f, -1.0f});
+    const Tensor in = filled({2, 1, 1}, {5.0f, 5.0f});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out[0], 11.0f);
+    EXPECT_FLOAT_EQ(out[1], 14.0f);
+}
+
+TEST(EltwiseRef, AddsAndOptionallyClamps)
+{
+    Layer l;
+    l.kind = LayerKind::Eltwise;
+    l.C = 1;
+    l.H = 1;
+    l.W = 2;
+    l.inputs = {-1, -1};
+    const Tensor a = filled({1, 1, 2}, {1.0f, -5.0f});
+    const Tensor b = filled({1, 1, 2}, {2.0f, 2.0f});
+    Tensor out = referenceForward(l, {&a, &b});
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+    EXPECT_FLOAT_EQ(out[1], -3.0f);
+    l.relu = true;
+    out = referenceForward(l, {&a, &b});
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(SoftmaxRef, NormalizesAndOrders)
+{
+    Layer l;
+    l.kind = LayerKind::Softmax;
+    l.inN = l.outN = 4;
+    const Tensor in = filled({4}, {1.0f, 3.0f, 2.0f, 0.0f});
+    const Tensor out = referenceForward(l, {&in});
+    float sum = 0.0f;
+    for (int i = 0; i < 4; i++)
+        sum += out[i];
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_EQ(out.argmax(), 1u);
+    EXPECT_GT(out[2], out[0]);
+}
+
+TEST(SoftmaxRef, LargeLogitsStayFinite)
+{
+    Layer l;
+    l.kind = LayerKind::Softmax;
+    l.inN = l.outN = 3;
+    const Tensor in = filled({3}, {1000.0f, 999.0f, -1000.0f});
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_TRUE(std::isfinite(out[0]));
+    EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-5f);
+}
+
+TEST(ConcatRef, StacksChannels)
+{
+    Layer l;
+    l.kind = LayerKind::Concat;
+    l.K = 3;
+    l.P = l.Q = 2;
+    l.inputs = {-1, -1};
+    const Tensor a = filled({1, 2, 2}, {1, 2, 3, 4});
+    const Tensor b = filled({2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+    const Tensor out = referenceForward(l, {&a, &b});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 5);
+    EXPECT_FLOAT_EQ(out.at(2, 1, 1), 12);
+}
+
+TEST(LayerMeta, MacsAndOutputSize)
+{
+    Layer conv;
+    conv.kind = LayerKind::Conv;
+    conv.C = 3;
+    conv.H = conv.W = 8;
+    conv.K = 16;
+    conv.R = conv.S = 3;
+    conv.P = conv.Q = 8;
+    EXPECT_EQ(conv.outputSize(), 16u * 64);
+    EXPECT_EQ(conv.macs(), 16ull * 64 * 3 * 9);
+
+    Layer fc;
+    fc.kind = LayerKind::FC;
+    fc.inN = 100;
+    fc.outN = 10;
+    EXPECT_EQ(fc.outputSize(), 10u);
+    EXPECT_EQ(fc.macs(), 1000u);
+}
+
+} // namespace
+} // namespace tango::nn

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Extension tests: the depthwise-convolution kernel and the MobileNet v1
+ * model (the network the paper lists as "currently developing").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "kernels/kernels.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango {
+namespace {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Tensor;
+
+Tensor
+randomT(std::vector<uint32_t> shape, uint64_t seed)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (uint64_t i = 0; i < t.size(); i++)
+        t[i] = rng.gaussian() * 0.5f;
+    return t;
+}
+
+TEST(Depthwise, ReferenceHandComputed)
+{
+    // One channel, 3x3 ones filter, 3x3 input, pad 1: centre output is
+    // the sum of all inputs.
+    Layer l;
+    l.kind = LayerKind::Depthwise;
+    l.C = 1;
+    l.H = l.W = 3;
+    l.K = 1;
+    l.R = l.S = 3;
+    l.pad = 1;
+    l.P = l.Q = 3;
+    l.bias = false;
+    l.weights = Tensor({1, 3, 3});
+    for (int i = 0; i < 9; i++)
+        l.weights[i] = 1.0f;
+    Tensor in({1, 3, 3});
+    float sum = 0.0f;
+    for (int i = 0; i < 9; i++) {
+        in[i] = float(i + 1);
+        sum += in[i];
+    }
+    const Tensor out = referenceForward(l, {&in});
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), sum);
+}
+
+TEST(Depthwise, ChannelsAreIndependent)
+{
+    Layer l;
+    l.kind = LayerKind::Depthwise;
+    l.C = 2;
+    l.H = l.W = 4;
+    l.K = 2;
+    l.R = l.S = 3;
+    l.pad = 1;
+    l.P = l.Q = 4;
+    l.bias = false;
+    l.weights = Tensor({2, 3, 3});
+    // Channel 0 filter zero, channel 1 identity-centre.
+    l.weights[9 + 4] = 1.0f;
+    const Tensor in = randomT({2, 4, 4}, 1);
+    const Tensor out = referenceForward(l, {&in});
+    for (uint32_t y = 0; y < 4; y++) {
+        for (uint32_t x = 0; x < 4; x++) {
+            EXPECT_FLOAT_EQ(out.at(0, y, x), 0.0f);
+            EXPECT_FLOAT_EQ(out.at(1, y, x), in.at(1, y, x));
+        }
+    }
+}
+
+TEST(Depthwise, KernelMatchesReference)
+{
+    Layer l;
+    l.kind = LayerKind::Depthwise;
+    l.C = 5;
+    l.H = l.W = 11;
+    l.K = 5;
+    l.R = l.S = 3;
+    l.stride = 2;
+    l.pad = 1;
+    l.P = l.Q = (11 + 2 - 3) / 2 + 1;
+    l.relu = true;
+    l.weights = randomT({5, 3, 3}, 2);
+    l.biasT = randomT({5}, 3);
+
+    const Tensor in = randomT({5, 11, 11}, 4);
+    const Tensor ref = referenceForward(l, {&in});
+
+    sim::Gpu gpu(sim::pascalGP102());
+    auto up = [&](const Tensor &t) {
+        const uint32_t a = gpu.mem().allocate(t.bytes());
+        gpu.mem().copyIn(a, t.data(), t.bytes());
+        return a;
+    };
+    const uint32_t inA = up(in);
+    const uint32_t wA = up(l.weights);
+    const uint32_t bA = up(l.biasT);
+    const uint32_t outA = gpu.mem().allocate(4ull * l.C * l.P * l.Q);
+
+    kern::DepthwiseDesc d;
+    d.C = l.C;
+    d.H = l.H;
+    d.W = l.W;
+    d.R = l.R;
+    d.S = l.S;
+    d.stride = l.stride;
+    d.pad = l.pad;
+    d.relu = true;
+    d.grid = {l.C, 1, 1};
+    d.block = {4, 4, 1};
+    sim::SimPolicy full;
+    full.fullSim = true;
+    gpu.launch(kern::makeDepthwiseLaunch(d, inA, wA, bA, outA), full);
+
+    for (uint64_t i = 0; i < ref.size(); i++) {
+        const float got = gpu.mem().read<float>(outA + 4 * i);
+        ASSERT_NEAR(got, ref[i],
+                    1e-5f * std::max(1.0f, std::fabs(ref[i])))
+            << "elem " << i;
+    }
+}
+
+TEST(MobileNet, Structure)
+{
+    nn::Network net = nn::models::buildMobileNet();
+    int dws = 0, convs = 0;
+    for (const auto &l : net.layers()) {
+        dws += l.kind == LayerKind::Depthwise;
+        convs += l.kind == LayerKind::Conv;
+    }
+    EXPECT_EQ(dws, 13);
+    EXPECT_EQ(convs, 14);   // stem + 13 pointwise
+    nn::initWeights(net);
+    // MobileNet v1: ~4.2M parameters.
+    EXPECT_GT(net.totalParams(), 3'800'000u);
+    EXPECT_LT(net.totalParams(), 4'800'000u);
+    // ~569M MACs at 224x224.
+    EXPECT_GT(net.totalMacs(), 500'000'000u);
+    EXPECT_LT(net.totalMacs(), 650'000'000u);
+}
+
+TEST(MobileNet, RunsOnSimulator)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    const rt::NetRun run =
+        rt::runNetworkByName(gpu, "mobilenet", rt::benchPolicy());
+    EXPECT_GT(run.totalTimeSec, 0.0);
+    EXPECT_GT(run.totals.sumPrefix("op."), 1e8);
+    // MobileNet exists to be small: far less device memory than AlexNet.
+    EXPECT_LT(run.deviceBytes, 64ull << 20);
+}
+
+TEST(MobileNet, FasterThanVggPerInference)
+{
+    // The whole point of depthwise separability: far fewer MACs.
+    nn::Network mobile = nn::models::buildMobileNet();
+    nn::Network vgg = nn::models::buildVgg16();
+    EXPECT_LT(mobile.totalMacs() * 10, vgg.totalMacs());
+}
+
+} // namespace
+} // namespace tango

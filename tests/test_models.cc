@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Network model structure tests: layer counts, shape chaining, Table III
+ * launch geometries, parameter counts against the published model sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+
+namespace tango::nn {
+namespace {
+
+/** Verify producer/consumer shape chaining through the whole net. */
+void
+checkShapes(const Network &net)
+{
+    const auto &ls = net.layers();
+    for (size_t i = 0; i < ls.size(); i++) {
+        const Layer &l = ls[i];
+        for (int p : l.inputs) {
+            ASSERT_LT(p, static_cast<int>(i));
+            uint64_t prodSize;
+            if (p < 0) {
+                prodSize = uint64_t(net.inC) * net.inH * net.inW;
+            } else {
+                prodSize = ls[p].outputSize();
+            }
+            uint64_t consSize;
+            switch (l.kind) {
+              case LayerKind::Conv:
+                consSize = uint64_t(l.C) * l.H * l.W;
+                break;
+              case LayerKind::FC:
+              case LayerKind::Softmax:
+                consSize = l.inN;
+                break;
+              case LayerKind::Concat:
+                continue;   // checked via channel sum below
+              default:
+                consSize = uint64_t(l.C) * l.H * l.W;
+                break;
+            }
+            EXPECT_EQ(prodSize, consSize)
+                << net.name << "." << l.name << " input from " << p;
+        }
+        if (l.kind == LayerKind::Concat) {
+            uint32_t channels = 0;
+            for (int p : l.inputs)
+                channels += ls[p].K;
+            EXPECT_EQ(channels, l.K) << net.name << "." << l.name;
+        }
+    }
+}
+
+TEST(Models, CifarNetStructure)
+{
+    const Network net = models::buildCifarNet();
+    EXPECT_EQ(net.layers().size(), 9u);
+    checkShapes(net);
+    // 3 conv + 2 fc + softmax; output 9 classes.
+    EXPECT_EQ(net.layers().back().outN, 9u);
+}
+
+TEST(Models, AlexNetStructure)
+{
+    Network net = models::buildAlexNet();
+    checkShapes(net);
+    int convs = 0, fcs = 0, norms = 0, pools = 0;
+    for (const auto &l : net.layers()) {
+        convs += l.kind == LayerKind::Conv;
+        fcs += l.kind == LayerKind::FC;
+        norms += l.kind == LayerKind::LRN;
+        pools += l.kind == LayerKind::Pool;
+    }
+    EXPECT_EQ(convs, 5);
+    EXPECT_EQ(fcs, 3);
+    EXPECT_EQ(norms, 2);
+    EXPECT_EQ(pools, 3);
+    // ~61M parameters (BVLC AlexNet without groups is ~61-65M).
+    initWeights(net);
+    EXPECT_GT(net.totalParams(), 55'000'000u);
+    EXPECT_LT(net.totalParams(), 75'000'000u);
+}
+
+TEST(Models, SqueezeNetStructure)
+{
+    Network net = models::buildSqueezeNet();
+    checkShapes(net);
+    int fires = 0;
+    for (const auto &l : net.layers())
+        fires += (l.kind == LayerKind::Concat);
+    EXPECT_EQ(fires, 8);   // fire2..fire9
+    initWeights(net);
+    // SqueezeNet v1.0: ~1.25M parameters ("50x fewer than AlexNet").
+    EXPECT_GT(net.totalParams(), 1'000'000u);
+    EXPECT_LT(net.totalParams(), 1'500'000u);
+}
+
+TEST(Models, ResNet50Structure)
+{
+    const Network net = models::buildResNet50();
+    checkShapes(net);
+    int convs = 0, eltwise = 0;
+    for (const auto &l : net.layers()) {
+        convs += l.kind == LayerKind::Conv;
+        eltwise += l.kind == LayerKind::Eltwise;
+    }
+    // 1 stem + 16 blocks x 3 + 4 projections = 53 convolution layers.
+    EXPECT_EQ(convs, 53);
+    EXPECT_EQ(eltwise, 16);
+    EXPECT_EQ(net.layers().back().outN, 1000u);
+}
+
+TEST(Models, ResNet50ParamCount)
+{
+    Network net = models::buildResNet50();
+    initWeights(net);
+    // ~25.5M weights + BN/scale params.
+    EXPECT_GT(net.totalParams(), 23'000'000u);
+    EXPECT_LT(net.totalParams(), 28'000'000u);
+}
+
+TEST(Models, Vgg16Structure)
+{
+    Network net = models::buildVgg16();
+    checkShapes(net);
+    int convs = 0, fcs = 0, pools = 0;
+    for (const auto &l : net.layers()) {
+        convs += l.kind == LayerKind::Conv;
+        fcs += l.kind == LayerKind::FC;
+        pools += l.kind == LayerKind::Pool;
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(fcs, 3);
+    EXPECT_EQ(pools, 5);
+    initWeights(net);
+    // ~138M parameters.
+    EXPECT_GT(net.totalParams(), 130'000'000u);
+    EXPECT_LT(net.totalParams(), 145'000'000u);
+}
+
+TEST(Models, TableIIIGeometries)
+{
+    // Spot-check the launch hints against the paper's Table III.
+    const Network cifar = models::buildCifarNet();
+    EXPECT_EQ(cifar.layers()[0].hint.block, (kern::Dim3{32, 32, 1}));
+    EXPECT_EQ(cifar.layers()[0].hint.grid, (kern::Dim3{1, 1, 1}));
+
+    const Network alex = models::buildAlexNet();
+    // conv1: four tiles of 32/23.
+    EXPECT_EQ(alex.layers()[0].hint.tiles.size(), 4u);
+    EXPECT_EQ(alex.layers()[0].hint.tiles[0].bw, 32u);
+    EXPECT_EQ(alex.layers()[0].hint.tiles[3].bw, 23u);
+    // fc6: one single-thread block per neuron.
+    for (const auto &l : alex.layers()) {
+        if (l.name == "fc6") {
+            EXPECT_EQ(l.hint.grid.x, 4096u);
+            EXPECT_EQ(l.hint.block.count(), 1u);
+        }
+    }
+
+    const Network vgg = models::buildVgg16();
+    // conv1_1: (16,16,64) grid of (14,14) blocks.
+    EXPECT_EQ(vgg.layers()[0].hint.grid, (kern::Dim3{16, 16, 64}));
+    EXPECT_EQ(vgg.layers()[0].hint.block, (kern::Dim3{14, 14, 1}));
+
+    const Network sq = models::buildSqueezeNet();
+    // conv1 output 111x111 -> RowBlock (111)(111).
+    EXPECT_EQ(sq.layers()[0].hint.grid.x, 111u);
+    EXPECT_EQ(sq.layers()[0].hint.block.x, 111u);
+}
+
+TEST(Models, RnnGeometries)
+{
+    const RnnModel gru = models::buildGru();
+    EXPECT_FALSE(gru.lstm);
+    EXPECT_EQ(gru.hidden, 100u);
+    EXPECT_EQ(gru.seqLen, 2u);
+    const RnnModel lstm = models::buildLstm();
+    EXPECT_TRUE(lstm.lstm);
+    EXPECT_EQ(lstm.hidden, 100u);
+}
+
+TEST(Models, BuildByNameMatchesDirect)
+{
+    for (const auto &name : models::cnnNames()) {
+        const Network net = models::buildCnn(name);
+        EXPECT_EQ(net.name, name);
+        EXPECT_FALSE(net.layers().empty());
+    }
+}
+
+TEST(Models, SyntheticInputsAreDeterministic)
+{
+    const Tensor a = models::makeInputImage(3, 16, 16, 5);
+    const Tensor b = models::makeInputImage(3, 16, 16, 5);
+    const Tensor c = models::makeInputImage(3, 16, 16, 6);
+    for (uint64_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(a[i], b[i]);
+    bool differ = false;
+    for (uint64_t i = 0; i < a.size(); i++)
+        differ |= (a[i] != c[i]);
+    EXPECT_TRUE(differ);
+
+    const auto s1 = models::makeStockSequence(8, 3);
+    const auto s2 = models::makeStockSequence(8, 3);
+    EXPECT_EQ(s1, s2);
+    for (float v : s1) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Models, CifarNetForwardShapes)
+{
+    Network net = models::buildCifarNet();
+    initWeights(net);
+    const Tensor in = models::makeInputImage(3, 32, 32);
+    const auto outs = net.forwardAll(in);
+    EXPECT_EQ(outs[0].shape(), (std::vector<uint32_t>{32, 32, 32}));
+    EXPECT_EQ(outs[1].shape(), (std::vector<uint32_t>{32, 15, 15}));
+    EXPECT_EQ(outs.back().shape(), (std::vector<uint32_t>{9}));
+}
+
+} // namespace
+} // namespace tango::nn

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Profiler aggregation tests: breakdowns normalize, orderings hold,
+ * topN folds correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/profiler.hh"
+
+namespace tango::prof {
+namespace {
+
+TEST(Profiler, OpBreakdownNormalizesAndSorts)
+{
+    StatSet s;
+    s.set("op.add", 60.0);
+    s.set("op.mul", 30.0);
+    s.set("op.ld", 10.0);
+    const Series b = opBreakdown(s);
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_EQ(b[0].first, "add");
+    EXPECT_DOUBLE_EQ(b[0].second, 0.6);
+    EXPECT_EQ(b[2].first, "ld");
+    double sum = 0.0;
+    for (const auto &[k, v] : b)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Profiler, OpBreakdownEmptyInput)
+{
+    StatSet s;
+    EXPECT_TRUE(opBreakdown(s).empty());
+}
+
+TEST(Profiler, DtypeBreakdownKeepsLegendOrder)
+{
+    StatSet s;
+    s.set("dtype.u32", 50.0);
+    s.set("dtype.f32", 30.0);
+    s.set("dtype.s32", 20.0);
+    const Series b = dtypeBreakdown(s);
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0].first, "f32");
+    EXPECT_DOUBLE_EQ(b[0].second, 0.3);
+    EXPECT_EQ(b[1].first, "u32");
+    EXPECT_EQ(b[2].first, "u16");
+    EXPECT_DOUBLE_EQ(b[2].second, 0.0);
+}
+
+TEST(Profiler, StallBreakdownCoversAllCategories)
+{
+    StatSet s;
+    s.set("stall.memory_dependency", 70.0);
+    s.set("stall.not_selected", 30.0);
+    const Series b = stallBreakdown(s);
+    EXPECT_EQ(b.size(), sim::numStalls);
+    double sum = 0.0;
+    for (const auto &[k, v] : b)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (const auto &[k, v] : b) {
+        if (k == "memory_dependency")
+            EXPECT_DOUBLE_EQ(v, 0.7);
+    }
+}
+
+TEST(Profiler, TopNFoldsTail)
+{
+    Series s = {{"a", 0.5}, {"b", 0.3}, {"c", 0.1}, {"d", 0.06},
+                {"e", 0.04}};
+    const Series t = topN(s, 3);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[3].first, "Others");
+    EXPECT_NEAR(t[3].second, 0.1, 1e-12);
+}
+
+TEST(Profiler, TopNShorterThanN)
+{
+    Series s = {{"a", 1.0}};
+    const Series t = topN(s, 10);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Profiler, MergeTotalsAccumulates)
+{
+    rt::NetRun a, b;
+    a.totals.set("op.add", 5.0);
+    b.totals.set("op.add", 7.0);
+    b.totals.set("op.mul", 1.0);
+    const StatSet m = mergeTotals({&a, &b});
+    EXPECT_DOUBLE_EQ(m.get("op.add"), 12.0);
+    EXPECT_DOUBLE_EQ(m.get("op.mul"), 1.0);
+}
+
+TEST(Profiler, LayerBreakdownsUseFigTypes)
+{
+    rt::NetRun run;
+    rt::LayerRun conv;
+    conv.figType = "Conv";
+    sim::KernelStats k1;
+    k1.timeSec = 0.75;
+    k1.energyJ = 1.0;
+    conv.kernels.push_back(k1);
+    rt::LayerRun pool;
+    pool.figType = "Pooling";
+    sim::KernelStats k2;
+    k2.timeSec = 0.25;
+    k2.energyJ = 3.0;
+    pool.kernels.push_back(k2);
+    run.layers.push_back(conv);
+    run.layers.push_back(pool);
+
+    const Series t = layerTimeBreakdown(run);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t[0].second, 0.75);
+    EXPECT_DOUBLE_EQ(t[1].second, 0.25);
+
+    const Series e = layerEnergyBreakdown(run);
+    EXPECT_DOUBLE_EQ(e[0].second, 0.25);
+    EXPECT_DOUBLE_EQ(e[1].second, 0.75);
+}
+
+} // namespace
+} // namespace tango::prof

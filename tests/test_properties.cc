@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps): invariants that must hold
+ * across a swept space — conv kernels vs reference over random layer
+ * geometries, cache accounting identities, monotonicity of the cache
+ * size, coalescing bounds, softmax normalization over sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "kernels/kernels.hh"
+#include "nn/network.hh"
+#include "sim/cache.hh"
+#include "sim/gpu.hh"
+
+namespace tango {
+namespace {
+
+using kern::ChannelSrc;
+using kern::PixelMap;
+using nn::Layer;
+using nn::LayerKind;
+using nn::Tensor;
+
+Tensor
+randomT(std::vector<uint32_t> shape, uint64_t seed)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (uint64_t i = 0; i < t.size(); i++)
+        t[i] = rng.gaussian() * 0.5f;
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Conv kernel equals reference over a swept geometry space.
+
+struct ConvGeom
+{
+    uint32_t C, HW, K, RS, stride, pad;
+};
+
+class ConvGeometry : public ::testing::TestWithParam<ConvGeom>
+{
+};
+
+TEST_P(ConvGeometry, KernelMatchesReference)
+{
+    const ConvGeom g = GetParam();
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.C = g.C;
+    l.H = l.W = g.HW;
+    l.K = g.K;
+    l.R = l.S = g.RS;
+    l.stride = g.stride;
+    l.pad = g.pad;
+    l.P = l.Q = (g.HW + 2 * g.pad - g.RS) / g.stride + 1;
+    l.weights = randomT({l.K, l.C, l.R, l.S}, g.C * 100 + g.HW);
+    l.biasT = randomT({l.K}, g.K);
+
+    const Tensor in = randomT({l.C, l.H, l.W}, g.HW * 7);
+    const Tensor ref = referenceForward(l, {&in});
+
+    sim::Gpu gpu(sim::pascalGP102());
+    auto up = [&](const Tensor &t) {
+        const uint32_t a = gpu.mem().allocate(t.bytes());
+        gpu.mem().copyIn(a, t.data(), t.bytes());
+        return a;
+    };
+    const uint32_t inA = up(in);
+    const uint32_t wA = up(l.weights);
+    const uint32_t bA = up(l.biasT);
+    const uint32_t outA =
+        gpu.mem().allocate(4ull * l.K * l.P * l.Q);
+
+    kern::ConvDesc d;
+    d.C = l.C;
+    d.H = l.H;
+    d.W = l.W;
+    d.K = l.K;
+    d.R = l.R;
+    d.S = l.S;
+    d.stride = l.stride;
+    d.pad = l.pad;
+    d.filterSrc = ChannelSrc::GridX;
+    d.pixelMap = PixelMap::StrideLoop;
+    d.grid = {l.K, 1, 1};
+    d.block = {4, 4, 1};
+    sim::SimPolicy full;
+    full.fullSim = true;
+    gpu.launch(kern::makeConvLaunch(d, inA, wA, bA, outA), full);
+
+    for (uint64_t i = 0; i < ref.size(); i++) {
+        const float got = gpu.mem().read<float>(outA + 4 * i);
+        ASSERT_NEAR(got, ref[i],
+                    1e-4f * std::max(1.0f, std::fabs(ref[i])))
+            << "elem " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvGeometry,
+    ::testing::Values(ConvGeom{1, 5, 1, 1, 1, 0},
+                      ConvGeom{1, 7, 2, 3, 1, 1},
+                      ConvGeom{3, 9, 4, 3, 2, 1},
+                      ConvGeom{2, 11, 3, 5, 2, 2},
+                      ConvGeom{4, 8, 8, 1, 1, 0},
+                      ConvGeom{2, 13, 2, 7, 3, 3},
+                      ConvGeom{5, 6, 5, 3, 1, 2}),
+    [](const auto &info) {
+        const ConvGeom &g = info.param;
+        return "C" + std::to_string(g.C) + "HW" + std::to_string(g.HW) +
+               "K" + std::to_string(g.K) + "RS" + std::to_string(g.RS) +
+               "s" + std::to_string(g.stride) + "p" +
+               std::to_string(g.pad);
+    });
+
+// ---------------------------------------------------------------------
+// Cache accounting identities over swept geometries.
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, HitsPlusMissesEqualsAccesses)
+{
+    const auto [sizeKb, assoc] = GetParam();
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = sizeKb * 1024;
+    cfg.assoc = assoc;
+    cfg.lineBytes = 128;
+    sim::Cache c(cfg);
+    Rng rng(sizeKb * 31 + assoc);
+    for (int i = 0; i < 20000; i++)
+        c.access(rng.below(1 << 18), rng.below(4) == 0, i);
+    const auto &s = c.stats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_GT(s.hits, 0u);
+    EXPECT_GT(s.misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheGeometry,
+    ::testing::Combine(::testing::Values(16u, 64u, 256u),
+                       ::testing::Values(2u, 4u, 16u)));
+
+TEST(CacheProperty, MissRatioMonotoneInSize)
+{
+    // Same access trace, growing cache: miss ratio must not increase.
+    std::vector<uint32_t> trace;
+    Rng rng(99);
+    // Mix of hot set + streaming.
+    for (int i = 0; i < 30000; i++) {
+        trace.push_back(rng.below(2) ? rng.below(16 * 1024)
+                                     : rng.below(1 << 20));
+    }
+    double prev = 1.1;
+    for (uint32_t kb : {8u, 32u, 128u, 512u, 2048u}) {
+        sim::CacheConfig cfg;
+        cfg.sizeBytes = kb * 1024;
+        cfg.assoc = 8;
+        cfg.lineBytes = 128;
+        sim::Cache c(cfg);
+        for (size_t i = 0; i < trace.size(); i++)
+            c.access(trace[i], false, i);
+        const double ratio = c.stats().missRatio();
+        EXPECT_LE(ratio, prev + 0.01) << kb << "KB";
+        prev = ratio;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Softmax normalization over sizes.
+
+class SoftmaxSizes : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SoftmaxSizes, DeviceOutputSumsToOne)
+{
+    const uint32_t n = GetParam();
+    sim::Gpu gpu(sim::pascalGP102());
+    const Tensor in = randomT({n}, n * 13);
+    const uint32_t inA = gpu.mem().allocate(in.bytes());
+    gpu.mem().copyIn(inA, in.data(), in.bytes());
+    const uint32_t outA = gpu.mem().allocate(in.bytes());
+
+    kern::SoftmaxDesc d;
+    d.n = n;
+    sim::SimPolicy full;
+    full.fullSim = true;
+    gpu.launch(kern::makeSoftmaxLaunch(d, inA, outA), full);
+
+    double sum = 0.0;
+    for (uint32_t i = 0; i < n; i++) {
+        const float v = gpu.mem().read<float>(outA + 4 * i);
+        EXPECT_GE(v, 0.0f);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SoftmaxSizes,
+                         ::testing::Values(1u, 2u, 9u, 31u, 32u, 33u,
+                                           100u, 1000u));
+
+// ---------------------------------------------------------------------
+// Occupancy calculator properties.
+
+class OccupancySweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(OccupancySweep, RespectsEveryLimit)
+{
+    const uint32_t threads = GetParam();
+    const sim::GpuConfig cfg = sim::pascalGP102();
+    for (uint32_t regs : {8u, 32u, 64u, 128u}) {
+        for (uint32_t smem : {0u, 1024u, 48u * 1024}) {
+            const uint32_t ctas = cfg.occupancyCtas(threads, regs, smem);
+            EXPECT_GE(ctas, 1u);
+            EXPECT_LE(ctas, cfg.maxCtasPerSm);
+            EXPECT_LE(uint64_t(ctas) * threads,
+                      uint64_t(cfg.maxThreadsPerSm) + threads);
+            if (smem > 0 && ctas > 1)
+                EXPECT_LE(ctas * smem, cfg.smemBytesPerSm);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OccupancySweep,
+                         ::testing::Values(1u, 32u, 100u, 256u, 1024u));
+
+// ---------------------------------------------------------------------
+// Pooling result bounds over kinds and strides.
+
+class PoolSweep
+    : public ::testing::TestWithParam<std::tuple<bool, uint32_t>>
+{
+};
+
+TEST_P(PoolSweep, OutputsBoundedByInputRange)
+{
+    const auto [avg, stride] = GetParam();
+    Layer l;
+    l.kind = LayerKind::Pool;
+    l.C = 2;
+    l.H = l.W = 11;
+    l.R = l.S = 3;
+    l.stride = stride;
+    l.avg = avg;
+    l.P = l.Q = (11 - 3) / stride + 1;
+    const Tensor in = randomT({2, 11, 11}, stride + avg);
+    const Tensor out = referenceForward(l, {&in});
+    float lo = 1e30f, hi = -1e30f;
+    for (uint64_t i = 0; i < in.size(); i++) {
+        lo = std::min(lo, in[i]);
+        hi = std::max(hi, in[i]);
+    }
+    for (uint64_t i = 0; i < out.size(); i++) {
+        EXPECT_GE(out[i], avg ? std::min(lo, 0.0f) : lo);
+        EXPECT_LE(out[i], hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoolSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(1u, 2u,
+                                                              3u)));
+
+} // namespace
+} // namespace tango

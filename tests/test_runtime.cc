@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Runtime tests: whole networks executed on the virtual GPU in check
+ * mode (device outputs vs the CPU reference), CTA sampling behaviour,
+ * and per-layer stat collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango {
+namespace {
+
+using rt::RunPolicy;
+using rt::Runtime;
+
+TEST(Runtime, CifarNetFullSimMatchesReference)
+{
+    // The whole CifarNet inference — every CTA of every kernel — runs on
+    // the simulator and must match the CPU reference.
+    sim::Gpu gpu(sim::pascalGP102());
+    nn::Network net = nn::models::buildCifarNet();
+    nn::initWeights(net);
+
+    RunPolicy p;
+    p.sim.fullSim = true;
+    p.functional = true;
+    p.check = true;
+    p.tolerance = 2e-4f;
+
+    Runtime rtm(gpu);
+    const rt::NetRun run = rtm.runCnn(net, p);
+    EXPECT_EQ(run.checkFailures, 0u);
+    EXPECT_GT(run.totalTimeSec, 0.0);
+    EXPECT_GT(run.totals.sumPrefix("op."), 1000.0);
+    // One LayerRun per layer with kernels (8 compute + softmax).
+    EXPECT_EQ(run.layers.size(), 9u);
+}
+
+TEST(Runtime, GruEndToEndPrediction)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    nn::RnnModel m = nn::models::buildGru();
+    nn::initWeights(m);
+
+    RunPolicy p;
+    p.sim.fullSim = true;
+    p.functional = true;
+    p.check = true;
+    p.tolerance = 1e-3f;
+
+    const auto seq = nn::models::makeStockSequence(m.seqLen);
+    float pred = 0.0f;
+    Runtime rtm(gpu);
+    const rt::NetRun run = rtm.runRnn(m, p, &seq, &pred);
+    EXPECT_EQ(run.checkFailures, 0u);
+    EXPECT_NEAR(pred, m.forward(seq), 1e-3f);
+    // 2 cell launches + 1 readout.
+    EXPECT_EQ(run.layers.size(), 3u);
+}
+
+TEST(Runtime, LstmEndToEndPrediction)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    nn::RnnModel m = nn::models::buildLstm();
+    nn::initWeights(m);
+
+    RunPolicy p;
+    p.sim.fullSim = true;
+    p.functional = true;
+    p.check = true;
+    p.tolerance = 1e-3f;
+
+    const auto seq = nn::models::makeStockSequence(m.seqLen);
+    float pred = 0.0f;
+    Runtime rtm(gpu);
+    const rt::NetRun run = rtm.runRnn(m, p, &seq, &pred);
+    EXPECT_EQ(run.checkFailures, 0u);
+    EXPECT_NEAR(pred, m.forward(seq), 1e-3f);
+}
+
+TEST(Runtime, SampledRunProducesScaledStats)
+{
+    // AlexNet timing-only with CTA sampling: stats must be scaled to the
+    // full grid (thread instruction count ~ proportional to total MACs).
+    sim::Gpu gpu(sim::pascalGP102());
+    RunPolicy p;   // timing-only defaults
+    p.sim.maxWarpsPerCta = 6;
+    const rt::NetRun run = rt::runNetworkByName(gpu, "alexnet", p);
+
+    EXPECT_GT(run.totalTimeSec, 0.0);
+    EXPECT_GT(run.peakPowerW, 0.0);
+    // AlexNet inference is ~0.7 G MACs; with ~14 instructions per MAC in
+    // the naive kernels, expect the right order of magnitude.
+    const double instr = run.totals.sumPrefix("op.");
+    EXPECT_GT(instr, 1e9);
+    EXPECT_LT(instr, 1e12);
+}
+
+TEST(Runtime, ConvDominatesCifarNetTime)
+{
+    // Paper Observation 1 (sampled timing run).
+    sim::Gpu gpu(sim::pascalGP102());
+    RunPolicy p;
+    p.sim.maxWarpsPerCta = 6;
+    const rt::NetRun run = rt::runNetworkByName(gpu, "cifarnet", p);
+    const double convT = run.figTypeTime("Conv");
+    EXPECT_GT(convT / run.totalTimeSec, 0.5);
+}
+
+TEST(Runtime, FigTypeAccountingConsistent)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    RunPolicy p;
+    p.sim.maxWarpsPerCta = 6;
+    const rt::NetRun run = rt::runNetworkByName(gpu, "cifarnet", p);
+    double sum = 0.0;
+    for (const auto &fig : run.figTypes())
+        sum += run.figTypeTime(fig);
+    EXPECT_NEAR(sum, run.totalTimeSec, 1e-12);
+}
+
+TEST(Runtime, DeviceFootprintTracksModelSize)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    RunPolicy p;
+    p.sim.maxWarpsPerCta = 6;
+    const rt::NetRun gru = rt::runNetworkByName(gpu, "gru", p);
+    const rt::NetRun cifar = rt::runNetworkByName(gpu, "cifarnet", p);
+    // Paper Fig 11: RNNs < 500KB, CNNs >= 1MB.
+    EXPECT_LT(gru.deviceBytes, 500ull * 1024);
+    EXPECT_GT(cifar.deviceBytes, 500ull * 1024);
+}
+
+} // namespace
+} // namespace tango

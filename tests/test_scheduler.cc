@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Warp scheduler unit tests: GTO greediness and oldest-first fallback,
+ * LRR rotation and fairness, TLV active-set management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hh"
+
+namespace tango::sim {
+namespace {
+
+std::vector<uint64_t>
+agesInOrder(uint32_t n)
+{
+    std::vector<uint64_t> a(n);
+    for (uint32_t i = 0; i < n; i++)
+        a[i] = i;
+    return a;
+}
+
+TEST(Gto, StaysGreedyOnSameWarp)
+{
+    auto s = makeScheduler(SchedPolicy::GTO);
+    s->reset(4);
+    std::vector<uint8_t> issuable = {1, 1, 1, 1};
+    const auto ages = agesInOrder(4);
+    const int first = s->pick(issuable, ages);
+    for (int k = 0; k < 5; k++)
+        EXPECT_EQ(s->pick(issuable, ages), first);
+}
+
+TEST(Gto, FallsBackToOldest)
+{
+    auto s = makeScheduler(SchedPolicy::GTO);
+    s->reset(4);
+    // Ages: slot 2 is oldest.
+    std::vector<uint64_t> ages = {5, 7, 1, 9};
+    std::vector<uint8_t> issuable = {1, 1, 1, 1};
+    EXPECT_EQ(s->pick(issuable, ages), 2);
+    // Current warp stalls: next-oldest issuable picked.
+    issuable[2] = 0;
+    EXPECT_EQ(s->pick(issuable, ages), 0);
+    // And it becomes the new greedy target.
+    issuable[2] = 1;
+    EXPECT_EQ(s->pick(issuable, ages), 0);
+}
+
+TEST(Gto, RetirementClearsGreedyTarget)
+{
+    auto s = makeScheduler(SchedPolicy::GTO);
+    s->reset(3);
+    std::vector<uint64_t> ages = {0, 1, 2};
+    std::vector<uint8_t> issuable = {1, 1, 1};
+    EXPECT_EQ(s->pick(issuable, ages), 0);
+    s->notifyRetired(0);
+    issuable[0] = 0;
+    EXPECT_EQ(s->pick(issuable, ages), 1);
+}
+
+TEST(Lrr, RotatesThroughAllWarps)
+{
+    auto s = makeScheduler(SchedPolicy::LRR);
+    s->reset(4);
+    std::vector<uint8_t> issuable = {1, 1, 1, 1};
+    const auto ages = agesInOrder(4);
+    std::vector<int> picks;
+    for (int k = 0; k < 8; k++)
+        picks.push_back(s->pick(issuable, ages));
+    EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(Lrr, SkipsStalledWarps)
+{
+    auto s = makeScheduler(SchedPolicy::LRR);
+    s->reset(4);
+    std::vector<uint8_t> issuable = {1, 0, 1, 0};
+    const auto ages = agesInOrder(4);
+    EXPECT_EQ(s->pick(issuable, ages), 0);
+    EXPECT_EQ(s->pick(issuable, ages), 2);
+    EXPECT_EQ(s->pick(issuable, ages), 0);
+}
+
+TEST(Lrr, NoneIssuable)
+{
+    auto s = makeScheduler(SchedPolicy::LRR);
+    s->reset(3);
+    std::vector<uint8_t> issuable = {0, 0, 0};
+    EXPECT_EQ(s->pick(issuable, agesInOrder(3)), -1);
+}
+
+TEST(Tlv, PrefersActiveSet)
+{
+    auto s = makeScheduler(SchedPolicy::TLV);
+    s->reset(16);   // active set = first 8
+    std::vector<uint8_t> issuable(16, 1);
+    const auto ages = agesInOrder(16);
+    // All picks stay within the initial active set.
+    for (int k = 0; k < 16; k++)
+        EXPECT_LT(s->pick(issuable, ages), 8);
+}
+
+TEST(Tlv, PromotesWhenActiveSetStalls)
+{
+    auto s = makeScheduler(SchedPolicy::TLV);
+    s->reset(16);
+    std::vector<uint8_t> issuable(16, 0);
+    for (uint32_t i = 8; i < 16; i++)
+        issuable[i] = 1;
+    const auto ages = agesInOrder(16);
+    const int p = s->pick(issuable, ages);
+    EXPECT_GE(p, 8);
+    EXPECT_EQ(p, 8);   // oldest pending
+}
+
+TEST(Tlv, DemotionOnLongLatency)
+{
+    auto s = makeScheduler(SchedPolicy::TLV);
+    s->reset(4);
+    std::vector<uint8_t> issuable = {1, 1, 1, 1};
+    const auto ages = agesInOrder(4);
+    const int first = s->pick(issuable, ages);
+    s->notifyLongLatency(static_cast<uint32_t>(first));
+    // The demoted warp is not picked while others are issuable.
+    for (int k = 0; k < 3; k++)
+        EXPECT_NE(s->pick(issuable, ages), first);
+}
+
+TEST(AllPolicies, EmptyAndSingleSlot)
+{
+    for (auto pol : {SchedPolicy::GTO, SchedPolicy::LRR,
+                     SchedPolicy::TLV}) {
+        auto s = makeScheduler(pol);
+        s->reset(1);
+        std::vector<uint8_t> one = {1};
+        EXPECT_EQ(s->pick(one, agesInOrder(1)), 0) << schedName(pol);
+        one[0] = 0;
+        EXPECT_EQ(s->pick(one, agesInOrder(1)), -1) << schedName(pol);
+    }
+}
+
+} // namespace
+} // namespace tango::sim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Timing-model property tests: invariants the performance model must
+ * satisfy regardless of workload — monotonicities, conservation laws and
+ * scaling identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/builder.hh"
+#include "kernels/kernels.hh"
+#include "sim/gpu.hh"
+
+namespace tango::sim {
+namespace {
+
+/** A conv launch whose footprint/intensity scale with the parameter. */
+KernelLaunch
+convLaunch(Gpu &gpu, uint32_t channels)
+{
+    kern::ConvDesc d;
+    d.C = channels;
+    d.H = d.W = 16;
+    d.K = 4;
+    d.R = d.S = 3;
+    d.pad = 1;
+    d.filterSrc = kern::ChannelSrc::GridX;
+    d.pixelMap = kern::PixelMap::TileOrigin;
+    d.grid = {4, 1, 1};
+    d.block = {16, 16, 1};
+    const uint32_t in = gpu.mem().allocate(4ull * channels * 16 * 16);
+    const uint32_t w = gpu.mem().allocate(4ull * 4 * channels * 9);
+    const uint32_t b = gpu.mem().allocate(16);
+    const uint32_t out = gpu.mem().allocate(4ull * 4 * 16 * 16);
+    return kern::makeConvLaunch(d, in, w, b, out);
+}
+
+TEST(TimingProps, MoreWorkTakesLongerMonotonically)
+{
+    SimPolicy p;
+    p.fullSim = true;
+    uint64_t prev = 0;
+    for (uint32_t c : {1u, 2u, 4u, 8u, 16u}) {
+        Gpu gpu(pascalGP102());
+        const auto ks = gpu.launch(convLaunch(gpu, c), p);
+        EXPECT_GT(ks.smCycles, prev) << "C=" << c;
+        prev = ks.smCycles;
+    }
+}
+
+TEST(TimingProps, InstructionCountIndependentOfTimingConfig)
+{
+    // The functional instruction stream must not depend on caches or
+    // schedulers — only timing may change.
+    SimPolicy p;
+    p.fullSim = true;
+    double baseline = 0.0;
+    for (int variant = 0; variant < 4; variant++) {
+        GpuConfig cfg = pascalGP102();
+        if (variant == 1)
+            cfg.l1dBytes = 0;
+        if (variant == 2)
+            cfg.scheduler = SchedPolicy::LRR;
+        if (variant == 3) {
+            cfg.l2Bytes = 256 * 1024;
+            cfg.scheduler = SchedPolicy::TLV;
+        }
+        Gpu gpu(cfg);
+        const auto ks = gpu.launch(convLaunch(gpu, 4), p);
+        const double instr = ks.stats.sumPrefix("op.");
+        if (variant == 0)
+            baseline = instr;
+        else
+            EXPECT_DOUBLE_EQ(instr, baseline) << "variant " << variant;
+    }
+}
+
+TEST(TimingProps, BiggerL1NeverSlowsReuseKernels)
+{
+    // A kernel that re-walks a small buffer must be monotone (not
+    // strictly, but never significantly worse) in the L1 size.
+    kern::Builder b("rewalk");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg base = b.shli(tx, 2);
+    kern::Reg v = b.reg();
+    kern::Reg sum = b.immF(0.0f);
+    for (int pass = 0; pass < 6; pass++) {
+        for (int i = 0; i < 32; i++) {
+            b.ld(DType::F32, Space::Global, v, base, 256 + i * 512);
+            b.emit3(Op::Add, DType::F32, sum, sum, v);
+        }
+    }
+    auto prog = b.finish();
+
+    SimPolicy p;
+    p.fullSim = true;
+    uint64_t prev = ~0ull;
+    for (uint32_t kb : {0u, 16u, 64u, 256u}) {
+        GpuConfig cfg = pascalGP102();
+        cfg.l1dBytes = kb * 1024;
+        Gpu gpu(cfg);
+        gpu.mem().allocate(1 << 20);
+        KernelLaunch l;
+        l.program = prog;
+        l.grid = {1, 1, 1};
+        l.block = {64, 1, 1};
+        const auto ks = gpu.launch(l, p);
+        EXPECT_LE(ks.smCycles, prev + prev / 10) << kb << "KB";
+        prev = ks.smCycles;
+    }
+}
+
+TEST(TimingProps, StallsPlusIssuesCoverActiveCycles)
+{
+    // Conservation: per warp-slot, every resident non-issuing cycle is
+    // charged exactly one stall; totals must be consistent with cycles.
+    Gpu gpu(pascalGP102());
+    SimPolicy p;
+    p.fullSim = true;
+    const auto ks = gpu.launch(convLaunch(gpu, 4), p);
+    double stalls = 0.0;
+    for (size_t i = 0; i < numStalls; i++) {
+        stalls += ks.stats.get(std::string("stall.") +
+                               stallName(static_cast<Stall>(i)));
+    }
+    const double issued = ks.stats.get("issued");
+    // Each cycle, each of the resident warps either issues or stalls, so
+    // issued + stalls >= cycles (and <= cycles * warps).
+    EXPECT_GE(issued + stalls, static_cast<double>(ks.smCycles));
+    EXPECT_LE(issued + stalls,
+              static_cast<double>(ks.smCycles) *
+                  gpu.config().maxWarpsPerSm);
+}
+
+TEST(TimingProps, EnergyScalesWithScaledStats)
+{
+    // Energy from sampled+scaled stats equals (approximately) the energy
+    // of the full run for a homogeneous grid.
+    const auto mk = [](Gpu &gpu) {
+        kern::ConvDesc d;
+        d.C = 2;
+        d.H = d.W = 8;
+        d.K = 32;
+        d.R = d.S = 3;
+        d.pad = 1;
+        d.filterSrc = kern::ChannelSrc::GridX;
+        d.pixelMap = kern::PixelMap::TileOrigin;
+        d.grid = {32, 1, 1};
+        d.block = {8, 8, 1};
+        const uint32_t in = gpu.mem().allocate(4ull * 2 * 64);
+        const uint32_t w = gpu.mem().allocate(4ull * 32 * 2 * 9);
+        const uint32_t b = gpu.mem().allocate(4ull * 32);
+        const uint32_t out = gpu.mem().allocate(4ull * 32 * 64);
+        return kern::makeConvLaunch(d, in, w, b, out);
+    };
+    Gpu g1(pascalGP102());
+    SimPolicy full;
+    full.fullSim = true;
+    full.maxResidentCtas = 4;
+    const auto kf = g1.launch(mk(g1), full);
+
+    Gpu g2(pascalGP102());
+    SimPolicy sampled;
+    sampled.maxResidentCtas = 4;
+    sampled.maxSampledCtas = 8;
+    const auto ks = g2.launch(mk(g2), sampled);
+
+    EXPECT_NEAR(ks.energyJ, kf.energyJ, kf.energyJ * 0.3);
+    EXPECT_NEAR(ks.stats.get("evt.rf_operand"),
+                kf.stats.get("evt.rf_operand"),
+                kf.stats.get("evt.rf_operand") * 0.02);
+}
+
+TEST(TimingProps, SlowerClockLongerTime)
+{
+    GpuConfig fast = pascalGP102();
+    GpuConfig slow = pascalGP102();
+    slow.coreClockGhz = fast.coreClockGhz / 2.0;
+    SimPolicy p;
+    p.fullSim = true;
+
+    Gpu g1(fast);
+    const auto k1 = g1.launch(convLaunch(g1, 4), p);
+    Gpu g2(slow);
+    const auto k2 = g2.launch(convLaunch(g2, 4), p);
+    // Same cycle count, double the wall time.
+    EXPECT_EQ(k1.smCycles, k2.smCycles);
+    EXPECT_NEAR(k2.timeSec, 2.0 * k1.timeSec, k1.timeSec * 1e-9);
+}
+
+TEST(TimingProps, DeterministicAcrossRuns)
+{
+    SimPolicy p;
+    p.fullSim = true;
+    Gpu g1(pascalGP102());
+    const auto a = g1.launch(convLaunch(g1, 3), p);
+    Gpu g2(pascalGP102());
+    const auto b = g2.launch(convLaunch(g2, 3), p);
+    EXPECT_EQ(a.smCycles, b.smCycles);
+    EXPECT_EQ(a.stats.get("issued"), b.stats.get("issued"));
+    EXPECT_EQ(a.stats.get("mem.l2.misses"), b.stats.get("mem.l2.misses"));
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+}
+
+} // namespace
+} // namespace tango::sim
