@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sampling_fidelity"
+  "../bench/abl_sampling_fidelity.pdb"
+  "CMakeFiles/abl_sampling_fidelity.dir/abl_sampling_fidelity.cc.o"
+  "CMakeFiles/abl_sampling_fidelity.dir/abl_sampling_fidelity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mobilenet"
+  "../bench/ext_mobilenet.pdb"
+  "CMakeFiles/ext_mobilenet.dir/ext_mobilenet.cc.o"
+  "CMakeFiles/ext_mobilenet.dir/ext_mobilenet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_quantization"
+  "../bench/ext_quantization.pdb"
+  "CMakeFiles/ext_quantization.dir/ext_quantization.cc.o"
+  "CMakeFiles/ext_quantization.dir/ext_quantization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_layer_time_breakdown"
+  "../bench/fig01_layer_time_breakdown.pdb"
+  "CMakeFiles/fig01_layer_time_breakdown.dir/fig01_layer_time_breakdown.cc.o"
+  "CMakeFiles/fig01_layer_time_breakdown.dir/fig01_layer_time_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_layer_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_l1d_sensitivity"
+  "../bench/fig02_l1d_sensitivity.pdb"
+  "CMakeFiles/fig02_l1d_sensitivity.dir/fig02_l1d_sensitivity.cc.o"
+  "CMakeFiles/fig02_l1d_sensitivity.dir/fig02_l1d_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_l1d_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

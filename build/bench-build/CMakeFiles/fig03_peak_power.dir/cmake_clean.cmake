@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_peak_power"
+  "../bench/fig03_peak_power.pdb"
+  "CMakeFiles/fig03_peak_power.dir/fig03_peak_power.cc.o"
+  "CMakeFiles/fig03_peak_power.dir/fig03_peak_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_peak_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

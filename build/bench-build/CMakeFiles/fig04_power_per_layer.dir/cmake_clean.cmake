@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_power_per_layer"
+  "../bench/fig04_power_per_layer.pdb"
+  "CMakeFiles/fig04_power_per_layer.dir/fig04_power_per_layer.cc.o"
+  "CMakeFiles/fig04_power_per_layer.dir/fig04_power_per_layer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_power_per_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

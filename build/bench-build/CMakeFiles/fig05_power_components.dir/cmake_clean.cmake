@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_power_components"
+  "../bench/fig05_power_components.pdb"
+  "CMakeFiles/fig05_power_components.dir/fig05_power_components.cc.o"
+  "CMakeFiles/fig05_power_components.dir/fig05_power_components.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_power_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_gpu_vs_fpga_energy"
+  "../bench/fig06_gpu_vs_fpga_energy.pdb"
+  "CMakeFiles/fig06_gpu_vs_fpga_energy.dir/fig06_gpu_vs_fpga_energy.cc.o"
+  "CMakeFiles/fig06_gpu_vs_fpga_energy.dir/fig06_gpu_vs_fpga_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gpu_vs_fpga_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

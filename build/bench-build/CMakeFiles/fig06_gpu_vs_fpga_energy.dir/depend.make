@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_gpu_vs_fpga_energy.
+# This may be replaced when dependencies are built.

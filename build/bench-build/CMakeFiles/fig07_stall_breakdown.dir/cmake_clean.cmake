@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_stall_breakdown"
+  "../bench/fig07_stall_breakdown.pdb"
+  "CMakeFiles/fig07_stall_breakdown.dir/fig07_stall_breakdown.cc.o"
+  "CMakeFiles/fig07_stall_breakdown.dir/fig07_stall_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stall_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_op_breakdown"
+  "../bench/fig08_op_breakdown.pdb"
+  "CMakeFiles/fig08_op_breakdown.dir/fig08_op_breakdown.cc.o"
+  "CMakeFiles/fig08_op_breakdown.dir/fig08_op_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_op_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

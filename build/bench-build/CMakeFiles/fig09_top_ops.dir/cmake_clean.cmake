@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_top_ops"
+  "../bench/fig09_top_ops.pdb"
+  "CMakeFiles/fig09_top_ops.dir/fig09_top_ops.cc.o"
+  "CMakeFiles/fig09_top_ops.dir/fig09_top_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_top_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_dtype_breakdown"
+  "../bench/fig10_dtype_breakdown.pdb"
+  "CMakeFiles/fig10_dtype_breakdown.dir/fig10_dtype_breakdown.cc.o"
+  "CMakeFiles/fig10_dtype_breakdown.dir/fig10_dtype_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dtype_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

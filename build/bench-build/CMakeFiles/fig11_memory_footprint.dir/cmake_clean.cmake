@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_memory_footprint"
+  "../bench/fig11_memory_footprint.pdb"
+  "CMakeFiles/fig11_memory_footprint.dir/fig11_memory_footprint.cc.o"
+  "CMakeFiles/fig11_memory_footprint.dir/fig11_memory_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_register_usage"
+  "../bench/fig12_register_usage.pdb"
+  "CMakeFiles/fig12_register_usage.dir/fig12_register_usage.cc.o"
+  "CMakeFiles/fig12_register_usage.dir/fig12_register_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_register_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

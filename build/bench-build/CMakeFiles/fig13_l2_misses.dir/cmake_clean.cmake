@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_l2_misses"
+  "../bench/fig13_l2_misses.pdb"
+  "CMakeFiles/fig13_l2_misses.dir/fig13_l2_misses.cc.o"
+  "CMakeFiles/fig13_l2_misses.dir/fig13_l2_misses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l2_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

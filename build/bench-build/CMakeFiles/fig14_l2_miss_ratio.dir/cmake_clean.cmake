@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_l2_miss_ratio"
+  "../bench/fig14_l2_miss_ratio.pdb"
+  "CMakeFiles/fig14_l2_miss_ratio.dir/fig14_l2_miss_ratio.cc.o"
+  "CMakeFiles/fig14_l2_miss_ratio.dir/fig14_l2_miss_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_l2_miss_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_l2_miss_ratio.
+# This may be replaced when dependencies are built.

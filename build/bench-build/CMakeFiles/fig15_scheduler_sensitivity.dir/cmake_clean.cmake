@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_scheduler_sensitivity"
+  "../bench/fig15_scheduler_sensitivity.pdb"
+  "CMakeFiles/fig15_scheduler_sensitivity.dir/fig15_scheduler_sensitivity.cc.o"
+  "CMakeFiles/fig15_scheduler_sensitivity.dir/fig15_scheduler_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scheduler_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

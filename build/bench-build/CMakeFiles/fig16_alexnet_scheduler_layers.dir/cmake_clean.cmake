@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_alexnet_scheduler_layers"
+  "../bench/fig16_alexnet_scheduler_layers.pdb"
+  "CMakeFiles/fig16_alexnet_scheduler_layers.dir/fig16_alexnet_scheduler_layers.cc.o"
+  "CMakeFiles/fig16_alexnet_scheduler_layers.dir/fig16_alexnet_scheduler_layers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_alexnet_scheduler_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_models"
+  "../bench/tab01_models.pdb"
+  "CMakeFiles/tab01_models.dir/tab01_models.cc.o"
+  "CMakeFiles/tab01_models.dir/tab01_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

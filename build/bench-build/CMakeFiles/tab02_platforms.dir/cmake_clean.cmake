@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_platforms"
+  "../bench/tab02_platforms.pdb"
+  "CMakeFiles/tab02_platforms.dir/tab02_platforms.cc.o"
+  "CMakeFiles/tab02_platforms.dir/tab02_platforms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

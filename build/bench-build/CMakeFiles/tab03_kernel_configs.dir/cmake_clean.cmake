@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_kernel_configs"
+  "../bench/tab03_kernel_configs.pdb"
+  "CMakeFiles/tab03_kernel_configs.dir/tab03_kernel_configs.cc.o"
+  "CMakeFiles/tab03_kernel_configs.dir/tab03_kernel_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_kernel_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

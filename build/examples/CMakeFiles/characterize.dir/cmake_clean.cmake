@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize.dir/characterize.cpp.o"
+  "CMakeFiles/characterize.dir/characterize.cpp.o.d"
+  "characterize"
+  "characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

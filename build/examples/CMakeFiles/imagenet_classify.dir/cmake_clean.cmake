@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_classify.dir/imagenet_classify.cpp.o"
+  "CMakeFiles/imagenet_classify.dir/imagenet_classify.cpp.o.d"
+  "imagenet_classify"
+  "imagenet_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_forecast.dir/stock_forecast.cpp.o"
+  "CMakeFiles/stock_forecast.dir/stock_forecast.cpp.o.d"
+  "stock_forecast"
+  "stock_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tango.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tango.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tango.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tango.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tango.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tango.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/tango.dir/common/table.cc.o" "gcc" "src/CMakeFiles/tango.dir/common/table.cc.o.d"
+  "/root/repo/src/fpga/pynq.cc" "src/CMakeFiles/tango.dir/fpga/pynq.cc.o" "gcc" "src/CMakeFiles/tango.dir/fpga/pynq.cc.o.d"
+  "/root/repo/src/kernels/activation.cc" "src/CMakeFiles/tango.dir/kernels/activation.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/activation.cc.o.d"
+  "/root/repo/src/kernels/builder.cc" "src/CMakeFiles/tango.dir/kernels/builder.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/builder.cc.o.d"
+  "/root/repo/src/kernels/conv.cc" "src/CMakeFiles/tango.dir/kernels/conv.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/conv.cc.o.d"
+  "/root/repo/src/kernels/depthwise.cc" "src/CMakeFiles/tango.dir/kernels/depthwise.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/depthwise.cc.o.d"
+  "/root/repo/src/kernels/fc.cc" "src/CMakeFiles/tango.dir/kernels/fc.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/fc.cc.o.d"
+  "/root/repo/src/kernels/norm.cc" "src/CMakeFiles/tango.dir/kernels/norm.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/norm.cc.o.d"
+  "/root/repo/src/kernels/pool.cc" "src/CMakeFiles/tango.dir/kernels/pool.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/pool.cc.o.d"
+  "/root/repo/src/kernels/rnn.cc" "src/CMakeFiles/tango.dir/kernels/rnn.cc.o" "gcc" "src/CMakeFiles/tango.dir/kernels/rnn.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/tango.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/tango.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/models/alexnet.cc" "src/CMakeFiles/tango.dir/nn/models/alexnet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/alexnet.cc.o.d"
+  "/root/repo/src/nn/models/cifarnet.cc" "src/CMakeFiles/tango.dir/nn/models/cifarnet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/cifarnet.cc.o.d"
+  "/root/repo/src/nn/models/mobilenet.cc" "src/CMakeFiles/tango.dir/nn/models/mobilenet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/mobilenet.cc.o.d"
+  "/root/repo/src/nn/models/resnet.cc" "src/CMakeFiles/tango.dir/nn/models/resnet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/resnet.cc.o.d"
+  "/root/repo/src/nn/models/rnn_models.cc" "src/CMakeFiles/tango.dir/nn/models/rnn_models.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/rnn_models.cc.o.d"
+  "/root/repo/src/nn/models/squeezenet.cc" "src/CMakeFiles/tango.dir/nn/models/squeezenet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/squeezenet.cc.o.d"
+  "/root/repo/src/nn/models/vggnet.cc" "src/CMakeFiles/tango.dir/nn/models/vggnet.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/models/vggnet.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/tango.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/tango.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/weights.cc" "src/CMakeFiles/tango.dir/nn/weights.cc.o" "gcc" "src/CMakeFiles/tango.dir/nn/weights.cc.o.d"
+  "/root/repo/src/profiler/profiler.cc" "src/CMakeFiles/tango.dir/profiler/profiler.cc.o" "gcc" "src/CMakeFiles/tango.dir/profiler/profiler.cc.o.d"
+  "/root/repo/src/runtime/lowering.cc" "src/CMakeFiles/tango.dir/runtime/lowering.cc.o" "gcc" "src/CMakeFiles/tango.dir/runtime/lowering.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/CMakeFiles/tango.dir/runtime/report.cc.o" "gcc" "src/CMakeFiles/tango.dir/runtime/report.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/tango.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/tango.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/tango.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/tango.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/tango.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/CMakeFiles/tango.dir/sim/dram.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/dram.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/CMakeFiles/tango.dir/sim/gpu.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/gpu.cc.o.d"
+  "/root/repo/src/sim/interp.cc" "src/CMakeFiles/tango.dir/sim/interp.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/interp.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/CMakeFiles/tango.dir/sim/isa.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/isa.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/tango.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/CMakeFiles/tango.dir/sim/power.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/power.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/CMakeFiles/tango.dir/sim/program.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/program.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/tango.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/stall.cc" "src/CMakeFiles/tango.dir/sim/stall.cc.o" "gcc" "src/CMakeFiles/tango.dir/sim/stall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

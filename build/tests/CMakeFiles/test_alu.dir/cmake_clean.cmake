@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu.dir/test_alu.cc.o"
+  "CMakeFiles/test_alu.dir/test_alu.cc.o.d"
+  "test_alu"
+  "test_alu.pdb"
+  "test_alu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers.dir/test_layers.cc.o"
+  "CMakeFiles/test_layers.dir/test_layers.cc.o.d"
+  "test_layers"
+  "test_layers.pdb"
+  "test_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

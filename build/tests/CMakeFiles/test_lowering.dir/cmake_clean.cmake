@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowering.dir/test_lowering.cc.o"
+  "CMakeFiles/test_lowering.dir/test_lowering.cc.o.d"
+  "test_lowering"
+  "test_lowering.pdb"
+  "test_lowering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobilenet.dir/test_mobilenet.cc.o"
+  "CMakeFiles/test_mobilenet.dir/test_mobilenet.cc.o.d"
+  "test_mobilenet"
+  "test_mobilenet.pdb"
+  "test_mobilenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantization.dir/test_quantization.cc.o"
+  "CMakeFiles/test_quantization.dir/test_quantization.cc.o.d"
+  "test_quantization"
+  "test_quantization.pdb"
+  "test_quantization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

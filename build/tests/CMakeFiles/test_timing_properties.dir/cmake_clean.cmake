@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_properties.dir/test_timing_properties.cc.o"
+  "CMakeFiles/test_timing_properties.dir/test_timing_properties.cc.o.d"
+  "test_timing_properties"
+  "test_timing_properties.pdb"
+  "test_timing_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
