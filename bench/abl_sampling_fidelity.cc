@@ -16,11 +16,14 @@ namespace {
 
 using namespace tango;
 
-rt::NetRun
-runWith(const rt::RunPolicy &p)
+/** Submit one sampling variant as a custom engine job. */
+std::shared_future<const rt::NetRun *>
+submitWith(const std::string &tag, const rt::RunPolicy &p)
 {
-    sim::Gpu gpu(sim::pascalGP102());
-    return rt::runNetworkByName(gpu, "cifarnet", p);
+    return bench::engine().submit(
+        "abl/cifarnet/" + tag, sim::pascalGP102(), [p](sim::Gpu &gpu) {
+            return rt::runNetworkByName(gpu, "cifarnet", p);
+        });
 }
 
 } // namespace
@@ -30,9 +33,7 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
-    rt::RunPolicy exact;
-    exact.sim.fullSim = true;
-    exact.sim.maxResidentCtas = 0;
+    rt::RunPolicy exact = rt::RunPolicy::named("exact");
 
     rt::RunPolicy warpOnly = exact;
     warpOnly.sim.fullSim = false;
@@ -42,34 +43,34 @@ main(int argc, char **argv)
     loopOnly.sim.fullSim = false;
     loopOnly.maxLoopChannels = 8;
 
-    const rt::RunPolicy benchP = rt::benchPolicy();
+    const rt::RunPolicy benchP = rt::RunPolicy::named("bench");
 
     struct Row
     {
         const char *name;
-        rt::NetRun run;
+        std::shared_future<const rt::NetRun *> future;
     };
+    // All four sampling variants simulate concurrently.
     std::vector<Row> rows;
-    rows.push_back({"exact", runWith(exact)});
-    rows.push_back({"warp-sampled (6/CTA)", runWith(warpOnly)});
-    rows.push_back({"loop-sampled (8 ch)", runWith(loopOnly)});
-    rows.push_back({"bench policy (all)", runWith(benchP)});
+    rows.push_back({"exact", submitWith("exact", exact)});
+    rows.push_back({"warp-sampled (6/CTA)", submitWith("warp", warpOnly)});
+    rows.push_back({"loop-sampled (8 ch)", submitWith("loop", loopOnly)});
+    rows.push_back({"bench policy (all)", submitWith("bench", benchP)});
 
-    const rt::NetRun &gt = rows[0].run;
+    const rt::NetRun &gt = *rows[0].future.get();
     Table t("Sampling-fidelity ablation (CifarNet, GP102)");
     t.header({"policy", "time (ms)", "time err", "instrs", "instr err",
               "L2 misses", "conv share"});
     for (const auto &r : rows) {
-        const double tErr =
-            r.run.totalTimeSec / gt.totalTimeSec - 1.0;
+        const rt::NetRun &run = *r.future.get();
+        const double tErr = run.totalTimeSec / gt.totalTimeSec - 1.0;
         const double iGt = gt.totals.sumPrefix("op.");
-        const double iErr = r.run.totals.sumPrefix("op.") / iGt - 1.0;
-        t.row({r.name, Table::num(r.run.totalTimeSec * 1e3, 3),
-               Table::pct(tErr), Table::num(r.run.totals.sumPrefix("op."), 0),
+        const double iErr = run.totals.sumPrefix("op.") / iGt - 1.0;
+        t.row({r.name, Table::num(run.totalTimeSec * 1e3, 3),
+               Table::pct(tErr), Table::num(run.totals.sumPrefix("op."), 0),
                Table::pct(iErr),
-               Table::num(r.run.totals.get("mem.l2.misses"), 0),
-               Table::pct(r.run.figTypeTime("Conv") /
-                          r.run.totalTimeSec)});
+               Table::num(run.totals.get("mem.l2.misses"), 0),
+               Table::pct(run.figTypeTime("Conv") / run.totalTimeSec)});
         bench::registerValue(std::string("ablation/") + r.name +
                                  "/time_err",
                              "rel_err", tErr);

@@ -2,11 +2,18 @@
  * @file
  * Shared infrastructure for the benchmark harness.
  *
- * Every bench binary reproduces one table or figure of the paper: it runs
- * the relevant networks on the virtual GPU (memoized, so repeated queries
- * are free), prints the figure's series as aligned tables, and registers
- * google-benchmark entries whose counters carry the headline numbers (so
- * the values also appear in benchmark-formatted output and JSON).
+ * Every bench binary reproduces one table or figure of the paper: it
+ * prefetches the relevant simulation points into the process-wide
+ * rt::Engine (which shards them across worker threads and memoizes the
+ * results, so repeated queries are free), prints the figure's series as
+ * aligned tables, and registers google-benchmark entries whose counters
+ * carry the headline numbers (so the values also appear in
+ * benchmark-formatted output and JSON).
+ *
+ * Environment knobs (see rt::EngineOptions::fromEnv):
+ *   TANGO_ENGINE_THREADS  worker count (default: hardware concurrency)
+ *   TANGO_ENGINE_CACHE    JSON result-spill path; repeated invocations
+ *                         then skip re-simulation entirely
  */
 
 #ifndef TANGO_BENCH_BENCH_UTIL_HH
@@ -15,8 +22,6 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,66 +30,36 @@
 #include "kernels/kernels.hh"
 #include "nn/models/models.hh"
 #include "profiler/profiler.hh"
+#include "runtime/engine.hh"
 #include "runtime/report.hh"
 #include "runtime/runtime.hh"
 #include "sim/gpu.hh"
 
 namespace tango::bench {
 
-/** Configuration knobs for a memoized network run. */
-struct RunKey
-{
-    std::string net;
-    std::string platform = "GP102";    // GP102 | GK210 | TX1
-    uint32_t l1dBytes = 64 * 1024;     // 0 = bypassed
-    sim::SchedPolicy sched = sim::SchedPolicy::GTO;
-    bool memStudy = false;             // use rt::memStudyPolicy()
-    bool stallStudy = false;           // use rt::stallStudyPolicy()
+using rt::RunKey;
+using rt::makeConfig;
 
-    std::string
-    str() const
-    {
-        return net + "/" + platform + "/l1=" +
-               std::to_string(l1dBytes / 1024) + "K/" +
-               sim::schedName(sched) + (memStudy ? "/mem" : "") +
-               (stallStudy ? "/stall" : "");
-    }
-    bool
-    operator<(const RunKey &o) const
-    {
-        return str() < o.str();
-    }
-};
-
-/** @return the GpuConfig for a RunKey. */
-inline sim::GpuConfig
-makeConfig(const RunKey &key)
+/** The process-wide simulation engine every bench binary shares. */
+inline rt::Engine &
+engine()
 {
-    sim::GpuConfig cfg = key.platform == "GK210" ? sim::keplerGK210()
-                         : key.platform == "TX1" ? sim::maxwellTX1()
-                                                 : sim::pascalGP102();
-    cfg.l1dBytes = key.l1dBytes;
-    cfg.scheduler = key.sched;
-    return cfg;
+    return rt::Engine::global();
+}
+
+/** Submit simulation points ahead of use so the engine's workers
+ *  simulate them concurrently; later netRun() calls only wait. */
+inline void
+prefetch(const std::vector<RunKey> &keys)
+{
+    engine().prefetch(keys);
 }
 
 /** Run (or recall) a network under a configuration. */
 inline const rt::NetRun &
 netRun(const RunKey &key)
 {
-    static std::map<RunKey, std::unique_ptr<rt::NetRun>> cache;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
-    sim::Gpu gpu(makeConfig(key));
-    auto run = std::make_unique<rt::NetRun>(rt::runNetworkByName(
-        gpu, key.net,
-        key.memStudy     ? rt::memStudyPolicy()
-        : key.stallStudy ? rt::stallStudyPolicy()
-                         : rt::benchPolicy()));
-    auto [pos, inserted] = cache.emplace(key, std::move(run));
-    (void)inserted;
-    return *pos->second;
+    return engine().run(key);
 }
 
 /** Register a no-op benchmark whose counter carries a reproduced value. */

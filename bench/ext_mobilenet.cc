@@ -17,6 +17,14 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys = {{"mobilenet"}, {"alexnet"}};
+    for (uint32_t l1 : {0u, 64u * 1024, 128u * 1024}) {
+        bench::RunKey key{"mobilenet"};
+        key.l1dBytes = l1;
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     const rt::NetRun &run = bench::netRun({"mobilenet"});
     const rt::NetRun &alex = bench::netRun({"alexnet"});
 

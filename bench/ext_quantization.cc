@@ -17,20 +17,27 @@ namespace {
 
 using namespace tango;
 
-rt::NetRun
-runVariant(const std::string &name, bool quantized)
+/** Submit one variant as a custom engine job (the f32 variant shares
+ *  the standard RunKey cache entry; the quantized one gets "+quant"). */
+std::shared_future<const rt::NetRun *>
+submitVariant(const std::string &name, bool quantized)
 {
-    sim::Gpu gpu(sim::pascalGP102());
-    nn::Network net = nn::models::buildCnn(name);
-    if (quantized) {
-        // Quantization only changes weight storage; the timing-only path
-        // needs the flags but not the (expensive) weight values, except
-        // that the flags are set by the quantizer, which needs weights.
-        nn::initWeights(net);
-        nn::quantizeConvWeights(net);
-    }
-    rt::Runtime rtm(gpu);
-    return rtm.runCnn(net, rt::benchPolicy());
+    const bench::RunKey base{name};
+    const std::string key = base.str() + (quantized ? "+quant" : "");
+    return bench::engine().submit(
+        key, bench::makeConfig(base), [name, quantized](sim::Gpu &gpu) {
+            nn::AnyModel model = nn::models::buildAny(name);
+            if (quantized) {
+                // Quantization only changes weight storage; the
+                // timing-only path needs the flags but not the
+                // (expensive) weight values, except that the flags are
+                // set by the quantizer, which needs weights.
+                nn::initWeights(model);
+                nn::quantizeConvWeights(model.cnn());
+            }
+            rt::Runtime rtm(gpu);
+            return rtm.run(model, rt::RunPolicy::named("bench"));
+        });
 }
 
 } // namespace
@@ -40,12 +47,18 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    // All four variants simulate concurrently.
+    for (const char *name : {"cifarnet", "alexnet"}) {
+        for (bool quant : {false, true})
+            submitVariant(name, quant);
+    }
+
     Table t("Weight quantization: f32 vs s16 (Q15) conv weights");
     t.header({"network", "variant", "device mem (KB)", "time (ms)",
               "f32 ops", "s16 ops"});
     for (const char *name : {"cifarnet", "alexnet"}) {
         for (bool quant : {false, true}) {
-            const rt::NetRun run = runVariant(name, quant);
+            const rt::NetRun &run = *submitVariant(name, quant).get();
             const prof::Series d = prof::dtypeBreakdown(run.totals);
             double f32 = 0.0, s16 = 0.0;
             for (const auto &[k, v] : d) {

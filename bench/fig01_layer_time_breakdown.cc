@@ -27,6 +27,12 @@ main(int argc, char **argv)
 {
     tango::setVerbose(false);
 
+    // One engine job per network; the pool simulates them concurrently.
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : figNets)
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;   // [net][layer]
     for (const auto &net : figNets) {
         const rt::NetRun &run = bench::netRun({net});

@@ -27,6 +27,17 @@ main(int argc, char **argv)
     tango::setVerbose(false);
 
     const auto nets = nn::models::allNames();
+
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nets) {
+        for (uint32_t size : sizes) {
+            bench::RunKey key{net};
+            key.l1dBytes = size;
+            keys.push_back(key);
+        }
+    }
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;   // [net][size]
     for (const auto &net : nets) {
         double base = 0.0;

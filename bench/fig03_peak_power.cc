@@ -16,6 +16,11 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nn::models::allNames())
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     Table t("Fig 3: peak power consumption across layers (W)");
     t.header({"network", "peak power (W)"});
     double cifar = 0.0, alex = 0.0;

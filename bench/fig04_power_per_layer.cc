@@ -46,6 +46,11 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : figNets)
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;   // [net][layer]
     for (const auto &net : figNets) {
         const rt::NetRun &run = bench::netRun({net});

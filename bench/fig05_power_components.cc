@@ -23,6 +23,12 @@ main(int argc, char **argv)
     setVerbose(false);
 
     const auto nets = nn::models::allNames();
+
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nets)
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     std::vector<std::string> compNames;
     for (size_t c = 0; c < sim::numPowerComps; c++) {
         compNames.push_back(

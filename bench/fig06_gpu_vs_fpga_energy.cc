@@ -19,6 +19,15 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const char *netName : {"cifarnet", "squeezenet"}) {
+        bench::RunKey key{netName};
+        key.platform = "TX1";
+        key.l1dBytes = sim::maxwellTX1().l1dBytes;
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     Table t("Fig 6: energy on embedded GPU (TX1) vs embedded FPGA (PynQ)");
     t.header({"network", "TX1 time(ms)", "PynQ time(ms)", "TX1 peak(W)",
               "PynQ peak(W)", "TX1 energy(mJ)", "PynQ energy(mJ)",

@@ -55,6 +55,16 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &[net, figs] : cols) {
+        bench::RunKey key{net};
+        key.platform = "GK210";
+        key.l1dBytes = sim::keplerGK210().l1dBytes;
+        key.policy = "stall";   // near-hardware warp residency
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     std::vector<std::string> groups;
     std::vector<std::vector<double>> values;
     std::vector<std::string> stallNames;
@@ -65,7 +75,7 @@ main(int argc, char **argv)
         bench::RunKey key{net};
         key.platform = "GK210";
         key.l1dBytes = sim::keplerGK210().l1dBytes;
-        key.stallStudy = true;   // near-hardware warp residency
+        key.policy = "stall";   // near-hardware warp residency
         const rt::NetRun &run = bench::netRun(key);
         for (const auto &fig : figs) {
             const StatSet st = figTypeStats(run, fig);

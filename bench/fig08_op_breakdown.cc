@@ -17,6 +17,11 @@ main(int argc, char **argv)
 
     const auto nets = nn::models::allNames();
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nets)
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     // Collect the union of opcodes that appear anywhere.
     std::vector<std::string> ops;
     std::vector<prof::Series> series;

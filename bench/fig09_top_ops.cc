@@ -16,9 +16,10 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
-    std::vector<const rt::NetRun *> runs;
+    std::vector<bench::RunKey> keys;
     for (const auto &net : nn::models::allNames())
-        runs.push_back(&bench::netRun({net}));
+        keys.push_back({net});
+    const std::vector<const rt::NetRun *> runs = bench::engine().runAll(keys);
     const StatSet totals = prof::mergeTotals(runs);
 
     const prof::Series all = prof::opBreakdown(totals);

@@ -18,6 +18,15 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nn::models::allNames()) {
+        bench::RunKey key{net};
+        key.platform = "TX1";
+        key.l1dBytes = sim::maxwellTX1().l1dBytes;
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     Table t("Fig 11: max device memory usage (KB, TX1)");
     t.header({"network", "device memory (KB)", "log10(KB)"});
     for (const auto &net : nn::models::allNames()) {

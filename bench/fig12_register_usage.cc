@@ -18,6 +18,11 @@ main(int argc, char **argv)
     using namespace tango;
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nn::models::allNames())
+        keys.push_back({net});
+    bench::prefetch(keys);
+
     const sim::GpuConfig cfg = sim::pascalGP102();
     const double rfKb = cfg.regFileBytesPerSm / 1024.0;
 

@@ -44,11 +44,20 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : figNets) {
+        bench::RunKey key{net};
+        key.l1dBytes = 0;
+        key.policy = "mem";
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;   // [net][layer] log10(misses)
     for (const auto &net : figNets) {
         bench::RunKey key{net};
-        key.l1dBytes = 0;      // paper: L1D bypassed
-        key.memStudy = true;   // preserve cross-CTA reuse
+        key.l1dBytes = 0;       // paper: L1D bypassed
+        key.policy = "mem";     // preserve cross-CTA reuse
         const rt::NetRun &run = bench::netRun(key);
         std::vector<double> col;
         for (const auto &fig : figLayers) {
@@ -65,7 +74,7 @@ main(int argc, char **argv)
     // Headline: AlexNet FC misses vs conv misses.
     bench::RunKey ak{"alexnet"};
     ak.l1dBytes = 0;
-    ak.memStudy = true;
+    ak.policy = "mem";
     const rt::NetRun &alex = bench::netRun(ak);
     const double fcM = figStat(alex, "FC", "mem.l2.misses");
     const double convM = figStat(alex, "Conv", "mem.l2.misses");

@@ -44,11 +44,20 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : figNets) {
+        bench::RunKey key{net};
+        key.l1dBytes = 0;
+        key.policy = "mem";
+        keys.push_back(key);
+    }
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;
     for (const auto &net : figNets) {
         bench::RunKey key{net};
         key.l1dBytes = 0;
-        key.memStudy = true;
+        key.policy = "mem";
         const rt::NetRun &run = bench::netRun(key);
         std::vector<double> col;
         for (const auto &fig : figLayers) {

@@ -24,6 +24,18 @@ main(int argc, char **argv)
     const std::vector<std::string> schedNames = {"GTO", "LRR", "TLV"};
 
     const auto nets = nn::models::allNames();
+
+    std::vector<bench::RunKey> keys;
+    for (const auto &net : nets) {
+        for (auto sched : scheds) {
+            bench::RunKey key{net};
+            key.sched = sched;
+            key.policy = "stall";
+            keys.push_back(key);
+        }
+    }
+    bench::prefetch(keys);
+
     std::vector<std::vector<double>> values;   // [net][sched]
     for (const auto &net : nets) {
         double base = 0.0;
@@ -31,7 +43,7 @@ main(int argc, char **argv)
         for (size_t s = 0; s < scheds.size(); s++) {
             bench::RunKey key{net};
             key.sched = scheds[s];
-            key.stallStudy = true;   // scheduling needs warps to pick from
+            key.policy = "stall";   // scheduling needs warps to pick from
             const rt::NetRun &run = bench::netRun(key);
             if (s == 0)
                 base = run.totalTimeSec;

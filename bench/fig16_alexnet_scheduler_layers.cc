@@ -20,14 +20,16 @@ main(int argc, char **argv)
         sim::SchedPolicy::TLV};
     const std::vector<std::string> schedNames = {"GTO", "LRR", "TLV"};
 
-    // Collect per-layer times under each scheduler.
-    std::vector<const rt::NetRun *> runs;
+    // Collect per-layer times under each scheduler (one engine job per
+    // scheduler, simulated concurrently).
+    std::vector<bench::RunKey> keys;
     for (auto s : scheds) {
         bench::RunKey key{"alexnet"};
         key.sched = s;
-        key.stallStudy = true;
-        runs.push_back(&bench::netRun(key));
+        key.policy = "stall";
+        keys.push_back(key);
     }
+    const std::vector<const rt::NetRun *> runs = bench::engine().runAll(keys);
 
     std::vector<std::string> layerNames;
     for (const auto &l : runs[0]->layers)

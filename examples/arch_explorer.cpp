@@ -6,7 +6,9 @@
  * impossible with library-bound benchmark suites (Section IV-F).
  *
  * Sweeps AlexNet over {L1D size} x {warp scheduler} and prints the
- * execution-time matrix plus the resulting design recommendation.
+ * execution-time matrix plus the resulting design recommendation. The
+ * twelve design points are independent simulations, so the whole sweep
+ * is handed to rt::Engine and runs in parallel across worker threads.
  */
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "runtime/engine.hh"
 #include "runtime/runtime.hh"
 #include "sim/gpu.hh"
 
@@ -33,20 +36,30 @@ main()
         sim::SchedPolicy::GTO, sim::SchedPolicy::LRR,
         sim::SchedPolicy::TLV};
 
+    // Enumerate the design space as engine keys and simulate them all
+    // concurrently.
+    std::vector<rt::RunKey> keys;
+    for (const auto &[l1Name, l1Bytes] : l1Sizes) {
+        for (auto sched : scheds) {
+            rt::RunKey key{"alexnet"};
+            key.l1dBytes = l1Bytes;
+            key.sched = sched;
+            keys.push_back(key);
+        }
+    }
+    const std::vector<const rt::NetRun *> runs =
+        rt::Engine::global().runAll(keys);
+
     Table t("AlexNet execution time (ms) across the design space");
     t.header({"L1D \\ scheduler", "gto", "lrr", "tlv"});
 
     double best = 1e30;
     std::string bestCfg;
+    size_t idx = 0;
     for (const auto &[l1Name, l1Bytes] : l1Sizes) {
         std::vector<std::string> row = {l1Name};
         for (auto sched : scheds) {
-            sim::GpuConfig cfg = sim::pascalGP102();
-            cfg.l1dBytes = l1Bytes;
-            cfg.scheduler = sched;
-            sim::Gpu gpu(cfg);
-            const rt::NetRun run =
-                rt::runNetworkByName(gpu, "alexnet", rt::benchPolicy());
+            const rt::NetRun &run = *runs[idx++];
             row.push_back(Table::num(run.totalTimeSec * 1e3, 2));
             if (run.totalTimeSec < best) {
                 best = run.totalTimeSec;

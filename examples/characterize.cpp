@@ -9,9 +9,14 @@
  * and prints the full characterization: per-layer-type time, instruction
  * and data-type mixes, stall breakdown, cache statistics, power and
  * footprint — the per-network view behind every figure in the paper.
+ *
+ * All requested networks are submitted to the process-wide rt::Engine
+ * up front, so they simulate concurrently while the reports print in
+ * order.
  */
 
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +26,7 @@
 #include "nn/models/models.hh"
 #include "nn/weights.hh"
 #include "profiler/profiler.hh"
+#include "runtime/engine.hh"
 #include "runtime/report.hh"
 #include "runtime/runtime.hh"
 #include "sim/gpu.hh"
@@ -92,39 +98,47 @@ parse(int argc, char **argv, Options &opt)
     return true;
 }
 
-void
-characterize(const Options &opt, const std::string &name)
+/** The engine cache key + config for one characterization point. */
+rt::RunKey
+pointKey(const Options &opt, const std::string &name)
 {
-    sim::GpuConfig cfg = opt.platform == "GK210" ? sim::keplerGK210()
-                         : opt.platform == "TX1" ? sim::maxwellTX1()
-                                                 : sim::pascalGP102();
+    rt::RunKey key{name};
+    key.platform = opt.platform;
+    key.sched = opt.sched;
+    key.policy = opt.exact ? "exact" : "bench";
+    // Platform-default L1D unless --l1 overrides it.
+    key.l1dBytes = rt::makeConfig(key).l1dBytes;
     if (opt.l1Kb >= 0)
-        cfg.l1dBytes = static_cast<uint32_t>(opt.l1Kb) * 1024;
-    cfg.scheduler = opt.sched;
-    sim::Gpu gpu(cfg);
+        key.l1dBytes = static_cast<uint32_t>(opt.l1Kb) * 1024;
+    return key;
+}
 
-    rt::RunPolicy policy = rt::benchPolicy();
-    if (opt.exact) {
-        policy = rt::RunPolicy{};
-        policy.sim.fullSim = true;
-        policy.sim.maxResidentCtas = 0;
-    }
+/** Enqueue one network's simulation on the engine. */
+std::shared_future<const rt::NetRun *>
+submitOne(const Options &opt, const std::string &name)
+{
+    const rt::RunKey key = pointKey(opt, name);
+    if (!opt.quant || name == "gru" || name == "lstm")
+        return rt::Engine::global().submit(key);
 
-    rt::NetRun run;
-    if (name == "gru" || name == "lstm") {
-        nn::RnnModel m = name == "gru" ? nn::models::buildGru()
-                                       : nn::models::buildLstm();
-        rt::Runtime rtm(gpu);
-        run = rtm.runRnn(m, policy);
-    } else {
-        nn::Network net = nn::models::buildCnn(name);
-        if (opt.quant) {
-            nn::initWeights(net);
-            nn::quantizeConvWeights(net);
-        }
-        rt::Runtime rtm(gpu);
-        run = rtm.runCnn(net, policy);
-    }
+    // Quantized weights are not part of the standard key space: submit
+    // a custom job under an extended cache key.
+    return rt::Engine::global().submit(
+        key.str() + "+quant", rt::makeConfig(key),
+        [name, policy = key.policy](sim::Gpu &gpu) {
+            nn::AnyModel model = nn::models::buildAny(name);
+            nn::initWeights(model);
+            nn::quantizeConvWeights(model.cnn());
+            rt::Runtime rtm(gpu);
+            return rtm.run(model, rt::RunPolicy::named(policy));
+        });
+}
+
+void
+characterize(const Options &opt, const std::string &name,
+             const rt::NetRun &run)
+{
+    const sim::GpuConfig cfg = rt::makeConfig(pointKey(opt, name));
 
     std::cout << "\n##### " << name << " on " << cfg.name
               << " (l1=" << cfg.l1dBytes / 1024
@@ -168,8 +182,13 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    // Submit everything first: the engine simulates the networks in
+    // parallel while the reports stream out in request order.
+    std::vector<std::shared_future<const rt::NetRun *>> futures;
     for (const auto &name : opt.nets)
-        characterize(opt, name);
+        futures.push_back(submitOne(opt, name));
+    for (size_t i = 0; i < opt.nets.size(); i++)
+        characterize(opt, opt.nets[i], *futures[i].get());
     std::cout << "\ncharacterize: OK\n";
     return 0;
 }

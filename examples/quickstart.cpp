@@ -30,9 +30,10 @@ main()
     using namespace tango;
 
     // 1. The network: CifarNet trained (synthetically) for 9 traffic
-    //    signals, as in the paper's Table I.
-    nn::Network net = nn::models::buildCifarNet();
-    nn::initWeights(net);
+    //    signals, as in the paper's Table I.  AnyModel is the uniform
+    //    wrapper Runtime::run() accepts for both CNNs and RNNs.
+    nn::AnyModel model(nn::models::buildCifarNet());
+    nn::initWeights(model);
 
     // 2. A synthetic "speed limit 35" input image.
     const nn::Tensor image = nn::models::makeInputImage(3, 32, 32);
@@ -51,7 +52,7 @@ main()
 
     inform("simulating CifarNet on %s (%u SMs)...",
            gpu.config().name.c_str(), gpu.config().numSms);
-    const rt::NetRun run = runtime.runCnn(net, policy, &image);
+    const rt::NetRun run = runtime.run(model, policy, {.image = &image});
 
     if (run.checkFailures != 0) {
         warn("%llu device/reference mismatches!",
@@ -60,7 +61,7 @@ main()
     }
 
     // 5a. The network's answer (softmax output of the last layer).
-    const nn::Tensor probs = net.forward(image);
+    const nn::Tensor probs = model.cnn().forward(image);
     std::printf("\nclass probabilities (9 traffic signals):\n");
     for (uint32_t c = 0; c < probs.size(); c++)
         std::printf("  class %u: %.4f\n", c, probs[c]);

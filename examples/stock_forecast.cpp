@@ -18,11 +18,14 @@
 namespace {
 
 void
-forecast(tango::nn::RnnModel model)
+forecast(tango::nn::RnnModel rnn)
 {
     using namespace tango;
 
-    nn::initWeights(model);
+    nn::initWeights(rnn);
+    const std::string name = rnn.name;
+    const uint32_t seqLen = rnn.seqLen;
+    const nn::AnyModel model(std::move(rnn));
 
     sim::Gpu gpu(sim::maxwellTX1());   // the paper's mobile platform
     rt::Runtime runtime(gpu);
@@ -35,33 +38,31 @@ forecast(tango::nn::RnnModel model)
 
     // A longer walk; each prediction uses a sliding 2-step window.
     const auto walk = nn::models::makeStockSequence(10);
-    std::printf("%s: scaled price walk:", model.name.c_str());
+    std::printf("%s: scaled price walk:", name.c_str());
     for (float p : walk)
         std::printf(" %.3f", p);
     std::printf("\n");
 
     double timeUs = 0.0, energyMj = 0.0;
-    for (size_t t = 0; t + model.seqLen < walk.size(); t++) {
+    for (size_t t = 0; t + seqLen < walk.size(); t++) {
         const std::vector<float> window(walk.begin() + t,
-                                        walk.begin() + t + model.seqLen);
+                                        walk.begin() + t + seqLen);
         float pred = 0.0f;
-        const rt::NetRun run =
-            runtime.runRnn(model, policy, &window, &pred);
+        const rt::NetRun run = runtime.run(
+            model, policy, {.sequence = &window, .prediction = &pred});
         if (run.checkFailures) {
-            warn("%s: simulation/reference mismatch",
-                 model.name.c_str());
+            warn("%s: simulation/reference mismatch", name.c_str());
             std::exit(1);
         }
         timeUs += run.totalTimeSec * 1e6;
         energyMj += run.totalEnergyJ * 1e3;
         std::printf("  day %2zu..%zu -> predict %.4f (actual next: "
                     "%.4f)\n",
-                    t, t + model.seqLen - 1, pred,
-                    walk[t + model.seqLen]);
+                    t, t + seqLen - 1, pred, walk[t + seqLen]);
     }
     std::printf("%s on TX1: %.1f us simulated inference time, %.3f mJ "
                 "total\n\n",
-                model.name.c_str(), timeUs, energyMj);
+                name.c_str(), timeUs, energyMj);
 }
 
 } // namespace

@@ -1,0 +1,64 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace tango {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return;   // stop_ set and nothing left to run
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        busy_++;
+        lock.unlock();
+        task();
+        lock.lock();
+        busy_--;
+        if (queue_.empty() && busy_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+} // namespace tango

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a FIFO task queue.
+ *
+ * This is the execution substrate of rt::Engine: simulation jobs are
+ * embarrassingly parallel (each one owns a private sim::Gpu), so all the
+ * pool has to provide is N workers, a queue, and a way to wait for
+ * drain.  Tasks must not throw — wrap fallible work in a try/catch and
+ * route the exception through a promise (Engine does exactly that).
+ */
+
+#ifndef TANGO_COMMON_THREAD_POOL_HH
+#define TANGO_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tango {
+
+/** A fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins the workers after the queue drains. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** @return the number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable workCv_;   ///< workers sleep here
+    std::condition_variable idleCv_;   ///< wait() sleeps here
+    unsigned busy_ = 0;                ///< tasks currently executing
+    bool stop_ = false;
+};
+
+} // namespace tango
+
+#endif // TANGO_COMMON_THREAD_POOL_HH

@@ -54,6 +54,9 @@ std::vector<std::string> allNames();
 /** Build a CNN by name ("cifarnet", "alexnet", ...). */
 Network buildCnn(const std::string &name);
 
+/** Build any model by name: "gru"/"lstm" yield RNNs, the rest CNNs. */
+AnyModel buildAny(const std::string &name);
+
 /** Deterministic synthetic input image for a network (the "cat image"). */
 Tensor makeInputImage(uint32_t c, uint32_t h, uint32_t w,
                       uint64_t seed = 42);

@@ -63,4 +63,14 @@ buildCnn(const std::string &name)
     fatal("unknown CNN '%s'", name.c_str());
 }
 
+AnyModel
+buildAny(const std::string &name)
+{
+    if (name == "gru")
+        return AnyModel(buildGru());
+    if (name == "lstm")
+        return AnyModel(buildLstm());
+    return AnyModel(buildCnn(name));
+}
+
 } // namespace tango::nn::models

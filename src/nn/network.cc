@@ -166,4 +166,39 @@ RnnModel::forward(const std::vector<float> &sequence) const
     return out;
 }
 
+const std::string &
+AnyModel::name() const
+{
+    return isRnn() ? std::get<RnnModel>(m_).name
+                   : std::get<Network>(m_).name;
+}
+
+const Network &
+AnyModel::cnn() const
+{
+    TANGO_ASSERT(!isRnn(), "AnyModel holds an RnnModel");
+    return std::get<Network>(m_);
+}
+
+Network &
+AnyModel::cnn()
+{
+    TANGO_ASSERT(!isRnn(), "AnyModel holds an RnnModel");
+    return std::get<Network>(m_);
+}
+
+const RnnModel &
+AnyModel::rnn() const
+{
+    TANGO_ASSERT(isRnn(), "AnyModel holds a Network");
+    return std::get<RnnModel>(m_);
+}
+
+RnnModel &
+AnyModel::rnn()
+{
+    TANGO_ASSERT(isRnn(), "AnyModel holds a Network");
+    return std::get<RnnModel>(m_);
+}
+
 } // namespace tango::nn

@@ -9,6 +9,7 @@
 #define TANGO_NN_NETWORK_HH
 
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "nn/layer.hh"
@@ -68,6 +69,39 @@ struct RnnModel
     /** One reference cell step: h (and c for LSTM) updated in place. */
     void step(const std::vector<float> &x, std::vector<float> &h,
               std::vector<float> &c) const;
+};
+
+/**
+ * A model of either kind — feed-forward Network or recurrent RnnModel —
+ * behind one type, so code that runs models (rt::Runtime::run, the
+ * rt::Engine job queue) does not fork on the model kind.
+ *
+ * Holds the model by value; pass builders' results straight in
+ * (AnyModel(models::buildCnn("alexnet"))) so the model is moved, never
+ * copied — initialized weights can be hundreds of megabytes.
+ */
+class AnyModel
+{
+  public:
+    AnyModel(Network net) : m_(std::move(net)) {}
+    AnyModel(RnnModel model) : m_(std::move(model)) {}
+
+    /** @return whether this is a recurrent model. */
+    bool isRnn() const { return std::holds_alternative<RnnModel>(m_); }
+
+    /** @return the model's name, whichever kind it is. */
+    const std::string &name() const;
+
+    /** @return the feed-forward network; panics if isRnn(). */
+    const Network &cnn() const;
+    Network &cnn();
+
+    /** @return the recurrent model; panics unless isRnn(). */
+    const RnnModel &rnn() const;
+    RnnModel &rnn();
+
+  private:
+    std::variant<Network, RnnModel> m_;
 };
 
 } // namespace tango::nn

@@ -275,4 +275,13 @@ loadWeightFiles(Network &net, const std::string &dir)
     return count;
 }
 
+void
+initWeights(AnyModel &model)
+{
+    if (model.isRnn())
+        initWeights(model.rnn());
+    else
+        initWeights(model.cnn());
+}
+
 } // namespace tango::nn

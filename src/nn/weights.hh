@@ -27,6 +27,9 @@ void initWeights(Network &net);
 /** Fill an RNN model's parameters deterministically. */
 void initWeights(RnnModel &model);
 
+/** Fill either kind of model deterministically. */
+void initWeights(AnyModel &model);
+
 /** Quantization extension: convert every convolution layer's weights to
  *  s16 Q-format (per-layer max-abs scale).  The layer's float weights are
  *  replaced by their dequantized values, so the CPU reference and the

@@ -1,0 +1,258 @@
+#include "runtime/engine.hh"
+
+#include <cstdlib>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "runtime/run_cache.hh"
+#include "sim/gpu.hh"
+
+namespace tango::rt {
+
+// ------------------------------------------------------------------ RunKey
+
+std::string
+RunKey::str() const
+{
+    const std::string l1 =
+        l1dBytes ? std::to_string(l1dBytes / 1024) + "K" : "off";
+    return net + "/" + platform + "/l1=" + l1 + "/" +
+           sim::schedName(sched) + "/" + policy;
+}
+
+bool
+RunKey::operator<(const RunKey &o) const
+{
+    return std::tie(net, platform, l1dBytes, sched, policy) <
+           std::tie(o.net, o.platform, o.l1dBytes, o.sched, o.policy);
+}
+
+bool
+RunKey::operator==(const RunKey &o) const
+{
+    return std::tie(net, platform, l1dBytes, sched, policy) ==
+           std::tie(o.net, o.platform, o.l1dBytes, o.sched, o.policy);
+}
+
+sim::GpuConfig
+makeConfig(const RunKey &key)
+{
+    sim::GpuConfig cfg = key.platform == "GK210" ? sim::keplerGK210()
+                         : key.platform == "TX1" ? sim::maxwellTX1()
+                                                 : sim::pascalGP102();
+    cfg.l1dBytes = key.l1dBytes;
+    cfg.scheduler = key.sched;
+    return cfg;
+}
+
+// ----------------------------------------------------------- EngineOptions
+
+EngineOptions
+EngineOptions::fromEnv()
+{
+    EngineOptions opt;
+    if (const char *t = std::getenv("TANGO_ENGINE_THREADS")) {
+        const long n = std::strtol(t, nullptr, 10);
+        if (n > 0)
+            opt.threads = static_cast<unsigned>(n);
+    }
+    if (const char *c = std::getenv("TANGO_ENGINE_CACHE"))
+        opt.cachePath = c;
+    return opt;
+}
+
+// ------------------------------------------------------------------ Engine
+
+/** One cache entry: the job closure until it runs, the result after. */
+struct Engine::Slot
+{
+    std::string key;
+    sim::GpuConfig cfg;
+    JobFn fn;   ///< cleared once the job has run
+
+    std::promise<const NetRun *> promise;
+    std::shared_future<const NetRun *> future;
+    std::unique_ptr<NetRun> result;   ///< stable address for references
+};
+
+Engine::Engine(EngineOptions opt)
+    : opt_(std::move(opt)), pool_(opt_.threads)
+{
+    if (!opt_.cachePath.empty())
+        disk_ = loadRunCache(opt_.cachePath);
+}
+
+Engine::~Engine()
+{
+    pool_.wait();
+    flush();
+}
+
+sim::Gpu &
+Engine::workerGpu(const sim::GpuConfig &cfg)
+{
+    // One private Gpu per worker thread.  The sim stack is
+    // single-threaded internally; the thread_local keeps it that way
+    // while letting consecutive jobs on a worker reuse the device
+    // (reconfigure() rebuilds the memory system and cold-starts it, so
+    // no state leaks between jobs).
+    static thread_local std::unique_ptr<sim::Gpu> gpu;
+    if (!gpu)
+        gpu = std::make_unique<sim::Gpu>(cfg);
+    else
+        gpu->reconfigure(cfg);
+    return *gpu;
+}
+
+void
+Engine::execute(const std::shared_ptr<Slot> &slot)
+{
+    try {
+        NetRun run = slot->fn(workerGpu(slot->cfg));
+        std::unique_lock<std::mutex> lock(mu_);
+        slot->fn = nullptr;
+        slot->result = std::make_unique<NetRun>(std::move(run));
+        dirty_ = true;
+        slot->promise.set_value(slot->result.get());
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        slot->fn = nullptr;
+        stats_.failures++;
+        // Evict so a retry re-simulates; waiters holding the shared
+        // future still see the exception through the shared state.
+        slots_.erase(slot->key);
+        slot->promise.set_exception(std::current_exception());
+    }
+}
+
+std::shared_future<const NetRun *>
+Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
+                     JobFn fn)
+{
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+        stats_.memHits++;
+        return it->second->future;
+    }
+
+    auto slot = std::make_shared<Slot>();
+    slot->key = key;
+    slot->cfg = cfg;
+    slot->future = slot->promise.get_future().share();
+
+    auto disk = disk_.find(key);
+    if (disk != disk_.end()) {
+        // Recalled from the JSON spill: resolve immediately.
+        stats_.diskHits++;
+        slot->result = std::make_unique<NetRun>(std::move(disk->second));
+        disk_.erase(disk);
+        slot->promise.set_value(slot->result.get());
+        auto future = slot->future;
+        slots_.emplace(key, std::move(slot));
+        return future;
+    }
+
+    stats_.misses++;
+    slot->fn = std::move(fn);
+    slots_.emplace(key, slot);
+    pool_.submit([this, slot] { execute(slot); });
+    return slot->future;
+}
+
+std::shared_future<const NetRun *>
+Engine::submit(const RunKey &key)
+{
+    const sim::GpuConfig cfg = makeConfig(key);
+    const std::string net = key.net;
+    const std::string policy = key.policy;
+    std::unique_lock<std::mutex> lock(mu_);
+    return submitLocked(key.str(), cfg, [net, policy](sim::Gpu &gpu) {
+        return runNetworkByName(gpu, net, RunPolicy::named(policy));
+    });
+}
+
+std::shared_future<const NetRun *>
+Engine::submit(const std::string &key, const sim::GpuConfig &cfg, JobFn fn)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return submitLocked(key, cfg, std::move(fn));
+}
+
+const NetRun &
+Engine::run(const RunKey &key)
+{
+    return *submit(key).get();
+}
+
+const NetRun &
+Engine::run(const std::string &key, const sim::GpuConfig &cfg, JobFn fn)
+{
+    return *submit(key, cfg, std::move(fn)).get();
+}
+
+void
+Engine::prefetch(const std::vector<RunKey> &keys)
+{
+    for (const auto &key : keys)
+        submit(key);
+}
+
+std::vector<const NetRun *>
+Engine::runAll(const std::vector<RunKey> &keys)
+{
+    std::vector<std::shared_future<const NetRun *>> futures;
+    futures.reserve(keys.size());
+    for (const auto &key : keys)
+        futures.push_back(submit(key));
+    std::vector<const NetRun *> out;
+    out.reserve(keys.size());
+    for (auto &f : futures)
+        out.push_back(f.get());
+    return out;
+}
+
+void
+Engine::flush()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (opt_.cachePath.empty() || !dirty_)
+        return;
+    // Everything we computed or loaded goes back out: completed slots
+    // plus any spill entries no job has claimed yet.
+    std::map<std::string, NetRun> all = disk_;
+    for (const auto &[key, slot] : slots_) {
+        if (slot->result)
+            all.emplace(key, *slot->result);
+    }
+    if (!saveRunCache(opt_.cachePath, all)) {
+        warn("engine: failed to write result cache '%s'",
+             opt_.cachePath.c_str());
+    }
+    dirty_ = false;
+}
+
+Engine::CacheStats
+Engine::cacheStats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+Engine &
+Engine::global()
+{
+    // Leaked on purpose.  A job that fatal()s calls exit() from a worker
+    // thread; exit() runs static destructors on that same thread, so a
+    // static Engine here would have its ThreadPool join the very worker
+    // that is exiting — a self-join deadlock.  The atexit hook still
+    // flushes the disk spill (it only takes the engine mutex, which the
+    // exiting worker never holds across exit()).
+    static Engine *engine = [] {
+        Engine *e = new Engine(EngineOptions::fromEnv());
+        std::atexit([] { global().flush(); });
+        return e;
+    }();
+    return *engine;
+}
+
+} // namespace tango::rt

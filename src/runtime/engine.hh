@@ -1,0 +1,168 @@
+/**
+ * @file
+ * tango::rt::Engine — the parallel simulation engine.
+ *
+ * The paper's evaluation is ~40 independent (network x platform x L1D x
+ * scheduler) simulation points; each one is a pure function of its
+ * configuration.  The Engine turns those points into jobs, shards them
+ * across a worker thread pool — one private sim::Gpu per worker, so the
+ * single-threaded Gpu/Core/Cache/Power stack needs no locking — and
+ * memoizes the resulting NetRun in a process-wide keyed cache with an
+ * optional on-disk JSON spill (run_cache.hh).
+ *
+ * Determinism: a job derives every random bit from fixed seeds (weights
+ * and inputs are seeded per tensor; the simulator itself is
+ * deterministic), so results are bit-identical regardless of worker
+ * count or completion order.  test_engine.cc asserts this.
+ */
+
+#ifndef TANGO_RUNTIME_ENGINE_HH
+#define TANGO_RUNTIME_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "runtime/runtime.hh"
+#include "sim/config.hh"
+
+namespace tango::sim {
+class Gpu;
+}
+
+namespace tango::rt {
+
+/**
+ * One standard simulation point: which network, on which platform,
+ * with which L1D size, warp scheduler, and named RunPolicy.
+ * This is the Engine's cache key for named-network jobs.
+ */
+struct RunKey
+{
+    std::string net;
+    std::string platform = "GP102";    // GP102 | GK210 | TX1
+    uint32_t l1dBytes = 64 * 1024;     // 0 = bypassed
+    sim::SchedPolicy sched = sim::SchedPolicy::GTO;
+    std::string policy = "bench";      // RunPolicy::named() name
+
+    /** Human-readable (and disk-cache) form, e.g.
+     *  "alexnet/GP102/l1=64K/gto/bench". */
+    std::string str() const;
+
+    bool operator<(const RunKey &o) const;
+    bool operator==(const RunKey &o) const;
+};
+
+/** @return the GpuConfig a RunKey describes. */
+sim::GpuConfig makeConfig(const RunKey &key);
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** On-disk JSON spill path; empty = in-memory cache only. */
+    std::string cachePath;
+
+    /** Read TANGO_ENGINE_THREADS / TANGO_ENGINE_CACHE from the
+     *  environment (unset variables keep the defaults above). */
+    static EngineOptions fromEnv();
+};
+
+/**
+ * A job-based parallel simulation engine with a keyed result cache.
+ *
+ * Standard jobs are RunKeys; arbitrary sweeps (quantized weights,
+ * custom policies) submit a JobFn under an explicit cache key.  submit()
+ * returns a shared future immediately; run() blocks.  Results live for
+ * the Engine's lifetime and are returned by reference — repeated run()
+ * calls with the same key return the same object.
+ *
+ * A job that throws fails only its own future: the exception is
+ * rethrown from run()/future.get(), the key is evicted (a retry
+ * re-simulates), and the worker moves on to the next job.
+ */
+class Engine
+{
+  public:
+    /** A custom job: simulate something on the worker's Gpu (already
+     *  reconfigured to the job's GpuConfig) and return the statistics. */
+    using JobFn = std::function<NetRun(sim::Gpu &)>;
+
+    explicit Engine(EngineOptions opt = {});
+
+    /** Waits for outstanding jobs, then flushes the disk spill. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Enqueue a standard simulation point (no-op if cached). */
+    std::shared_future<const NetRun *> submit(const RunKey &key);
+
+    /** Enqueue a custom job under @p key (no-op if cached). */
+    std::shared_future<const NetRun *> submit(const std::string &key,
+                                              const sim::GpuConfig &cfg,
+                                              JobFn fn);
+
+    /** Run (or recall) a standard simulation point; blocks. */
+    const NetRun &run(const RunKey &key);
+
+    /** Run (or recall) a custom job; blocks. */
+    const NetRun &run(const std::string &key, const sim::GpuConfig &cfg,
+                      JobFn fn);
+
+    /** Submit every key so the pool simulates them concurrently.
+     *  Subsequent run() calls then only wait, never simulate. */
+    void prefetch(const std::vector<RunKey> &keys);
+
+    /** prefetch() + collect, in input order; blocks for all. */
+    std::vector<const NetRun *> runAll(const std::vector<RunKey> &keys);
+
+    /** Write the disk spill now (also done by the destructor). */
+    void flush();
+
+    /** @return the worker count. */
+    unsigned threads() const { return pool_.threadCount(); }
+
+    /** Cache effectiveness counters (for logs and tests). */
+    struct CacheStats
+    {
+        uint64_t memHits = 0;    ///< key already resident
+        uint64_t diskHits = 0;   ///< recalled from the JSON spill
+        uint64_t misses = 0;     ///< actually simulated
+        uint64_t failures = 0;   ///< jobs that threw
+    };
+    CacheStats cacheStats() const;
+
+    /** The process-wide engine (configured from the environment).
+     *  This is what bench_util and the examples share. */
+    static Engine &global();
+
+  private:
+    struct Slot;
+
+    std::shared_future<const NetRun *>
+    submitLocked(const std::string &key, const sim::GpuConfig &cfg,
+                 JobFn fn);
+    void execute(const std::shared_ptr<Slot> &slot);
+    sim::Gpu &workerGpu(const sim::GpuConfig &cfg);
+
+    EngineOptions opt_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Slot>> slots_;
+    std::map<std::string, NetRun> disk_;   ///< loaded, not-yet-claimed spill
+    CacheStats stats_;
+    bool dirty_ = false;   ///< new results since the last flush
+
+    ThreadPool pool_;   ///< declared last: joins before members die
+};
+
+} // namespace tango::rt
+
+#endif // TANGO_RUNTIME_ENGINE_HH

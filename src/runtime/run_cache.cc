@@ -1,0 +1,527 @@
+#include "runtime/run_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tango::rt {
+
+namespace {
+
+// ---------------------------------------------------------------- writer
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    // 17 significant digits round-trip any IEEE-754 double exactly.
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+/** Emits `"name":value` sequences inside one JSON object. */
+class ObjWriter
+{
+  public:
+    explicit ObjWriter(std::string &out) : out_(out) { out_ += '{'; }
+    void close() { out_ += '}'; }
+
+    void key(const char *name)
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+    }
+    void num(const char *name, double v) { key(name); appendDouble(out_, v); }
+    void u64(const char *name, uint64_t v) { key(name); appendU64(out_, v); }
+    void str(const char *name, const std::string &v)
+    {
+        key(name);
+        appendEscaped(out_, v);
+    }
+
+  private:
+    std::string &out_;
+    bool first_ = true;
+};
+
+void
+appendStatSet(std::string &out, const StatSet &st)
+{
+    out += '{';
+    bool first = true;
+    for (const auto &[name, v] : st.all()) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendEscaped(out, name);
+        out += ':';
+        appendDouble(out, v);
+    }
+    out += '}';
+}
+
+void
+appendDim3(std::string &out, const sim::Dim3 &d)
+{
+    out += '[';
+    appendU64(out, d.x);
+    out += ',';
+    appendU64(out, d.y);
+    out += ',';
+    appendU64(out, d.z);
+    out += ']';
+}
+
+void
+appendKernelStats(std::string &out, const sim::KernelStats &k)
+{
+    ObjWriter o(out);
+    o.str("name", k.name);
+    o.key("grid");
+    appendDim3(out, k.grid);
+    o.key("block");
+    appendDim3(out, k.block);
+    o.u64("totalCtas", k.totalCtas);
+    o.u64("sampledCtas", k.sampledCtas);
+    o.u64("totalWarpsPerCta", k.totalWarpsPerCta);
+    o.u64("sampledWarpsPerCta", k.sampledWarpsPerCta);
+    o.num("scale", k.scale);
+    o.u64("smCycles", k.smCycles);
+    o.num("gpuCycles", k.gpuCycles);
+    o.num("timeSec", k.timeSec);
+    o.u64("activeSms", k.activeSms);
+    o.key("stats");
+    appendStatSet(out, k.stats);
+    o.u64("regsPerThread", k.regsPerThread);
+    o.u64("maxLiveRegs", k.maxLiveRegs);
+    o.u64("smemBytes", k.smemBytes);
+    o.u64("cmemBytes", k.cmemBytes);
+    o.u64("residentCtas", k.residentCtas);
+    o.u64("occupancyCtas", k.occupancyCtas);
+    o.num("peakPowerW", k.peakPowerW);
+    o.num("avgPowerW", k.avgPowerW);
+    o.num("energyJ", k.energyJ);
+    o.num("peakWindowDynW", k.peakWindowDynW);
+    o.close();
+}
+
+void
+appendLayerRun(std::string &out, const LayerRun &l)
+{
+    ObjWriter o(out);
+    o.num("layerIndex", l.layerIndex);
+    o.str("name", l.name);
+    o.str("figType", l.figType);
+    o.key("kernels");
+    out += '[';
+    for (size_t i = 0; i < l.kernels.size(); i++) {
+        if (i)
+            out += ',';
+        appendKernelStats(out, l.kernels[i]);
+    }
+    out += ']';
+    o.close();
+}
+
+// ---------------------------------------------------------------- parser
+
+/** A minimal recursive-descent JSON reader over an in-memory buffer.
+ *  Parse errors throw std::runtime_error; loadRunCache catches them. */
+class Json
+{
+  public:
+    struct Value
+    {
+        enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+        bool b = false;
+        double num = 0.0;
+        std::string str;
+        std::vector<Value> arr;
+        std::vector<std::pair<std::string, Value>> obj;
+
+        const Value *find(const char *key) const
+        {
+            for (const auto &[k, v] : obj) {
+                if (k == key)
+                    return &v;
+            }
+            return nullptr;
+        }
+        double numOr(const char *key, double dflt = 0.0) const
+        {
+            const Value *v = find(key);
+            return v && v->kind == Kind::Num ? v->num : dflt;
+        }
+        uint64_t u64Or(const char *key, uint64_t dflt = 0) const
+        {
+            return static_cast<uint64_t>(numOr(key, double(dflt)));
+        }
+        std::string strOr(const char *key) const
+        {
+            const Value *v = find(key);
+            return v && v->kind == Kind::Str ? v->str : std::string();
+        }
+    };
+
+    explicit Json(const std::string &text) : s_(text) {}
+
+    Value parse()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char *what)
+    {
+        throw std::runtime_error(std::string("json: ") + what + " at " +
+                                 std::to_string(pos_));
+    }
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            pos_++;
+    }
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        pos_++;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    fail("bad escape");
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        fail("bad \\u escape");
+                    const unsigned cp = static_cast<unsigned>(std::strtoul(
+                        s_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    // Cache strings are ASCII; anything else is replaced.
+                    out += cp < 0x80 ? static_cast<char>(cp) : '?';
+                    break;
+                }
+                default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        pos_++;   // closing quote
+        return out;
+    }
+
+    Value value()
+    {
+        const char c = peek();
+        Value v;
+        if (c == '{') {
+            pos_++;
+            v.kind = Value::Kind::Obj;
+            if (peek() == '}') {
+                pos_++;
+                return v;
+            }
+            for (;;) {
+                std::string key = string();
+                expect(':');
+                v.obj.emplace_back(std::move(key), value());
+                const char n = peek();
+                pos_++;
+                if (n == '}')
+                    return v;
+                if (n != ',')
+                    fail("expected , or }");
+            }
+        }
+        if (c == '[') {
+            pos_++;
+            v.kind = Value::Kind::Arr;
+            if (peek() == ']') {
+                pos_++;
+                return v;
+            }
+            for (;;) {
+                v.arr.push_back(value());
+                const char n = peek();
+                pos_++;
+                if (n == ']')
+                    return v;
+                if (n != ',')
+                    fail("expected , or ]");
+            }
+        }
+        if (c == '"') {
+            v.kind = Value::Kind::Str;
+            v.str = string();
+            return v;
+        }
+        if (c == 't' || c == 'f' || c == 'n') {
+            const char *word = c == 't' ? "true" : c == 'f' ? "false" : "null";
+            const size_t len = std::strlen(word);
+            if (s_.compare(pos_, len, word) != 0)
+                fail("bad literal");
+            pos_ += len;
+            v.kind = c == 'n' ? Value::Kind::Null : Value::Kind::Bool;
+            v.b = c == 't';
+            return v;
+        }
+        // Number.
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        v.num = std::strtod(start, &end);
+        if (end == start)
+            fail("bad number");
+        pos_ += static_cast<size_t>(end - start);
+        v.kind = Value::Kind::Num;
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+sim::Dim3
+parseDim3(const Json::Value &v)
+{
+    sim::Dim3 d;
+    if (v.kind == Json::Value::Kind::Arr && v.arr.size() == 3) {
+        d.x = static_cast<uint32_t>(v.arr[0].num);
+        d.y = static_cast<uint32_t>(v.arr[1].num);
+        d.z = static_cast<uint32_t>(v.arr[2].num);
+    }
+    return d;
+}
+
+StatSet
+parseStatSet(const Json::Value &v)
+{
+    StatSet st;
+    for (const auto &[name, val] : v.obj)
+        st.set(name, val.num);
+    return st;
+}
+
+sim::KernelStats
+parseKernelStats(const Json::Value &v)
+{
+    sim::KernelStats k;
+    k.name = v.strOr("name");
+    if (const auto *g = v.find("grid"))
+        k.grid = parseDim3(*g);
+    if (const auto *b = v.find("block"))
+        k.block = parseDim3(*b);
+    k.totalCtas = v.u64Or("totalCtas");
+    k.sampledCtas = v.u64Or("sampledCtas");
+    k.totalWarpsPerCta = static_cast<uint32_t>(v.u64Or("totalWarpsPerCta"));
+    k.sampledWarpsPerCta =
+        static_cast<uint32_t>(v.u64Or("sampledWarpsPerCta"));
+    k.scale = v.numOr("scale", 1.0);
+    k.smCycles = v.u64Or("smCycles");
+    k.gpuCycles = v.numOr("gpuCycles");
+    k.timeSec = v.numOr("timeSec");
+    k.activeSms = static_cast<uint32_t>(v.u64Or("activeSms", 1));
+    if (const auto *st = v.find("stats"))
+        k.stats = parseStatSet(*st);
+    k.regsPerThread = static_cast<uint32_t>(v.u64Or("regsPerThread"));
+    k.maxLiveRegs = static_cast<uint32_t>(v.u64Or("maxLiveRegs"));
+    k.smemBytes = static_cast<uint32_t>(v.u64Or("smemBytes"));
+    k.cmemBytes = static_cast<uint32_t>(v.u64Or("cmemBytes"));
+    k.residentCtas = static_cast<uint32_t>(v.u64Or("residentCtas"));
+    k.occupancyCtas = static_cast<uint32_t>(v.u64Or("occupancyCtas"));
+    k.peakPowerW = v.numOr("peakPowerW");
+    k.avgPowerW = v.numOr("avgPowerW");
+    k.energyJ = v.numOr("energyJ");
+    k.peakWindowDynW = v.numOr("peakWindowDynW");
+    return k;
+}
+
+NetRun
+parseNetRun(const Json::Value &v)
+{
+    NetRun run;
+    run.netName = v.strOr("netName");
+    run.deviceBytes = v.u64Or("deviceBytes");
+    if (const auto *t = v.find("totals"))
+        run.totals = parseStatSet(*t);
+    run.totalTimeSec = v.numOr("totalTimeSec");
+    run.totalEnergyJ = v.numOr("totalEnergyJ");
+    run.peakPowerW = v.numOr("peakPowerW");
+    run.maxRegsPerThread = static_cast<uint32_t>(v.u64Or("maxRegsPerThread"));
+    run.maxLiveRegs = static_cast<uint32_t>(v.u64Or("maxLiveRegs"));
+    run.maxResidentWarps =
+        static_cast<uint32_t>(v.u64Or("maxResidentWarps"));
+    run.checkFailures = v.u64Or("checkFailures");
+    if (const auto *layers = v.find("layers")) {
+        for (const auto &lv : layers->arr) {
+            LayerRun l;
+            l.layerIndex =
+                static_cast<int>(static_cast<int64_t>(lv.numOr("layerIndex")));
+            l.name = lv.strOr("name");
+            l.figType = lv.strOr("figType");
+            if (const auto *ks = lv.find("kernels")) {
+                for (const auto &kv : ks->arr)
+                    l.kernels.push_back(parseKernelStats(kv));
+            }
+            run.layers.push_back(std::move(l));
+        }
+    }
+    return run;
+}
+
+} // namespace
+
+std::string
+serializeNetRun(const NetRun &run)
+{
+    std::string out;
+    out.reserve(4096);
+    ObjWriter o(out);
+    o.str("netName", run.netName);
+    o.u64("deviceBytes", run.deviceBytes);
+    o.key("totals");
+    appendStatSet(out, run.totals);
+    o.num("totalTimeSec", run.totalTimeSec);
+    o.num("totalEnergyJ", run.totalEnergyJ);
+    o.num("peakPowerW", run.peakPowerW);
+    o.u64("maxRegsPerThread", run.maxRegsPerThread);
+    o.u64("maxLiveRegs", run.maxLiveRegs);
+    o.u64("maxResidentWarps", run.maxResidentWarps);
+    o.u64("checkFailures", run.checkFailures);
+    o.key("layers");
+    out += '[';
+    for (size_t i = 0; i < run.layers.size(); i++) {
+        if (i)
+            out += ',';
+        appendLayerRun(out, run.layers[i]);
+    }
+    out += ']';
+    o.close();
+    return out;
+}
+
+std::map<std::string, NetRun>
+loadRunCache(const std::string &path)
+{
+    std::map<std::string, NetRun> out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return out;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    try {
+        Json parser(text);
+        const Json::Value doc = parser.parse();
+        if (static_cast<int>(doc.numOr("version", -1)) != kRunCacheVersion)
+            return out;
+        if (const auto *runs = doc.find("runs")) {
+            for (const auto &[key, rv] : runs->obj)
+                out.emplace(key, parseNetRun(rv));
+        }
+    } catch (const std::exception &) {
+        out.clear();   // corrupt cache: start fresh
+    }
+    return out;
+}
+
+bool
+saveRunCache(const std::string &path,
+             const std::map<std::string, NetRun> &runs)
+{
+    std::string out;
+    out.reserve(runs.size() * 4096 + 64);
+    out += "{\"version\":";
+    out += std::to_string(kRunCacheVersion);
+    out += ",\"runs\":{";
+    bool first = true;
+    for (const auto &[key, run] : runs) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendEscaped(out, key);
+        out += ':';
+        out += serializeNetRun(run);
+    }
+    out += "}}\n";
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return false;
+        f << out;
+        if (!f)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace tango::rt

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-disk spill of simulation results (rt::Engine's persistent cache).
+ *
+ * A cache file is a single JSON document mapping RunKey strings to fully
+ * serialized NetRun records.  Doubles are written with 17 significant
+ * digits so every statistic round-trips bit-exactly — a NetRun recalled
+ * from disk is indistinguishable from one the simulator just produced.
+ *
+ * The format is versioned; a file whose version does not match
+ * kRunCacheVersion is ignored wholesale (simulation is cheap enough
+ * that migrating stale results is never worth the risk of mixing
+ * statistics from two simulator revisions).
+ */
+
+#ifndef TANGO_RUNTIME_RUN_CACHE_HH
+#define TANGO_RUNTIME_RUN_CACHE_HH
+
+#include <map>
+#include <string>
+
+#include "runtime/runtime.hh"
+
+namespace tango::rt {
+
+/** Bump when NetRun/KernelStats serialization changes shape. */
+constexpr int kRunCacheVersion = 1;
+
+/** Serialize one NetRun as a JSON object (no surrounding whitespace). */
+std::string serializeNetRun(const NetRun &run);
+
+/**
+ * Load a cache file.
+ * @return key -> NetRun map; empty if the file is missing, unreadable,
+ *         malformed, or of a different version (never throws).
+ */
+std::map<std::string, NetRun> loadRunCache(const std::string &path);
+
+/**
+ * Atomically write @p runs to @p path (tmp file + rename).
+ * @return false on I/O failure.
+ */
+bool saveRunCache(const std::string &path,
+                  const std::map<std::string, NetRun> &runs);
+
+} // namespace tango::rt
+
+#endif // TANGO_RUNTIME_RUN_CACHE_HH

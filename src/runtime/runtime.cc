@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "nn/models/models.hh"
@@ -118,7 +120,30 @@ finalizeTotals(NetRun &run)
 } // namespace
 
 NetRun
+Runtime::run(const nn::AnyModel &model, const RunPolicy &policy,
+             const RunIo &io)
+{
+    if (model.isRnn())
+        return rnnRun(model.rnn(), policy, io.sequence, io.prediction);
+    return cnnRun(model.cnn(), policy, io.image);
+}
+
+NetRun
 Runtime::runCnn(const nn::Network &net, const RunPolicy &policy,
+                const nn::Tensor *input)
+{
+    return cnnRun(net, policy, input);
+}
+
+NetRun
+Runtime::runRnn(const nn::RnnModel &model, const RunPolicy &policy,
+                const std::vector<float> *sequence, float *prediction)
+{
+    return rnnRun(model, policy, sequence, prediction);
+}
+
+NetRun
+Runtime::cnnRun(const nn::Network &net, const RunPolicy &policy,
                 const nn::Tensor *input)
 {
     NetRun run;
@@ -196,7 +221,7 @@ Runtime::runCnn(const nn::Network &net, const RunPolicy &policy,
 }
 
 NetRun
-Runtime::runRnn(const nn::RnnModel &model, const RunPolicy &policy,
+Runtime::rnnRun(const nn::RnnModel &model, const RunPolicy &policy,
                 const std::vector<float> *sequence, float *prediction)
 {
     NetRun run;
@@ -273,40 +298,102 @@ Runtime::runRnn(const nn::RnnModel &model, const RunPolicy &policy,
     return run;
 }
 
+namespace {
+
+/** The named-policy registry (guarded: Engine workers call named()
+ *  concurrently). */
+struct PolicyRegistry
+{
+    std::mutex mu;
+    std::map<std::string, RunPolicy> policies;
+
+    PolicyRegistry()
+    {
+        RunPolicy bench;
+        bench.sim.maxResidentCtas = 0;   // let the warp budget decide
+        bench.sim.maxResidentWarps = 16;
+        bench.sim.maxSampledCtas = 0;    // one resident wave
+        bench.sim.maxWarpsPerCta = 6;
+        bench.maxLoopChannels = 8;
+        policies["bench"] = bench;
+
+        RunPolicy mem;
+        mem.sim.maxResidentCtas = 0;
+        mem.sim.maxResidentWarps = 32;
+        mem.sim.maxSampledCtas = 0;
+        mem.sim.maxWarpsPerCta = 2;
+        mem.maxLoopChannels = 8;
+        policies["mem"] = mem;
+
+        RunPolicy stall;
+        stall.sim.maxResidentCtas = 0;
+        stall.sim.maxResidentWarps = 48;
+        stall.sim.maxSampledCtas = 0;
+        stall.sim.maxWarpsPerCta = 12;
+        stall.maxLoopChannels = 8;
+        policies["stall"] = stall;
+
+        RunPolicy exact;
+        exact.sim.fullSim = true;
+        exact.sim.maxResidentCtas = 0;
+        policies["exact"] = exact;
+    }
+
+    static PolicyRegistry &instance()
+    {
+        static PolicyRegistry reg;
+        return reg;
+    }
+};
+
+} // namespace
+
+RunPolicy
+RunPolicy::named(const std::string &name)
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.policies.find(name);
+    if (it == reg.policies.end())
+        fatal("unknown run policy '%s'", name.c_str());
+    return it->second;
+}
+
+void
+RunPolicy::registerPolicy(const std::string &name, const RunPolicy &p)
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.policies[name] = p;
+}
+
+std::vector<std::string>
+RunPolicy::names()
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<std::string> out;
+    for (const auto &[name, p] : reg.policies)
+        out.push_back(name);
+    return out;
+}
+
 RunPolicy
 benchPolicy()
 {
-    RunPolicy p;
-    p.sim.maxResidentCtas = 0;     // let the warp budget decide
-    p.sim.maxResidentWarps = 16;
-    p.sim.maxSampledCtas = 0;      // one resident wave
-    p.sim.maxWarpsPerCta = 6;
-    p.maxLoopChannels = 8;
-    return p;
+    return RunPolicy::named("bench");
 }
 
 RunPolicy
 memStudyPolicy()
 {
-    RunPolicy p;
-    p.sim.maxResidentCtas = 0;
-    p.sim.maxResidentWarps = 32;
-    p.sim.maxSampledCtas = 0;
-    p.sim.maxWarpsPerCta = 2;
-    p.maxLoopChannels = 8;
-    return p;
+    return RunPolicy::named("mem");
 }
 
 RunPolicy
 stallStudyPolicy()
 {
-    RunPolicy p;
-    p.sim.maxResidentCtas = 0;
-    p.sim.maxResidentWarps = 48;
-    p.sim.maxSampledCtas = 0;
-    p.sim.maxWarpsPerCta = 12;
-    p.maxLoopChannels = 8;
-    return p;
+    return RunPolicy::named("stall");
 }
 
 NetRun
@@ -314,17 +401,10 @@ runNetworkByName(sim::Gpu &gpu, const std::string &name,
                  const RunPolicy &policy)
 {
     Runtime rt(gpu);
-    if (name == "gru" || name == "lstm") {
-        nn::RnnModel m =
-            name == "gru" ? nn::models::buildGru() : nn::models::buildLstm();
-        if (policy.functional || policy.check)
-            nn::initWeights(m);
-        return rt.runRnn(m, policy);
-    }
-    nn::Network net = nn::models::buildCnn(name);
+    nn::AnyModel model = nn::models::buildAny(name);
     if (policy.functional || policy.check)
-        nn::initWeights(net);
-    return rt.runCnn(net, policy);
+        nn::initWeights(model);
+    return rt.run(model, policy);
 }
 
 } // namespace tango::rt

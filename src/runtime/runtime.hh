@@ -36,6 +36,28 @@ struct RunPolicy
     /** Timing-only loop-channel sampling (see rt::lower); ignored when
      *  functional or check is set. */
     uint32_t maxLoopChannels = 0;
+
+    /**
+     * Look up a policy in the named-policy registry.  Built-ins:
+     *  - "bench": the harness sampling policy — ~16-warp budget per SM,
+     *    6 sampled warps per CTA; seconds per network, every statistic
+     *    extrapolated to the full grid.
+     *  - "mem":   memory-locality studies (Figs 13/14) — many
+     *    co-resident CTAs with few warps each, so cross-CTA data reuse
+     *    reaches the shared L2 the way it does on hardware.
+     *  - "stall": stall-cycle studies (Fig 7) — near-hardware warp
+     *    residency so latency hiding and the stall mix are realistic.
+     *  - "exact": full cycle-accurate simulation of every CTA, no
+     *    sampling (small networks only).
+     * fatal()s on an unknown name.
+     */
+    static RunPolicy named(const std::string &name);
+
+    /** Register (or replace) a named policy. */
+    static void registerPolicy(const std::string &name, const RunPolicy &p);
+
+    /** @return all registered policy names, sorted. */
+    static std::vector<std::string> names();
 };
 
 /** Statistics of one layer (possibly several kernels). */
@@ -75,45 +97,68 @@ struct NetRun
     std::vector<std::string> figTypes() const;
 };
 
-/** Runs networks on a Gpu. */
+/** Optional inputs/outputs of one model run. */
+struct RunIo
+{
+    /** CNN input image (nullptr = synthetic; CNN runs only). */
+    const nn::Tensor *image = nullptr;
+    /** RNN input sequence (nullptr = synthetic; RNN runs only). */
+    const std::vector<float> *sequence = nullptr;
+    /** If set, receives the RNN's device-predicted value. */
+    float *prediction = nullptr;
+};
+
+/** Runs models on a Gpu. */
 class Runtime
 {
   public:
     explicit Runtime(sim::Gpu &gpu) : gpu_(gpu) {}
 
-    /** Run a CNN.  @param input network input (nullptr = synthetic). */
+    /**
+     * Run a model of either kind — THE entry point.  CNNs consume
+     * io.image, RNNs io.sequence/io.prediction; unused RunIo fields are
+     * ignored.  This is what rt::Engine jobs call, which is why it is
+     * model-kind-agnostic.
+     */
+    NetRun run(const nn::AnyModel &model, const RunPolicy &policy,
+               const RunIo &io = {});
+
+    /** @deprecated Compatibility shim — use run(). */
+    [[deprecated("use Runtime::run(nn::AnyModel, RunPolicy, RunIo)")]]
     NetRun runCnn(const nn::Network &net, const RunPolicy &policy,
                   const nn::Tensor *input = nullptr);
 
-    /** Run an RNN model over a price sequence (nullptr = synthetic).
-     *  The device-predicted value is returned in *prediction if given. */
+    /** @deprecated Compatibility shim — use run(). */
+    [[deprecated("use Runtime::run(nn::AnyModel, RunPolicy, RunIo)")]]
     NetRun runRnn(const nn::RnnModel &model, const RunPolicy &policy,
                   const std::vector<float> *sequence = nullptr,
                   float *prediction = nullptr);
 
   private:
+    NetRun cnnRun(const nn::Network &net, const RunPolicy &policy,
+                  const nn::Tensor *input);
+    NetRun rnnRun(const nn::RnnModel &model, const RunPolicy &policy,
+                  const std::vector<float> *sequence, float *prediction);
+
     sim::Gpu &gpu_;
 };
 
 /** Build + run a network by name ("gru", "lstm", or a CNN name) with
- *  weights left ungenerated — the standard timing-study entry point. */
+ *  weights generated only when the policy needs functional outputs —
+ *  the standard timing-study entry point (and the rt::Engine job body). */
 NetRun runNetworkByName(sim::Gpu &gpu, const std::string &name,
                         const RunPolicy &policy);
 
-/** The sampling policy the benchmark harness uses: a ~16-warp budget per
- *  SM, 6 sampled warps per CTA — a few seconds per network, with every
- *  statistic extrapolated to the full grid. */
+/** @deprecated Compatibility shim — use RunPolicy::named("bench"). */
+[[deprecated("use RunPolicy::named(\"bench\")")]]
 RunPolicy benchPolicy();
 
-/** The policy for memory-locality studies (Figs 13/14): many co-resident
- *  CTAs with few warps each, so cross-CTA data reuse (filters sharing
- *  the same input planes) is visible to the shared L2 the way it is on
- *  real hardware. */
+/** @deprecated Compatibility shim — use RunPolicy::named("mem"). */
+[[deprecated("use RunPolicy::named(\"mem\")")]]
 RunPolicy memStudyPolicy();
 
-/** The policy for stall-cycle studies (Fig 7): a near-hardware warp
- *  residency so latency hiding behaves realistically and the stall mix
- *  is not trivially memory-dependency-bound. */
+/** @deprecated Compatibility shim — use RunPolicy::named("stall"). */
+[[deprecated("use RunPolicy::named(\"stall\")")]]
 RunPolicy stallStudyPolicy();
 
 } // namespace tango::rt

@@ -30,6 +30,20 @@ Gpu::ensureMemorySystem()
 }
 
 void
+Gpu::reconfigure(GpuConfig cfg)
+{
+    cfg_ = std::move(cfg);
+    // Force the rebuild: the new config may change associativity, line
+    // size, MSHRs or DRAM timing without changing l2Bytes, which the
+    // lazy ensureMemorySystem() guard would miss.
+    l2_.reset();
+    dram_.reset();
+    l2BytesBuilt_ = 0;
+    ensureMemorySystem();
+    coldStart();
+}
+
+void
 Gpu::coldStart()
 {
     if (l2_)

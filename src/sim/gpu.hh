@@ -36,10 +36,16 @@ class Gpu
     DeviceMemory &mem() { return mem_; }
     const DeviceMemory &mem() const { return mem_; }
 
-    /** @return the platform configuration (mutable for sweeps between
-     *  launches; never mutate mid-launch). */
-    GpuConfig &config() { return cfg_; }
+    /** @return the platform configuration. */
     const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Switch the device to a new platform configuration (config sweeps,
+     * worker reuse in rt::Engine).  Rebuilds the L2/DRAM memory system
+     * unconditionally and cold-starts it, so no warm state or stale
+     * cache geometry survives the switch.  Never call mid-launch.
+     */
+    void reconfigure(GpuConfig cfg);
 
     /**
      * Launch a kernel and simulate it under @p policy.

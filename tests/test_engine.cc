@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Engine tests: the parallel simulation engine must be a drop-in
+ * replacement for serial simulation — bit-identical statistics no
+ * matter how many workers run the jobs — and its keyed cache must
+ * memoize in memory, spill to disk, and survive failing jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/engine.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace tango {
+namespace {
+
+using rt::Engine;
+using rt::EngineOptions;
+using rt::RunKey;
+
+Engine
+makeEngine(unsigned threads, const std::string &cachePath = "")
+{
+    EngineOptions opt;
+    opt.threads = threads;
+    opt.cachePath = cachePath;
+    return Engine(opt);
+}
+
+/** Every statistic the suite reports, compared exactly (no epsilon):
+ *  parallel execution must not change a single bit. */
+void
+expectIdentical(const rt::NetRun &a, const rt::NetRun &b)
+{
+    EXPECT_EQ(a.netName, b.netName);
+    EXPECT_EQ(a.deviceBytes, b.deviceBytes);
+    EXPECT_EQ(a.totalTimeSec, b.totalTimeSec);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.maxRegsPerThread, b.maxRegsPerThread);
+    EXPECT_EQ(a.maxLiveRegs, b.maxLiveRegs);
+    EXPECT_EQ(a.maxResidentWarps, b.maxResidentWarps);
+    EXPECT_EQ(a.checkFailures, b.checkFailures);
+    EXPECT_EQ(a.totals.all(), b.totals.all());
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); i++) {
+        EXPECT_EQ(a.layers[i].name, b.layers[i].name);
+        EXPECT_EQ(a.layers[i].timeSec(), b.layers[i].timeSec());
+        EXPECT_EQ(a.layers[i].gpuCycles(), b.layers[i].gpuCycles());
+        ASSERT_EQ(a.layers[i].kernels.size(), b.layers[i].kernels.size());
+        for (size_t k = 0; k < a.layers[i].kernels.size(); k++) {
+            EXPECT_EQ(a.layers[i].kernels[k].stats.all(),
+                      b.layers[i].kernels[k].stats.all());
+        }
+    }
+}
+
+TEST(Engine, ParallelRunsAreBitIdenticalToSerial)
+{
+    // One CNN and one RNN, each simulated by a 1-worker and a 4-worker
+    // engine alongside enough sibling jobs to actually exercise the
+    // pool's interleaving.
+    const std::vector<RunKey> keys = {
+        {"cifarnet"}, {"gru"}, {"lstm"}, {"squeezenet"}};
+
+    Engine serial = makeEngine(1);
+    Engine parallel = makeEngine(4);
+    EXPECT_EQ(serial.threads(), 1u);
+    EXPECT_EQ(parallel.threads(), 4u);
+
+    const auto serialRuns = serial.runAll(keys);
+    const auto parallelRuns = parallel.runAll(keys);
+    ASSERT_EQ(serialRuns.size(), parallelRuns.size());
+    for (size_t i = 0; i < keys.size(); i++) {
+        SCOPED_TRACE(keys[i].str());
+        expectIdentical(*serialRuns[i], *parallelRuns[i]);
+    }
+}
+
+TEST(Engine, CacheHitReturnsTheSameObject)
+{
+    Engine e = makeEngine(2);
+    const RunKey key{"cifarnet"};
+    const rt::NetRun &first = e.run(key);
+    const rt::NetRun &second = e.run(key);
+    EXPECT_EQ(&first, &second);
+
+    const auto stats = e.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_GE(stats.memHits, 1u);
+}
+
+TEST(Engine, RunKeyOrderingAndNames)
+{
+    RunKey a{"alexnet"};
+    RunKey b{"alexnet"};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a < b);
+    EXPECT_FALSE(b < a);
+
+    b.l1dBytes = 128 * 1024;
+    EXPECT_TRUE(a < b || b < a);
+    EXPECT_FALSE(a == b);
+
+    EXPECT_EQ(a.str(), "alexnet/GP102/l1=64K/gto/bench");
+    RunKey noL1{"vggnet"};
+    noL1.l1dBytes = 0;
+    noL1.policy = "mem";
+    EXPECT_EQ(noL1.str(), "vggnet/GP102/l1=off/gto/mem");
+}
+
+TEST(Engine, ThrowingJobDoesNotPoisonThePool)
+{
+    Engine e = makeEngine(2);
+
+    auto boom = [](sim::Gpu &) -> rt::NetRun {
+        throw std::runtime_error("job failed on purpose");
+    };
+    EXPECT_THROW(e.run("test/boom", sim::pascalGP102(), boom),
+                 std::runtime_error);
+    EXPECT_EQ(e.cacheStats().failures, 1u);
+
+    // The failed key was evicted: a retry runs the (new) job...
+    const rt::NetRun &retried = e.run(
+        "test/boom", sim::pascalGP102(), [](sim::Gpu &gpu) {
+            return rt::runNetworkByName(gpu, "cifarnet",
+                                        rt::RunPolicy::named("bench"));
+        });
+    EXPECT_GT(retried.totalTimeSec, 0.0);
+
+    // ...and unrelated jobs keep flowing through the same workers.
+    const rt::NetRun &after = e.run(RunKey{"gru"});
+    EXPECT_GT(after.totalTimeSec, 0.0);
+}
+
+TEST(Engine, DiskSpillRoundTrips)
+{
+    const std::string path =
+        testing::TempDir() + "tango_engine_test.runcache.json";
+    std::remove(path.c_str());
+
+    rt::NetRun fresh;
+    {
+        Engine writer = makeEngine(2, path);
+        fresh = writer.run(RunKey{"cifarnet"});
+        EXPECT_EQ(writer.cacheStats().misses, 1u);
+    }   // destructor flushes the spill
+
+    Engine reader = makeEngine(2, path);
+    const rt::NetRun &recalled = reader.run(RunKey{"cifarnet"});
+    EXPECT_EQ(reader.cacheStats().diskHits, 1u);
+    EXPECT_EQ(reader.cacheStats().misses, 0u);
+    expectIdentical(fresh, recalled);
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tango

@@ -71,7 +71,7 @@ TEST(Fig6Shape, Tx1FasterButHungrier)
     for (const char *name : {"cifarnet", "squeezenet"}) {
         sim::Gpu gpu(sim::maxwellTX1());
         const rt::NetRun g =
-            rt::runNetworkByName(gpu, name, rt::benchPolicy());
+            rt::runNetworkByName(gpu, name, rt::RunPolicy::named("bench"));
         const FpgaRun f = runOnPynq(nn::models::buildCnn(name));
 
         EXPECT_LT(g.totalTimeSec, f.totalTimeSec) << name;   // GPU faster

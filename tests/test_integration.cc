@@ -22,7 +22,7 @@ rt::NetRun
 benchRun(const std::string &net, sim::GpuConfig cfg = sim::pascalGP102())
 {
     sim::Gpu gpu(std::move(cfg));
-    return rt::runNetworkByName(gpu, net, rt::benchPolicy());
+    return rt::runNetworkByName(gpu, net, rt::RunPolicy::named("bench"));
 }
 
 TEST(Integration, EveryNetworkRunsAndReportsSaneStats)
@@ -104,13 +104,13 @@ TEST(Integration, Observation8_IntegerHeavyDespiteF32Data)
 
 TEST(Integration, Observation11_ConvLocalityBeatsFc)
 {
-    // Locality studies need many co-resident CTAs (memStudyPolicy) so
+    // Locality studies need many co-resident CTAs (the "mem" policy) so
     // the cross-CTA input reuse of convolution reaches the shared L2.
     sim::GpuConfig noL1 = sim::pascalGP102();
     noL1.l1dBytes = 0;
     sim::Gpu gpu(noL1);
     const rt::NetRun run =
-        rt::runNetworkByName(gpu, "alexnet", rt::memStudyPolicy());
+        rt::runNetworkByName(gpu, "alexnet", rt::RunPolicy::named("mem"));
     const double convAcc = run.figTypeStat("Conv", "mem.l2.accesses");
     const double convMiss = run.figTypeStat("Conv", "mem.l2.misses");
     const double fcAcc = run.figTypeStat("FC", "mem.l2.accesses");

@@ -157,7 +157,8 @@ TEST(MobileNet, RunsOnSimulator)
 {
     sim::Gpu gpu(sim::pascalGP102());
     const rt::NetRun run =
-        rt::runNetworkByName(gpu, "mobilenet", rt::benchPolicy());
+        rt::runNetworkByName(gpu, "mobilenet",
+                             rt::RunPolicy::named("bench"));
     EXPECT_GT(run.totalTimeSec, 0.0);
     EXPECT_GT(run.totals.sumPrefix("op."), 1e8);
     // MobileNet exists to be small: far less device memory than AlexNet.

@@ -132,9 +132,9 @@ TEST(Quantization, KernelMatchesDequantizedReference)
 TEST(Quantization, EndToEndCifarNetStillChecks)
 {
     sim::Gpu gpu(sim::pascalGP102());
-    nn::Network net = nn::models::buildCifarNet();
-    nn::initWeights(net);
-    nn::quantizeConvWeights(net);
+    nn::AnyModel model(nn::models::buildCifarNet());
+    nn::initWeights(model);
+    nn::quantizeConvWeights(model.cnn());
 
     rt::RunPolicy p;
     p.sim.fullSim = true;
@@ -142,7 +142,7 @@ TEST(Quantization, EndToEndCifarNetStillChecks)
     p.check = true;
     p.tolerance = 2e-4f;
     rt::Runtime rtm(gpu);
-    const rt::NetRun run = rtm.runCnn(net, p);
+    const rt::NetRun run = rtm.run(model, p);
     EXPECT_EQ(run.checkFailures, 0u);
     // Quantized kernels execute s16 loads: visible in the dtype mix.
     EXPECT_GT(run.totals.get("dtype.s16"), 0.0);

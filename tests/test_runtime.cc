@@ -23,8 +23,8 @@ TEST(Runtime, CifarNetFullSimMatchesReference)
     // The whole CifarNet inference — every CTA of every kernel — runs on
     // the simulator and must match the CPU reference.
     sim::Gpu gpu(sim::pascalGP102());
-    nn::Network net = nn::models::buildCifarNet();
-    nn::initWeights(net);
+    nn::AnyModel model(nn::models::buildCifarNet());
+    nn::initWeights(model);
 
     RunPolicy p;
     p.sim.fullSim = true;
@@ -33,7 +33,7 @@ TEST(Runtime, CifarNetFullSimMatchesReference)
     p.tolerance = 2e-4f;
 
     Runtime rtm(gpu);
-    const rt::NetRun run = rtm.runCnn(net, p);
+    const rt::NetRun run = rtm.run(model, p);
     EXPECT_EQ(run.checkFailures, 0u);
     EXPECT_GT(run.totalTimeSec, 0.0);
     EXPECT_GT(run.totals.sumPrefix("op."), 1000.0);
@@ -44,8 +44,8 @@ TEST(Runtime, CifarNetFullSimMatchesReference)
 TEST(Runtime, GruEndToEndPrediction)
 {
     sim::Gpu gpu(sim::pascalGP102());
-    nn::RnnModel m = nn::models::buildGru();
-    nn::initWeights(m);
+    nn::AnyModel model(nn::models::buildGru());
+    nn::initWeights(model);
 
     RunPolicy p;
     p.sim.fullSim = true;
@@ -53,12 +53,13 @@ TEST(Runtime, GruEndToEndPrediction)
     p.check = true;
     p.tolerance = 1e-3f;
 
-    const auto seq = nn::models::makeStockSequence(m.seqLen);
+    const auto seq = nn::models::makeStockSequence(model.rnn().seqLen);
     float pred = 0.0f;
     Runtime rtm(gpu);
-    const rt::NetRun run = rtm.runRnn(m, p, &seq, &pred);
+    const rt::NetRun run =
+        rtm.run(model, p, {.sequence = &seq, .prediction = &pred});
     EXPECT_EQ(run.checkFailures, 0u);
-    EXPECT_NEAR(pred, m.forward(seq), 1e-3f);
+    EXPECT_NEAR(pred, model.rnn().forward(seq), 1e-3f);
     // 2 cell launches + 1 readout.
     EXPECT_EQ(run.layers.size(), 3u);
 }
@@ -66,8 +67,8 @@ TEST(Runtime, GruEndToEndPrediction)
 TEST(Runtime, LstmEndToEndPrediction)
 {
     sim::Gpu gpu(sim::pascalGP102());
-    nn::RnnModel m = nn::models::buildLstm();
-    nn::initWeights(m);
+    nn::AnyModel model(nn::models::buildLstm());
+    nn::initWeights(model);
 
     RunPolicy p;
     p.sim.fullSim = true;
@@ -75,12 +76,13 @@ TEST(Runtime, LstmEndToEndPrediction)
     p.check = true;
     p.tolerance = 1e-3f;
 
-    const auto seq = nn::models::makeStockSequence(m.seqLen);
+    const auto seq = nn::models::makeStockSequence(model.rnn().seqLen);
     float pred = 0.0f;
     Runtime rtm(gpu);
-    const rt::NetRun run = rtm.runRnn(m, p, &seq, &pred);
+    const rt::NetRun run =
+        rtm.run(model, p, {.sequence = &seq, .prediction = &pred});
     EXPECT_EQ(run.checkFailures, 0u);
-    EXPECT_NEAR(pred, m.forward(seq), 1e-3f);
+    EXPECT_NEAR(pred, model.rnn().forward(seq), 1e-3f);
 }
 
 TEST(Runtime, SampledRunProducesScaledStats)
