@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command CI gate: default build + full test suite (including the
+# golden-stats corpus) + ThreadSanitizer engine tests.
+#
+#   scripts/ci.sh            # everything
+#   SKIP_TSAN=1 scripts/ci.sh  # skip the sanitizer stage (e.g. no tsan rt)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== configure + build (default preset) ==="
+cmake --preset default
+cmake --build --preset default -j
+
+echo "=== tier-1 tests (includes -L golden) ==="
+ctest --preset default -j
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+    echo "=== ThreadSanitizer engine tests ==="
+    cmake --preset tsan
+    cmake --build --preset tsan -j
+    ctest --preset tsan -j
+fi
+
+echo "=== CI gate passed ==="

@@ -78,6 +78,9 @@ struct Engine::Slot
 Engine::Engine(EngineOptions opt)
     : opt_(std::move(opt)), pool_(opt_.threads)
 {
+    // loadRunCache() rejects files whose kRunCacheVersion *or*
+    // kSimStatsVersion differs, so a cached NetRun served here is always
+    // bit-identical to what the current simulator would produce.
     if (!opt_.cachePath.empty())
         disk_ = loadRunCache(opt_.cachePath);
 }

@@ -467,6 +467,21 @@ serializeNetRun(const NetRun &run)
     return out;
 }
 
+bool
+parseNetRunJson(const std::string &text, NetRun &out)
+{
+    try {
+        Json parser(text);
+        const Json::Value doc = parser.parse();
+        if (doc.kind != Json::Value::Kind::Obj)
+            return false;
+        out = parseNetRun(doc);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
 std::map<std::string, NetRun>
 loadRunCache(const std::string &path)
 {
@@ -481,6 +496,9 @@ loadRunCache(const std::string &path)
         Json parser(text);
         const Json::Value doc = parser.parse();
         if (static_cast<int>(doc.numOr("version", -1)) != kRunCacheVersion)
+            return out;
+        // Old files without the field (statsVersion 0) are discarded too.
+        if (static_cast<int>(doc.numOr("statsVersion", 0)) != kSimStatsVersion)
             return out;
         if (const auto *runs = doc.find("runs")) {
             for (const auto &[key, rv] : runs->obj)
@@ -500,6 +518,8 @@ saveRunCache(const std::string &path,
     out.reserve(runs.size() * 4096 + 64);
     out += "{\"version\":";
     out += std::to_string(kRunCacheVersion);
+    out += ",\"statsVersion\":";
+    out += std::to_string(kSimStatsVersion);
     out += ",\"runs\":{";
     bool first = true;
     for (const auto &[key, run] : runs) {

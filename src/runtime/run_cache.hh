@@ -26,8 +26,25 @@ namespace tango::rt {
 /** Bump when NetRun/KernelStats serialization changes shape. */
 constexpr int kRunCacheVersion = 1;
 
+/**
+ * Revision of the numbers the simulator produces, independent of the
+ * serialization shape.  Bump whenever a simulator change intentionally
+ * alters any reported statistic, so cached NetRuns from the previous
+ * model are not mixed with fresh ones.  Performance-only rewrites that
+ * keep every statistic bit-identical (enforced by tests/test_golden_stats)
+ * must NOT bump this.
+ */
+constexpr int kSimStatsVersion = 1;
+
 /** Serialize one NetRun as a JSON object (no surrounding whitespace). */
 std::string serializeNetRun(const NetRun &run);
+
+/**
+ * Parse one NetRun from its serializeNetRun() JSON form.
+ * Also the golden-fixture format of tests/test_golden_stats.cc.
+ * @return false (out untouched) on malformed input; never throws.
+ */
+bool parseNetRunJson(const std::string &text, NetRun &out);
 
 /**
  * Load a cache file.
