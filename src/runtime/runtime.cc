@@ -354,8 +354,16 @@ RunPolicy::named(const std::string &name)
     PolicyRegistry &reg = PolicyRegistry::instance();
     std::lock_guard<std::mutex> lock(reg.mu);
     auto it = reg.policies.find(name);
-    if (it == reg.policies.end())
-        fatal("unknown run policy '%s'", name.c_str());
+    if (it == reg.policies.end()) {
+        std::string known;
+        for (const auto &[n, p] : reg.policies) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown run policy '%s' (known policies: %s)", name.c_str(),
+              known.c_str());
+    }
     return it->second;
 }
 

@@ -2,7 +2,28 @@
 
 #include "common/logging.hh"
 
+#include <algorithm>
+
 namespace tango::sim {
+
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u(uint64_t v)
+{
+    uint32_t s = 0;
+    while ((1ull << s) < v)
+        s++;
+    return s;
+}
+
+} // namespace
 
 Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
 {
@@ -10,7 +31,15 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
         TANGO_ASSERT(cfg_.lineBytes > 0 && cfg_.assoc > 0, "bad geometry");
         sets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.assoc);
         TANGO_ASSERT(sets_ > 0, "cache smaller than one set");
-        lines_.resize(size_t(sets_) * cfg_.assoc);
+        if (isPow2(cfg_.lineBytes))
+            lineShift_ = log2u(cfg_.lineBytes);
+        if (isPow2(sets_))
+            setMask_ = sets_ - 1;
+        else
+            modM_ = ~0ull / sets_ + 1;
+        tag_.assign(size_t(sets_) * cfg_.assoc, invalidTag);
+        lastUse_.assign(size_t(sets_) * cfg_.assoc, 0);
+        fillAt_.assign(size_t(sets_) * cfg_.assoc, 0);
     }
     mshrs_.resize(cfg_.mshrs);
 }
@@ -18,14 +47,33 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
 void
 Cache::retireMshrs(uint64_t now)
 {
-    for (auto &m : mshrs_) {
-        if (m.valid && m.fillCycle <= now)
-            m.valid = false;
+    if (now < minFill_)
+        return;
+    uint64_t newMin = ~0ull;
+    for (uint32_t i = 0; i < mshrLive_;) {
+        if (mshrs_[i].fillCycle <= now) {
+            mshrs_[i] = mshrs_[--mshrLive_];
+        } else {
+            if (mshrs_[i].fillCycle < newMin)
+                newMin = mshrs_[i].fillCycle;
+            i++;
+        }
     }
+    minFill_ = newMin;
+}
+
+int
+Cache::findMshr(uint64_t la) const
+{
+    for (uint32_t i = 0; i < mshrLive_; i++) {
+        if (mshrs_[i].lineAddr == la)
+            return int(i);
+    }
+    return -1;
 }
 
 Cache::Result
-Cache::access(uint32_t addr, bool write, uint64_t now)
+Cache::access(uint32_t addr, bool write, uint64_t now, WayHint *hint)
 {
     Result res;
     stats_.accesses++;
@@ -35,49 +83,73 @@ Cache::access(uint32_t addr, bool write, uint64_t now)
         stats_.misses++;
         return res;
     }
-    retireMshrs(now);
 
     const uint64_t la = lineAddr(addr);
-    const uint32_t set = static_cast<uint32_t>(la % sets_);
-    Line *base = &lines_[size_t(set) * cfg_.assoc];
+
+    // Hits never scan the MSHR file: the way's pending fill (if any) sits
+    // in the fillAt_ sidecar, and a value that has passed means the fill
+    // completed — exactly when the MSHR would have been retired.
+
+    // Way-predictor fast path: the hinted way still holds this line.
+    if (hint && hint->lineAddr == la && tag_[hint->index] == la) {
+        lastUse_[hint->index] = ++useClock_;
+        stats_.hits++;
+        res.hit = true;
+        const uint64_t fill = fillAt_[hint->index];
+        if (fill > now)
+            res.fillCycle = fill;
+        return res;
+    }
+
+    const uint32_t set = setIndex(la);
+    const size_t base = size_t(set) * cfg_.assoc;
 
     for (uint32_t w = 0; w < cfg_.assoc; w++) {
-        Line &l = base[w];
-        if (l.valid && l.tag == la) {
-            l.lastUse = ++useClock_;
+        if (tag_[base + w] == la) {
+            lastUse_[base + w] = ++useClock_;
             stats_.hits++;
             res.hit = true;
+            const uint64_t fill = fillAt_[base + w];
+            if (fill > now)
+                res.fillCycle = fill;
+            if (hint) {
+                hint->lineAddr = la;
+                hint->index = uint32_t(base + w);
+            }
             return res;
         }
     }
 
     // Miss: pick an invalid way, else the LRU way.
-    Line *victim = base;
+    size_t victim = base;
     for (uint32_t w = 0; w < cfg_.assoc; w++) {
-        Line &l = base[w];
-        if (!l.valid) {
-            victim = &l;
+        if (tag_[base + w] == invalidTag) {
+            victim = base + w;
             break;
         }
-        if (l.lastUse < victim->lastUse)
-            victim = &l;
+        if (lastUse_[base + w] < lastUse_[victim])
+            victim = base + w;
     }
 
     stats_.misses++;
 
     // A miss on a line already being fetched hits in the MSHR file.
-    for (const auto &m : mshrs_) {
-        if (m.valid && m.lineAddr == la) {
-            res.mshrMerged = true;
-            break;
-        }
+    retireMshrs(now);
+    const int m = findMshr(la);
+    if (m >= 0) {
+        res.mshrMerged = true;
+        res.fillCycle = mshrs_[m].fillCycle;
     }
 
     // Fill (allocate) unless this is a no-allocate write.
     if (!write || cfg_.writeAllocate) {
-        victim->valid = true;
-        victim->tag = la;
-        victim->lastUse = ++useClock_;
+        tag_[victim] = la;
+        lastUse_[victim] = ++useClock_;
+        fillAt_[victim] = m >= 0 ? mshrs_[m].fillCycle : 0;
+        if (hint) {
+            hint->lineAddr = la;
+            hint->index = uint32_t(victim);
+        }
     }
     return res;
 }
@@ -88,15 +160,10 @@ Cache::mshrAvailable(uint32_t addr, uint64_t now)
     if (bypassed())
         return true;
     retireMshrs(now);
-    const uint64_t la = lineAddr(addr);
-    for (const auto &m : mshrs_) {
-        if (m.valid && m.lineAddr == la)
-            return true;    // merge
-    }
-    for (const auto &m : mshrs_) {
-        if (!m.valid)
-            return true;
-    }
+    if (findMshr(lineAddr(addr)) >= 0)
+        return true;    // merge
+    if (mshrLive_ < mshrs_.size())
+        return true;
     stats_.mshrFullEvents++;
     return false;
 }
@@ -107,21 +174,38 @@ Cache::allocateMshr(uint32_t addr, uint64_t fill)
     if (bypassed())
         return;
     const uint64_t la = lineAddr(addr);
-    for (auto &m : mshrs_) {
-        if (m.valid && m.lineAddr == la) {
-            // Merged: extend to the later fill time.
-            if (fill > m.fillCycle)
-                m.fillCycle = fill;
-            return;
+
+    // Mirror the (new or merge-extended) fill time into the tag sidecar
+    // so hits on the in-flight line see it without an MSHR scan.  The
+    // line may legitimately be absent (no-allocate write miss, or evicted
+    // while in flight); a later refill copies the time back (access()).
+    const auto mirrorFill = [&](uint64_t f) {
+        const size_t base = size_t(setIndex(la)) * cfg_.assoc;
+        for (uint32_t w = 0; w < cfg_.assoc; w++) {
+            if (tag_[base + w] == la) {
+                fillAt_[base + w] = f;
+                return;
+            }
         }
+    };
+
+    const int m = findMshr(la);
+    if (m >= 0) {
+        // Merged: extend to the later fill time.  minFill_ stays a valid
+        // lower bound, so no recomputation is needed.
+        if (fill > mshrs_[m].fillCycle)
+            mshrs_[m].fillCycle = fill;
+        mirrorFill(mshrs_[m].fillCycle);
+        return;
     }
-    for (auto &m : mshrs_) {
-        if (!m.valid) {
-            m.valid = true;
-            m.lineAddr = la;
-            m.fillCycle = fill;
-            return;
-        }
+    if (mshrLive_ < mshrs_.size()) {
+        mshrs_[mshrLive_].lineAddr = la;
+        mshrs_[mshrLive_].fillCycle = fill;
+        mshrLive_++;
+        if (fill < minFill_)
+            minFill_ = fill;
+        mirrorFill(fill);
+        return;
     }
     // Caller must check mshrAvailable() first; dropping the reservation
     // only makes timing slightly optimistic, so warn rather than die.
@@ -135,21 +219,28 @@ Cache::pendingFillCycle(uint32_t addr, uint64_t now)
     if (bypassed())
         return 0;
     retireMshrs(now);
-    const uint64_t la = lineAddr(addr);
-    for (const auto &m : mshrs_) {
-        if (m.valid && m.lineAddr == la)
-            return m.fillCycle;
-    }
-    return 0;
+    const int m = findMshr(lineAddr(addr));
+    return m >= 0 ? mshrs_[m].fillCycle : 0;
+}
+
+void
+Cache::newTimeDomain()
+{
+    mshrLive_ = 0;
+    minFill_ = ~0ull;
+    // Fill times are absolute cycles of the old domain; under the new
+    // (restarted) clock they would read as far-future pending fills.
+    std::fill(fillAt_.begin(), fillAt_.end(), 0);
 }
 
 void
 Cache::reset()
 {
-    for (auto &l : lines_)
-        l = Line{};
-    for (auto &m : mshrs_)
-        m.valid = false;
+    std::fill(tag_.begin(), tag_.end(), invalidTag);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    std::fill(fillAt_.begin(), fillAt_.end(), 0);
+    mshrLive_ = 0;
+    minFill_ = ~0ull;
     stats_ = CacheStats{};
     useClock_ = 0;
 }

@@ -7,6 +7,17 @@
  * updates tag state and reports hit/miss; outstanding misses occupy MSHR
  * slots until an absolute fill cycle, and a full MSHR file surfaces as a
  * memory_throttle stall in the core.
+ *
+ * Storage layout is optimized for the simulator's hot path: tags live in
+ * one flat contiguous array (a set's ways are adjacent, so the hit scan
+ * is a short linear sweep of one cache line of host memory), power-of-two
+ * set counts index with a mask, in-flight MSHRs are kept as a compact
+ * prefix so scans touch only live entries, and callers may carry a
+ * one-entry way predictor (WayHint) that short-circuits the set lookup
+ * when a warp re-touches the line it used last.  None of this changes any
+ * observable decision: hits, misses, merges, LRU victims and fill cycles
+ * are bit-identical to the naive per-set-node implementation (pinned by
+ * tests/golden).
  */
 
 #ifndef TANGO_SIM_CACHE_HH
@@ -56,6 +67,18 @@ class Cache
     {
         bool hit = false;
         bool mshrMerged = false;    ///< miss merged into an in-flight line
+        /** Pending fill cycle of the accessed line (0 = not in flight).
+         *  Equals pendingFillCycle(addr, now) at the access, saving the
+         *  separate MSHR scan on the hit path. */
+        uint64_t fillCycle = 0;
+    };
+
+    /** One-entry way predictor, owned by the caller (typically one per
+     *  warp): remembers the flat tag index of the last line touched. */
+    struct WayHint
+    {
+        uint64_t lineAddr = ~0ull;
+        uint32_t index = 0;
     };
 
     /**
@@ -63,9 +86,12 @@ class Cache
      * @param addr byte address (any byte within the line).
      * @param write whether the access is a store.
      * @param now current core cycle (retires expired MSHRs first).
-     * @return hit/miss and MSHR-merge information.
+     * @param hint optional way predictor; purely an access accelerator —
+     *        results are identical with or without it.
+     * @return hit/miss, MSHR-merge and pending-fill information.
      */
-    Result access(uint32_t addr, bool write, uint64_t now);
+    Result access(uint32_t addr, bool write, uint64_t now,
+                  WayHint *hint = nullptr);
 
     /** @return whether an MSHR slot (or mergeable entry) is available for
      *  @p addr at cycle @p now; counts a throttle event when not. */
@@ -92,38 +118,65 @@ class Cache
     /** Invalidate all MSHRs.  Fill times are absolute cycles, so a new
      *  launch (whose clock restarts at zero) must drop them while keeping
      *  the warm tags. */
-    void
-    newTimeDomain()
-    {
-        for (auto &m : mshrs_)
-            m.valid = false;
-    }
+    void newTimeDomain();
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg_; }
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        bool valid = false;
-        uint64_t lastUse = 0;
-    };
+    /** Tag value of an empty way (real tags are small line numbers). */
+    static constexpr uint64_t invalidTag = ~0ull;
 
     struct Mshr
     {
         uint64_t lineAddr = 0;
         uint64_t fillCycle = 0;
-        bool valid = false;
     };
 
-    uint64_t lineAddr(uint32_t addr) const { return addr / cfg_.lineBytes; }
+    uint64_t
+    lineAddr(uint32_t addr) const
+    {
+        return lineShift_ ? (addr >> lineShift_) : (addr / cfg_.lineBytes);
+    }
+    uint32_t
+    setIndex(uint64_t la) const
+    {
+        if (setMask_)
+            return static_cast<uint32_t>(la & setMask_);
+        // Lemire fastmod: exact for 32-bit la (line numbers of a 32-bit
+        // address space), avoiding the hardware divide of la % sets_.
+        const uint64_t frac = modM_ * la;
+        return static_cast<uint32_t>(
+            (static_cast<unsigned __int128>(frac) * sets_) >> 64);
+    }
+
+    /** Drop MSHRs whose fill is due; O(1) when none are (the common case,
+     *  tracked by minFill_). */
     void retireMshrs(uint64_t now);
+    /** @return index of the live MSHR holding @p la, or -1. */
+    int findMshr(uint64_t la) const;
 
     CacheConfig cfg_;
     uint32_t sets_ = 0;
-    std::vector<Line> lines_;   // sets_ * assoc
+    uint32_t lineShift_ = 0;   ///< log2(lineBytes), 0 = divide
+    uint64_t setMask_ = 0;     ///< sets_-1 when a power of two, 0 = fastmod
+    uint64_t modM_ = 0;        ///< Lemire magic for non-power-of-two sets_
+
+    // Flat tag store, one entry per way: index = set * assoc + way.
+    std::vector<uint64_t> tag_;
+    std::vector<uint64_t> lastUse_;
+    /** Pending-fill sidecar: fillAt_[i] is the absolute fill cycle the way
+     *  was last filled with (0 when filled without an MSHR).  A value
+     *  <= now means the fill has completed, so hits read their pending
+     *  fill from here instead of scanning the MSHR file; allocateMshr
+     *  mirrors new and merge-extended fill times into it. */
+    std::vector<uint64_t> fillAt_;
+
+    // Compact MSHR file: entries [0, mshrLive_) are in flight.
     std::vector<Mshr> mshrs_;
+    uint32_t mshrLive_ = 0;
+    uint64_t minFill_ = ~0ull;   ///< lower bound on live fill cycles
+
     CacheStats stats_;
     uint64_t useClock_ = 0;
 };

@@ -62,6 +62,7 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
     TANGO_ASSERT(slot < ctas_.size(), "no free CTA slot");
     CtaSlot &cta = ctas_[slot];
     cta.active = true;
+    freeCtas_--;
     cta.barrierArrived = 0;
     cta.smem.assign(std::max<uint32_t>(launch.program->smemBytes, 1), 0);
     cta.warpSlots.clear();
@@ -76,7 +77,7 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
         TANGO_ASSERT(ws < warps_.size(), "no free warp slot");
         WarpSlot &slotRef = warps_[ws];
         slotRef.exec = std::make_unique<WarpExec>(launch, coord, w, gmem_,
-                                                  cta.smem);
+                                                  cta.smem, decoded_);
         slotRef.regReady.assign(launch.program->numRegs, 0);
         slotRef.regPendKind.assign(launch.program->numRegs, 0);
         slotRef.fetchReady = 0;
@@ -84,7 +85,18 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
         slotRef.active = !slotRef.exec->done();
         slotRef.atBarrier = false;
         slotRef.age = warpAgeCounter_++;
-        evalDirty_[ws] = 1;
+        slotRef.nextDec =
+            slotRef.active ? &slotRef.exec->peekDecoded() : nullptr;
+        slotRef.l1Hint = Cache::WayHint{};
+        slotRef.l2Hint = Cache::WayHint{};
+        slotRef.constHint = Cache::WayHint{};
+        evalDirty_[ws] = slotRef.active ? 1 : 0;
+        activeF_[ws] = slotRef.active ? 1 : 0;
+        ages_[ws] = slotRef.age;
+        // Not chargeable until the first evaluation (the incremental stall
+        // buckets in run() treat NumStalls as "no bucket").
+        issuable_[ws] = 0;
+        why_[ws] = Stall::NumStalls;
         if (slotRef.active) {
             cta.warpSlots.push_back(ws);
             liveWarpTotal_++;
@@ -108,24 +120,22 @@ SmCore::issuableSlot(uint32_t slot, uint64_t now, Stall &why,
         earliest = w.fetchReady;
         return false;
     }
-    const Instr &ins = w.exec->peek();
+    const DecodedInstr &d = *w.nextDec;
 
     // Scoreboard: all sources and the destination must be ready.
-    uint8_t srcs[3];
-    const int nsrc = instrSourceRegs(ins, srcs);
     uint64_t depReady = 0;
     uint8_t depKind = 0;
-    for (int i = 0; i < nsrc; i++) {
-        const uint8_t r = srcs[i];
+    for (uint32_t i = 0; i < d.numSrcRegs; i++) {
+        const uint8_t r = d.srcRegs[i];
         if (w.regReady[r] > now && w.regReady[r] > depReady) {
             depReady = w.regReady[r];
             depKind = w.regPendKind[r];
         }
     }
-    if (instrWritesReg(ins) && w.regReady[ins.dst] > now &&
-        w.regReady[ins.dst] > depReady) {
-        depReady = w.regReady[ins.dst];
-        depKind = w.regPendKind[ins.dst];
+    if (d.writesReg && w.regReady[d.dst] > now &&
+        w.regReady[d.dst] > depReady) {
+        depReady = w.regReady[d.dst];
+        depKind = w.regPendKind[d.dst];
     }
     if (depReady > now) {
         why = depKind == 1 ? Stall::MemoryDependency
@@ -135,16 +145,14 @@ SmCore::issuableSlot(uint32_t slot, uint64_t now, Stall &why,
         return false;
     }
 
-    const Unit u = opUnitTyped(ins.op, ins.type);
-    if ((ins.op == Op::Ld || ins.op == Op::St) &&
-        ldstThrottleUntil_ > now) {
+    if (d.isLdSt && ldstThrottleUntil_ > now) {
         why = Stall::MemoryThrottle;
         earliest = ldstThrottleUntil_;
         return false;
     }
-    if (unitBusy_[static_cast<size_t>(u)] > now) {
+    if (unitBusy_[static_cast<size_t>(d.unit)] > now) {
         why = Stall::PipeBusy;
-        earliest = unitBusy_[static_cast<size_t>(u)];
+        earliest = unitBusy_[static_cast<size_t>(d.unit)];
         return false;
     }
     why = Stall::NotSelected;
@@ -153,7 +161,7 @@ SmCore::issuableSlot(uint32_t slot, uint64_t now, Stall &why,
 }
 
 uint64_t
-SmCore::memoryLatency(const Step &st, uint64_t now)
+SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
 {
     const bool write = st.isStore;
     uint64_t maxLat = 1;
@@ -161,10 +169,10 @@ SmCore::memoryLatency(const Step &st, uint64_t now)
     auto l2Path = [&](uint32_t addr) -> uint64_t {
         raw_.noc += 2;
         raw_.l2++;
-        const Cache::Result r = l2_.access(addr, write, now);
+        const Cache::Result r = l2_.access(addr, write, now, &w.l2Hint);
         if (r.hit || r.mshrMerged) {
             // A hit on an in-flight line waits for its fill.
-            const uint64_t fill = l2_.pendingFillCycle(addr, now);
+            const uint64_t fill = r.fillCycle;
             return std::max<uint64_t>(cfg_.l2HitLatency,
                                       fill > now ? fill - now : 0);
         }
@@ -192,15 +200,15 @@ SmCore::memoryLatency(const Step &st, uint64_t now)
             uint64_t lat;
             if (!l1d_->bypassed()) {
                 raw_.l1d++;
-                const Cache::Result r = l1d_->access(addr, write, now);
+                const Cache::Result r =
+                    l1d_->access(addr, write, now, &w.l1Hint);
                 if (write) {
                     // Write-through, no-allocate: latency is the L1 pipe,
                     // but the line still traverses NOC/L2.
                     l2Path(addr);
                     lat = cfg_.l1HitLatency;
                 } else if (r.hit || r.mshrMerged) {
-                    const uint64_t fill =
-                        l1d_->pendingFillCycle(addr, now);
+                    const uint64_t fill = r.fillCycle;
                     lat = std::max<uint64_t>(
                         cfg_.l1HitLatency, fill > now ? fill - now : 0);
                 } else {
@@ -236,7 +244,7 @@ SmCore::memoryLatency(const Step &st, uint64_t now)
         // Model the constant cache with real tag state keyed on the
         // immediate-offset address of lane 0's access.
         const Cache::Result r =
-            constCache_->access(st.segments[0], false, now);
+            constCache_->access(st.segments[0], false, now, &w.constHint);
         maxLat = r.hit ? cfg_.constHitLatency
                        : cfg_.constHitLatency + cfg_.l2HitLatency;
         if (!st.constUniform)
@@ -271,8 +279,12 @@ void
 SmCore::issue(uint32_t slot, uint64_t now)
 {
     WarpSlot &w = warps_[slot];
-    const Instr &ins = w.exec->peek();
+    // nextDec points into the per-kernel DecodedProgram (stable storage),
+    // so the reference stays valid across step().
+    const DecodedInstr &d = *w.nextDec;
     const Step st = w.exec->step();
+    if (!st.warpDone)
+        w.nextDec = &w.exec->peekDecoded();
     const PowerParams &p = cfg_.power;
 
     // --- instruction accounting -----------------------------------------
@@ -321,10 +333,10 @@ SmCore::issue(uint32_t slot, uint64_t now)
 
     // --- dependencies / memory ------------------------------------------
     if (st.isMem) {
-        const uint64_t lat = memoryLatency(st, now);
+        const uint64_t lat = memoryLatency(st, now, w);
         if (!st.isStore && st.writesReg) {
-            w.regReady[ins.dst] = now + lat;
-            w.regPendKind[ins.dst] =
+            w.regReady[d.dst] = now + lat;
+            w.regPendKind[d.dst] =
                 (st.space == Space::Const || st.space == Space::Param) ? 2
                                                                        : 1;
         }
@@ -337,8 +349,8 @@ SmCore::issue(uint32_t slot, uint64_t now)
             pj += p.ccAccess;
         }
     } else if (st.writesReg) {
-        w.regReady[ins.dst] = now + opLatency(ins.op);
-        w.regPendKind[ins.dst] = 0;
+        w.regReady[d.dst] = now + d.latency;
+        w.regPendKind[d.dst] = 0;
     }
 
     windowAccum(pj, now);
@@ -364,6 +376,8 @@ SmCore::issue(uint32_t slot, uint64_t now)
     if (st.warpDone) {
         CtaSlot &cta = ctas_[w.cta];
         w.active = false;
+        w.nextDec = nullptr;
+        activeF_[slot] = 0;
         w.exec.reset();
         sched_->notifyRetired(slot);
         TANGO_ASSERT(liveWarpTotal_ > 0 && cta.liveWarps > 0,
@@ -372,6 +386,7 @@ SmCore::issue(uint32_t slot, uint64_t now)
         cta.liveWarps--;
         if (cta.liveWarps == 0) {
             cta.active = false;
+            freeCtas_++;
             cta.warpSlots.clear();
         } else if (cta.barrierArrived >= cta.liveWarps &&
                    cta.barrierArrived > 0) {
@@ -395,6 +410,10 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
     TANGO_ASSERT(launch.program != nullptr, "launch without program");
     const Program &prog = *launch.program;
 
+    // Decode once per kernel; every warp of every CTA shares the result.
+    const DecodedProgram decoded(prog);
+    decoded_ = &decoded;
+
     launch_ = &launch;
     raw_ = RawCounts{};
     stalls_.fill(0);
@@ -417,13 +436,34 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
     warps_.resize(size_t(resident_ctas) * warpsPerCta);
     pendingCtas_ = cta_ids;
     nextPending_ = 0;
-    evalDirty_.assign(warps_.size(), 1);
-    sched_->reset(static_cast<uint32_t>(warps_.size()));
+    freeCtas_ = resident_ctas;
+    const uint32_t nSlots = static_cast<uint32_t>(warps_.size());
+    // Inactive slots carry earliest_ == farFuture and a clear dirty flag,
+    // so the per-cycle scan needs no activity check: the re-evaluation
+    // condition can only fire for live warps, and far-future sentinels
+    // fall out of the wake-up minimum by themselves.
+    evalDirty_.assign(nSlots, 0);
+    activeF_.assign(nSlots, 0);
+    issuable_.assign(nSlots, 0);
+    why_.assign(nSlots, Stall::NumStalls);
+    ages_.assign(nSlots, 0);
+    earliest_.assign(nSlots, farFuture);
+    sched_->reset(nSlots);
 
-    std::vector<uint8_t> issuable(warps_.size(), 0);
-    std::vector<Stall> why(warps_.size(), Stall::Other);
-    std::vector<uint64_t> ages(warps_.size(), 0);
-    std::vector<uint64_t> earliest(warps_.size(), 0);
+    // Incremental stall accounting: bucketOf(i) maps a slot to the stall
+    // reason the per-cycle accounting would charge it (or -1 for "none"),
+    // and stallCnt[] holds how many slots sit in each bucket.  Every write
+    // to activeF_/issuable_/why_ keeps the counts in step, so each cycle
+    // charges numStalls counters instead of walking every warp slot.
+    // issuableCnt tracks how many slots are currently issuable; the
+    // scheduler is only asked to scan when at least one is.
+    uint64_t stallCnt[numStalls] = {};
+    uint32_t issuableCnt = 0;
+    const auto bucketOf = [&](uint32_t i) -> int {
+        if (!activeF_[i] || why_[i] == Stall::NumStalls)
+            return -1;
+        return static_cast<int>(issuable_[i] ? Stall::NotSelected : why_[i]);
+    };
 
     uint64_t now = 0;
 
@@ -433,60 +473,73 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
                   prog.name.c_str(),
                   static_cast<unsigned long long>(policy.maxCycles));
         }
-        // Fill free CTA slots.
-        while (nextPending_ < pendingCtas_.size()) {
-            bool haveFree = false;
-            for (const auto &c : ctas_) {
-                if (!c.active) {
-                    haveFree = true;
-                    break;
-                }
-            }
-            if (!haveFree)
-                break;
+        // Fill free CTA slots.  launchCta resets the relaunched slots to
+        // the "not chargeable" state, so the buckets stay consistent.
+        while (nextPending_ < pendingCtas_.size() && freeCtas_ > 0)
             launchCta(launch, pendingCtas_[nextPending_++], warp_ids);
-        }
         if (liveWarpTotal_ == 0)
             continue;   // CTA produced no live warps (empty block)
 
         // Evaluate issuability.  Warps whose cached stall points to a
         // future event keep their cached reason (exact accounting, less
-        // scanning); dirty or due warps are re-evaluated.
-        for (uint32_t i = 0; i < warps_.size(); i++) {
-            if (!warps_[i].active) {
-                issuable[i] = 0;
-                continue;
-            }
-            if (evalDirty_[i] || earliest[i] <= now) {
-                ages[i] = warps_[i].age;
-                issuable[i] =
-                    issuableSlot(i, now, why[i], earliest[i]) ? 1 : 0;
+        // scanning); dirty or due warps are re-evaluated.  The pass also
+        // collects the earliest wake-up event over all live warps: no
+        // later step this cycle changes earliest_ or (when nothing ends
+        // up issuing) the live set, so the minimum is already exact.
+        uint64_t nextEvent = farFuture;
+        for (uint32_t i = 0; i < nSlots; i++) {
+            if (evalDirty_[i] || earliest_[i] <= now) {
+                const int ob = bucketOf(i);
+                const bool oi = issuable_[i] != 0;
+                issuable_[i] =
+                    issuableSlot(i, now, why_[i], earliest_[i]) ? 1 : 0;
                 evalDirty_[i] = 0;
+                const int nb = bucketOf(i);
+                if (ob != nb) {
+                    if (ob >= 0)
+                        stallCnt[ob]--;
+                    if (nb >= 0)
+                        stallCnt[nb]++;
+                }
+                if (oi != (issuable_[i] != 0))
+                    issuableCnt += issuable_[i] ? 1 : -1;
             }
+            nextEvent = std::min(nextEvent, earliest_[i]);
         }
 
-        // Issue up to issueWidth instructions.
+        // Issue up to issueWidth instructions.  With at least one issuable
+        // slot every scheduler finds one, so a pick() scan that would come
+        // back empty is skipped (its only state effect is replicated by
+        // notifyNoneIssuable).
         uint32_t issuedNow = 0;
         for (uint32_t k = 0; k < cfg_.issueWidth; k++) {
-            const int pickIdx = sched_->pick(issuable, ages);
+            if (issuableCnt == 0) {
+                sched_->notifyNoneIssuable();
+                break;
+            }
+            const int pickIdx = sched_->pick(issuable_, ages_);
             if (pickIdx < 0)
                 break;
             issue(static_cast<uint32_t>(pickIdx), now);
-            issuable[pickIdx] = 0;
-            why[pickIdx] = Stall::NumStalls;   // issued: no stall charged
-            evalDirty_[pickIdx] = 1;
+            // The picked slot was issuable, i.e. bucketed NotSelected.
+            stallCnt[static_cast<size_t>(Stall::NotSelected)]--;
+            issuableCnt--;
+            issuable_[pickIdx] = 0;
+            why_[pickIdx] = Stall::NumStalls;  // issued: no stall charged
+            if (activeF_[pickIdx]) {
+                evalDirty_[pickIdx] = 1;
+            } else {
+                // Retired with this issue: park the slot on the inactive
+                // sentinels so the per-cycle scan skips it.
+                evalDirty_[pickIdx] = 0;
+                earliest_[pickIdx] = farFuture;
+            }
             issuedNow++;
         }
 
         // Determine how far we can fast-forward when nothing issued.
         uint64_t skip = 1;
         if (issuedNow == 0) {
-            uint64_t nextEvent = farFuture;
-            for (uint32_t i = 0; i < warps_.size(); i++) {
-                if (!warps_[i].active)
-                    continue;
-                nextEvent = std::min(nextEvent, earliest[i]);
-            }
             if (nextEvent == farFuture) {
                 panic("deadlock in kernel %s at cycle %llu (all warps "
                       "waiting at barriers)",
@@ -499,12 +552,8 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
         // Stall accounting: every active, non-issued warp is charged its
         // reason for each skipped cycle; the scheduler is active the whole
         // time.
-        for (uint32_t i = 0; i < warps_.size(); i++) {
-            if (!warps_[i].active || why[i] == Stall::NumStalls)
-                continue;
-            Stall s = issuable[i] ? Stall::NotSelected : why[i];
-            stalls_[static_cast<size_t>(s)] += skip;
-        }
+        for (size_t s = 0; s < numStalls; s++)
+            stalls_[s] += stallCnt[s] * skip;
         raw_.sched += skip;
         now += skip;
     }
@@ -578,6 +627,7 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             std::max(peakWindowDynW_, windowEnergyPj_ * 1e-12 / seconds);
         ks.peakWindowDynW = peakWindowDynW_;
     }
+    decoded_ = nullptr;
     return ks;
 }
 

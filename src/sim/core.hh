@@ -147,6 +147,12 @@ class SmCore
         bool active = false;
         bool atBarrier = false;
         uint64_t age = 0;
+        /** Predecoded form of the next instruction to issue; refreshed
+         *  after every issue so the scheduler's scoreboard scans touch no
+         *  interpreter state. */
+        const DecodedInstr *nextDec = nullptr;
+        /** Per-warp one-entry way predictors (pure lookup accelerators). */
+        Cache::WayHint l1Hint, l2Hint, constHint;
     };
 
     /** Convert a linear CTA index to grid coordinates. */
@@ -157,8 +163,7 @@ class SmCore
     bool issuableSlot(uint32_t slot, uint64_t now, Stall &why,
                       uint64_t &earliest);
     void issue(uint32_t slot, uint64_t now);
-    uint64_t memoryLatency(const Step &st, uint64_t now);
-    void recordStep(const Step &st, const Instr &ins);
+    uint64_t memoryLatency(const Step &st, uint64_t now, WarpSlot &w);
     void windowAccum(double pj, uint64_t now);
 
     const GpuConfig &cfg_;
@@ -170,12 +175,24 @@ class SmCore
     std::unique_ptr<WarpScheduler> sched_;
 
     const KernelLaunch *launch_ = nullptr;
+    /** Per-kernel predecoded program, owned by run() for its duration. */
+    const DecodedProgram *decoded_ = nullptr;
     std::vector<CtaSlot> ctas_;
     std::vector<WarpSlot> warps_;
     std::vector<uint64_t> pendingCtas_;
     size_t nextPending_ = 0;
     uint64_t warpAgeCounter_ = 0;
     uint32_t liveWarpTotal_ = 0;
+    uint32_t freeCtas_ = 0;
+
+    /** Dense per-slot mirrors of the scheduler-visible warp state.  The
+     *  per-cycle loops (eval, pick, stall accounting) touch only these
+     *  flat arrays instead of striding over the big WarpSlot structs. */
+    std::vector<uint8_t> activeF_;
+    std::vector<uint8_t> issuable_;
+    std::vector<Stall> why_;
+    std::vector<uint64_t> ages_;
+    std::vector<uint64_t> earliest_;
 
     // Unit occupancy (busy-until cycle), indexed by Unit.
     uint64_t unitBusy_[5] = {};

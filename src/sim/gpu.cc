@@ -8,8 +8,52 @@
 
 namespace tango::sim {
 
+namespace {
+
+/**
+ * Reject configurations that would divide by zero, build a cache smaller
+ * than one set, or otherwise hit internal asserts deep inside a launch.
+ * Reported with fatal() so callers (config sweeps, CLI flags) get a clean
+ * diagnostic instead of an internal panic.
+ */
+void
+validateConfig(const GpuConfig &cfg)
+{
+    if (cfg.numSms == 0 || cfg.coresPerSm == 0)
+        fatal("invalid GPU config: numSms and coresPerSm must be > 0");
+    if (cfg.maxWarpsPerSm == 0 || cfg.maxCtasPerSm == 0 ||
+        cfg.maxThreadsPerSm == 0) {
+        fatal("invalid GPU config: SM occupancy limits must be > 0");
+    }
+    if (cfg.issueWidth == 0 || cfg.numSchedulers == 0)
+        fatal("invalid GPU config: issueWidth and numSchedulers must be > 0");
+    if (cfg.lineBytes == 0)
+        fatal("invalid GPU config: lineBytes must be > 0");
+    if (cfg.l1dBytes > 0 &&
+        (cfg.l1dAssoc == 0 ||
+         cfg.l1dBytes < uint64_t(cfg.lineBytes) * cfg.l1dAssoc)) {
+        fatal("invalid GPU config: l1dBytes %u cannot hold one set of "
+              "%u-way %u-byte lines",
+              cfg.l1dBytes, cfg.l1dAssoc, cfg.lineBytes);
+    }
+    if (cfg.l2Bytes > 0 &&
+        (cfg.l2Assoc == 0 ||
+         cfg.l2Bytes < uint64_t(cfg.lineBytes) * cfg.l2Assoc)) {
+        fatal("invalid GPU config: l2Bytes %u cannot hold one set of "
+              "%u-way %u-byte lines",
+              cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes);
+    }
+    if (!(cfg.coreClockGhz > 0.0))
+        fatal("invalid GPU config: coreClockGhz must be > 0");
+    if (!(cfg.dramIssueInterval > 0.0))
+        fatal("invalid GPU config: dramIssueInterval must be > 0");
+}
+
+} // namespace
+
 Gpu::Gpu(GpuConfig cfg) : cfg_(std::move(cfg))
 {
+    validateConfig(cfg_);
     ensureMemorySystem();
 }
 
@@ -32,6 +76,7 @@ Gpu::ensureMemorySystem()
 void
 Gpu::reconfigure(GpuConfig cfg)
 {
+    validateConfig(cfg);
     cfg_ = std::move(cfg);
     // Force the rebuild: the new config may change associativity, line
     // size, MSHRs or DRAM timing without changing l2Bytes, which the

@@ -87,12 +87,43 @@ compare(Cmp c, DType t, uint32_t a, uint32_t b)
 
 } // namespace
 
+uint32_t
+coalesceSegments(const uint32_t addrs[warpSize], Mask exec,
+                 uint32_t out[warpSize])
+{
+    uint32_t n = 0;
+    uint32_t last = 0;
+    bool haveLast = false;
+    for (Mask m = exec; m; m &= m - 1) {
+        const uint32_t lane = static_cast<uint32_t>(std::countr_zero(m));
+        const uint32_t seg = addrs[lane] & ~127u;
+        if (haveLast && seg == last)
+            continue;
+        bool found = false;
+        for (uint32_t s = 0; s < n; s++) {
+            if (out[s] == seg) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            out[n++] = seg;
+        last = seg;
+        haveLast = true;
+    }
+    return n;
+}
+
 WarpExec::WarpExec(const KernelLaunch &launch, Dim3 cta_id,
                    uint32_t warp_in_cta, DeviceMemory &gmem,
-                   std::vector<uint8_t> &smem)
-    : launch_(launch), prog_(*launch.program), gmem_(gmem), smem_(smem),
-      ctaId_(cta_id), warpInCta_(warp_in_cta)
+                   std::vector<uint8_t> &smem, const DecodedProgram *dec)
+    : launch_(launch), prog_(*launch.program), dec_(dec), gmem_(gmem),
+      smem_(smem), ctaId_(cta_id), warpInCta_(warp_in_cta)
 {
+    if (!dec_) {
+        ownDec_ = std::make_unique<DecodedProgram>(prog_);
+        dec_ = ownDec_.get();
+    }
     regs_.assign(size_t(prog_.numRegs) * warpSize, 0);
     preds_.assign(std::max<uint32_t>(prog_.numPreds, 1), 0);
 
@@ -170,6 +201,14 @@ WarpExec::peek()
     return prog_.code[pc_];
 }
 
+const DecodedInstr &
+WarpExec::peekDecoded()
+{
+    resolve();
+    TANGO_ASSERT(!done_, "peek on retired warp");
+    return (*dec_)[pc_];
+}
+
 uint32_t
 WarpExec::pc()
 {
@@ -187,9 +226,12 @@ WarpExec::step()
         return st;
     }
     const Instr &ins = prog_.code[pc_];
+    const DecodedInstr &dec = (*dec_)[pc_];
     st.op = ins.op;
     st.type = ins.type;
-    st.unit = opUnitTyped(ins.op, ins.type);
+    st.unit = dec.unit;
+    st.numSrcRegs = dec.numSrcRegs;
+    st.writesReg = dec.writesReg;
 
     // Guard predicate (for Bra the predicate is the branch condition and is
     // handled below instead).
@@ -251,11 +293,10 @@ WarpExec::step()
       }
 
       case Op::Mov: {
-        st.writesReg = true;
         if (ins.sreg != SReg::None) {
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
                 uint32_t v = 0;
                 switch (ins.sreg) {
                   case SReg::TidX: v = tidX_[lane]; break;
@@ -274,10 +315,10 @@ WarpExec::step()
                 writeReg(lane, ins.dst, v);
             }
         } else {
-            st.numSrcRegs = ins.src[0] == Instr::immReg ? 0 : 1;
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (exec & (1u << lane))
-                    writeReg(lane, ins.dst, operand(lane, ins, 0));
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                writeReg(lane, ins.dst, operand(lane, ins, 0));
             }
         }
         break;
@@ -286,75 +327,109 @@ WarpExec::step()
       case Op::Ld: {
         st.isMem = true;
         st.space = ins.space;
-        st.writesReg = true;
-        st.numSrcRegs = ins.src[0] == Instr::immReg ? 0 : 1;
         const uint32_t bytes = dtypeBytes(ins.type);
         uint32_t addrs[warpSize];
-        for (uint32_t lane = 0; lane < warpSize; lane++) {
-            if (!(exec & (1u << lane)))
-                continue;
-            // Immediate-only addressing: base is 0, offset is the imm.
-            const uint32_t base = ins.src[0] == Instr::immReg
-                                      ? 0
-                                      : readReg(lane, ins.src[0]);
-            const uint32_t addr = base + ins.imm;
-            addrs[lane] = addr;
-            uint32_t raw = 0;
+        const uint32_t *a0 = ins.src[0] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[0]) * warpSize];
+        const uint32_t imm = ins.imm;
+        if (bytes == 4) {
+            // Word loads (f32/u32/s32) dominate; the space dispatch and
+            // bounds limit hoist out of the lane loop and no narrowing is
+            // possible, so each lane is one checked 32-bit copy.
+            const uint8_t *base = nullptr;
+            uint64_t limit = 0;
             switch (ins.space) {
               case Space::Global:
-                TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
-                             "global load out of range");
-                std::memcpy(&raw, gmem_.data() + addr, bytes);
+                base = gmem_.data();
+                limit = gmem_.backed();
                 break;
               case Space::Shared:
-                TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
-                             "shared load out of range");
-                std::memcpy(&raw, smem_.data() + addr, bytes);
+                base = smem_.data();
+                limit = smem_.size();
                 break;
               case Space::Const:
-                TANGO_ASSERT(uint64_t(addr) + bytes <=
-                                 launch_.constData.size(),
-                             "const load out of range");
-                std::memcpy(&raw, launch_.constData.data() + addr, bytes);
+                base = launch_.constData.data();
+                limit = launch_.constData.size();
                 break;
               case Space::Param:
-                TANGO_ASSERT(uint64_t(addr) + bytes <=
-                                 launch_.params.size() * 4,
-                             "param load out of range");
-                std::memcpy(&raw,
-                            reinterpret_cast<const uint8_t *>(
-                                launch_.params.data()) + addr,
-                            bytes);
+                base = reinterpret_cast<const uint8_t *>(
+                    launch_.params.data());
+                limit = launch_.params.size() * 4;
                 break;
             }
-            writeReg(lane, ins.dst, canonical(ins.type, raw));
+            uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
+                addrs[lane] = addr;
+                TANGO_ASSERT(uint64_t(addr) + 4 <= limit,
+                             "load out of range");
+                uint32_t raw;
+                std::memcpy(&raw, base + addr, 4);
+                dp[lane] = raw;
+            }
+        } else {
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                // Immediate-only addressing: base is 0, offset is the imm.
+                const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
+                addrs[lane] = addr;
+                uint32_t raw = 0;
+                switch (ins.space) {
+                  case Space::Global:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
+                                 "global load out of range");
+                    std::memcpy(&raw, gmem_.data() + addr, bytes);
+                    break;
+                  case Space::Shared:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
+                                 "shared load out of range");
+                    std::memcpy(&raw, smem_.data() + addr, bytes);
+                    break;
+                  case Space::Const:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <=
+                                     launch_.constData.size(),
+                                 "const load out of range");
+                    std::memcpy(&raw, launch_.constData.data() + addr,
+                                bytes);
+                    break;
+                  case Space::Param:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <=
+                                     launch_.params.size() * 4,
+                                 "param load out of range");
+                    std::memcpy(&raw,
+                                reinterpret_cast<const uint8_t *>(
+                                    launch_.params.data()) + addr,
+                                bytes);
+                    break;
+                }
+                writeReg(lane, ins.dst, canonical(ins.type, raw));
+            }
         }
         // Access shaping for the memory model.
         if (ins.space == Space::Global) {
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
-                const uint32_t seg = addrs[lane] & ~127u;
-                bool found = false;
-                for (uint32_t s = 0; s < st.numSegments; s++) {
-                    if (st.segments[s] == seg) {
-                        found = true;
-                        break;
-                    }
-                }
-                if (!found)
-                    st.segments[st.numSegments++] = seg;
-            }
+            st.numSegments = coalesceSegments(addrs, exec, st.segments);
         } else if (ins.space == Space::Shared) {
-            uint32_t perBank[warpSize] = {};
-            uint32_t bankAddr[warpSize] = {};
+            // Bank-conflict count.  A touched-bank mask replaces the
+            // "count == 0" first-touch test so the per-bank arrays need no
+            // zeroing; conflict counts are unchanged (distinct addresses
+            // hitting one bank serialize, broadcasts of one address don't).
+            uint32_t perBank[warpSize];
+            uint32_t bankAddr[warpSize];
+            Mask touched = 0;
             uint32_t maxSer = 1;
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
                 const uint32_t bank = (addrs[lane] / 4) % warpSize;
-                if (perBank[bank] == 0 || bankAddr[bank] != addrs[lane]) {
-                    perBank[bank]++;
+                if (!(touched & (1u << bank)) ||
+                    bankAddr[bank] != addrs[lane]) {
+                    perBank[bank] =
+                        (touched & (1u << bank)) ? perBank[bank] + 1 : 1;
+                    touched |= 1u << bank;
                     bankAddr[bank] = addrs[lane];
                 }
                 if (perBank[bank] > maxSer)
@@ -364,9 +439,9 @@ WarpExec::step()
         } else if (ins.space == Space::Const) {
             uint32_t first = 0;
             bool haveFirst = false;
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
                 if (!haveFirst) {
                     first = addrs[lane];
                     haveFirst = true;
@@ -385,83 +460,106 @@ WarpExec::step()
         st.isMem = true;
         st.isStore = true;
         st.space = ins.space;
-        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
-                        (ins.src[1] == Instr::immReg ? 0 : 1);
         const uint32_t bytes = dtypeBytes(ins.type);
-        for (uint32_t lane = 0; lane < warpSize; lane++) {
-            if (!(exec & (1u << lane)))
-                continue;
-            const uint32_t base = ins.src[0] == Instr::immReg
-                                      ? 0
-                                      : readReg(lane, ins.src[0]);
-            const uint32_t addr = base + ins.imm;
-            const uint32_t val = operand(lane, ins, 1);
-            switch (ins.space) {
-              case Space::Global:
-                TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
-                             "global store out of range");
-                std::memcpy(gmem_.data() + addr, &val, bytes);
-                break;
-              case Space::Shared:
-                TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
-                             "shared store out of range");
-                std::memcpy(smem_.data() + addr, &val, bytes);
-                break;
-              default:
-                panic("store to read-only space");
-            }
+        uint32_t addrs[warpSize];
+        const uint32_t *a0 = ins.src[0] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[0]) * warpSize];
+        const uint32_t *v1 = ins.src[1] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[1]) * warpSize];
+        const uint32_t imm = ins.imm;
+        if (bytes == 4 &&
+            (ins.space == Space::Global || ins.space == Space::Shared)) {
+            // Word stores: same hoisting as the load fast path above.
+            uint8_t *base;
+            uint64_t limit;
             if (ins.space == Space::Global) {
-                const uint32_t seg = addr & ~127u;
-                bool found = false;
-                for (uint32_t s = 0; s < st.numSegments; s++) {
-                    if (st.segments[s] == seg) {
-                        found = true;
-                        break;
-                    }
+                base = gmem_.data();
+                limit = gmem_.backed();
+            } else {
+                base = smem_.data();
+                limit = smem_.size();
+            }
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
+                addrs[lane] = addr;
+                TANGO_ASSERT(uint64_t(addr) + 4 <= limit,
+                             "store out of range");
+                const uint32_t val = v1 ? v1[lane] : imm;
+                std::memcpy(base + addr, &val, 4);
+            }
+        } else {
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
+                addrs[lane] = addr;
+                const uint32_t val = v1 ? v1[lane] : imm;
+                switch (ins.space) {
+                  case Space::Global:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <= gmem_.backed(),
+                                 "global store out of range");
+                    std::memcpy(gmem_.data() + addr, &val, bytes);
+                    break;
+                  case Space::Shared:
+                    TANGO_ASSERT(uint64_t(addr) + bytes <= smem_.size(),
+                                 "shared store out of range");
+                    std::memcpy(smem_.data() + addr, &val, bytes);
+                    break;
+                  default:
+                    panic("store to read-only space");
                 }
-                if (!found)
-                    st.segments[st.numSegments++] = seg;
             }
         }
+        if (ins.space == Space::Global)
+            st.numSegments = coalesceSegments(addrs, exec, st.segments);
         break;
       }
 
       case Op::Set: {
-        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
-                        (ins.src[1] == Instr::immReg ? 0 : 1);
+        // Operand rows hoisted out of the lane loop (same trick as the
+        // arithmetic path below); values match operand() lane for lane.
+        const uint32_t imm = ins.imm;
+        const uint32_t *s0 = ins.src[0] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[0]) * warpSize];
+        const uint32_t *s1 = ins.src[1] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[1]) * warpSize];
+        const Cmp cmp = ins.cmp;
+        const DType t = ins.type;
         if (ins.dstIsPred) {
             Mask result = preds_[ins.dst] & ~exec;
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
-                if (compare(ins.cmp, ins.type, operand(lane, ins, 0),
-                            operand(lane, ins, 1))) {
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                if (compare(cmp, t, s0 ? s0[lane] : imm,
+                            s1 ? s1[lane] : imm)) {
                     result |= (1u << lane);
                 }
             }
             preds_[ins.dst] = result;
         } else {
-            st.writesReg = true;
-            for (uint32_t lane = 0; lane < warpSize; lane++) {
-                if (!(exec & (1u << lane)))
-                    continue;
-                const bool r = compare(ins.cmp, ins.type,
-                                       operand(lane, ins, 0),
-                                       operand(lane, ins, 1));
-                writeReg(lane, ins.dst, r ? 1u : 0u);
+            uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto lane =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                dp[lane] = compare(cmp, t, s0 ? s0[lane] : imm,
+                                   s1 ? s1[lane] : imm)
+                               ? 1u
+                               : 0u;
             }
         }
         break;
       }
 
       case Op::Selp: {
-        st.writesReg = true;
-        st.numSrcRegs = (ins.src[0] == Instr::immReg ? 0 : 1) +
-                        (ins.src[1] == Instr::immReg ? 0 : 1);
         const Mask pv = preds_[ins.src[2]];
-        for (uint32_t lane = 0; lane < warpSize; lane++) {
-            if (!(exec & (1u << lane)))
-                continue;
+        for (Mask m = exec; m; m &= m - 1) {
+            const auto lane = static_cast<uint32_t>(std::countr_zero(m));
             const bool take = (pv >> lane) & 1u;
             writeReg(lane, ins.dst,
                      take ? operand(lane, ins, 0) : operand(lane, ins, 1));
@@ -470,28 +568,194 @@ WarpExec::step()
       }
 
       default: {
-        // Arithmetic / logic with up to three operands.
-        st.writesReg = true;
-        int nsrc;
+        // Arithmetic / logic with up to three operands.  Operand register
+        // rows and the opcode dispatch are hoisted out of the lane loop;
+        // the hottest opcodes get dedicated loops and everything else falls
+        // through to the generic per-lane evaluator below.  Results are
+        // identical lane for lane.
+        const int nsrc = dec.nsrc;
+        const uint32_t imm = ins.imm;
+        const uint32_t *s0 = ins.src[0] == Instr::immReg
+                                 ? nullptr
+                                 : &regs_[size_t(ins.src[0]) * warpSize];
+        const uint32_t *s1 = nsrc > 1 && ins.src[1] != Instr::immReg
+                                 ? &regs_[size_t(ins.src[1]) * warpSize]
+                                 : nullptr;
+        const uint32_t *s2 = nsrc > 2 && ins.src[2] != Instr::immReg
+                                 ? &regs_[size_t(ins.src[2]) * warpSize]
+                                 : nullptr;
+        const uint32_t bDef =
+            nsrc > 1 && ins.src[1] == Instr::immReg ? imm : 0;
+        const uint32_t cDef =
+            nsrc > 2 && ins.src[2] == Instr::immReg ? imm : 0;
+        uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
+        const auto srcA = [&](uint32_t l) { return s0 ? s0[l] : imm; };
+        const auto srcB = [&](uint32_t l) { return s1 ? s1[l] : bDef; };
+        const auto srcC = [&](uint32_t l) { return s2 ? s2[l] : cDef; };
+        const bool f32 = isFloat(ins.type);
+        const bool narrow =
+            ins.type == DType::U16 || ins.type == DType::S16;
+        const auto wr = [&](uint32_t l, uint32_t r) {
+            dp[l] = narrow ? canonical(ins.type, r) : r;
+        };
+        bool handled = true;
         switch (ins.op) {
-          case Op::Abs: case Op::Not: case Op::Cvt: case Op::Rcp:
-          case Op::Rsqrt: case Op::Sqrt: case Op::Ex2: case Op::Lg2:
-            nsrc = 1;
+          case Op::Mad:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(std::fmaf(asF32(srcA(l)), asF32(srcB(l)),
+                                            asF32(srcC(l))));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, srcA(l) * srcB(l) + srcC(l));
+                }
+            }
             break;
-          case Op::Mad: case Op::Mad24:
-            nsrc = 3;
+          case Op::Mad24:
+            if (f32) {      // invalid; the generic path reports it
+                handled = false;
+                break;
+            }
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+                wr(l, (srcA(l) & 0xffffffu) * (srcB(l) & 0xffffffu) +
+                          srcC(l));
+            }
+            break;
+          case Op::Add:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(asF32(srcA(l)) + asF32(srcB(l)));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, srcA(l) + srcB(l));
+                }
+            }
+            break;
+          case Op::Sub:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(asF32(srcA(l)) - asF32(srcB(l)));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, srcA(l) - srcB(l));
+                }
+            }
+            break;
+          case Op::Mul:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(asF32(srcA(l)) * asF32(srcB(l)));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, srcA(l) * srcB(l));
+                }
+            }
+            break;
+          case Op::Min:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(std::fmin(asF32(srcA(l)), asF32(srcB(l))));
+                }
+            } else if (isSigned(ins.type)) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, static_cast<uint32_t>(
+                              std::min(static_cast<int32_t>(srcA(l)),
+                                       static_cast<int32_t>(srcB(l)))));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, std::min(srcA(l), srcB(l)));
+                }
+            }
+            break;
+          case Op::Max:
+            if (f32) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    dp[l] = asU32(std::fmax(asF32(srcA(l)), asF32(srcB(l))));
+                }
+            } else if (isSigned(ins.type)) {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, static_cast<uint32_t>(
+                              std::max(static_cast<int32_t>(srcA(l)),
+                                       static_cast<int32_t>(srcB(l)))));
+                }
+            } else {
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    wr(l, std::max(srcA(l), srcB(l)));
+                }
+            }
+            break;
+          case Op::Shl:
+            if (f32) {
+                handled = false;
+                break;
+            }
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+                wr(l, srcA(l) << (srcB(l) & 31u));
+            }
+            break;
+          case Op::And:
+            if (f32) {
+                handled = false;
+                break;
+            }
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+                wr(l, srcA(l) & srcB(l));
+            }
+            break;
+          case Op::Or:
+            if (f32) {
+                handled = false;
+                break;
+            }
+            for (Mask m = exec; m; m &= m - 1) {
+                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+                wr(l, srcA(l) | srcB(l));
+            }
             break;
           default:
-            nsrc = 2;
+            handled = false;
             break;
         }
-        for (int i = 0; i < nsrc; i++) {
-            if (ins.src[i] != Instr::immReg)
-                st.numSrcRegs++;
-        }
-        for (uint32_t lane = 0; lane < warpSize; lane++) {
-            if (!(exec & (1u << lane)))
-                continue;
+        if (handled)
+            break;
+        for (Mask m = exec; m; m &= m - 1) {
+            const auto lane = static_cast<uint32_t>(std::countr_zero(m));
             const uint32_t a = operand(lane, ins, 0);
             const uint32_t b = nsrc > 1 ? operand(lane, ins, 1) : 0;
             const uint32_t c = nsrc > 2 ? operand(lane, ins, 2) : 0;

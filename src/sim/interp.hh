@@ -16,6 +16,7 @@
 #define TANGO_SIM_INTERP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/memory.hh"
@@ -44,7 +45,10 @@ struct Step
     bool isStore = false;
     Space space = Space::Global;
     uint32_t numSegments = 0;   ///< coalesced 128B global segments
-    uint32_t segments[warpSize] = {}; ///< segment base byte addresses
+    /** Segment base byte addresses.  Only [0, numSegments) are defined
+     *  (plus [0] for Const loads); left uninitialized on purpose — zeroing
+     *  128 bytes per dynamic instruction dominates small steps. */
+    uint32_t segments[warpSize];
     uint32_t sharedSerialization = 1; ///< shared-memory bank conflict factor
     bool constUniform = true;   ///< constant access was a broadcast
 
@@ -52,6 +56,22 @@ struct Step
     uint32_t numSrcRegs = 0;    ///< register-file read operands
     bool writesReg = false;     ///< register-file write-back
 };
+
+/**
+ * Coalesce the active lanes' global addresses into 128-byte segments.
+ *
+ * Segments are emitted in first-appearance order over ascending lane index
+ * (the order the per-lane memory model observes them), deduplicated with a
+ * last-segment fast path — warps overwhelmingly touch runs of consecutive
+ * addresses, so most lanes resolve without scanning the emitted list.
+ *
+ * @param addrs per-lane byte addresses (entries of inactive lanes ignored).
+ * @param exec  active-lane mask.
+ * @param out   receives the segment base addresses.
+ * @return number of distinct segments written to @p out.
+ */
+uint32_t coalesceSegments(const uint32_t addrs[warpSize], Mask exec,
+                          uint32_t out[warpSize]);
 
 /**
  * Execution state of one warp.
@@ -68,15 +88,22 @@ class WarpExec
      * @param warp_in_cta warp index within the CTA.
      * @param gmem device global memory.
      * @param smem the CTA's shared-memory block (smemBytes long).
+     * @param dec  predecoded form of the launch's program; pass the shared
+     *             per-kernel instance to decode once instead of per warp
+     *             (nullptr = decode privately).
      */
     WarpExec(const KernelLaunch &launch, Dim3 cta_id, uint32_t warp_in_cta,
-             DeviceMemory &gmem, std::vector<uint8_t> &smem);
+             DeviceMemory &gmem, std::vector<uint8_t> &smem,
+             const DecodedProgram *dec = nullptr);
 
     /** @return whether every lane has retired. */
     bool done() const { return done_; }
 
     /** @return the next instruction to issue (after reconvergence). */
     const Instr &peek();
+
+    /** @return the predecoded form of the next instruction to issue. */
+    const DecodedInstr &peekDecoded();
 
     /** @return current pc (after reconvergence resolution). */
     uint32_t pc();
@@ -105,6 +132,8 @@ class WarpExec
 
     const KernelLaunch &launch_;
     const Program &prog_;
+    const DecodedProgram *dec_ = nullptr;
+    std::unique_ptr<DecodedProgram> ownDec_;  ///< used when none was shared
     DeviceMemory &gmem_;
     std::vector<uint8_t> &smem_;
 

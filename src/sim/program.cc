@@ -44,6 +44,34 @@ Program::maxLiveRegs() const
     return maxLive;
 }
 
+DecodedProgram::DecodedProgram(const Program &prog)
+{
+    ops_.resize(prog.code.size());
+    for (size_t pc = 0; pc < prog.code.size(); pc++) {
+        const Instr &ins = prog.code[pc];
+        DecodedInstr &d = ops_[pc];
+        d.unit = opUnitTyped(ins.op, ins.type);
+        d.dst = ins.dst;
+        d.numSrcRegs =
+            static_cast<uint8_t>(instrSourceRegs(ins, d.srcRegs));
+        d.writesReg = instrWritesReg(ins);
+        d.isLdSt = ins.op == Op::Ld || ins.op == Op::St;
+        d.latency = opLatency(ins.op);
+        switch (ins.op) {
+          case Op::Abs: case Op::Not: case Op::Cvt: case Op::Rcp:
+          case Op::Rsqrt: case Op::Sqrt: case Op::Ex2: case Op::Lg2:
+            d.nsrc = 1;
+            break;
+          case Op::Mad: case Op::Mad24:
+            d.nsrc = 3;
+            break;
+          default:
+            d.nsrc = 2;
+            break;
+        }
+    }
+}
+
 std::string
 Program::disassemble() const
 {

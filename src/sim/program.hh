@@ -50,6 +50,41 @@ struct Program
     void validate() const;
 };
 
+/**
+ * One predecoded instruction: every per-instruction property the hot loops
+ * of the interpreter and SM core would otherwise recompute per *dynamic*
+ * instruction (unit lookups, scoreboard source-register extraction, result
+ * latency, operand arity).  All fields are pure functions of the Instr, so
+ * decoding once per kernel cannot change any simulated statistic.
+ */
+struct DecodedInstr
+{
+    Unit unit = Unit::SP;       ///< opUnitTyped(op, type)
+    uint8_t dst = 0;            ///< Instr::dst
+    /** Scoreboard source registers (instrSourceRegs; immediates and
+     *  predicate-file indices excluded).  Also equals Step::numSrcRegs. */
+    uint8_t srcRegs[3] = {};
+    uint8_t numSrcRegs = 0;
+    uint8_t nsrc = 2;           ///< operand arity of the ALU execute path
+    bool writesReg = false;     ///< instrWritesReg
+    bool isLdSt = false;        ///< Op::Ld or Op::St
+    uint32_t latency = 1;       ///< opLatency(op)
+};
+
+/** A kernel program decoded once into a flat DecodedInstr array, indexed by
+ *  pc in lock-step with Program::code. */
+class DecodedProgram
+{
+  public:
+    explicit DecodedProgram(const Program &prog);
+
+    const DecodedInstr &operator[](uint32_t pc) const { return ops_[pc]; }
+    size_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<DecodedInstr> ops_;
+};
+
 /** One kernel launch: program + geometry + parameter block. */
 struct KernelLaunch
 {

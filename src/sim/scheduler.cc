@@ -1,6 +1,8 @@
 #include "sim/scheduler.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace tango::sim {
 
@@ -25,8 +27,25 @@ class GtoScheduler : public WarpScheduler
             issuable[current_]) {
             return current_;
         }
+        // Oldest-issuable scan.  Issuable slots are usually sparse, so the
+        // flag bytes are walked eight at a time and all-zero words skipped;
+        // visiting order (ascending slot) and the pick are unchanged.
         int best = -1;
-        for (uint32_t i = 0; i < n_; i++) {
+        const uint8_t *flags = issuable.data();
+        uint32_t i = 0;
+        for (; i + 8 <= n_; i += 8) {
+            uint64_t word;
+            std::memcpy(&word, flags + i, 8);
+            while (word) {
+                const auto byte = static_cast<uint32_t>(
+                    std::countr_zero(word) >> 3);
+                const uint32_t slot = i + byte;
+                if (best < 0 || age[slot] < age[best])
+                    best = static_cast<int>(slot);
+                word &= ~(0xffull << (byte * 8));
+            }
+        }
+        for (; i < n_; i++) {
             if (!issuable[i])
                 continue;
             if (best < 0 || age[i] < age[best])
@@ -34,6 +53,12 @@ class GtoScheduler : public WarpScheduler
         }
         current_ = best;
         return best;
+    }
+
+    void
+    notifyNoneIssuable() override
+    {
+        current_ = -1;   // a failed pick() scan would have stored best = -1
     }
 
     void

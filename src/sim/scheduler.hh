@@ -37,6 +37,14 @@ class WarpScheduler
     virtual int pick(const std::vector<uint8_t> &issuable,
                      const std::vector<uint64_t> &age) = 0;
 
+    /**
+     * Inform the scheduler that no slot is issuable this cycle.  Must have
+     * exactly the state effect of a pick() call over an all-zero issuable
+     * vector; the core calls this instead of pick() when it already knows
+     * the answer, saving the scan.
+     */
+    virtual void notifyNoneIssuable() {}
+
     /** Inform the scheduler a slot issued a long-latency (memory) op. */
     virtual void notifyLongLatency(uint32_t slot) { (void)slot; }
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nn/models/models.hh"
 #include "nn/weights.hh"
 #include "runtime/runtime.hh"
@@ -124,6 +126,67 @@ TEST(Runtime, FigTypeAccountingConsistent)
     for (const auto &fig : run.figTypes())
         sum += run.figTypeTime(fig);
     EXPECT_NEAR(sum, run.totalTimeSec, 1e-12);
+}
+
+TEST(Runtime, UnknownPolicyNameIsFatalAndListsKnownPolicies)
+{
+    // The clean error path: a typo'd policy name must exit(1) with a
+    // diagnostic that names the policies that do exist.
+    EXPECT_EXIT(RunPolicy::named("no-such-policy"),
+                ::testing::ExitedWithCode(1),
+                "unknown run policy 'no-such-policy'.*known policies:.*bench");
+}
+
+TEST(Runtime, NamedPolicyRoundTripsThroughNames)
+{
+    // Every advertised name must resolve without dying.
+    const auto names = RunPolicy::names();
+    EXPECT_FALSE(names.empty());
+    EXPECT_NE(std::find(names.begin(), names.end(), "bench"), names.end());
+    for (const auto &n : names)
+        (void)RunPolicy::named(n);
+}
+
+TEST(Runtime, ReconfigureRejectsInvalidConfig)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+
+    sim::GpuConfig noSms = sim::pascalGP102();
+    noSms.numSms = 0;
+    EXPECT_EXIT(gpu.reconfigure(noSms), ::testing::ExitedWithCode(1),
+                "invalid GPU config: numSms");
+
+    sim::GpuConfig tinyL2 = sim::pascalGP102();
+    tinyL2.l2Bytes = 64;   // smaller than one set of 16-way 128B lines
+    EXPECT_EXIT(gpu.reconfigure(tinyL2), ::testing::ExitedWithCode(1),
+                "invalid GPU config: l2Bytes");
+
+    sim::GpuConfig zeroClock = sim::pascalGP102();
+    zeroClock.coreClockGhz = 0.0;
+    EXPECT_EXIT(gpu.reconfigure(zeroClock), ::testing::ExitedWithCode(1),
+                "invalid GPU config: coreClockGhz");
+}
+
+TEST(Runtime, ConstructingGpuWithInvalidConfigIsFatal)
+{
+    sim::GpuConfig bad = sim::pascalGP102();
+    bad.dramIssueInterval = 0.0;
+    EXPECT_EXIT(sim::Gpu{bad}, ::testing::ExitedWithCode(1),
+                "invalid GPU config: dramIssueInterval");
+}
+
+TEST(Runtime, ReconfigureValidConfigStillRuns)
+{
+    // A legitimate reconfigure (the config-sweep path) keeps working.
+    sim::Gpu gpu(sim::pascalGP102());
+    sim::GpuConfig cfg = sim::keplerGK210();
+    gpu.reconfigure(cfg);
+    EXPECT_EQ(gpu.config().name, cfg.name);
+
+    RunPolicy p;
+    p.sim.maxWarpsPerCta = 6;
+    const rt::NetRun run = rt::runNetworkByName(gpu, "gru", p);
+    EXPECT_GT(run.totalTimeSec, 0.0);
 }
 
 TEST(Runtime, DeviceFootprintTracksModelSize)
