@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-command CI gate: default build + full test suite (including the
-# golden-stats corpus) + ThreadSanitizer engine tests.
+# golden-stats corpus) + a tango-trace export validated as JSON +
+# ThreadSanitizer engine/trace tests.
 #
 #   scripts/ci.sh            # everything
 #   SKIP_TSAN=1 scripts/ci.sh  # skip the sanitizer stage (e.g. no tsan rt)
@@ -11,11 +12,18 @@ echo "=== configure + build (default preset) ==="
 cmake --preset default
 cmake --build --preset default -j
 
-echo "=== tier-1 tests (includes -L golden) ==="
+echo "=== tier-1 tests (includes -L golden and -L trace) ==="
 ctest --preset default -j
 
+echo "=== tango-trace export validates as JSON ==="
+tracedir=$(mktemp -d)
+build/tools/tango-trace --out "$tracedir" fig alexnet
+python3 -m json.tool "$tracedir/alexnet.trace.json" > /dev/null
+rm -rf "$tracedir"
+echo "alexnet.trace.json: valid"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-    echo "=== ThreadSanitizer engine tests ==="
+    echo "=== ThreadSanitizer engine + trace tests ==="
     cmake --preset tsan
     cmake --build --preset tsan -j
     ctest --preset tsan -j

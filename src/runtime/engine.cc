@@ -58,6 +58,11 @@ EngineOptions::fromEnv()
     }
     if (const char *c = std::getenv("TANGO_ENGINE_CACHE"))
         opt.cachePath = c;
+    if (const char *m = std::getenv("TANGO_ENGINE_CACHE_MAX_MB")) {
+        const long mb = std::strtol(m, nullptr, 10);
+        if (mb > 0)
+            opt.maxCacheBytes = static_cast<uint64_t>(mb) * 1024 * 1024;
+    }
     return opt;
 }
 
@@ -89,6 +94,7 @@ Engine::~Engine()
 {
     pool_.wait();
     flush();
+    logCacheStats();
 }
 
 sim::Gpu &
@@ -227,11 +233,33 @@ Engine::flush()
         if (slot->result)
             all.emplace(key, *slot->result);
     }
-    if (!saveRunCache(opt_.cachePath, all)) {
+    if (!saveRunCache(opt_.cachePath, all, opt_.maxCacheBytes)) {
         warn("engine: failed to write result cache '%s'",
              opt_.cachePath.c_str());
     }
     dirty_ = false;
+}
+
+void
+Engine::logCacheStats()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (statsLogged_)
+        return;
+    statsLogged_ = true;
+    const CacheStats &s = stats_;
+    if (s.memHits + s.diskHits + s.misses + s.failures == 0)
+        return;   // nothing ran: nothing worth logging
+    inform("engine: cache %llu mem hit%s, %llu disk hit%s, "
+           "%llu miss%s (simulated), %llu failure%s",
+           static_cast<unsigned long long>(s.memHits),
+           s.memHits == 1 ? "" : "s",
+           static_cast<unsigned long long>(s.diskHits),
+           s.diskHits == 1 ? "" : "s",
+           static_cast<unsigned long long>(s.misses),
+           s.misses == 1 ? "" : "es",
+           static_cast<unsigned long long>(s.failures),
+           s.failures == 1 ? "" : "s");
 }
 
 Engine::CacheStats
@@ -252,7 +280,10 @@ Engine::global()
     // exiting worker never holds across exit()).
     static Engine *engine = [] {
         Engine *e = new Engine(EngineOptions::fromEnv());
-        std::atexit([] { global().flush(); });
+        std::atexit([] {
+            global().flush();
+            global().logCacheStats();
+        });
         return e;
     }();
     return *engine;

@@ -68,9 +68,13 @@ struct EngineOptions
     unsigned threads = 0;
     /** On-disk JSON spill path; empty = in-memory cache only. */
     std::string cachePath;
+    /** Spill size cap in bytes; 0 = unlimited.  Entries past the cap are
+     *  not written (they are re-simulated next run). */
+    uint64_t maxCacheBytes = 0;
 
-    /** Read TANGO_ENGINE_THREADS / TANGO_ENGINE_CACHE from the
-     *  environment (unset variables keep the defaults above). */
+    /** Read TANGO_ENGINE_THREADS / TANGO_ENGINE_CACHE /
+     *  TANGO_ENGINE_CACHE_MAX_MB from the environment (unset variables
+     *  keep the defaults above). */
     static EngineOptions fromEnv();
 };
 
@@ -140,6 +144,11 @@ class Engine
     };
     CacheStats cacheStats() const;
 
+    /** Log the cache counters once at info level (repeat calls are
+     *  no-ops).  Run by the destructor and, for global(), at exit — so
+     *  warm-vs-cold behaviour is visible without a debugger. */
+    void logCacheStats();
+
     /** The process-wide engine (configured from the environment).
      *  This is what bench_util and the examples share. */
     static Engine &global();
@@ -159,6 +168,7 @@ class Engine
     std::map<std::string, NetRun> disk_;   ///< loaded, not-yet-claimed spill
     CacheStats stats_;
     bool dirty_ = false;   ///< new results since the last flush
+    bool statsLogged_ = false;   ///< logCacheStats() once-guard
 
     ThreadPool pool_;   ///< declared last: joins before members die
 };

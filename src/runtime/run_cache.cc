@@ -1,5 +1,7 @@
 #include "runtime/run_cache.hh"
 
+#include "common/logging.hh"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -162,7 +164,10 @@ appendLayerRun(std::string &out, const LayerRun &l)
 // ---------------------------------------------------------------- parser
 
 /** A minimal recursive-descent JSON reader over an in-memory buffer.
- *  Parse errors throw std::runtime_error; loadRunCache catches them. */
+ *  Parse errors throw std::runtime_error; loadRunCache catches them.
+ *  The token-level primitives (peek/next/expect/string/value) are public
+ *  so the cache loader can walk the top-level "runs" object entry by
+ *  entry and salvage the valid prefix of a damaged file. */
 class Json
 {
   public:
@@ -210,25 +215,18 @@ class Json
         return v;
     }
 
-  private:
-    [[noreturn]] void fail(const char *what)
-    {
-        throw std::runtime_error(std::string("json: ") + what + " at " +
-                                 std::to_string(pos_));
-    }
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-                s_[pos_] == '\r'))
-            pos_++;
-    }
     char peek()
     {
         skipWs();
         if (pos_ >= s_.size())
             fail("unexpected end");
         return s_[pos_];
+    }
+    char next()
+    {
+        const char c = peek();
+        pos_++;
+        return c;
     }
     void expect(char c)
     {
@@ -342,6 +340,20 @@ class Json
         pos_ += static_cast<size_t>(end - start);
         v.kind = Value::Kind::Num;
         return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char *what)
+    {
+        throw std::runtime_error(std::string("json: ") + what + " at " +
+                                 std::to_string(pos_));
+    }
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            pos_++;
     }
 
     const std::string &s_;
@@ -492,27 +504,70 @@ loadRunCache(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
+
+    // Walk the document token by token instead of parsing it wholesale:
+    // a cache file with a truncated or corrupt tail (interrupted write,
+    // disk full) then still yields every entry before the damage instead
+    // of being discarded outright.
+    Json p(text);
+    bool inRuns = false;
     try {
-        Json parser(text);
-        const Json::Value doc = parser.parse();
-        if (static_cast<int>(doc.numOr("version", -1)) != kRunCacheVersion)
-            return out;
-        // Old files without the field (statsVersion 0) are discarded too.
-        if (static_cast<int>(doc.numOr("statsVersion", 0)) != kSimStatsVersion)
-            return out;
-        if (const auto *runs = doc.find("runs")) {
-            for (const auto &[key, rv] : runs->obj)
-                out.emplace(key, parseNetRun(rv));
+        p.expect('{');
+        int version = -1, statsVersion = 0;
+        for (;;) {
+            const std::string key = p.string();
+            p.expect(':');
+            if (key == "runs")
+                break;
+            const Json::Value v = p.value();
+            if (key == "version")
+                version = static_cast<int>(v.num);
+            else if (key == "statsVersion")
+                statsVersion = static_cast<int>(v.num);
+            const char n = p.next();
+            if (n == '}')
+                return out;   // document ended without a runs section
+            if (n != ',')
+                throw std::runtime_error("json: expected , or }");
         }
+        // A version mismatch discards the file wholesale (and silently),
+        // exactly as before: mixing statistics from two simulator
+        // revisions is worse than re-simulating.
+        if (version != kRunCacheVersion || statsVersion != kSimStatsVersion)
+            return out;
+
+        inRuns = true;
+        p.expect('{');
+        if (p.peek() == '}')
+            return out;
+        for (;;) {
+            const std::string key = p.string();
+            p.expect(':');
+            const Json::Value v = p.value();
+            out.emplace(key, parseNetRun(v));
+            const char n = p.next();
+            if (n == '}')
+                break;
+            if (n != ',')
+                throw std::runtime_error("json: expected , or }");
+        }
+        // Trailing bytes after the runs object carry no entries; damage
+        // there cannot invalidate what was parsed.
     } catch (const std::exception &) {
-        out.clear();   // corrupt cache: start fresh
+        if (!inRuns) {
+            // Damage before the version fields: nothing is trustworthy.
+            out.clear();
+            return out;
+        }
+        warn("run cache '%s': corrupt tail discarded, %zu entr%s salvaged",
+             path.c_str(), out.size(), out.size() == 1 ? "y" : "ies");
     }
     return out;
 }
 
 bool
 saveRunCache(const std::string &path,
-             const std::map<std::string, NetRun> &runs)
+             const std::map<std::string, NetRun> &runs, uint64_t max_bytes)
 {
     std::string out;
     out.reserve(runs.size() * 4096 + 64);
@@ -522,15 +577,30 @@ saveRunCache(const std::string &path,
     out += std::to_string(kSimStatsVersion);
     out += ",\"runs\":{";
     bool first = true;
+    size_t skipped = 0;
     for (const auto &[key, run] : runs) {
+        std::string entry;
         if (!first)
-            out += ',';
+            entry += ',';
+        appendEscaped(entry, key);
+        entry += ':';
+        entry += serializeNetRun(run);
+        // +3 for the closing "}}\n": the capped file is still complete,
+        // valid JSON — just with fewer entries.
+        if (max_bytes > 0 && out.size() + entry.size() + 3 > max_bytes) {
+            skipped++;
+            continue;
+        }
         first = false;
-        appendEscaped(out, key);
-        out += ':';
-        out += serializeNetRun(run);
+        out += entry;
     }
     out += "}}\n";
+    if (skipped > 0) {
+        warn("run cache '%s': size cap %llu bytes reached, %zu of %zu "
+             "entries not spilled",
+             path.c_str(), static_cast<unsigned long long>(max_bytes),
+             skipped, runs.size());
+    }
 
     const std::string tmp = path + ".tmp";
     {

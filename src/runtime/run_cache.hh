@@ -48,17 +48,28 @@ bool parseNetRunJson(const std::string &text, NetRun &out);
 
 /**
  * Load a cache file.
+ *
+ * A file with a truncated or corrupt *tail* (interrupted write, disk
+ * full) keeps every entry before the damage: the bad suffix is discarded
+ * with a warning.  Damage before the version header, or a version
+ * mismatch, still discards the file wholesale.
+ *
  * @return key -> NetRun map; empty if the file is missing, unreadable,
- *         malformed, or of a different version (never throws).
+ *         malformed before any entry, or of a different version (never
+ *         throws).
  */
 std::map<std::string, NetRun> loadRunCache(const std::string &path);
 
 /**
  * Atomically write @p runs to @p path (tmp file + rename).
+ * @param max_bytes if > 0, stop adding entries once the file would
+ *        exceed this size (the skipped entries are re-simulated next
+ *        time); the written file is always complete, valid JSON.
  * @return false on I/O failure.
  */
 bool saveRunCache(const std::string &path,
-                  const std::map<std::string, NetRun> &runs);
+                  const std::map<std::string, NetRun> &runs,
+                  uint64_t max_bytes = 0);
 
 } // namespace tango::rt
 

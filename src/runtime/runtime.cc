@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "nn/models/models.hh"
 #include "nn/weights.hh"
+#include "trace/trace.hh"
 
 namespace tango::rt {
 
@@ -117,6 +118,26 @@ finalizeTotals(NetRun &run)
     }
 }
 
+/**
+ * Record a layer span edge at the *current* global trace cycle (the sink
+ * rebases cycle 0).  Layer begins are recorded before the first kernel
+ * launch and ends after the last, so kernel spans nest strictly inside.
+ */
+void
+traceLayerEdge(trace::EventKind kind, const std::string &name,
+               int layer_index)
+{
+    trace::TraceSink *ts = trace::threadSink();
+    if (!ts || !ts->wants(kind))
+        return;
+    trace::Event e;
+    e.kind = kind;
+    e.cycle = 0;
+    e.payload = layer_index >= 0 ? static_cast<uint64_t>(layer_index) : 0;
+    e.arg = ts->intern(name);
+    ts->record(e);
+}
+
 } // namespace
 
 NetRun
@@ -179,6 +200,13 @@ Runtime::cnnRun(const nn::Network &net, const RunPolicy &policy,
         lr.layerIndex = static_cast<int>(li);
         lr.name = layers[li].name;
         lr.figType = layers[li].figType;
+        const bool hasKernels =
+            ki < low.kernels.size() &&
+            low.kernels[ki].layerIndex == static_cast<int>(li);
+        if (hasKernels) {
+            traceLayerEdge(trace::EventKind::LayerBegin, lr.name,
+                           lr.layerIndex);
+        }
         while (ki < low.kernels.size() &&
                low.kernels[ki].layerIndex == static_cast<int>(li)) {
             sim::KernelStats ks =
@@ -195,6 +223,10 @@ Runtime::cnnRun(const nn::Network &net, const RunPolicy &policy,
             }
             lr.kernels.push_back(std::move(ks));
             ki++;
+        }
+        if (hasKernels) {
+            traceLayerEdge(trace::EventKind::LayerEnd, lr.name,
+                           lr.layerIndex);
         }
         if (upload && layers[li].kind != nn::LayerKind::Input) {
             const nn::Tensor &ref = refOuts[li];
@@ -261,7 +293,10 @@ Runtime::rnnRun(const nn::RnnModel &model, const RunPolicy &policy,
         lr.name = lk.launch.program->name + "#" +
                   std::to_string(lk.layerIndex);
         lr.figType = lk.figType;
+        traceLayerEdge(trace::EventKind::LayerBegin, lr.name,
+                       lr.layerIndex);
         lr.kernels.push_back(gpu_.launch(lk.launch, policy.sim));
+        traceLayerEdge(trace::EventKind::LayerEnd, lr.name, lr.layerIndex);
         run.layers.push_back(std::move(lr));
     }
 

@@ -132,6 +132,15 @@ Cache::access(uint32_t addr, bool write, uint64_t now, WayHint *hint)
     }
 
     stats_.misses++;
+    if (trace_ && trace_->wants(trace::EventKind::CacheMiss)) {
+        trace::Event e;
+        e.kind = trace::EventKind::CacheMiss;
+        e.cycle = now;
+        e.payload = la;
+        e.arg = static_cast<uint32_t>(traceLevel_);
+        e.core = traceCore_;
+        trace_->record(e);
+    }
 
     // A miss on a line already being fetched hits in the MSHR file.
     retireMshrs(now);
@@ -169,11 +178,23 @@ Cache::mshrAvailable(uint32_t addr, uint64_t now)
 }
 
 void
-Cache::allocateMshr(uint32_t addr, uint64_t fill)
+Cache::allocateMshr(uint32_t addr, uint64_t fill, uint64_t now)
 {
     if (bypassed())
         return;
     const uint64_t la = lineAddr(addr);
+    if (trace_ && trace_->wants(trace::EventKind::CacheFill)) {
+        // Stamped at the requesting access's cycle with the fill delay
+        // as payload: an event at the absolute fill cycle would run
+        // ahead of later accesses and break per-track monotonicity.
+        trace::Event e;
+        e.kind = trace::EventKind::CacheFill;
+        e.cycle = now;
+        e.payload = fill > now ? fill - now : 0;
+        e.arg = static_cast<uint32_t>(traceLevel_);
+        e.core = traceCore_;
+        trace_->record(e);
+    }
 
     // Mirror the (new or merge-extended) fill time into the tag sidecar
     // so hits on the in-flight line see it without an MSHR scan.  The

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hh"
+
 namespace tango::sim {
 
 /** Cache geometry + MSHR count. */
@@ -97,8 +99,9 @@ class Cache
      *  @p addr at cycle @p now; counts a throttle event when not. */
     bool mshrAvailable(uint32_t addr, uint64_t now);
 
-    /** Reserve an MSHR for the line of @p addr until cycle @p fill. */
-    void allocateMshr(uint32_t addr, uint64_t fill);
+    /** Reserve an MSHR for the line of @p addr until cycle @p fill.
+     *  @p now is the requesting access's cycle (trace stamping only). */
+    void allocateMshr(uint32_t addr, uint64_t fill, uint64_t now);
 
     /** @return the pending fill cycle for @p addr's line, or 0 when the
      *  line is not (or no longer) in flight.  A tag "hit" on a line whose
@@ -122,6 +125,21 @@ class Cache
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg_; }
+
+    /** @return MSHRs currently in flight (counter-track sampling). */
+    uint32_t liveMshrs() const { return mshrLive_; }
+
+    /** Attach (or with nullptr detach) a trace sink.  Miss and fill
+     *  events are tagged with @p level and @p core; purely observational
+     *  (no timing or replacement decision reads the sink). */
+    void
+    setTrace(trace::TraceSink *sink, trace::CacheLevel level,
+             uint8_t core = 0)
+    {
+        trace_ = sink;
+        traceLevel_ = level;
+        traceCore_ = core;
+    }
 
   private:
     /** Tag value of an empty way (real tags are small line numbers). */
@@ -179,6 +197,11 @@ class Cache
 
     CacheStats stats_;
     uint64_t useClock_ = 0;
+
+    // Tracing (off unless a sink is attached; one branch per miss/fill).
+    trace::TraceSink *trace_ = nullptr;
+    trace::CacheLevel traceLevel_ = trace::CacheLevel::L1D;
+    uint8_t traceCore_ = 0;
 };
 
 } // namespace tango::sim

@@ -37,6 +37,10 @@ SmCore::SmCore(const GpuConfig &cfg, DeviceMemory &gmem, Cache &l2,
     constCache_ = std::make_unique<Cache>(ccfg);
 
     sched_ = makeScheduler(cfg.scheduler);
+
+    trace_ = trace::threadSink();
+    l1d_->setTrace(trace_, trace::CacheLevel::L1D);
+    constCache_->setTrace(trace_, trace::CacheLevel::Const);
 }
 
 Dim3
@@ -187,7 +191,7 @@ SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
         raw_.dram++;
         const uint64_t avail = dram_.schedule(now) + cfg_.dramLatency;
         if (haveMshr)
-            l2_.allocateMshr(addr, avail);
+            l2_.allocateMshr(addr, avail, now);
         return (avail - now) + cfg_.l2HitLatency / 4 + extra;
     };
 
@@ -221,7 +225,7 @@ SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
                     }
                     lat = cfg_.l1HitLatency + l2Path(addr) + extra;
                     if (haveMshr)
-                        l1d_->allocateMshr(addr, now + lat);
+                        l1d_->allocateMshr(addr, now + lat, now);
                 }
             } else {
                 lat = l2Path(addr) + 10;  // interconnect traversal
@@ -465,6 +469,26 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
         return static_cast<int>(issuable_[i] ? Stall::NotSelected : why_[i]);
     };
 
+    // Tracing flags, hoisted so the hot loop pays one predictable branch
+    // per decision point when tracing is off (trace_ == nullptr).
+    const bool traceStalls =
+        trace_ && trace_->wants(trace::EventKind::StallTransition);
+    const bool traceOcc =
+        trace_ && (trace_->wants(trace::EventKind::OccupancySample) ||
+                   trace_->wants(trace::EventKind::MshrSample));
+    const uint64_t samplePeriod = trace_ ? trace_->samplePeriod() : 0;
+    uint64_t nextSample = 0;
+    const auto recordStall = [&](uint32_t slot, int ob, int nb,
+                                 uint64_t cyc) {
+        trace::Event e;
+        e.kind = trace::EventKind::StallTransition;
+        e.cycle = cyc;
+        e.arg = (static_cast<uint32_t>(ob + 1) << 8) |
+                static_cast<uint32_t>(nb + 1);
+        e.warp = static_cast<uint16_t>(slot);
+        trace_->record(e);
+    };
+
     uint64_t now = 0;
 
     while (liveWarpTotal_ > 0 || nextPending_ < pendingCtas_.size()) {
@@ -500,6 +524,8 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
                         stallCnt[ob]--;
                     if (nb >= 0)
                         stallCnt[nb]++;
+                    if (traceStalls)
+                        recordStall(i, ob, nb, now);
                 }
                 if (oi != (issuable_[i] != 0))
                     issuableCnt += issuable_[i] ? 1 : -1;
@@ -524,6 +550,11 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             // The picked slot was issuable, i.e. bucketed NotSelected.
             stallCnt[static_cast<size_t>(Stall::NotSelected)]--;
             issuableCnt--;
+            if (traceStalls) {
+                // NotSelected -> issued (-1 = no bucket).
+                recordStall(static_cast<uint32_t>(pickIdx),
+                            static_cast<int>(Stall::NotSelected), -1, now);
+            }
             issuable_[pickIdx] = 0;
             why_[pickIdx] = Stall::NumStalls;  // issued: no stall charged
             if (activeF_[pickIdx]) {
@@ -556,6 +587,29 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             stalls_[s] += stallCnt[s] * skip;
         raw_.sched += skip;
         now += skip;
+
+        // Periodic occupancy / MSHR counter samples (trace-only; a skip
+        // past several windows records one sample — idle windows carry no
+        // new information).
+        if (traceOcc && now >= nextSample) {
+            if (trace_->wants(trace::EventKind::OccupancySample)) {
+                trace::Event e;
+                e.kind = trace::EventKind::OccupancySample;
+                e.cycle = now;
+                e.payload = liveWarpTotal_;
+                e.arg = static_cast<uint32_t>(ctas_.size()) - freeCtas_;
+                trace_->record(e);
+            }
+            if (trace_->wants(trace::EventKind::MshrSample)) {
+                trace::Event e;
+                e.kind = trace::EventKind::MshrSample;
+                e.cycle = now;
+                e.payload = l1d_->liveMshrs();
+                e.arg = l2_.liveMshrs();
+                trace_->record(e);
+            }
+            nextSample = now + samplePeriod;
+        }
     }
 
     // --- fold raw counters into the stat set -----------------------------

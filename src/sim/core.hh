@@ -29,6 +29,7 @@
 #include "sim/program.hh"
 #include "sim/scheduler.hh"
 #include "sim/stall.hh"
+#include "trace/trace.hh"
 
 namespace tango::sim {
 
@@ -170,6 +171,8 @@ class SmCore
     DeviceMemory &gmem_;
     Cache &l2_;
     Dram &dram_;
+    /** This thread's trace sink (cached at construction; null = off). */
+    trace::TraceSink *trace_ = nullptr;
     std::unique_ptr<Cache> l1d_;
     std::unique_ptr<Cache> constCache_;
     std::unique_ptr<WarpScheduler> sched_;

@@ -24,7 +24,17 @@ Dram::schedule(uint64_t now)
     queueCycles_ += qd;
     nextFree_ = start + issueInterval_;
     accesses_++;
-    return static_cast<uint64_t>(start) + latency_;
+    const uint64_t avail = static_cast<uint64_t>(start) + latency_;
+    if (trace_ && trace_->wants(trace::EventKind::DramAccess)) {
+        trace::Event e;
+        e.kind = trace::EventKind::DramAccess;
+        e.cycle = now;
+        e.payload = avail - now;   // total service latency
+        e.arg = static_cast<uint32_t>(qd);
+        e.core = traceCore_;
+        trace_->record(e);
+    }
+    return avail;
 }
 
 void

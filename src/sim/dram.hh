@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "trace/trace.hh"
+
 namespace tango::sim {
 
 /** Aggregate DRAM channel model. */
@@ -50,12 +52,23 @@ class Dram
         queueCycles_ = 0;
     }
 
+    /** Attach (or with nullptr detach) a trace sink; each schedule()
+     *  records one DramAccess event (observational only). */
+    void
+    setTrace(trace::TraceSink *sink, uint8_t core = 0)
+    {
+        trace_ = sink;
+        traceCore_ = core;
+    }
+
   private:
     uint32_t latency_;
     double issueInterval_;
     double nextFree_ = 0.0;
     uint64_t accesses_ = 0;
     uint64_t queueCycles_ = 0;
+    trace::TraceSink *trace_ = nullptr;
+    uint8_t traceCore_ = 0;
 };
 
 } // namespace tango::sim

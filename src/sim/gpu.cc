@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "sim/cache.hh"
+#include "trace/trace.hh"
 
 namespace tango::sim {
 
@@ -188,8 +189,42 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
     l2_->newTimeDomain();   // the kernel clock restarts at zero
     dram_->reset();         // queue times are absolute cycles too
 
+    // Tracing: attach this thread's sink (if any) for the launch and open
+    // the kernel span at the kernel's cycle 0.  The sink rebases kernel-
+    // local cycles onto the run's global timeline (TraceSink::record).
+    trace::TraceSink *ts = trace::threadSink();
+    l2_->setTrace(ts, trace::CacheLevel::L2);
+    dram_->setTrace(ts);
+    uint32_t traceNameId = 0;
+    if (ts && ts->wants(trace::EventKind::KernelBegin)) {
+        traceNameId = ts->intern(launch.program->name);
+        trace::Event e;
+        e.kind = trace::EventKind::KernelBegin;
+        e.cycle = 0;
+        e.payload = totalCtas;
+        e.arg = traceNameId;
+        ts->record(e);
+    }
+
     SmCore core(cfg_, mem_, *l2_, *dram_);
     KernelStats ks = core.run(launch, ids, warpIds, resident, policy);
+
+    if (ts) {
+        if (ts->wants(trace::EventKind::KernelEnd)) {
+            trace::Event e;
+            e.kind = trace::EventKind::KernelEnd;
+            e.cycle = ks.smCycles;
+            e.payload = ks.stats.has("issued")
+                            ? static_cast<uint64_t>(ks.stats.get("issued"))
+                            : 0;
+            e.arg = traceNameId ? traceNameId
+                                : ts->intern(launch.program->name);
+            ts->record(e);
+        }
+        // Later kernels (whose local clocks restart at zero) land after
+        // this one on the global trace timeline.
+        ts->advanceCycles(ks.smCycles);
+    }
 
     ks.totalCtas = totalCtas;
     ks.sampledCtas = sampled;

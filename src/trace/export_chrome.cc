@@ -1,0 +1,287 @@
+#include "trace/export_chrome.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/stall.hh"
+
+namespace tango::trace {
+
+namespace {
+
+/** Track (tid) layout inside the single "tango-sim" process. */
+constexpr int kPidSim = 1;
+constexpr int kTidSpans = 1;       ///< nested layer/kernel spans
+constexpr int
+tidStalls(uint8_t core)
+{
+    return 100 + 2 * core;
+}
+constexpr int
+tidMemory(uint8_t core)
+{
+    return 101 + 2 * core;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** One trace-event emitter: builds `{"name":...,"ph":...}` records and
+ *  keeps the comma discipline of the surrounding array. */
+class EventWriter
+{
+  public:
+    EventWriter(std::string &out, double cyclesPerUs) : out_(out),
+        cyclesPerUs_(cyclesPerUs)
+    {
+    }
+
+    void begin(const char *ph, const std::string &name, int tid,
+               uint64_t cycle)
+    {
+        next();
+        out_ += "{\"name\":";
+        appendEscaped(out_, name);
+        out_ += ",\"ph\":\"";
+        out_ += ph;
+        out_ += "\",\"pid\":" + std::to_string(kPidSim) +
+                ",\"tid\":" + std::to_string(tid) + ",\"ts\":";
+        ts(cycle);
+    }
+
+    void dur(uint64_t cycles)
+    {
+        out_ += ",\"dur\":";
+        ts(cycles);
+    }
+
+    void scopeThread() { out_ += ",\"s\":\"t\""; }
+
+    void argsOpen() { out_ += ",\"args\":{"; }
+    void arg(const char *key, uint64_t v, bool first = false)
+    {
+        if (!first)
+            out_ += ',';
+        out_ += '"';
+        out_ += key;
+        out_ += "\":" + std::to_string(v);
+    }
+    void argStr(const char *key, const std::string &v, bool first = false)
+    {
+        if (!first)
+            out_ += ',';
+        out_ += '"';
+        out_ += key;
+        out_ += "\":";
+        appendEscaped(out_, v);
+    }
+    void argsClose() { out_ += '}'; }
+
+    void end() { out_ += '}'; }
+
+    /** Metadata record naming a process or thread. */
+    void meta(const char *what, int tid, const std::string &name)
+    {
+        next();
+        out_ += "{\"name\":\"";
+        out_ += what;
+        out_ += "\",\"ph\":\"M\",\"pid\":" + std::to_string(kPidSim) +
+                ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
+        appendEscaped(out_, name);
+        out_ += "}}";
+    }
+
+  private:
+    void next()
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+    }
+
+    void ts(uint64_t cycles)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.6f",
+                      static_cast<double>(cycles) / cyclesPerUs_);
+        out_ += buf;
+    }
+
+    std::string &out_;
+    double cyclesPerUs_;
+    bool first_ = true;
+};
+
+const std::string &
+eventName(const RingSink &sink, uint32_t id)
+{
+    static const std::string unnamed = "?";
+    const auto &names = sink.names();
+    return id < names.size() ? names[id] : unnamed;
+}
+
+const char *
+cacheLevelName(uint32_t level)
+{
+    switch (static_cast<CacheLevel>(level)) {
+      case CacheLevel::L1D: return "L1D";
+      case CacheLevel::L2: return "L2";
+      case CacheLevel::Const: return "const";
+    }
+    return "cache";
+}
+
+/** @return the stall-code name for one half of a StallTransition arg
+ *  (0 = "issued": the warp left the stall buckets by issuing). */
+const char *
+stallCodeName(uint32_t code)
+{
+    if (code == 0)
+        return "issued";
+    const auto s = static_cast<sim::Stall>(code - 1);
+    return code - 1 < sim::numStalls ? sim::stallName(s) : "unknown";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const RingSink &sink, const ChromeExportOptions &opt)
+{
+    const double ghz = opt.coreClockGhz > 0.0 ? opt.coreClockGhz : 1.0;
+    const double cyclesPerUs = ghz * 1000.0;
+
+    std::string out;
+    out.reserve(1 << 20);
+    out += "{\"traceEvents\":[";
+    EventWriter w(out, cyclesPerUs);
+
+    w.meta("process_name", kTidSpans, "tango-sim");
+    w.meta("thread_name", kTidSpans, "layers/kernels");
+    const std::vector<uint8_t> cores = sink.cores();
+    for (uint8_t c : cores) {
+        const std::string sm = "SM" + std::to_string(c);
+        w.meta("thread_name", tidStalls(c), sm + " stalls");
+        w.meta("thread_name", tidMemory(c), sm + " memory");
+    }
+
+    for (uint8_t c : cores) {
+        for (const Event &e : sink.coreEvents(c)) {
+            switch (e.kind) {
+              case EventKind::LayerBegin:
+              case EventKind::KernelBegin:
+                w.begin("B", eventName(sink, e.arg), kTidSpans, e.cycle);
+                w.argsOpen();
+                w.arg(e.kind == EventKind::LayerBegin ? "layer_index"
+                                                      : "total_ctas",
+                      e.payload, true);
+                w.argsClose();
+                w.end();
+                break;
+              case EventKind::LayerEnd:
+              case EventKind::KernelEnd:
+                w.begin("E", eventName(sink, e.arg), kTidSpans, e.cycle);
+                w.end();
+                break;
+              case EventKind::OccupancySample:
+                w.begin("C", "active_warps", kTidSpans, e.cycle);
+                w.argsOpen();
+                w.arg("warps", e.payload, true);
+                w.arg("ctas", e.arg);
+                w.argsClose();
+                w.end();
+                break;
+              case EventKind::MshrSample:
+                w.begin("C", "mshrs_in_flight", kTidSpans, e.cycle);
+                w.argsOpen();
+                w.arg("l1d", e.payload, true);
+                w.arg("l2", e.arg);
+                w.argsClose();
+                w.end();
+                break;
+              case EventKind::StallTransition: {
+                const uint32_t to = e.arg & 0xff;
+                const uint32_t from = (e.arg >> 8) & 0xff;
+                w.begin("i", stallCodeName(to), tidStalls(c), e.cycle);
+                w.scopeThread();
+                w.argsOpen();
+                w.arg("warp", e.warp, true);
+                w.argStr("from", stallCodeName(from));
+                w.argsClose();
+                w.end();
+                break;
+              }
+              case EventKind::CacheMiss:
+                w.begin("i",
+                        std::string(cacheLevelName(e.arg)) + " miss",
+                        tidMemory(c), e.cycle);
+                w.scopeThread();
+                w.argsOpen();
+                w.arg("line", e.payload, true);
+                w.argsClose();
+                w.end();
+                break;
+              case EventKind::CacheFill:
+                w.begin("X",
+                        std::string(cacheLevelName(e.arg)) + " fill",
+                        tidMemory(c), e.cycle);
+                w.dur(e.payload);
+                w.end();
+                break;
+              case EventKind::DramAccess:
+                w.begin("X", "dram", tidMemory(c), e.cycle);
+                w.dur(e.payload);
+                w.argsOpen();
+                w.arg("queue_cycles", e.arg, true);
+                w.argsClose();
+                w.end();
+                break;
+              case EventKind::NumKinds:
+                break;
+            }
+        }
+    }
+
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    out += "\"tool\":\"tango-trace\",\"label\":";
+    appendEscaped(out, opt.label);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"core_clock_ghz\":%.6g", ghz);
+    out += buf;
+    out += ",\"recorded_events\":" + std::to_string(sink.recorded());
+    out += ",\"dropped_events\":" + std::to_string(sink.dropped());
+    out += "}}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const RingSink &sink, const std::string &path,
+                 const ChromeExportOptions &opt)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    f << chromeTraceJson(sink, opt);
+    return static_cast<bool>(f);
+}
+
+} // namespace tango::trace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-compatible) export of a recorded trace.
+ *
+ * The JSON object format is the one chrome://tracing and ui.perfetto.dev
+ * both load: {"traceEvents": [...], ...}.  Mapping:
+ *  - layer and kernel spans become nested "B"/"E" duration events on one
+ *    "layers/kernels" track (spans nest because layers strictly contain
+ *    their kernels on the global cycle timeline);
+ *  - occupancy and MSHR samples become "C" counter events (tracks
+ *    "active_warps" and "mshrs_in_flight");
+ *  - stall transitions become instant events on a per-core "SM<n> stalls"
+ *    track, named after the new stall reason;
+ *  - cache misses become instants and cache fills / DRAM transactions
+ *    become complete ("X") events with their latency as the duration, on
+ *    a per-core "SM<n> memory" track.
+ *
+ * Timestamps are microseconds of simulated GPU time
+ * (cycle / coreClockGhz / 1000); "otherData" carries the cycle clock,
+ * recorded/dropped event counts and the exporting network's name.
+ */
+
+#ifndef TANGO_TRACE_EXPORT_CHROME_HH
+#define TANGO_TRACE_EXPORT_CHROME_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tango::trace {
+
+/** Export knobs (clock for cycle → time conversion, labelling). */
+struct ChromeExportOptions
+{
+    /** Core clock used to convert cycles to microseconds. */
+    double coreClockGhz = 1.0;
+    /** Free-form label recorded in otherData (e.g. the network name). */
+    std::string label;
+};
+
+/** @return the trace as one Chrome trace-event JSON document. */
+std::string chromeTraceJson(const RingSink &sink,
+                            const ChromeExportOptions &opt = {});
+
+/**
+ * Write chromeTraceJson() to @p path.
+ * @return false on I/O failure (never throws).
+ */
+bool writeChromeTrace(const RingSink &sink, const std::string &path,
+                      const ChromeExportOptions &opt = {});
+
+} // namespace tango::trace
+
+#endif // TANGO_TRACE_EXPORT_CHROME_HH

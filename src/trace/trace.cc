@@ -1,0 +1,189 @@
+#include "trace/trace.hh"
+
+namespace tango::trace {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::KernelBegin: return "kernel_begin";
+      case EventKind::KernelEnd: return "kernel_end";
+      case EventKind::LayerBegin: return "layer_begin";
+      case EventKind::LayerEnd: return "layer_end";
+      case EventKind::OccupancySample: return "occupancy";
+      case EventKind::MshrSample: return "mshrs";
+      case EventKind::StallTransition: return "stall_transition";
+      case EventKind::CacheMiss: return "cache_miss";
+      case EventKind::CacheFill: return "cache_fill";
+      case EventKind::DramAccess: return "dram_access";
+      case EventKind::NumKinds: break;
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------- RingSink
+
+/** One SPSC ring.  The producer is the simulating thread; the consumer
+ *  only reads after the run, so acquire/release on the write index is
+ *  all the synchronization needed.  No entry is ever overwritten: a full
+ *  ring drops the incoming event (drop accounting must be exact, and a
+ *  half-overwritten timeline is worse than a truncated one). */
+struct RingSink::Ring
+{
+    explicit Ring(uint32_t capacity) : buf(capacity) {}
+
+    std::vector<Event> buf;
+    std::atomic<uint64_t> head{0};     ///< next write slot (producer)
+    std::atomic<uint64_t> dropped{0};  ///< events lost to a full ring
+};
+
+namespace {
+
+uint32_t
+roundUpPow2(uint32_t v)
+{
+    if (v < 2)
+        return 2;
+    uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+RingSink::RingSink(RingOptions opt) : capacity_(roundUpPow2(opt.capacity))
+{
+    setMask(opt.mask);
+    setSamplePeriod(opt.samplePeriod);
+    names_.push_back("");   // id 0 = unnamed
+    nameIds_.emplace("", 0);
+}
+
+RingSink::~RingSink() = default;
+
+RingSink::Ring &
+RingSink::ring(uint8_t core)
+{
+    if (rings_.size() <= core)
+        rings_.resize(size_t(core) + 1);
+    if (!rings_[core])
+        rings_[core] = std::make_unique<Ring>(capacity_);
+    return *rings_[core];
+}
+
+void
+RingSink::write(const Event &e)
+{
+    Ring &r = ring(e.core);
+    const uint64_t head = r.head.load(std::memory_order_relaxed);
+    if (head >= capacity_) {
+        // Ring full.  The consumer never frees slots mid-run (it drains
+        // after the run), so "full" is terminal for this ring: count the
+        // drop and keep the prefix intact.
+        r.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    r.buf[head] = e;
+    r.head.store(head + 1, std::memory_order_release);
+}
+
+uint32_t
+RingSink::intern(const std::string &name)
+{
+    const auto it = nameIds_.find(name);
+    if (it != nameIds_.end())
+        return it->second;
+    const auto id = static_cast<uint32_t>(names_.size());
+    names_.push_back(name);
+    nameIds_.emplace(name, id);
+    return id;
+}
+
+std::vector<uint8_t>
+RingSink::cores() const
+{
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i < rings_.size(); i++) {
+        if (rings_[i] &&
+            rings_[i]->head.load(std::memory_order_acquire) > 0)
+            out.push_back(static_cast<uint8_t>(i));
+    }
+    return out;
+}
+
+std::vector<Event>
+RingSink::coreEvents(uint8_t core) const
+{
+    std::vector<Event> out;
+    if (core >= rings_.size() || !rings_[core])
+        return out;
+    const Ring &r = *rings_[core];
+    const uint64_t n = r.head.load(std::memory_order_acquire);
+    out.assign(r.buf.begin(), r.buf.begin() + static_cast<size_t>(n));
+    return out;
+}
+
+uint64_t
+RingSink::recorded() const
+{
+    uint64_t n = 0;
+    for (const auto &r : rings_) {
+        if (r)
+            n += r->head.load(std::memory_order_acquire);
+    }
+    return n;
+}
+
+uint64_t
+RingSink::dropped() const
+{
+    uint64_t n = 0;
+    for (const auto &r : rings_) {
+        if (r)
+            n += r->dropped.load(std::memory_order_relaxed);
+    }
+    return n;
+}
+
+uint64_t
+RingSink::dropped(uint8_t core) const
+{
+    if (core >= rings_.size() || !rings_[core])
+        return 0;
+    return rings_[core]->dropped.load(std::memory_order_relaxed);
+}
+
+std::map<EventKind, uint64_t>
+RingSink::kindCounts() const
+{
+    std::map<EventKind, uint64_t> counts;
+    for (size_t c = 0; c < rings_.size(); c++) {
+        for (const Event &e :
+             coreEvents(static_cast<uint8_t>(c)))
+            counts[e.kind]++;
+    }
+    return counts;
+}
+
+// ------------------------------------------------------- thread-local sink
+
+namespace {
+thread_local TraceSink *tlsSink = nullptr;
+}
+
+TraceSink *
+threadSink()
+{
+    return tlsSink;
+}
+
+TraceSink *
+installThreadSink(TraceSink *sink)
+{
+    TraceSink *prev = tlsSink;
+    tlsSink = sink;
+    return prev;
+}
+
+} // namespace tango::trace

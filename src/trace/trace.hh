@@ -1,0 +1,229 @@
+/**
+ * @file
+ * tango::trace — cycle-level event tracing for the simulator and runtime.
+ *
+ * The paper's figures are end-of-run aggregates; diagnosing a regression
+ * or an anomaly needs the *timeline* those aggregates collapse.  This
+ * subsystem records typed events — kernel and layer spans, per-window SM
+ * occupancy and active-warp samples, stall-transition events, cache
+ * miss/fill and DRAM transactions — each stamped with the simulation
+ * cycle and core/warp ids, into per-core lock-free ring buffers that the
+ * Chrome/Perfetto exporter (trace/export_chrome.hh) drains after the run.
+ *
+ * Overhead contract: tracing is off by default and *observational only*.
+ * Every instrumentation hook is guarded by a single null-pointer test on
+ * a cached sink pointer (a predictable branch), no hook mutates any
+ * simulator state, and no event is allocated or formatted unless a sink
+ * is installed — so with tracing disabled the golden statistics
+ * (tests/golden) stay bit-identical and wall clock is unaffected, and
+ * with tracing enabled the statistics still do not move (the trace is a
+ * pure tap; tests/test_trace.cc pins both properties).
+ *
+ * Threading: a sink is installed per *thread* (installThreadSink), so an
+ * rt::Engine worker pool can run untraced jobs concurrently with one
+ * traced thread.  Each ring is single-producer (the simulating thread)
+ * single-consumer (whoever drains after the run) and never blocks: a
+ * full ring drops the event and counts the drop exactly.
+ */
+
+#ifndef TANGO_TRACE_TRACE_HH
+#define TANGO_TRACE_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tango::trace {
+
+/** Typed trace events.  Payload field meanings are per kind (below). */
+enum class EventKind : uint8_t {
+    KernelBegin,      ///< arg = kernel name id, payload = total CTAs
+    KernelEnd,        ///< arg = kernel name id, payload = issued warp instrs
+    LayerBegin,       ///< arg = layer name id, payload = layer index
+    LayerEnd,         ///< arg = layer name id, payload = layer index
+    OccupancySample,  ///< payload = live warps on the SM, arg = active CTAs
+    MshrSample,       ///< payload = L1D MSHRs in flight, arg = L2 MSHRs
+    StallTransition,  ///< warp slot; arg = ((old+1) << 8) | (new+1), 0 = none
+    CacheMiss,        ///< arg = cache level, payload = line address
+    CacheFill,        ///< arg = cache level, payload = cycles until the fill
+    DramAccess,       ///< payload = total service latency, arg = queue delay
+    NumKinds
+};
+
+/** Cache levels reported by CacheMiss/CacheFill events. */
+enum class CacheLevel : uint8_t { L1D = 0, L2 = 1, Const = 2 };
+
+/** @return "kernel_begin", "occupancy", ... */
+const char *eventKindName(EventKind k);
+
+/** @return the mask bit of one event kind. */
+constexpr uint32_t
+kindBit(EventKind k)
+{
+    return 1u << static_cast<unsigned>(k);
+}
+
+/** Mask with every event kind enabled. */
+constexpr uint32_t kAllEvents =
+    (1u << static_cast<unsigned>(EventKind::NumKinds)) - 1;
+
+/** Span + counter events only — the default tango-trace selection:
+ *  bounded volume on any network, and everything Perfetto needs for a
+ *  layer/kernel timeline with an occupancy track. */
+constexpr uint32_t kDefaultEvents =
+    kindBit(EventKind::KernelBegin) | kindBit(EventKind::KernelEnd) |
+    kindBit(EventKind::LayerBegin) | kindBit(EventKind::LayerEnd) |
+    kindBit(EventKind::OccupancySample) | kindBit(EventKind::MshrSample);
+
+/** Sentinel warp id for events not tied to one warp. */
+constexpr uint16_t kNoWarp = 0xffff;
+
+/** One recorded event (24 bytes).  `cycle` is on the run's *global*
+ *  timeline: each kernel's local clock (which restarts at zero) is
+ *  rebased by the sink's running cycle base, so cycles are monotonic
+ *  across the whole network run. */
+struct Event
+{
+    uint64_t cycle = 0;
+    uint64_t payload = 0;
+    uint32_t arg = 0;
+    EventKind kind = EventKind::NumKinds;
+    uint8_t core = 0;
+    uint16_t warp = kNoWarp;
+};
+
+/**
+ * Where events go.  The base class owns the pieces every hook needs
+ * non-virtually on the fast path: the event mask, the cycle rebase and
+ * the counter sample period.  Concrete sinks implement write().
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** @return whether @p k is selected (hooks skip the event otherwise). */
+    bool wants(EventKind k) const { return (mask_ & kindBit(k)) != 0; }
+
+    /** Restrict recording to the kinds in @p mask. */
+    void setMask(uint32_t mask) { mask_ = mask & kAllEvents; }
+    uint32_t mask() const { return mask_; }
+
+    /** Cycles between occupancy/MSHR counter samples. */
+    uint64_t samplePeriod() const { return samplePeriod_; }
+    void setSamplePeriod(uint64_t p) { samplePeriod_ = p ? p : 1; }
+
+    /** The global cycle corresponding to the current kernel's cycle 0. */
+    uint64_t cycleBase() const { return cycleBase_; }
+
+    /** Advance the base past a finished kernel of @p cycles. */
+    void advanceCycles(uint64_t cycles) { cycleBase_ += cycles; }
+
+    /** Record @p e, rebasing its (kernel-local) cycle onto the global
+     *  timeline.  May drop (the sink accounts for it); never blocks. */
+    void record(Event e)
+    {
+        e.cycle += cycleBase_;
+        write(e);
+    }
+
+    /** Map a name to a stable id for Event::arg (producer thread only). */
+    virtual uint32_t intern(const std::string &name) = 0;
+
+  protected:
+    virtual void write(const Event &e) = 0;
+
+  private:
+    uint32_t mask_ = kAllEvents;
+    uint64_t samplePeriod_ = 4096;
+    uint64_t cycleBase_ = 0;
+};
+
+/** RingSink construction knobs. */
+struct RingOptions
+{
+    /** Events per core ring (rounded up to a power of two). */
+    uint32_t capacity = 1u << 20;
+    /** Event selection (kAllEvents / kDefaultEvents / custom). */
+    uint32_t mask = kAllEvents;
+    /** Counter sample period in cycles. */
+    uint64_t samplePeriod = 4096;
+};
+
+/**
+ * The standard collector: one lock-free single-producer single-consumer
+ * ring buffer per simulated core, plus a name-interning table.  A full
+ * ring drops new events and counts every drop, so the exporter can
+ * report exact loss instead of silently truncating.
+ */
+class RingSink : public TraceSink
+{
+  public:
+    explicit RingSink(RingOptions opt = {});
+    ~RingSink() override;
+
+    uint32_t intern(const std::string &name) override;
+
+    /** @return the interned string table (index = name id). */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** @return ids of cores that recorded at least one event. */
+    std::vector<uint8_t> cores() const;
+
+    /** Snapshot one core's events in record order (consumer side). */
+    std::vector<Event> coreEvents(uint8_t core) const;
+
+    /** @return events successfully recorded (all cores). */
+    uint64_t recorded() const;
+
+    /** @return events dropped to full rings (all cores). */
+    uint64_t dropped() const;
+
+    /** @return drops on one core's ring. */
+    uint64_t dropped(uint8_t core) const;
+
+    /** Per-kind recorded-event histogram (consumer side). */
+    std::map<EventKind, uint64_t> kindCounts() const;
+
+    /** Ring capacity actually used (capacity rounded up to 2^n). */
+    uint32_t capacity() const { return capacity_; }
+
+  protected:
+    void write(const Event &e) override;
+
+  private:
+    struct Ring;
+    Ring &ring(uint8_t core);
+
+    uint32_t capacity_ = 0;
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::vector<std::string> names_;
+    std::map<std::string, uint32_t> nameIds_;
+};
+
+/** @return this thread's installed sink, or nullptr (tracing off). */
+TraceSink *threadSink();
+
+/** Install (or with nullptr, remove) this thread's sink.
+ *  @return the previously installed sink. */
+TraceSink *installThreadSink(TraceSink *sink);
+
+/** RAII sink installation for the current thread. */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(TraceSink *sink) : prev_(installThreadSink(sink)) {}
+    ~ScopedSink() { installThreadSink(prev_); }
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+} // namespace tango::trace
+
+#endif // TANGO_TRACE_TRACE_HH

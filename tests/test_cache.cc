@@ -84,8 +84,8 @@ TEST(Cache, MshrFillAndMerge)
 {
     Cache c(smallCache());
     EXPECT_TRUE(c.mshrAvailable(0x1000, 0));
-    c.allocateMshr(0x1000, 100);
-    c.allocateMshr(0x2000, 100);
+    c.allocateMshr(0x1000, 100, 0);
+    c.allocateMshr(0x2000, 100, 0);
     // Full for a third distinct line...
     EXPECT_FALSE(c.mshrAvailable(0x3000, 10));
     // ...but a miss on an in-flight line merges.
@@ -99,7 +99,7 @@ TEST(Cache, MshrMergeVisibleInAccess)
 {
     Cache c(smallCache());
     c.access(0x1000, false, 0);
-    c.allocateMshr(0x1000, 50);
+    c.allocateMshr(0x1000, 50, 0);
     // Evict the (already allocated) line so the next access misses, then
     // check that the in-flight MSHR is reported as a merge.
     const uint32_t setStride = 2 * 128;
@@ -114,7 +114,7 @@ TEST(Cache, ResetClearsEverything)
 {
     Cache c(smallCache());
     c.access(0x1000, false, 0);
-    c.allocateMshr(0x1000, 1000);
+    c.allocateMshr(0x1000, 1000, 0);
     c.reset();
     EXPECT_EQ(c.stats().accesses, 0u);
     EXPECT_FALSE(c.access(0x1000, false, 0).hit);

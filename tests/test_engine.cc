@@ -9,10 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "runtime/engine.hh"
+#include "runtime/run_cache.hh"
 #include "runtime/runtime.hh"
 #include "sim/gpu.hh"
 
@@ -158,6 +163,147 @@ TEST(Engine, DiskSpillRoundTrips)
     expectIdentical(fresh, recalled);
 
     std::remove(path.c_str());
+}
+
+// ------------------------------------------------- spill-file resilience
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+/** One simulated NetRun, shared by the spill-file tests below (the
+ *  file-format tests only need *a* real record, not a fresh one each). */
+const rt::NetRun &
+sampleRun()
+{
+    static const rt::NetRun *run = [] {
+        sim::Gpu gpu(sim::pascalGP102());
+        return new rt::NetRun(rt::runNetworkByName(
+            gpu, "cifarnet", rt::RunPolicy::named("bench")));
+    }();
+    return *run;
+}
+
+TEST(RunCache, CorruptTailKeepsEveryEntryBeforeTheDamage)
+{
+    const std::string path =
+        testing::TempDir() + "tango_runcache_corrupt.json";
+    std::remove(path.c_str());
+
+    std::map<std::string, rt::NetRun> runs;
+    runs["a/first"] = sampleRun();
+    runs["b/second"] = sampleRun();
+    ASSERT_TRUE(rt::saveRunCache(path, runs));
+    ASSERT_EQ(rt::loadRunCache(path).size(), 2u);
+
+    // Truncate mid-way through the second entry — an interrupted write.
+    const std::string text = readFile(path);
+    const size_t second = text.find("\"b/second\"");
+    ASSERT_NE(second, std::string::npos);
+    writeFile(path, text.substr(0, second + 40));
+
+    testing::internal::CaptureStderr();
+    const auto salvaged = rt::loadRunCache(path);
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    // The valid prefix survives, bit-identical; the tail is reported.
+    ASSERT_EQ(salvaged.size(), 1u);
+    ASSERT_EQ(salvaged.count("a/first"), 1u);
+    expectIdentical(sampleRun(), salvaged.at("a/first"));
+    EXPECT_NE(err.find("corrupt tail"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, DamageBeforeAnyEntryDiscardsTheFile)
+{
+    const std::string path =
+        testing::TempDir() + "tango_runcache_header.json";
+    writeFile(path, "{\"version\":1,\"statsVer");
+    EXPECT_TRUE(rt::loadRunCache(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, SizeCapSkipsEntriesButStaysValidJson)
+{
+    const std::string path = testing::TempDir() + "tango_runcache_cap.json";
+    std::remove(path.c_str());
+
+    std::map<std::string, rt::NetRun> one;
+    one["a/first"] = sampleRun();
+    ASSERT_TRUE(rt::saveRunCache(path, one));
+    const uint64_t oneEntryBytes = readFile(path).size();
+
+    // A cap that fits one entry but not two: the second is skipped with
+    // a warning and the written file is complete, valid JSON.
+    std::map<std::string, rt::NetRun> two = one;
+    two["b/second"] = sampleRun();
+    testing::internal::CaptureStderr();
+    ASSERT_TRUE(rt::saveRunCache(path, two, oneEntryBytes + 16));
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("size cap"), std::string::npos);
+    EXPECT_LE(readFile(path).size(), oneEntryBytes + 16);
+
+    const auto reloaded = rt::loadRunCache(path);
+    ASSERT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(reloaded.count("a/first"), 1u);
+
+    // An uncapped save (max_bytes = 0) keeps everything.
+    ASSERT_TRUE(rt::saveRunCache(path, two));
+    EXPECT_EQ(rt::loadRunCache(path).size(), 2u);
+
+    std::remove(path.c_str());
+}
+
+TEST(Engine, CacheCapBoundsTheSpillFile)
+{
+    const std::string path =
+        testing::TempDir() + "tango_engine_capped.runcache.json";
+    std::remove(path.c_str());
+
+    EngineOptions opt;
+    opt.threads = 2;
+    opt.cachePath = path;
+    opt.maxCacheBytes = 64;   // header fits, no entry does
+    {
+        Engine writer{std::move(opt)};
+        testing::internal::CaptureStderr();
+        writer.run(RunKey{"cifarnet"});
+        writer.flush();
+        EXPECT_NE(testing::internal::GetCapturedStderr().find("size cap"),
+                  std::string::npos);
+    }
+    EXPECT_LE(readFile(path).size(), 64u);
+
+    // The capped spill recalls nothing: the entry is re-simulated.
+    Engine reader = makeEngine(2, path);
+    reader.run(RunKey{"cifarnet"});
+    EXPECT_EQ(reader.cacheStats().diskHits, 0u);
+    EXPECT_EQ(reader.cacheStats().misses, 1u);
+
+    std::remove(path.c_str());
+}
+
+TEST(Engine, CacheMaxBytesComesFromTheEnvironment)
+{
+    setenv("TANGO_ENGINE_CACHE_MAX_MB", "2", 1);
+    EXPECT_EQ(EngineOptions::fromEnv().maxCacheBytes, 2ull * 1024 * 1024);
+    setenv("TANGO_ENGINE_CACHE_MAX_MB", "0", 1);
+    EXPECT_EQ(EngineOptions::fromEnv().maxCacheBytes, 0ull);
+    unsetenv("TANGO_ENGINE_CACHE_MAX_MB");
+    EXPECT_EQ(EngineOptions::fromEnv().maxCacheBytes, 0ull);
 }
 
 } // namespace

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Trace tests: the tango::trace subsystem must be a pure tap on the
+ * simulator.  Events must be well-formed and cycle-monotonic per core
+ * track, kernel spans must nest inside layer spans and match the NetRun
+ * kernel statistics exactly, full rings must report exact drop counts —
+ * and a run's statistics must stay bit-identical to the committed golden
+ * fixtures whether tracing is off or on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/run_cache.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+#include "trace/export_chrome.hh"
+#include "trace/trace.hh"
+
+namespace tango {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::RingOptions;
+using trace::RingSink;
+
+Event
+mkEvent(EventKind kind, uint64_t cycle, uint8_t core = 0)
+{
+    Event e;
+    e.kind = kind;
+    e.cycle = cycle;
+    e.core = core;
+    return e;
+}
+
+// ------------------------------------------------------------ sink units
+
+TEST(RingSink, CapacityRoundsUpToPowerOfTwo)
+{
+    RingOptions opt;
+    opt.capacity = 100;
+    EXPECT_EQ(RingSink(opt).capacity(), 128u);
+    opt.capacity = 128;
+    EXPECT_EQ(RingSink(opt).capacity(), 128u);
+    opt.capacity = 1;   // floored: a ring needs room for a span pair
+    EXPECT_EQ(RingSink(opt).capacity(), 2u);
+}
+
+TEST(RingSink, OverflowReportsExactDropCounts)
+{
+    RingOptions opt;
+    opt.capacity = 16;
+    RingSink sink(opt);
+
+    const uint64_t writes = 50;
+    for (uint64_t i = 0; i < writes; i++)
+        sink.record(mkEvent(EventKind::OccupancySample, i, /*core=*/3));
+
+    EXPECT_EQ(sink.recorded(), 16u);
+    EXPECT_EQ(sink.dropped(), writes - 16);
+    EXPECT_EQ(sink.dropped(3), writes - 16);
+    EXPECT_EQ(sink.dropped(0), 0u);
+
+    // A full ring drops *new* events (never overwrites): the survivors
+    // are exactly the first capacity() events, in record order.
+    const std::vector<Event> events = sink.coreEvents(3);
+    ASSERT_EQ(events.size(), 16u);
+    for (uint64_t i = 0; i < events.size(); i++)
+        EXPECT_EQ(events[i].cycle, i);
+
+    EXPECT_EQ(sink.cores(), std::vector<uint8_t>{3});
+}
+
+TEST(RingSink, InternedNameIdsAreStable)
+{
+    RingSink sink;
+    const uint32_t a = sink.intern("conv1");
+    const uint32_t b = sink.intern("fc2");
+    EXPECT_NE(a, 0u);   // id 0 is reserved for the empty name
+    EXPECT_NE(a, b);
+    EXPECT_EQ(sink.intern("conv1"), a);
+    EXPECT_EQ(sink.names().at(a), "conv1");
+    EXPECT_EQ(sink.names().at(b), "fc2");
+    EXPECT_EQ(sink.names().at(0), "");
+}
+
+TEST(TraceSink, RecordRebasesKernelCyclesOntoGlobalTimeline)
+{
+    RingSink sink;
+    sink.record(mkEvent(EventKind::KernelBegin, 0));
+    sink.record(mkEvent(EventKind::KernelEnd, 100));
+    sink.advanceCycles(100);
+    sink.record(mkEvent(EventKind::KernelBegin, 0));
+    sink.record(mkEvent(EventKind::KernelEnd, 40));
+    sink.advanceCycles(40);
+    EXPECT_EQ(sink.cycleBase(), 140u);
+
+    const std::vector<Event> events = sink.coreEvents(0);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].cycle, 0u);
+    EXPECT_EQ(events[1].cycle, 100u);
+    EXPECT_EQ(events[2].cycle, 100u);   // second kernel's local 0
+    EXPECT_EQ(events[3].cycle, 140u);
+}
+
+TEST(TraceSink, MaskSelectsEventKinds)
+{
+    RingSink sink;
+    EXPECT_EQ(sink.mask(), trace::kAllEvents);
+    sink.setMask(trace::kindBit(EventKind::KernelBegin) |
+                 trace::kindBit(EventKind::KernelEnd));
+    EXPECT_TRUE(sink.wants(EventKind::KernelBegin));
+    EXPECT_TRUE(sink.wants(EventKind::KernelEnd));
+    EXPECT_FALSE(sink.wants(EventKind::OccupancySample));
+    EXPECT_FALSE(sink.wants(EventKind::StallTransition));
+}
+
+// ----------------------------------------------------- traced simulation
+
+/** The golden-fixture policy: exact simulation, functional outputs. */
+rt::RunPolicy
+exactPolicy()
+{
+    rt::RunPolicy policy = rt::RunPolicy::named("exact");
+    policy.functional = true;
+    return policy;
+}
+
+rt::NetRun
+runNet(const std::string &net, trace::TraceSink *sink,
+       uint64_t samplePeriod = 4096)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    if (sink)
+        sink->setSamplePeriod(samplePeriod);
+    trace::ScopedSink install(sink);
+    return rt::runNetworkByName(gpu, net, exactPolicy());
+}
+
+/** One traced gru run, shared by the span/monotonicity/export tests. */
+struct TracedRun
+{
+    rt::NetRun run;
+    std::unique_ptr<RingSink> sink;
+};
+
+const TracedRun &
+tracedGru()
+{
+    static TracedRun *traced = [] {
+        auto *t = new TracedRun;
+        t->sink = std::make_unique<RingSink>();
+        t->run = runNet("gru", t->sink.get());
+        return t;
+    }();
+    return *traced;
+}
+
+TEST(Trace, EventsAreWellFormedAndCycleMonotonicPerTrack)
+{
+    const TracedRun &t = tracedGru();
+    ASSERT_EQ(t.sink->dropped(), 0u);
+    ASSERT_GT(t.sink->recorded(), 0u);
+
+    for (uint8_t core : t.sink->cores()) {
+        uint64_t last = 0;
+        for (const Event &e : t.sink->coreEvents(core)) {
+            ASSERT_LT(static_cast<unsigned>(e.kind),
+                      static_cast<unsigned>(EventKind::NumKinds));
+            EXPECT_EQ(e.core, core);
+            EXPECT_GE(e.cycle, last);
+            last = e.cycle;
+            // Name ids must resolve in the interning table.
+            if (e.kind == EventKind::KernelBegin ||
+                e.kind == EventKind::KernelEnd ||
+                e.kind == EventKind::LayerBegin ||
+                e.kind == EventKind::LayerEnd) {
+                ASSERT_LT(e.arg, t.sink->names().size());
+            }
+        }
+    }
+}
+
+TEST(Trace, KernelSpansNestInLayersAndMatchNetRunStats)
+{
+    const TracedRun &t = tracedGru();
+
+    // Flatten the NetRun's kernels in execution order.
+    std::vector<const sim::KernelStats *> kernels;
+    for (const auto &layer : t.run.layers)
+        for (const auto &ks : layer.kernels)
+            kernels.push_back(&ks);
+    ASSERT_FALSE(kernels.empty());
+
+    // Walk core 0's span events with a stack: layers at the bottom,
+    // kernels strictly inside a layer, and every End matching its Begin.
+    size_t next = 0;
+    std::vector<Event> stack;
+    for (const Event &e : t.sink->coreEvents(0)) {
+        switch (e.kind) {
+        case EventKind::LayerBegin:
+            EXPECT_TRUE(stack.empty());   // layers do not nest
+            stack.push_back(e);
+            break;
+        case EventKind::KernelBegin:
+            ASSERT_FALSE(stack.empty());  // kernels run inside a layer
+            EXPECT_EQ(stack.back().kind, EventKind::LayerBegin);
+            stack.push_back(e);
+            break;
+        case EventKind::KernelEnd: {
+            ASSERT_FALSE(stack.empty());
+            const Event begin = stack.back();
+            stack.pop_back();
+            ASSERT_EQ(begin.kind, EventKind::KernelBegin);
+            EXPECT_EQ(begin.arg, e.arg);   // same interned kernel name
+
+            ASSERT_LT(next, kernels.size());
+            const sim::KernelStats &ks = *kernels[next++];
+            EXPECT_EQ(t.sink->names().at(begin.arg), ks.name);
+            EXPECT_EQ(begin.payload, ks.totalCtas);
+            EXPECT_EQ(e.cycle - begin.cycle, ks.smCycles);
+            break;
+        }
+        case EventKind::LayerEnd: {
+            ASSERT_FALSE(stack.empty());
+            const Event begin = stack.back();
+            stack.pop_back();
+            ASSERT_EQ(begin.kind, EventKind::LayerBegin);
+            EXPECT_EQ(begin.arg, e.arg);
+            EXPECT_EQ(begin.payload, e.payload);   // same layer index
+            break;
+        }
+        default:
+            break;
+        }
+    }
+    EXPECT_TRUE(stack.empty());
+    // Exactly one span per kernel launch, none missing, none extra.
+    EXPECT_EQ(next, kernels.size());
+}
+
+TEST(Trace, HooksHonorTheEventMask)
+{
+    RingOptions opt;
+    opt.mask = trace::kindBit(EventKind::KernelBegin) |
+               trace::kindBit(EventKind::KernelEnd);
+    RingSink sink(opt);
+    const rt::NetRun run = runNet("gru", &sink);
+
+    const auto counts = sink.kindCounts();
+    uint64_t kernelEvents = 0;
+    for (const auto &[kind, count] : counts) {
+        EXPECT_TRUE(kind == EventKind::KernelBegin ||
+                    kind == EventKind::KernelEnd)
+            << "unselected kind recorded: " << trace::eventKindName(kind);
+        kernelEvents += count;
+    }
+    size_t kernels = 0;
+    for (const auto &layer : run.layers)
+        kernels += layer.kernels.size();
+    EXPECT_EQ(kernelEvents, 2 * kernels);
+}
+
+TEST(Trace, FullSimRingOverflowAccountsEveryEvent)
+{
+    // The reference count: everything the run emits, nothing dropped.
+    const TracedRun &t = tracedGru();
+    const uint64_t total = t.sink->recorded();
+    ASSERT_EQ(t.sink->dropped(), 0u);
+
+    // The same deterministic run into a tiny ring must drop exactly the
+    // overflow — recorded + dropped still accounts for every event.
+    RingOptions opt;
+    opt.capacity = 64;
+    RingSink small(opt);
+    runNet("gru", &small);
+    EXPECT_EQ(small.recorded(), 64u);
+    EXPECT_EQ(small.dropped(), total - 64);
+}
+
+// ----------------------------------------------- statistics invariance
+
+/** Every statistic, compared exactly: tracing must not move one bit. */
+void
+expectIdentical(const rt::NetRun &a, const rt::NetRun &b)
+{
+    EXPECT_EQ(a.netName, b.netName);
+    EXPECT_EQ(a.deviceBytes, b.deviceBytes);
+    EXPECT_EQ(a.totalTimeSec, b.totalTimeSec);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.maxRegsPerThread, b.maxRegsPerThread);
+    EXPECT_EQ(a.maxLiveRegs, b.maxLiveRegs);
+    EXPECT_EQ(a.maxResidentWarps, b.maxResidentWarps);
+    EXPECT_EQ(a.checkFailures, b.checkFailures);
+    EXPECT_EQ(a.totals.all(), b.totals.all());
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); i++) {
+        EXPECT_EQ(a.layers[i].name, b.layers[i].name);
+        EXPECT_EQ(a.layers[i].timeSec(), b.layers[i].timeSec());
+        EXPECT_EQ(a.layers[i].gpuCycles(), b.layers[i].gpuCycles());
+        ASSERT_EQ(a.layers[i].kernels.size(), b.layers[i].kernels.size());
+        for (size_t k = 0; k < a.layers[i].kernels.size(); k++) {
+            EXPECT_EQ(a.layers[i].kernels[k].stats.all(),
+                      b.layers[i].kernels[k].stats.all());
+        }
+    }
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+TEST(Trace, DisabledTracingStaysBitIdenticalToGoldenFixtures)
+{
+    // The committed golden fixtures (tests/golden) were produced with no
+    // tracing compiled in; a run with the hooks present but no sink
+    // installed must reproduce them bit for bit.
+    for (const std::string net : {"gru", "lstm"}) {
+        SCOPED_TRACE(net);
+        std::string text;
+        ASSERT_TRUE(readFile(std::string(TANGO_GOLDEN_DIR) + "/" + net +
+                                 ".json",
+                             text))
+            << "missing golden fixture (run test_golden_stats with "
+               "TANGO_UPDATE_GOLDEN=1)";
+        rt::NetRun golden;
+        ASSERT_TRUE(rt::parseNetRunJson(text, golden));
+        const rt::NetRun actual = runNet(net, /*sink=*/nullptr);
+        expectIdentical(golden, actual);
+    }
+}
+
+TEST(Trace, EnabledTracingDoesNotPerturbStatistics)
+{
+    // An aggressive sink — every event kind, dense counter sampling —
+    // must still leave the statistics untouched: the trace is a tap.
+    RingSink sink;
+    const rt::NetRun traced = runNet("gru", &sink, /*samplePeriod=*/64);
+    EXPECT_GT(sink.recorded(), 0u);
+    expectIdentical(tracedGru().run, traced);
+
+    const rt::NetRun untraced = runNet("gru", nullptr);
+    expectIdentical(untraced, traced);
+}
+
+// ------------------------------------------------------- chrome export
+
+TEST(Trace, ChromeExportIsStructurallySane)
+{
+    const TracedRun &t = tracedGru();
+    trace::ChromeExportOptions opt;
+    opt.coreClockGhz = sim::pascalGP102().coreClockGhz;
+    opt.label = "gru/test";
+    const std::string json = trace::chromeTraceJson(*t.sink, opt);
+
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Span, counter and metadata records all present.
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"active_warps\""), std::string::npos);
+    EXPECT_NE(json.find("\"mshrs_in_flight\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    // Exact drop accounting surfaces in the exported metadata.
+    EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+    // Every kernel name appears as a span name.
+    for (const auto &layer : t.run.layers)
+        for (const auto &ks : layer.kernels)
+            EXPECT_NE(json.find("\"name\":\"" + ks.name + "\""),
+                      std::string::npos)
+                << ks.name;
+}
+
+} // namespace
+} // namespace tango
