@@ -31,8 +31,8 @@ printTable()
                "projected next price", std::to_string(m.seqLen) + " steps",
                Table::num(params / 1e6, 3), Table::num(params / 1e6, 3)});
     };
-    rnnRow(nn::models::buildGru());
-    rnnRow(nn::models::buildLstm());
+    rnnRow(nn::models::buildGru(2));   // the paper's Table I unroll
+    rnnRow(nn::models::buildLstm(2));
 
     const struct
     {

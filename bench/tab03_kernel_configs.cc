@@ -37,8 +37,8 @@ printNet(const std::string &name)
     };
 
     if (name == "gru" || name == "lstm") {
-        nn::RnnModel m = name == "gru" ? nn::models::buildGru()
-                                       : nn::models::buildLstm();
+        nn::RnnModel m = name == "gru" ? nn::models::buildGru(2)
+                                       : nn::models::buildLstm(2);
         auto low = rt::lowerRnn(m, gpu.mem(), false);
         addKernels(low.kernels);
     } else {

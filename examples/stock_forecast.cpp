@@ -71,8 +71,9 @@ int
 main()
 {
     tango::setVerbose(false);
-    forecast(tango::nn::models::buildGru());
-    forecast(tango::nn::models::buildLstm());
+    // The paper's exact Table I configuration: a two-day window.
+    forecast(tango::nn::models::buildGru(2));
+    forecast(tango::nn::models::buildLstm(2));
     std::printf("stock_forecast: OK\n");
     return 0;
 }

@@ -19,8 +19,12 @@ echo "=== tango-trace export validates as JSON ==="
 tracedir=$(mktemp -d)
 build/tools/tango-trace --out "$tracedir" fig alexnet
 python3 -m json.tool "$tracedir/alexnet.trace.json" > /dev/null
-rm -rf "$tracedir"
 echo "alexnet.trace.json: valid"
+
+echo "=== launch memoization replays steady-state RNN timesteps ==="
+build/tools/tango-trace --summary --out "$tracedir" gru |
+    grep -E 'launches: replayed=[1-9][0-9]* simulated=[1-9]'
+rm -rf "$tracedir"
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== ThreadSanitizer engine + trace tests ==="

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Machine-readable wall-time baseline of the simulator itself.
+#
+# Runs the three paper-figure benches that dominate suite runtime (fig01,
+# fig07, fig15) plus cold single-net GRU/LSTM simulations through
+# tango-run, each RUNS times, and writes BENCH_simwall.json mapping each
+# entry to its minimum user-CPU seconds (minimum, not mean: the machines
+# this runs on are shared, and min-of-N is the standard noise filter for
+# wall-clock perf tracking).
+#
+# The RNN entries also run with TANGO_NO_MEMO=1 so the launch-memoization
+# speedup is recorded alongside (<net>_memo_off and <net>_memo_speedup);
+# the ISSUE-4 acceptance bar is gru/lstm_memo_speedup >= 3.
+#
+#   scripts/perf_baseline.sh                # writes BENCH_simwall.json
+#   RUNS=5 SEQLEN=1024 scripts/perf_baseline.sh
+#   OUT=/tmp/w.json scripts/perf_baseline.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+SEQLEN="${SEQLEN:-512}"
+OUT="${OUT:-BENCH_simwall.json}"
+
+if [[ ! -x build/tools/tango-run || ! -x build/bench/fig01_layer_time_breakdown ]]; then
+    echo "building (cmake default tree at build/) ..." >&2
+    cmake -B build -S . >/dev/null
+    cmake --build build -j >/dev/null
+fi
+
+# min_user <cmd...> — minimum user-CPU seconds over $RUNS runs.
+min_user() {
+    local best="" t
+    for _ in $(seq "$RUNS"); do
+        t=$( { time "$@" >/dev/null 2>/dev/null; } 2>&1 |
+             awk '/^user/ { sub("s", "", $2); split($2, a, "m");
+                            printf "%.3f", a[1] * 60 + a[2] }' )
+        if [[ -z $best ]] || awk -v a="$t" -v b="$best" \
+                                 'BEGIN { exit !(a < b) }'; then
+            best=$t
+        fi
+    done
+    echo "$best"
+}
+
+declare -A wall
+for fig in fig01_layer_time_breakdown fig07_stall_breakdown \
+           fig15_scheduler_sensitivity; do
+    echo "measuring $fig (${RUNS}x) ..." >&2
+    wall[$fig]=$(min_user "build/bench/$fig")
+done
+for net in gru lstm; do
+    echo "measuring $net cold, seq-len $SEQLEN, memo on/off (${RUNS}x each) ..." >&2
+    wall[$net]=$(min_user build/tools/tango-run exact "$net" \
+                          --seq-len "$SEQLEN")
+    wall[${net}_memo_off]=$(min_user env TANGO_NO_MEMO=1 \
+                            build/tools/tango-run exact "$net" \
+                            --seq-len "$SEQLEN")
+done
+
+{
+    echo "{"
+    echo "  \"runs\": $RUNS,"
+    echo "  \"seq_len\": $SEQLEN,"
+    echo "  \"user_seconds\": {"
+    sep=""
+    for k in fig01_layer_time_breakdown fig07_stall_breakdown \
+             fig15_scheduler_sensitivity gru gru_memo_off lstm \
+             lstm_memo_off; do
+        printf '%s    "%s": %s' "$sep" "$k" "${wall[$k]}"
+        sep=$',\n'
+    done
+    printf '\n  },\n'
+    echo "  \"memo_speedup\": {"
+    for net in gru lstm; do
+        ratio=$(awk -v off="${wall[${net}_memo_off]}" -v on="${wall[$net]}" \
+                    'BEGIN { printf "%.2f", off / on }')
+        [[ $net == gru ]] && comma="," || comma=""
+        echo "    \"$net\": $ratio$comma"
+    done
+    echo "  }"
+    echo "}"
+} > "$OUT"
+
+echo "wrote $OUT:" >&2
+cat "$OUT"

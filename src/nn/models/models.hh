@@ -39,11 +39,21 @@ Network buildVgg16();
  *  depthwise-separable blocks, 3x224x224 input, 1000 classes. */
 Network buildMobileNet();
 
-/** GRU bitcoin price model: hidden 100, 2 time steps of 1 price value. */
-RnnModel buildGru();
+/** Default RNN sequence length.  The paper's Table I model unrolls only
+ *  2 time steps; the suite's default is longer so the steady-state
+ *  behaviour of the recurrent cell (and the launch-memoization layer
+ *  that exploits it) is actually exercised.  Kept *even* so the h/c
+ *  ping-pong buffers end on the same parity regardless of whether
+ *  launches were replayed (see DESIGN.md, "Launch memoization"). */
+inline constexpr uint32_t kDefaultRnnSeqLen = 32;
 
-/** LSTM bitcoin price model: hidden 100, 2 time steps of 1 price value. */
-RnnModel buildLstm();
+/** GRU bitcoin price model: hidden 100, @p seq_len steps of 1 price
+ *  value.  buildGru(2) is the paper's exact Table I configuration. */
+RnnModel buildGru(uint32_t seq_len = kDefaultRnnSeqLen);
+
+/** LSTM bitcoin price model: hidden 100, @p seq_len steps of 1 price
+ *  value.  buildLstm(2) is the paper's exact Table I configuration. */
+RnnModel buildLstm(uint32_t seq_len = kDefaultRnnSeqLen);
 
 /** All CNN names in the paper's figure order. */
 std::vector<std::string> cnnNames();

@@ -5,30 +5,32 @@
 namespace tango::nn::models {
 
 RnnModel
-buildGru()
+buildGru(uint32_t seq_len)
 {
-    // Bitcoin price predictor (paper Table I): two time steps of a scaled
-    // scalar price; hidden size 100; dense readout to one value.
-    // Table III: GRU Layer runs as one (10,10) block.
+    // Bitcoin price predictor (paper Table I): scaled scalar prices in,
+    // hidden size 100, dense readout to one value.  Table III: GRU Layer
+    // runs as one (10,10) block.  seq_len == 2 is the paper's unroll.
+    TANGO_ASSERT(seq_len > 0, "RNN needs at least one time step");
     RnnModel m;
     m.name = "gru";
     m.lstm = false;
     m.inputSize = 1;
     m.hidden = 100;
-    m.seqLen = 2;
+    m.seqLen = seq_len;
     return m;
 }
 
 RnnModel
-buildLstm()
+buildLstm(uint32_t seq_len)
 {
     // Table III: LSTM Layer runs as one (100,1,1) block.
+    TANGO_ASSERT(seq_len > 0, "RNN needs at least one time step");
     RnnModel m;
     m.name = "lstm";
     m.lstm = true;
     m.inputSize = 1;
     m.hidden = 100;
-    m.seqLen = 2;
+    m.seqLen = seq_len;
     return m;
 }
 

@@ -370,11 +370,7 @@ lowerRnn(const nn::RnnModel &model, sim::DeviceMemory &mem,
         mem.allocate(kern::rnnWeightBytes(cell), model.name + ".w");
     maybeUpload(mem, w, model.weights, upload_weights);
 
-    for (uint32_t t = 0; t < model.seqLen; t++) {
-        out.xAddr.push_back(mem.allocate(4ull * model.inputSize,
-                                         model.name + ".x" +
-                                             std::to_string(t)));
-    }
+    out.xAddr = mem.allocate(4ull * model.inputSize, model.name + ".x");
     for (int i = 0; i < 2; i++) {
         out.hAddr[i] =
             mem.allocate(4ull * model.hidden, model.name + ".h");
@@ -394,7 +390,7 @@ lowerRnn(const nn::RnnModel &model, sim::DeviceMemory &mem,
         l.program = program;
         l.grid = cell.grid;
         l.block = cell.block;
-        l.params = {out.xAddr[t], hIn, cIn, w, hOut, cOut};
+        l.params = {out.xAddr, hIn, cIn, w, hOut, cOut};
         l.constData.resize(8);
         std::memcpy(l.constData.data(), &cell.inputSize, 4);
         std::memcpy(l.constData.data() + 4, &cell.hidden, 4);

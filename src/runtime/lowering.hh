@@ -59,7 +59,12 @@ LoweredNet lower(const nn::Network &net, sim::DeviceMemory &mem,
 struct LoweredRnn
 {
     std::vector<LoweredKernel> kernels;   ///< seqLen cells + 1 FC
-    std::vector<uint32_t> xAddr;          ///< per-step input vectors
+    /** Staging slot for the current step's input vector.  One slot shared
+     *  by every timestep (the runtime copies x[t] in before each cell
+     *  launch) so that all even-t cell launches — and all odd-t ones —
+     *  carry identical parameter vectors, which is what lets the
+     *  launch-memoization layer (sim/gpu.cc) recognize them as repeats. */
+    uint32_t xAddr = 0;
     uint32_t hAddr[2] = {0, 0};           ///< ping-pong hidden state
     uint32_t cAddr[2] = {0, 0};           ///< ping-pong cell state (LSTM)
     uint32_t outAddr = 0;                 ///< predicted value

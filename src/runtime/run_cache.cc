@@ -140,6 +140,7 @@ appendKernelStats(std::string &out, const sim::KernelStats &k)
     o.num("avgPowerW", k.avgPowerW);
     o.num("energyJ", k.energyJ);
     o.num("peakWindowDynW", k.peakWindowDynW);
+    o.u64("replayed", k.replayed ? 1 : 0);
     o.close();
 }
 
@@ -412,6 +413,7 @@ parseKernelStats(const Json::Value &v)
     k.avgPowerW = v.numOr("avgPowerW");
     k.energyJ = v.numOr("energyJ");
     k.peakWindowDynW = v.numOr("peakWindowDynW");
+    k.replayed = v.u64Or("replayed") != 0;
     return k;
 }
 

@@ -24,7 +24,7 @@
 namespace tango::rt {
 
 /** Bump when NetRun/KernelStats serialization changes shape. */
-constexpr int kRunCacheVersion = 1;
+constexpr int kRunCacheVersion = 2;   // 2: KernelStats.replayed
 
 /**
  * Revision of the numbers the simulator produces, independent of the
@@ -34,7 +34,8 @@ constexpr int kRunCacheVersion = 1;
  * keep every statistic bit-identical (enforced by tests/test_golden_stats)
  * must NOT bump this.
  */
-constexpr int kSimStatsVersion = 1;
+constexpr int kSimStatsVersion = 2;   // 2: default RNN seqLen 2 -> 32,
+                                      //    launch meta-counters in totals
 
 /** Serialize one NetRun as a JSON object (no surrounding whitespace). */
 std::string serializeNetRun(const NetRun &run);

@@ -1,6 +1,7 @@
 #include "sim/cache.hh"
 
 #include "common/logging.hh"
+#include "sim/digest.hh"
 
 #include <algorithm>
 
@@ -242,6 +243,47 @@ Cache::pendingFillCycle(uint32_t addr, uint64_t now)
     retireMshrs(now);
     const int m = findMshr(lineAddr(addr));
     return m >= 0 ? mshrs_[m].fillCycle : 0;
+}
+
+uint64_t
+Cache::stateDigest() const
+{
+    uint64_t h = digest::kInit;
+    digest::mix(h, cfg_.sizeBytes);
+    digest::mix(h, cfg_.assoc);
+    if (!bypassed()) {
+        // Per set: fold (tag, pending fill) in recency order.  Insertion
+        // sort on the way indices — assoc is small (4..16) and the ways
+        // of a set are adjacent in the flat arrays.
+        uint32_t order[64];
+        const uint32_t assoc = std::min<uint32_t>(cfg_.assoc, 64);
+        for (uint32_t set = 0; set < sets_; set++) {
+            const size_t base = size_t(set) * cfg_.assoc;
+            for (uint32_t w = 0; w < assoc; w++) {
+                uint32_t i = w;
+                while (i > 0 &&
+                       lastUse_[base + order[i - 1]] <
+                           lastUse_[base + w]) {
+                    order[i] = order[i - 1];
+                    i--;
+                }
+                order[i] = w;
+            }
+            for (uint32_t w = 0; w < assoc; w++) {
+                digest::mix(h, tag_[base + order[w]]);
+                digest::mix(h, fillAt_[base + order[w]]);
+            }
+        }
+    }
+    // In-flight MSHRs.  The compact array's order is a deterministic
+    // function of the access/retire history, so folding in array order
+    // is stable across identical launches.
+    digest::mix(h, mshrLive_);
+    for (uint32_t i = 0; i < mshrLive_; i++) {
+        digest::mix(h, mshrs_[i].lineAddr);
+        digest::mix(h, mshrs_[i].fillCycle);
+    }
+    return h;
 }
 
 void

@@ -126,6 +126,23 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg_; }
 
+    /**
+     * Deterministic digest of the cache's *observable* state: resident
+     * tags, per-set recency (LRU) order, pending-fill sidecar values and
+     * the in-flight MSHR file.  Two caches digest equal iff every future
+     * access sequence behaves identically on both.
+     *
+     * The raw `lastUse_` clocks are intentionally NOT digested: the use
+     * clock counts monotonically across launches, so two bit-different
+     * clock vectors can describe the same replacement behavior.  Each
+     * set's ways are instead folded in most-recently-used-first order
+     * (ties — only possible among never-touched ways — broken by way
+     * index), which makes the digest order-stable: it depends on the
+     * recency *ordering* alone.  Used by the launch-memoization layer
+     * (sim/gpu.cc) to fingerprint end-of-launch µ-arch state.
+     */
+    uint64_t stateDigest() const;
+
     /** @return MSHRs currently in flight (counter-track sampling). */
     uint32_t liveMshrs() const { return mshrLive_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/digest.hh"
 
 namespace tango::sim {
 
@@ -72,6 +73,8 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
     cta.warpSlots.clear();
 
     const Dim3 coord = ctaCoord(launch.grid, linear_id);
+    const uint32_t ctaOrder = ctaOrderCounter_++;
+    uint32_t warpOrder = 0;
     for (uint32_t w : warp_ids) {
         uint32_t ws = 0;
         for (; ws < warps_.size(); ws++) {
@@ -82,6 +85,8 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
         WarpSlot &slotRef = warps_[ws];
         slotRef.exec = std::make_unique<WarpExec>(launch, coord, w, gmem_,
                                                   cta.smem, decoded_);
+        if (hashing_)
+            slotRef.exec->enableStreamHash();
         slotRef.regReady.assign(launch.program->numRegs, 0);
         slotRef.regPendKind.assign(launch.program->numRegs, 0);
         slotRef.fetchReady = 0;
@@ -94,6 +99,8 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
         slotRef.l1Hint = Cache::WayHint{};
         slotRef.l2Hint = Cache::WayHint{};
         slotRef.constHint = Cache::WayHint{};
+        slotRef.hashSlot =
+            ctaOrder * static_cast<uint32_t>(warp_ids.size()) + warpOrder++;
         evalDirty_[ws] = slotRef.active ? 1 : 0;
         activeF_[ws] = slotRef.active ? 1 : 0;
         ages_[ws] = slotRef.age;
@@ -287,6 +294,8 @@ SmCore::issue(uint32_t slot, uint64_t now)
     // so the reference stays valid across step().
     const DecodedInstr &d = *w.nextDec;
     const Step st = w.exec->step();
+    if (hashing_ && st.warpDone)
+        streamHashes_[w.hashSlot] = w.exec->streamHash();
     if (!st.warpDone)
         w.nextDec = &w.exec->peekDecoded();
     const PowerParams &p = cfg_.power;
@@ -409,7 +418,7 @@ SmCore::issue(uint32_t slot, uint64_t now)
 KernelStats
 SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             const std::vector<uint32_t> &warp_ids, uint32_t resident_ctas,
-            const SimPolicy &policy)
+            const SimPolicy &policy, uint64_t *stream_hash)
 {
     TANGO_ASSERT(launch.program != nullptr, "launch without program");
     const Program &prog = *launch.program;
@@ -431,6 +440,12 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
     std::fill(std::begin(unitBusy_), std::end(unitBusy_), 0);
     warpAgeCounter_ = 0;
     liveWarpTotal_ = 0;
+    ctaOrderCounter_ = 0;
+    hashing_ = stream_hash != nullptr;
+    if (hashing_) {
+        streamHashes_.assign(cta_ids.size() * warp_ids.size(),
+                             digest::kInit);
+    }
 
     const uint32_t warpsPerCta =
         static_cast<uint32_t>(warp_ids.size());
@@ -681,8 +696,32 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             std::max(peakWindowDynW_, windowEnergyPj_ * 1e-12 / seconds);
         ks.peakWindowDynW = peakWindowDynW_;
     }
+    if (hashing_) {
+        // Warps still resident here (e.g. after a maxCycles truncation)
+        // were never captured at retirement; sweep their partial digests.
+        for (const WarpSlot &w : warps_) {
+            if (w.exec && w.active)
+                streamHashes_[w.hashSlot] = w.exec->streamHash();
+        }
+        // Same fold as runFunctionalOnly(): per-warp digests in launch
+        // position, so the two executions are directly comparable.
+        uint64_t combined = digest::kInit;
+        for (uint64_t h : streamHashes_)
+            digest::mix(combined, h);
+        *stream_hash = combined;
+        hashing_ = false;
+    }
     decoded_ = nullptr;
     return ks;
+}
+
+uint64_t
+SmCore::stateDigest() const
+{
+    uint64_t h = digest::kInit;
+    digest::mix(h, l1d_->stateDigest());
+    digest::mix(h, constCache_->stateDigest());
+    return h;
 }
 
 } // namespace tango::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tiny deterministic 64-bit digest used by the launch-memoization layer
+ * (sim/gpu.cc): launch signatures, µ-architectural state fingerprints and
+ * Step-stream hashes all fold through the same word-at-a-time mixer.
+ *
+ * The digest only ever feeds *equality* checks (never indexing or
+ * persistence), and every memoization decision it gates is additionally
+ * cross-checked against bit-identical KernelStats and a replay-time
+ * Step-stream hash, so a multiply-xor mixer is strong enough.  Determinism
+ * matters more than avalanche quality: the same state must digest to the
+ * same value on every platform and in every run.
+ */
+
+#ifndef TANGO_SIM_DIGEST_HH
+#define TANGO_SIM_DIGEST_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace tango::sim::digest {
+
+/** FNV-1a offset basis; the conventional non-zero starting value. */
+inline constexpr uint64_t kInit = 1469598103934665603ull;
+
+/** Fold one 64-bit word into @p h (FNV-style multiply-xor per word). */
+inline void
+mix(uint64_t &h, uint64_t v)
+{
+    h = (h ^ v) * 1099511628211ull;
+}
+
+/** Fold a raw byte range into @p h, eight bytes at a time. */
+inline void
+mixBytes(uint64_t &h, const void *p, size_t n)
+{
+    const auto *b = static_cast<const uint8_t *>(p);
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, b, 8);
+        mix(h, w);
+        b += 8;
+        n -= 8;
+    }
+    if (n > 0) {
+        uint64_t w = 0;
+        std::memcpy(&w, b, n);
+        mix(h, w | (uint64_t(n) << 56));
+    }
+}
+
+/** Fold a double by bit pattern (bit-identity, not numeric equality). */
+inline void
+mixDouble(uint64_t &h, double d)
+{
+    uint64_t w;
+    std::memcpy(&w, &d, sizeof w);
+    mix(h, w);
+}
+
+} // namespace tango::sim::digest
+
+#endif // TANGO_SIM_DIGEST_HH

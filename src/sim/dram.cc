@@ -1,5 +1,7 @@
 #include "sim/dram.hh"
 
+#include "sim/digest.hh"
+
 #include <algorithm>
 
 namespace tango::sim {
@@ -35,6 +37,16 @@ Dram::schedule(uint64_t now)
         trace_->record(e);
     }
     return avail;
+}
+
+uint64_t
+Dram::stateDigest() const
+{
+    // nextFree_ is the only state that outlives an access; accesses_ and
+    // queueCycles_ are statistics, already pinned through KernelStats.
+    uint64_t h = digest::kInit;
+    digest::mixDouble(h, nextFree_);
+    return h;
 }
 
 void

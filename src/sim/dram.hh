@@ -44,6 +44,11 @@ class Dram
     /** Clear queue state and statistics. */
     void reset();
 
+    /** Deterministic digest of the queue state (launch-local: reset()
+     *  restarts the queue clock at every launch).  Fingerprint input for
+     *  the launch-memoization layer (sim/gpu.cc). */
+    uint64_t stateDigest() const;
+
     /** Zero the statistics but keep the queue state. */
     void
     clearStats()

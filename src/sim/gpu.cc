@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "sim/cache.hh"
+#include "sim/digest.hh"
+#include "sim/interp.hh"
 #include "trace/trace.hh"
 
 namespace tango::sim {
@@ -48,6 +52,96 @@ validateConfig(const GpuConfig &cfg)
         fatal("invalid GPU config: coreClockGhz must be > 0");
     if (!(cfg.dramIssueInterval > 0.0))
         fatal("invalid GPU config: dramIssueInterval must be > 0");
+}
+
+/** Runtime kill switch for launch memoization (TANGO_NO_MEMO=1).  Read on
+ *  every launch so in-process tests can flip it between runs. */
+bool
+envNoMemo()
+{
+    const char *e = std::getenv("TANGO_NO_MEMO");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+/**
+ * Digest of everything that determines a launch's trip through the timing
+ * model *given* the µ-arch starting state: the program (identity and shape
+ * — the pointer alone could be reused by an unrelated later program), the
+ * geometry, the exact argument words, the constant bank and every
+ * SimPolicy field except `memoize` itself.  GpuConfig is deliberately
+ * absent: reconfigure() clears the memo table, so entries never compare
+ * across configs.
+ */
+uint64_t
+launchSignature(const KernelLaunch &launch, const SimPolicy &policy)
+{
+    uint64_t h = digest::kInit;
+    const Program &p = *launch.program;
+    digest::mix(h, reinterpret_cast<uintptr_t>(&p));
+    digest::mixBytes(h, p.name.data(), p.name.size());
+    digest::mix(h, p.code.size());
+    digest::mix(h, (uint64_t(p.numRegs) << 32) | p.numPreds);
+    digest::mix(h, (uint64_t(p.smemBytes) << 32) | p.cmemBytes);
+    digest::mix(h, (uint64_t(launch.grid.x) << 32) | launch.grid.y);
+    digest::mix(h, (uint64_t(launch.grid.z) << 32) | launch.block.x);
+    digest::mix(h, (uint64_t(launch.block.y) << 32) | launch.block.z);
+    digest::mix(h, launch.params.size());
+    digest::mixBytes(h, launch.params.data(),
+                     launch.params.size() * sizeof(uint32_t));
+    digest::mix(h, launch.constData.size());
+    digest::mixBytes(h, launch.constData.data(), launch.constData.size());
+    digest::mix(h, policy.maxResidentCtas);
+    digest::mix(h, policy.maxResidentWarps);
+    digest::mix(h, policy.maxSampledCtas);
+    digest::mix(h, policy.fullSim ? 1 : 0);
+    digest::mix(h, policy.maxWarpsPerCta);
+    digest::mix(h, policy.maxCycles);
+    return h;
+}
+
+/** Bitwise double equality (NaN-safe, -0.0 != +0.0 — exactly the golden
+ *  fixtures' notion of "identical"). */
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+bool
+statSetEqual(const StatSet &a, const StatSet &b)
+{
+    const auto &ma = a.all();
+    const auto &mb = b.all();
+    if (ma.size() != mb.size())
+        return false;
+    auto ib = mb.begin();
+    for (auto ia = ma.begin(); ia != ma.end(); ++ia, ++ib) {
+        if (ia->first != ib->first || !bitEq(ia->second, ib->second))
+            return false;
+    }
+    return true;
+}
+
+/** Bitwise equality of two fully post-processed KernelStats.  Any field a
+ *  consumer can observe must match before a launch is declared steady. */
+bool
+statsEqual(const KernelStats &a, const KernelStats &b)
+{
+    return a.name == b.name && a.grid == b.grid && a.block == b.block &&
+           a.totalCtas == b.totalCtas && a.sampledCtas == b.sampledCtas &&
+           a.totalWarpsPerCta == b.totalWarpsPerCta &&
+           a.sampledWarpsPerCta == b.sampledWarpsPerCta &&
+           bitEq(a.scale, b.scale) && a.smCycles == b.smCycles &&
+           bitEq(a.gpuCycles, b.gpuCycles) && bitEq(a.timeSec, b.timeSec) &&
+           a.activeSms == b.activeSms &&
+           a.regsPerThread == b.regsPerThread &&
+           a.maxLiveRegs == b.maxLiveRegs && a.smemBytes == b.smemBytes &&
+           a.cmemBytes == b.cmemBytes && a.residentCtas == b.residentCtas &&
+           a.occupancyCtas == b.occupancyCtas &&
+           bitEq(a.peakPowerW, b.peakPowerW) &&
+           bitEq(a.avgPowerW, b.avgPowerW) && bitEq(a.energyJ, b.energyJ) &&
+           bitEq(a.peakWindowDynW, b.peakWindowDynW) &&
+           statSetEqual(a.stats, b.stats);
 }
 
 } // namespace
@@ -96,6 +190,20 @@ Gpu::coldStart()
         l2_->reset();
     if (dram_)
         dram_->reset();
+    // Memoized baselines embed the warm-state fixed point; dropping the
+    // warm state invalidates them.  (reconfigure() also funnels through
+    // here, so entries never survive a config change either.)
+    memo_.clear();
+}
+
+uint64_t
+Gpu::stateFingerprint(const SmCore &core) const
+{
+    uint64_t h = digest::kInit;
+    digest::mix(h, l2_->stateDigest());
+    digest::mix(h, dram_->stateDigest());
+    digest::mix(h, core.stateDigest());
+    return h;
 }
 
 double
@@ -181,6 +289,66 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
     const double warpScale =
         static_cast<double>(warpsTotal) / warpsSampled;
 
+    // ---- Launch memoization (steady-state replay) ------------------
+    // RNN timestep kernels launch the same signature over and over; once
+    // two consecutive occurrences are provably identical (bit-identical
+    // stats, µ-arch fingerprints and Step streams), later occurrences
+    // skip the timing model: functional-only execution computes the real
+    // values while the cached statistics are spliced in.  Self-validating:
+    // the replay recomputes the Step-stream digest and any divergence
+    // (e.g. a data-dependent branch flipping) restores memory and falls
+    // back to full simulation.
+    MemoEntry *entry = nullptr;
+    if (policy.memoize && !envNoMemo()) {
+        entry = &memo_[launchSignature(launch, policy)];
+        entry->seen++;
+    }
+    if (entry != nullptr && entry->armed) {
+        const uint64_t usedBytes = mem_.used();
+        memoSnapshot_.assign(mem_.data(), mem_.data() + usedBytes);
+        const uint64_t h = runFunctionalOnly(launch, ids, warpIds, mem_);
+        if (h == entry->streamHash) {
+            entry->replays++;
+            KernelStats ks = entry->stats;
+            ks.replayed = true;
+            trace::TraceSink *ts = trace::threadSink();
+            if (ts) {
+                const uint32_t nameId = ts->intern(launch.program->name);
+                trace::Event e;
+                e.arg = nameId;
+                if (ts->wants(trace::EventKind::KernelBegin)) {
+                    e.kind = trace::EventKind::KernelBegin;
+                    e.cycle = 0;
+                    e.payload = totalCtas;
+                    ts->record(e);
+                }
+                if (ts->wants(trace::EventKind::KernelReplay)) {
+                    e.kind = trace::EventKind::KernelReplay;
+                    e.cycle = 0;
+                    e.payload = entry->replays;
+                    ts->record(e);
+                }
+                if (ts->wants(trace::EventKind::KernelEnd)) {
+                    e.kind = trace::EventKind::KernelEnd;
+                    e.cycle = ks.smCycles;
+                    e.payload =
+                        ks.stats.has("issued")
+                            ? static_cast<uint64_t>(ks.stats.get("issued"))
+                            : 0;
+                    ts->record(e);
+                }
+                ts->advanceCycles(ks.smCycles);
+            }
+            return ks;
+        }
+        // The kernel diverged from the steady state: undo the functional
+        // execution (full simulation below must start from the pre-launch
+        // memory image) and re-baseline from scratch.
+        std::copy(memoSnapshot_.begin(), memoSnapshot_.end(), mem_.data());
+        entry->armed = false;
+        entry->hasBaseline = false;
+    }
+
     // The L2 and DRAM persist across launches (a layer's consumer reads
     // the data the producer just wrote through a warm L2, as on real
     // hardware); only the statistics window is per-kernel.
@@ -206,8 +374,14 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
         ts->record(e);
     }
 
+    // Stream hashing only starts on a signature's second occurrence:
+    // one-shot launches (every CNN kernel) pay a hash-map insert and
+    // nothing else.
+    uint64_t streamHash = 0;
+    const bool hashed = entry != nullptr && entry->seen >= 2;
     SmCore core(cfg_, mem_, *l2_, *dram_);
-    KernelStats ks = core.run(launch, ids, warpIds, resident, policy);
+    KernelStats ks = core.run(launch, ids, warpIds, resident, policy,
+                              hashed ? &streamHash : nullptr);
 
     if (ts) {
         if (ts->wants(trace::EventKind::KernelEnd)) {
@@ -271,6 +445,21 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
     const double windowW =
         std::min(ks.peakWindowDynW * warpScale, saturatedW);
     ks.peakPowerW = windowW * ks.activeSms + staticPowerW(ks.activeSms);
+
+    if (hashed) {
+        // Arm on the second *identical* full simulation in a row;
+        // otherwise (re)baseline and keep watching.
+        const uint64_t fp = stateFingerprint(core);
+        if (entry->hasBaseline && entry->fingerprint == fp &&
+            entry->streamHash == streamHash && statsEqual(entry->stats, ks)) {
+            entry->armed = true;
+        } else {
+            entry->hasBaseline = true;
+            entry->fingerprint = fp;
+            entry->streamHash = streamHash;
+            entry->stats = ks;
+        }
+    }
     return ks;
 }
 

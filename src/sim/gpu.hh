@@ -15,6 +15,7 @@
 #define TANGO_SIM_GPU_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/config.hh"
@@ -49,6 +50,14 @@ class Gpu
 
     /**
      * Launch a kernel and simulate it under @p policy.
+     *
+     * With SimPolicy::memoize (the default, unless TANGO_NO_MEMO=1 is
+     * set) repeated identical launches that have reached a provable
+     * steady state are *replayed*: lanes execute functionally for real
+     * values while the cached statistics of the steady-state simulation
+     * are spliced in (KernelStats::replayed marks them).  Statistics are
+     * bit-identical either way.
+     *
      * @return complete, scaled statistics including power.
      */
     KernelStats launch(const KernelLaunch &launch,
@@ -57,18 +66,51 @@ class Gpu
     /** @return the static (always-on) power of the whole device in W. */
     double staticPowerW(uint32_t active_sms) const;
 
-    /** Drop all warm L2/DRAM state (e.g. between unrelated networks). */
+    /** Drop all warm L2/DRAM state (e.g. between unrelated networks).
+     *  Also drops every memoized launch baseline: memoization reasons
+     *  about state continuity, which a cold start breaks. */
     void coldStart();
 
   private:
+    /**
+     * One launch signature's memoization record (see launch()).
+     *
+     * Lifecycle: occurrence 1 of a signature only counts (`seen`);
+     * occurrences 2+ run fully *with* Step-stream hashing and an
+     * end-of-launch µ-arch fingerprint; when two consecutive full
+     * simulations produce bit-identical statistics, fingerprints and
+     * stream hashes the entry arms, and later occurrences replay
+     * (functional-only execution + cached statistics).  Any divergence
+     * disarms and re-baselines.
+     */
+    struct MemoEntry
+    {
+        uint64_t seen = 0;        ///< occurrences of this signature
+        bool hasBaseline = false; ///< stats/fingerprint/streamHash valid
+        bool armed = false;       ///< steady state confirmed; replay
+        uint64_t fingerprint = 0; ///< end-of-launch µ-arch state digest
+        uint64_t streamHash = 0;  ///< combined Step-stream digest
+        KernelStats stats;        ///< full scaled stats of the steady state
+        uint64_t replays = 0;     ///< launches served by replay
+    };
+
     /** (Re)build the shared L2 + DRAM if the config changed. */
     void ensureMemorySystem();
+
+    /** Digest of the end-of-launch µ-arch state (L2 + DRAM + SM caches). */
+    uint64_t stateFingerprint(const SmCore &core) const;
 
     GpuConfig cfg_;
     DeviceMemory mem_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Dram> dram_;
     uint32_t l2BytesBuilt_ = 0;
+    /** Launch-memoization table, keyed by launch signature.  Cleared on
+     *  coldStart()/reconfigure(), so entries never span a config change
+     *  (which is why GpuConfig is not part of the signature). */
+    std::unordered_map<uint64_t, MemoEntry> memo_;
+    /** Scratch snapshot of device memory for replay fallback. */
+    std::vector<uint8_t> memoSnapshot_;
 };
 
 } // namespace tango::sim

@@ -1,13 +1,62 @@
 #include "sim/interp.hh"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/digest.hh"
 
 namespace tango::sim {
 
 namespace {
+
+/** splitmix64 finalizer, used to derive the per-lane digest salts. */
+constexpr uint64_t
+splitmix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr std::array<uint64_t, warpSize>
+makeLaneSalts()
+{
+    std::array<uint64_t, warpSize> s{};
+    for (uint32_t i = 0; i < warpSize; i++)
+        s[i] = splitmix64(i);
+    return s;
+}
+
+/** Distinct salt per lane so the address digest is sensitive to which
+ *  lane issued which address, not just the address multiset. */
+constexpr std::array<uint64_t, warpSize> kLaneSalt = makeLaneSalts();
+
+/** All 32 lanes active. */
+constexpr Mask kFullMask = 0xffffffffu;
+
+/**
+ * Apply @p f to every active lane of @p exec in ascending lane order.
+ *
+ * Full warps — the overwhelmingly common case in the dense kernels — take
+ * a plain counted loop the compiler can unroll and vectorize; sparse
+ * masks fall back to bit iteration.  Identical visit order either way.
+ */
+template <typename F>
+inline void
+forLanes(Mask exec, F &&f)
+{
+    if (exec == kFullMask) {
+        for (uint32_t lane = 0; lane < warpSize; lane++)
+            f(lane);
+    } else {
+        for (Mask m = exec; m; m &= m - 1)
+            f(static_cast<uint32_t>(std::countr_zero(m)));
+    }
+}
 
 inline float
 asF32(uint32_t u)
@@ -83,6 +132,26 @@ compare(Cmp c, DType t, uint32_t a, uint32_t b)
         }
     }
     return false;
+}
+
+/**
+ * Full-warp f32 fused multiply-add over three register rows (the RNN cell
+ * kernels' hottest instruction).
+ *
+ * Multi-versioned: on hosts with FMA3 the "fma" clone vectorizes to packed
+ * vfmadd; the default clone lowers to libm's fmaf.  Both are IEEE
+ * correctly rounded, so every clone produces bit-identical results and
+ * simulated values do not depend on the host ISA.  The destination row may
+ * alias a source row (accumulate form "mad d, a, b, d"), which is safe:
+ * the op is elementwise over the same index.
+ */
+__attribute__((target_clones("default", "fma"))) void
+madWarpF32(uint32_t *dp, const uint32_t *a, const uint32_t *b,
+           const uint32_t *c)
+{
+    for (uint32_t l = 0; l < warpSize; l++)
+        dp[l] =
+            asU32(__builtin_fmaf(asF32(a[l]), asF32(b[l]), asF32(c[l])));
 }
 
 } // namespace
@@ -196,7 +265,7 @@ WarpExec::resolve()
 const Instr &
 WarpExec::peek()
 {
-    resolve();
+    resolveFast();
     TANGO_ASSERT(!done_, "peek on retired warp");
     return prog_.code[pc_];
 }
@@ -204,7 +273,7 @@ WarpExec::peek()
 const DecodedInstr &
 WarpExec::peekDecoded()
 {
-    resolve();
+    resolveFast();
     TANGO_ASSERT(!done_, "peek on retired warp");
     return (*dec_)[pc_];
 }
@@ -212,15 +281,47 @@ WarpExec::peekDecoded()
 uint32_t
 WarpExec::pc()
 {
-    resolve();
+    resolveFast();
     return pc_;
+}
+
+void
+WarpExec::foldAddrs(Mask exec, const uint32_t addrs[warpSize])
+{
+    // Lane-salted combine: each active lane's address hashes
+    // independently (no loop-carried multiply chain) and the products
+    // XOR-merge, so the fold costs one round of ILP-friendly multiplies
+    // instead of a 32-deep serial FNV chain.
+    uint64_t acc = 0;
+    forLanes(exec, [&](uint32_t lane) {
+        acc ^= (uint64_t(addrs[lane]) ^ kLaneSalt[lane]) *
+               0x9e3779b97f4a7c15ull;
+    });
+    digest::mix(streamHash_, acc);
 }
 
 Step
 WarpExec::step()
 {
-    resolve();
-    Step st;
+    return stepT<true>();
+}
+
+WarpExec::StepLite
+WarpExec::runFunctionalSegment()
+{
+    return stepT<false>();
+}
+
+template <bool Timing>
+std::conditional_t<Timing, Step, WarpExec::StepLite>
+WarpExec::stepT()
+{
+  // The functional instantiation batches: it loops here until the warp
+  // retires or consumes a Bar, paying the call and frame setup once per
+  // barrier-to-barrier segment instead of once per instruction.
+  for (;;) {
+    resolveFast();
+    std::conditional_t<Timing, Step, StepLite> st;
     if (done_) {
         st.warpDone = true;
         return st;
@@ -228,10 +329,12 @@ WarpExec::step()
     const Instr &ins = prog_.code[pc_];
     const DecodedInstr &dec = (*dec_)[pc_];
     st.op = ins.op;
-    st.type = ins.type;
-    st.unit = dec.unit;
-    st.numSrcRegs = dec.numSrcRegs;
-    st.writesReg = dec.writesReg;
+    if constexpr (Timing) {
+        st.type = ins.type;
+        st.unit = dec.unit;
+        st.numSrcRegs = dec.numSrcRegs;
+        st.writesReg = dec.writesReg;
+    }
 
     // Guard predicate (for Bra the predicate is the branch condition and is
     // handled below instead).
@@ -240,7 +343,13 @@ WarpExec::step()
         const Mask pv = preds_[ins.pred];
         exec &= ins.predNeg ? ~pv : pv;
     }
-    st.activeCount = static_cast<uint32_t>(std::popcount(exec));
+    if constexpr (Timing)
+        st.activeCount = static_cast<uint32_t>(std::popcount(exec));
+
+    // Fold the issue point: pc pins the static instruction (opcode, unit,
+    // type, memory space), the mask pins which lanes executed it.
+    if (hashing_)
+        digest::mix(streamHash_, (uint64_t(pc_) << 32) | exec);
 
     uint32_t next_pc = pc_ + 1;
 
@@ -276,27 +385,32 @@ WarpExec::step()
             taken &= ins.predNeg ? ~pv : pv;
         }
         const Mask not_taken = active_ & ~taken;
-        st.controlTransfer = true;
+        if constexpr (Timing)
+            st.controlTransfer = true;
         if (taken == active_) {
             next_pc = static_cast<uint32_t>(ins.target);
         } else if (taken == 0) {
             next_pc = pc_ + 1;
-            st.controlTransfer = false;
+            if constexpr (Timing)
+                st.controlTransfer = false;
         } else {
             // Divergence: continue on the taken path, queue the rest.
             stack_.push_back({pc_ + 1, rpc_, not_taken, false});
             active_ = taken;
             next_pc = static_cast<uint32_t>(ins.target);
         }
-        st.activeCount = static_cast<uint32_t>(std::popcount(active_));
+        if constexpr (Timing)
+            st.activeCount = static_cast<uint32_t>(std::popcount(active_));
+        // Fold the outcome too: the continuation pc and surviving mask pin
+        // the taken set even when a guard at the target would mask it.
+        if (hashing_)
+            digest::mix(streamHash_, (uint64_t(next_pc) << 32) | active_);
         break;
       }
 
       case Op::Mov: {
         if (ins.sreg != SReg::None) {
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t lane) {
                 uint32_t v = 0;
                 switch (ins.sreg) {
                   case SReg::TidX: v = tidX_[lane]; break;
@@ -313,20 +427,20 @@ WarpExec::step()
                   case SReg::None: break;
                 }
                 writeReg(lane, ins.dst, v);
-            }
+            });
         } else {
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t lane) {
                 writeReg(lane, ins.dst, operand(lane, ins, 0));
-            }
+            });
         }
         break;
       }
 
       case Op::Ld: {
-        st.isMem = true;
-        st.space = ins.space;
+        if constexpr (Timing) {
+            st.isMem = true;
+            st.space = ins.space;
+        }
         const uint32_t bytes = dtypeBytes(ins.type);
         uint32_t addrs[warpSize];
         const uint32_t *a0 = ins.src[0] == Instr::immReg
@@ -359,17 +473,22 @@ WarpExec::step()
                 break;
             }
             uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
+            // Two passes so the bounds check hoists out of the copy loop:
+            // addresses and their max first (vectorizable), one assert,
+            // then unchecked 32-bit copies.
+            uint32_t maxAddr = 0;
+            forLanes(exec, [&](uint32_t lane) {
                 const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
                 addrs[lane] = addr;
-                TANGO_ASSERT(uint64_t(addr) + 4 <= limit,
-                             "load out of range");
+                maxAddr = std::max(maxAddr, addr);
+            });
+            TANGO_ASSERT(exec == 0 || uint64_t(maxAddr) + 4 <= limit,
+                         "load out of range");
+            forLanes(exec, [&](uint32_t lane) {
                 uint32_t raw;
-                std::memcpy(&raw, base + addr, 4);
+                std::memcpy(&raw, base + addrs[lane], 4);
                 dp[lane] = raw;
-            }
+            });
         } else {
             for (Mask m = exec; m; m &= m - 1) {
                 const auto lane =
@@ -409,57 +528,65 @@ WarpExec::step()
                 writeReg(lane, ins.dst, canonical(ins.type, raw));
             }
         }
-        // Access shaping for the memory model.
-        if (ins.space == Space::Global) {
-            st.numSegments = coalesceSegments(addrs, exec, st.segments);
-        } else if (ins.space == Space::Shared) {
-            // Bank-conflict count.  A touched-bank mask replaces the
-            // "count == 0" first-touch test so the per-bank arrays need no
-            // zeroing; conflict counts are unchanged (distinct addresses
-            // hitting one bank serialize, broadcasts of one address don't).
-            uint32_t perBank[warpSize];
-            uint32_t bankAddr[warpSize];
-            Mask touched = 0;
-            uint32_t maxSer = 1;
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
-                const uint32_t bank = (addrs[lane] / 4) % warpSize;
-                if (!(touched & (1u << bank)) ||
-                    bankAddr[bank] != addrs[lane]) {
-                    perBank[bank] =
-                        (touched & (1u << bank)) ? perBank[bank] + 1 : 1;
-                    touched |= 1u << bank;
-                    bankAddr[bank] = addrs[lane];
+        if (hashing_)
+            foldAddrs(exec, addrs);
+        // Access shaping for the memory model (timing runs only).
+        if constexpr (Timing) {
+            if (ins.space == Space::Global) {
+                st.numSegments = coalesceSegments(addrs, exec, st.segments);
+            } else if (ins.space == Space::Shared) {
+                // Bank-conflict count.  A touched-bank mask replaces the
+                // "count == 0" first-touch test so the per-bank arrays
+                // need no zeroing; conflict counts are unchanged (distinct
+                // addresses hitting one bank serialize, broadcasts of one
+                // address don't).
+                uint32_t perBank[warpSize];
+                uint32_t bankAddr[warpSize];
+                Mask touched = 0;
+                uint32_t maxSer = 1;
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto lane =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    const uint32_t bank = (addrs[lane] / 4) % warpSize;
+                    if (!(touched & (1u << bank)) ||
+                        bankAddr[bank] != addrs[lane]) {
+                        perBank[bank] =
+                            (touched & (1u << bank)) ? perBank[bank] + 1
+                                                     : 1;
+                        touched |= 1u << bank;
+                        bankAddr[bank] = addrs[lane];
+                    }
+                    if (perBank[bank] > maxSer)
+                        maxSer = perBank[bank];
                 }
-                if (perBank[bank] > maxSer)
-                    maxSer = perBank[bank];
-            }
-            st.sharedSerialization = maxSer;
-        } else if (ins.space == Space::Const) {
-            uint32_t first = 0;
-            bool haveFirst = false;
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
-                if (!haveFirst) {
-                    first = addrs[lane];
-                    haveFirst = true;
-                } else if (addrs[lane] != first) {
-                    st.constUniform = false;
-                    break;
+                st.sharedSerialization = maxSer;
+            } else if (ins.space == Space::Const) {
+                uint32_t first = 0;
+                bool haveFirst = false;
+                for (Mask m = exec; m; m &= m - 1) {
+                    const auto lane =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    if (!haveFirst) {
+                        first = addrs[lane];
+                        haveFirst = true;
+                    } else if (addrs[lane] != first) {
+                        st.constUniform = false;
+                        break;
+                    }
                 }
+                // The constant-cache model probes lane 0's address.
+                st.segments[0] = first;
             }
-            // The constant-cache model probes lane 0's address.
-            st.segments[0] = first;
         }
         break;
       }
 
       case Op::St: {
-        st.isMem = true;
-        st.isStore = true;
-        st.space = ins.space;
+        if constexpr (Timing) {
+            st.isMem = true;
+            st.isStore = true;
+            st.space = ins.space;
+        }
         const uint32_t bytes = dtypeBytes(ins.type);
         uint32_t addrs[warpSize];
         const uint32_t *a0 = ins.src[0] == Instr::immReg
@@ -481,16 +608,18 @@ WarpExec::step()
                 base = smem_.data();
                 limit = smem_.size();
             }
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
+            uint32_t maxAddr = 0;
+            forLanes(exec, [&](uint32_t lane) {
                 const uint32_t addr = (a0 ? a0[lane] : 0) + imm;
                 addrs[lane] = addr;
-                TANGO_ASSERT(uint64_t(addr) + 4 <= limit,
-                             "store out of range");
+                maxAddr = std::max(maxAddr, addr);
+            });
+            TANGO_ASSERT(exec == 0 || uint64_t(maxAddr) + 4 <= limit,
+                         "store out of range");
+            forLanes(exec, [&](uint32_t lane) {
                 const uint32_t val = v1 ? v1[lane] : imm;
-                std::memcpy(base + addr, &val, 4);
-            }
+                std::memcpy(base + addrs[lane], &val, 4);
+            });
         } else {
             for (Mask m = exec; m; m &= m - 1) {
                 const auto lane =
@@ -514,8 +643,12 @@ WarpExec::step()
                 }
             }
         }
-        if (ins.space == Space::Global)
-            st.numSegments = coalesceSegments(addrs, exec, st.segments);
+        if (hashing_)
+            foldAddrs(exec, addrs);
+        if constexpr (Timing) {
+            if (ins.space == Space::Global)
+                st.numSegments = coalesceSegments(addrs, exec, st.segments);
+        }
         break;
       }
 
@@ -531,27 +664,70 @@ WarpExec::step()
                                  : &regs_[size_t(ins.src[1]) * warpSize];
         const Cmp cmp = ins.cmp;
         const DType t = ins.type;
-        if (ins.dstIsPred) {
-            Mask result = preds_[ins.dst] & ~exec;
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
-                if (compare(cmp, t, s0 ? s0[lane] : imm,
-                            s1 ? s1[lane] : imm)) {
-                    result |= (1u << lane);
-                }
+        // The (type class, comparison) dispatch hoists out of the lane
+        // loop: runSet instantiates one tight loop per concrete
+        // comparator, matching compare() lane for lane (narrow types are
+        // stored canonicalized, so 32-bit signed/unsigned compares are
+        // exact for them too — the same equivalence compare() relies on).
+        const auto runSet = [&](auto cmpf) {
+            if (ins.dstIsPred) {
+                Mask result = preds_[ins.dst] & ~exec;
+                forLanes(exec, [&](uint32_t lane) {
+                    if (cmpf(s0 ? s0[lane] : imm, s1 ? s1[lane] : imm))
+                        result |= (1u << lane);
+                });
+                preds_[ins.dst] = result;
+            } else {
+                uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
+                forLanes(exec, [&](uint32_t lane) {
+                    dp[lane] =
+                        cmpf(s0 ? s0[lane] : imm, s1 ? s1[lane] : imm)
+                            ? 1u
+                            : 0u;
+                });
             }
-            preds_[ins.dst] = result;
+        };
+        const auto dispatchCmp = [&](auto conv) {
+            switch (cmp) {
+              case Cmp::Eq:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) == conv(b);
+                });
+                break;
+              case Cmp::Ne:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) != conv(b);
+                });
+                break;
+              case Cmp::Lt:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) < conv(b);
+                });
+                break;
+              case Cmp::Le:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) <= conv(b);
+                });
+                break;
+              case Cmp::Gt:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) > conv(b);
+                });
+                break;
+              case Cmp::Ge:
+                runSet([conv](uint32_t a, uint32_t b) {
+                    return conv(a) >= conv(b);
+                });
+                break;
+            }
+        };
+        if (isFloat(t)) {
+            dispatchCmp([](uint32_t v) { return asF32(v); });
+        } else if (isSigned(t)) {
+            dispatchCmp(
+                [](uint32_t v) { return static_cast<int32_t>(v); });
         } else {
-            uint32_t *dp = &regs_[size_t(ins.dst) * warpSize];
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto lane =
-                    static_cast<uint32_t>(std::countr_zero(m));
-                dp[lane] = compare(cmp, t, s0 ? s0[lane] : imm,
-                                   s1 ? s1[lane] : imm)
-                               ? 1u
-                               : 0u;
-            }
+            dispatchCmp([](uint32_t v) { return v; });
         }
         break;
       }
@@ -602,18 +778,19 @@ WarpExec::step()
         switch (ins.op) {
           case Op::Mad:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
-                    dp[l] = asU32(std::fmaf(asF32(srcA(l)), asF32(srcB(l)),
-                                            asF32(srcC(l))));
+                if (exec == kFullMask && s0 && s1 && s2) {
+                    madWarpF32(dp, s0, s1, s2);
+                } else {
+                    forLanes(exec, [&](uint32_t l) {
+                        dp[l] = asU32(std::fmaf(asF32(srcA(l)),
+                                                asF32(srcB(l)),
+                                                asF32(srcC(l))));
+                    });
                 }
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, srcA(l) * srcB(l) + srcC(l));
-                }
+                });
             }
             break;
           case Op::Mad24:
@@ -621,101 +798,76 @@ WarpExec::step()
                 handled = false;
                 break;
             }
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t l) {
                 wr(l, (srcA(l) & 0xffffffu) * (srcB(l) & 0xffffffu) +
                           srcC(l));
-            }
+            });
             break;
           case Op::Add:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     dp[l] = asU32(asF32(srcA(l)) + asF32(srcB(l)));
-                }
+                });
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, srcA(l) + srcB(l));
-                }
+                });
             }
             break;
           case Op::Sub:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     dp[l] = asU32(asF32(srcA(l)) - asF32(srcB(l)));
-                }
+                });
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, srcA(l) - srcB(l));
-                }
+                });
             }
             break;
           case Op::Mul:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     dp[l] = asU32(asF32(srcA(l)) * asF32(srcB(l)));
-                }
+                });
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, srcA(l) * srcB(l));
-                }
+                });
             }
             break;
           case Op::Min:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     dp[l] = asU32(std::fmin(asF32(srcA(l)), asF32(srcB(l))));
-                }
+                });
             } else if (isSigned(ins.type)) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, static_cast<uint32_t>(
                               std::min(static_cast<int32_t>(srcA(l)),
                                        static_cast<int32_t>(srcB(l)))));
-                }
+                });
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, std::min(srcA(l), srcB(l)));
-                }
+                });
             }
             break;
           case Op::Max:
             if (f32) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     dp[l] = asU32(std::fmax(asF32(srcA(l)), asF32(srcB(l))));
-                }
+                });
             } else if (isSigned(ins.type)) {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, static_cast<uint32_t>(
                               std::max(static_cast<int32_t>(srcA(l)),
                                        static_cast<int32_t>(srcB(l)))));
-                }
+                });
             } else {
-                for (Mask m = exec; m; m &= m - 1) {
-                    const auto l =
-                        static_cast<uint32_t>(std::countr_zero(m));
+                forLanes(exec, [&](uint32_t l) {
                     wr(l, std::max(srcA(l), srcB(l)));
-                }
+                });
             }
             break;
           case Op::Shl:
@@ -723,30 +875,27 @@ WarpExec::step()
                 handled = false;
                 break;
             }
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t l) {
                 wr(l, srcA(l) << (srcB(l) & 31u));
-            }
+            });
             break;
           case Op::And:
             if (f32) {
                 handled = false;
                 break;
             }
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t l) {
                 wr(l, srcA(l) & srcB(l));
-            }
+            });
             break;
           case Op::Or:
             if (f32) {
                 handled = false;
                 break;
             }
-            for (Mask m = exec; m; m &= m - 1) {
-                const auto l = static_cast<uint32_t>(std::countr_zero(m));
+            forLanes(exec, [&](uint32_t l) {
                 wr(l, srcA(l) | srcB(l));
-            }
+            });
             break;
           default:
             handled = false;
@@ -860,9 +1009,91 @@ WarpExec::step()
     }
 
     pc_ = next_pc;
-    resolve();
+    resolveFast();
     st.warpDone = done_;
-    return st;
+    if constexpr (Timing)
+        return st;
+    else if (st.warpDone || st.op == Op::Bar)
+        return st;
+  }
+}
+
+uint64_t
+runFunctionalOnly(const KernelLaunch &launch,
+                  const std::vector<uint64_t> &cta_ids,
+                  const std::vector<uint32_t> &warp_ids,
+                  DeviceMemory &gmem)
+{
+    TANGO_ASSERT(launch.program != nullptr, "launch without program");
+    const DecodedProgram decoded(*launch.program);
+    const Dim3 grid = launch.grid;
+    const auto coordOf = [&grid](uint64_t linear) {
+        Dim3 c;
+        c.x = static_cast<uint32_t>(linear % grid.x);
+        c.y = static_cast<uint32_t>((linear / grid.x) % grid.y);
+        c.z = static_cast<uint32_t>(linear / (uint64_t(grid.x) * grid.y));
+        return c;
+    };
+
+    uint64_t combined = digest::kInit;
+    std::vector<uint8_t> smem;
+    std::vector<std::unique_ptr<WarpExec>> warps;
+    std::vector<uint8_t> waiting;
+
+    for (uint64_t linear : cta_ids) {
+        smem.assign(std::max<uint32_t>(launch.program->smemBytes, 1), 0);
+        const Dim3 coord = coordOf(linear);
+        warps.clear();
+        waiting.assign(warp_ids.size(), 0);
+        uint32_t live = 0;
+        for (uint32_t w : warp_ids) {
+            warps.push_back(std::make_unique<WarpExec>(
+                launch, coord, w, gmem, smem, &decoded));
+            warps.back()->enableStreamHash();
+            if (!warps.back()->done())
+                live++;
+        }
+
+        // Round-robin the CTA's warps.  A warp runs until it retires or
+        // consumes a Bar; once every live warp has arrived at the barrier
+        // all of them are released.  This is the same release rule the
+        // timing core applies (barrierArrived >= liveWarps), so race-free
+        // kernels compute identical values in both executors.
+        uint32_t atBarrier = 0;
+        while (live > 0) {
+            bool progressed = false;
+            for (size_t i = 0; i < warps.size(); i++) {
+                WarpExec &we = *warps[i];
+                if (we.done() || waiting[i])
+                    continue;
+                progressed = true;
+                const auto st = we.runFunctionalSegment();
+                if (st.warpDone) {
+                    live--;
+                } else {
+                    // Segment ended on a consumed Bar.
+                    waiting[i] = 1;
+                    atBarrier++;
+                }
+            }
+            if (live > 0 && atBarrier >= live) {
+                std::fill(waiting.begin(), waiting.end(), 0);
+                atBarrier = 0;
+            } else if (!progressed) {
+                // Every remaining warp is parked at a barrier that can
+                // no longer be released — matches the timing core's
+                // deadlock panic, so a memoized kernel cannot hide one.
+                panic("functional replay deadlock in kernel %s",
+                      launch.program->name.c_str());
+            }
+        }
+
+        // Fold per-warp digests in (CTA order, warp order) position so
+        // the combination is independent of the interleaving above.
+        for (const auto &wp : warps)
+            digest::mix(combined, wp->streamHash());
+    }
+    return combined;
 }
 
 } // namespace tango::sim

@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "sim/digest.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
 
@@ -45,10 +47,29 @@ struct Step
     bool isStore = false;
     Space space = Space::Global;
     uint32_t numSegments = 0;   ///< coalesced 128B global segments
-    /** Segment base byte addresses.  Only [0, numSegments) are defined
-     *  (plus [0] for Const loads); left uninitialized on purpose — zeroing
-     *  128 bytes per dynamic instruction dominates small steps. */
+    /**
+     * Segment base byte addresses.
+     *
+     * Contract: only [0, numSegments) are defined, plus [0] for Const
+     * loads; every other entry is *intentionally uninitialized* — zeroing
+     * 128 bytes per dynamic instruction dominates small steps.  All
+     * consumers (SmCore::memoryLatency in particular) must read only the
+     * defined prefix; the memoization detector's Step-stream digest folds
+     * raw per-lane addresses inside WarpExec instead of this array, so
+     * MSan/valgrind runs stay clean under TANGO_STEP_SEGMENTS_ZEROED
+     * (below).
+     *
+     * Building with -DTANGO_SANITIZE=memory (or any build that defines
+     * TANGO_STEP_SEGMENTS_ZEROED) zero-initializes the array so that an
+     * accidental out-of-contract read is a deterministic zero instead of
+     * an uninitialized-value report storm, keeping real contract
+     * violations findable.
+     */
+#ifdef TANGO_STEP_SEGMENTS_ZEROED
+    uint32_t segments[warpSize] = {};
+#else
     uint32_t segments[warpSize];
+#endif
     uint32_t sharedSerialization = 1; ///< shared-memory bank conflict factor
     bool constUniform = true;   ///< constant access was a broadcast
 
@@ -72,6 +93,31 @@ struct Step
  */
 uint32_t coalesceSegments(const uint32_t addrs[warpSize], Mask exec,
                           uint32_t out[warpSize]);
+
+/**
+ * Functional-only execution of one kernel launch: runs the same sampled
+ * CTA/warp population a full SmCore simulation would run, computes real
+ * values (loads/stores touch device memory) but no timing, and returns
+ * the combined Step-stream digest.
+ *
+ * Warps execute round-robin within each CTA with correct barrier
+ * semantics (a warp pauses after consuming a Bar until every live warp of
+ * its CTA has arrived), so any race-free kernel produces exactly the
+ * values and per-warp Step streams of the interleaved timing simulation.
+ * Per-warp streams are digested independently and folded in (CTA order,
+ * warp order) position — the same combination SmCore::run uses — so the
+ * result is directly comparable and independent of interleaving.
+ *
+ * @param launch   the kernel.
+ * @param cta_ids  linear CTA indices to execute (launch order).
+ * @param warp_ids warp indices within each CTA to execute.
+ * @param gmem     device global memory.
+ * @return the combined Step-stream digest of the executed population.
+ */
+uint64_t runFunctionalOnly(const KernelLaunch &launch,
+                           const std::vector<uint64_t> &cta_ids,
+                           const std::vector<uint32_t> &warp_ids,
+                           DeviceMemory &gmem);
 
 /**
  * Execution state of one warp.
@@ -111,6 +157,50 @@ class WarpExec
     /** Execute the next instruction for all active lanes. */
     Step step();
 
+    /** Minimal result of a functional-only run segment: just enough for
+     *  the caller to drive barriers and retirement.  Returned in
+     *  registers — no Step record is assembled on the fast path. */
+    struct StepLite
+    {
+        Op op = Op::Nop;       ///< the last instruction executed
+        bool warpDone = false; ///< warp retired
+    };
+
+    /**
+     * Value-only variant of step(): identical lane execution, control flow
+     * and stream-hash folds, but none of the timing shaping (segment
+     * coalescing, shared-memory bank conflicts, const-broadcast scan,
+     * Step accounting fields).  Executes instructions *in a batch* — until
+     * the warp either consumes a Bar (op == Op::Bar on return) or retires
+     * (warpDone) — so the per-call cost amortizes over the whole
+     * barrier-to-barrier segment.  This is what launch replay
+     * (sim/gpu.cc) runs.
+     */
+    StepLite runFunctionalSegment();
+
+    /**
+     * Start folding this warp's executed-instruction stream into an
+     * internal digest (readable via streamHash()).
+     *
+     * The digest covers everything the *timing model* consumes from the
+     * stream — per step the pc and executing lane mask (which pin opcode,
+     * unit, type and active count), the raw per-lane addresses of every
+     * memory access (which pin coalesced segments, bank serialization and
+     * const-broadcast shape), and branch outcomes — but no data values:
+     * two executions with equal digests take bit-identical trips through
+     * the timing model.  step() and runFunctionalSegment() fold
+     * identically, so
+     * digests from a full simulation and a functional-only replay are
+     * directly comparable.  This is the self-validation primitive of the
+     * launch-memoization layer (sim/gpu.cc): a replayed launch must
+     * reproduce the digest recorded during full simulation, else the
+     * replay is abandoned.
+     */
+    void enableStreamHash() { hashing_ = true; }
+
+    /** @return the stream digest folded so far (kInit when disabled). */
+    uint64_t streamHash() const { return streamHash_; }
+
     /** @return warp index within the CTA. */
     uint32_t warpInCta() const { return warpInCta_; }
 
@@ -123,8 +213,31 @@ class WarpExec
         bool isReconv;
     };
 
-    /** Pop/reconverge until the current path is executable. */
+    /** Pop/reconverge until the current path is executable (slow path;
+     *  call through resolveFast()). */
     void resolve();
+
+    /** Inline fast path of resolve(): the overwhelmingly common case —
+     *  live lanes, no reconvergence point reached — is three compares
+     *  and no call. */
+    void resolveFast()
+    {
+        if (done_)
+            return;
+        if (active_ == 0 ||
+            (rpc_ >= 0 && pc_ == static_cast<uint32_t>(rpc_))) {
+            resolve();
+        }
+    }
+
+    /** Shared body of step()/runFunctionalSegment(): one instruction per
+     *  call in the Timing instantiation, a barrier-to-barrier batch in the
+     *  functional one. */
+    template <bool Timing>
+    std::conditional_t<Timing, Step, StepLite> stepT();
+
+    /** Fold the active lanes' memory addresses into the stream digest. */
+    void foldAddrs(Mask exec, const uint32_t addrs[warpSize]);
 
     uint32_t readReg(uint32_t lane, uint8_t r) const;
     void writeReg(uint32_t lane, uint8_t r, uint32_t v);
@@ -152,6 +265,10 @@ class WarpExec
     Mask active_ = 0;
     std::vector<StackEntry> stack_;
     bool done_ = false;
+
+    // Stream digest (enableStreamHash()).
+    bool hashing_ = false;
+    uint64_t streamHash_ = digest::kInit;
 };
 
 } // namespace tango::sim

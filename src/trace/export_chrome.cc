@@ -255,6 +255,14 @@ chromeTraceJson(const RingSink &sink, const ChromeExportOptions &opt)
                 w.argsClose();
                 w.end();
                 break;
+              case EventKind::KernelReplay:
+                w.begin("i", "replayed launch", kTidSpans, e.cycle);
+                w.scopeThread();
+                w.argsOpen();
+                w.argStr("kernel", eventName(sink, e.arg).c_str());
+                w.argsClose();
+                w.end();
+                break;
               case EventKind::NumKinds:
                 break;
             }

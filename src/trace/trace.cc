@@ -16,6 +16,7 @@ eventKindName(EventKind k)
       case EventKind::CacheMiss: return "cache_miss";
       case EventKind::CacheFill: return "cache_fill";
       case EventKind::DramAccess: return "dram_access";
+      case EventKind::KernelReplay: return "kernel_replay";
       case EventKind::NumKinds: break;
     }
     return "unknown";

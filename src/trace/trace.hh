@@ -50,6 +50,7 @@ enum class EventKind : uint8_t {
     CacheMiss,        ///< arg = cache level, payload = line address
     CacheFill,        ///< arg = cache level, payload = cycles until the fill
     DramAccess,       ///< payload = total service latency, arg = queue delay
+    KernelReplay,     ///< memoized launch replay; arg = kernel name id
     NumKinds
 };
 
@@ -76,7 +77,8 @@ constexpr uint32_t kAllEvents =
 constexpr uint32_t kDefaultEvents =
     kindBit(EventKind::KernelBegin) | kindBit(EventKind::KernelEnd) |
     kindBit(EventKind::LayerBegin) | kindBit(EventKind::LayerEnd) |
-    kindBit(EventKind::OccupancySample) | kindBit(EventKind::MshrSample);
+    kindBit(EventKind::OccupancySample) | kindBit(EventKind::MshrSample) |
+    kindBit(EventKind::KernelReplay);
 
 /** Sentinel warp id for events not tied to one warp. */
 constexpr uint16_t kNoWarp = 0xffff;

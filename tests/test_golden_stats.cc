@@ -652,13 +652,25 @@ class Diff
             lines.push_back(path + ": golden='" + golden + "' actual='" +
                             actual + "'");
     }
+    /** Launch-memoization meta-counters record how launches were *served*
+     *  (replayed vs simulated), not what they simulated; they are the one
+     *  legitimate difference between memo-on and memo-off runs and are
+     *  excluded from every fixture comparison. */
+    static bool isMetaStat(const std::string &name)
+    {
+        return name == "mem.replayed_launches" ||
+               name == "mem.simulated_launches";
+    }
+
     void statSet(const std::string &path, const StatSet &golden,
                  const StatSet &actual)
     {
-        for (const auto &[name, gv] : golden.all())
-            num(path + "[\"" + name + "\"]", gv, actual.get(name));
+        for (const auto &[name, gv] : golden.all()) {
+            if (!isMetaStat(name))
+                num(path + "[\"" + name + "\"]", gv, actual.get(name));
+        }
         for (const auto &[name, av] : actual.all()) {
-            if (!golden.all().count(name))
+            if (!golden.all().count(name) && !isMetaStat(name))
                 lines.push_back(path + "[\"" + name +
                                 "\"]: golden=<absent> actual=" +
                                 std::to_string(av));
@@ -826,6 +838,57 @@ TEST(GoldenStats, ResNet) { checkGolden("resnet"); }
 TEST(GoldenStats, VggNet) { checkGolden("vggnet"); }
 TEST(GoldenStats, Gru) { checkGolden("gru"); }
 TEST(GoldenStats, Lstm) { checkGolden("lstm"); }
+
+/** RAII TANGO_NO_MEMO=1: force-disables launch memoization for one run. */
+struct ScopedNoMemo
+{
+    ScopedNoMemo() { setenv("TANGO_NO_MEMO", "1", 1); }
+    ~ScopedNoMemo() { unsetenv("TANGO_NO_MEMO"); }
+};
+
+/** Every statistic must be bit-identical whether launches were replayed
+ *  by the memoization layer (the default) or fully simulated
+ *  (TANGO_NO_MEMO=1) — replay is a pure execution shortcut, never a
+ *  model change.  Only the mem.*_launches meta-counters may differ. */
+TEST(GoldenStats, MemoOnAndOffAreBitIdentical)
+{
+    for (const std::string name : {"cifarnet", "alexnet", "squeezenet",
+                                   "resnet", "vggnet", "gru", "lstm"}) {
+        const NetRun on = runGolden(name);
+        NetRun off;
+        {
+            ScopedNoMemo guard;
+            off = runGolden(name);
+        }
+        const std::vector<std::string> diffs = diffNetRun(off, on);
+        EXPECT_TRUE(diffs.empty())
+            << name << ": memo-on run drifted from memo-off in "
+            << diffs.size() << " fields, e.g. " << diffs.front();
+        EXPECT_EQ(off.totals.get("mem.replayed_launches"), 0.0)
+            << name << ": TANGO_NO_MEMO=1 must fully simulate";
+    }
+}
+
+/** The RNNs' repeated cell launches must actually be served by replay:
+ *  signatures alternate between two h/c ping-pong parities, each parity
+ *  arms after three occurrences, so seqLen=32 yields 26 replayed cells. */
+TEST(GoldenStats, RnnSteadyStateIsReplayed)
+{
+    for (const std::string name : {"gru", "lstm"}) {
+        const NetRun run = runGolden(name);
+        EXPECT_GT(run.totals.get("mem.replayed_launches"), 0.0)
+            << name << ": no launch was replayed";
+        // 3 warm-up occurrences per parity + 1 FC readout full-sim.
+        EXPECT_EQ(run.totals.get("mem.replayed_launches") +
+                      run.totals.get("mem.simulated_launches"),
+                  double(nn::models::kDefaultRnnSeqLen + 1));
+        EXPECT_EQ(run.totals.get("mem.simulated_launches"), 7.0)
+            << name << ": steady state should arm after 3 occurrences "
+                       "of each launch-signature parity";
+        // Replayed kernels are marked; the readout is not.
+        EXPECT_TRUE(run.layers.back().kernels.back().replayed == false);
+    }
+}
 
 } // namespace
 } // namespace tango

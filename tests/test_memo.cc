@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Launch-memoization tests (sim/gpu.cc).
+ *
+ * The memoization layer may only ever change *how fast* a launch is
+ * served, never a single statistic or data value.  These tests pin the
+ * full protocol: arming after two identical full simulations, stat
+ * splicing on replay, functional (real-value) execution under replay,
+ * the self-validating fallback when a data-dependent kernel diverges,
+ * per-signature isolation, the TANGO_NO_MEMO kill switch, and the
+ * order-stability of the µ-arch state digests the fingerprint is built
+ * from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "kernels/builder.hh"
+#include "sim/cache.hh"
+#include "sim/gpu.hh"
+
+namespace tango::sim {
+namespace {
+
+/** y[i] = 2 * x[i] for one 32-thread block: input-independent control
+ *  flow and addresses, so it reaches a steady state immediately. */
+KernelLaunch
+doubleKernel(uint32_t x, uint32_t y)
+{
+    kern::Builder b("memo.double");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg xa = b.addi(DType::U32, off, x);
+    kern::Reg ya = b.addi(DType::U32, off, y);
+    kern::Reg v = b.reg();
+    b.ld(DType::F32, Space::Global, v, xa);
+    b.emit3(Op::Add, DType::F32, v, v, v);
+    b.st(DType::F32, Space::Global, ya, v);
+    b.exit();
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    l.params = {x, y};
+    return l;
+}
+
+/** y[i] = x[i] summed n times, with the trip count n *loaded from
+ *  memory*: changing n changes the executed Step stream, which is
+ *  exactly the divergence replay must catch. */
+KernelLaunch
+dataDependentKernel(uint32_t n_addr, uint32_t x, uint32_t y)
+{
+    kern::Builder b("memo.datadep");
+    kern::Reg tx = b.movS(SReg::TidX);
+    kern::Reg off = b.shli(tx, 2);
+    kern::Reg xa = b.addi(DType::U32, off, x);
+    kern::Reg ya = b.addi(DType::U32, off, y);
+    kern::Reg na = b.immU(n_addr);
+    kern::Reg n = b.reg();
+    b.ld(DType::U32, Space::Global, n, na);
+    kern::Reg v = b.reg();
+    b.ld(DType::F32, Space::Global, v, xa);
+    kern::Reg sum = b.immF(0.0f);
+    kern::Reg i = b.immU(0);
+    kern::PredReg p = b.pred();
+    kern::Label top = b.label();
+    kern::Label done = b.label();
+    b.ssy(done);
+    b.bind(top);
+    b.setp(p, DType::U32, Cmp::Ge, i, n);
+    b.braIf(done, p);
+    b.emit3(Op::Add, DType::F32, sum, sum, v);
+    b.emit3i(Op::Add, DType::U32, i, i, 1);
+    b.bra(top);
+    b.bind(done);
+    b.st(DType::F32, Space::Global, ya, sum);
+    b.exit();
+    KernelLaunch l;
+    l.program = b.finish();
+    l.grid = {1, 1, 1};
+    l.block = {32, 1, 1};
+    l.params = {n_addr, x, y};
+    return l;
+}
+
+void
+fillInput(Gpu &gpu, uint32_t addr, float base)
+{
+    float vals[32];
+    for (int i = 0; i < 32; i++)
+        vals[i] = base + float(i);
+    gpu.mem().copyIn(addr, vals, sizeof vals);
+}
+
+SimPolicy
+exactPolicy()
+{
+    SimPolicy p;
+    p.fullSim = true;
+    p.maxResidentCtas = 0;
+    return p;
+}
+
+TEST(Memo, SteadyStateArmsAfterThreeOccurrencesAndReplays)
+{
+    Gpu gpu(pascalGP102());
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch l = doubleKernel(x, y);
+
+    // Occurrences 1-3: full simulation (count, baseline, arm).
+    KernelStats third;
+    for (int occ = 1; occ <= 3; occ++) {
+        const KernelStats ks = gpu.launch(l, exactPolicy());
+        EXPECT_FALSE(ks.replayed) << "occurrence " << occ;
+        third = ks;
+    }
+    // Occurrence 4+: replayed, statistics spliced bit-identically.
+    for (int occ = 4; occ <= 6; occ++) {
+        const KernelStats ks = gpu.launch(l, exactPolicy());
+        EXPECT_TRUE(ks.replayed) << "occurrence " << occ;
+        EXPECT_EQ(ks.smCycles, third.smCycles);
+        EXPECT_EQ(ks.stats.all(), third.stats.all());
+        EXPECT_DOUBLE_EQ(ks.energyJ, third.energyJ);
+    }
+}
+
+TEST(Memo, ReplayExecutesLanesForRealValues)
+{
+    Gpu gpu(pascalGP102());
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch l = doubleKernel(x, y);
+    for (int occ = 1; occ <= 3; occ++)
+        gpu.launch(l, exactPolicy());
+
+    // Value-only input mutation: timing is value-independent, so the
+    // launch must stay replayed — and the functional fast path must
+    // still compute the *new* outputs exactly.
+    fillInput(gpu, x, 100.0f);
+    const KernelStats ks = gpu.launch(l, exactPolicy());
+    EXPECT_TRUE(ks.replayed);
+    for (int i = 0; i < 32; i++) {
+        const float out = gpu.mem().read<float>(y + 4 * i);
+        EXPECT_EQ(out, 2.0f * (100.0f + float(i))) << "lane " << i;
+    }
+}
+
+TEST(Memo, DataDependentDivergenceFallsBackAndStaysCorrect)
+{
+    Gpu gpu(pascalGP102());
+    const uint32_t na = gpu.mem().allocate(4);
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch l = dataDependentKernel(na, x, y);
+
+    const uint32_t four = 4;
+    gpu.mem().copyIn(na, &four, 4);
+    KernelStats armedStats;
+    for (int occ = 1; occ <= 3; occ++)
+        armedStats = gpu.launch(l, exactPolicy());
+    EXPECT_TRUE(gpu.launch(l, exactPolicy()).replayed);
+
+    // Flip the loaded trip count: the replay's Step-stream digest no
+    // longer matches, so the launch must fall back to full simulation —
+    // with memory restored first, so the result is still exact.
+    const uint32_t eight = 8;
+    gpu.mem().copyIn(na, &eight, 4);
+    const KernelStats diverged = gpu.launch(l, exactPolicy());
+    EXPECT_FALSE(diverged.replayed);
+    EXPECT_GT(diverged.stats.get("op.add"), armedStats.stats.get("op.add"));
+    for (int i = 0; i < 32; i++) {
+        const float out = gpu.mem().read<float>(y + 4 * i);
+        EXPECT_EQ(out, 8.0f * (1.0f + float(i))) << "lane " << i;
+    }
+
+    // The divergence re-baselined; one more identical full simulation
+    // confirms the new behaviour and re-arms (the signature is already
+    // warm, so re-arming is one occurrence cheaper than first arming).
+    const KernelStats rearmed = gpu.launch(l, exactPolicy());
+    EXPECT_FALSE(rearmed.replayed);
+    const KernelStats replayedAgain = gpu.launch(l, exactPolicy());
+    EXPECT_TRUE(replayedAgain.replayed);
+    EXPECT_EQ(replayedAgain.smCycles, rearmed.smCycles);
+}
+
+TEST(Memo, AlternatingSignaturesArmIndependently)
+{
+    // The RNN h/c ping-pong shape: two interleaved signatures must keep
+    // separate baselines and both reach replay.
+    Gpu gpu(pascalGP102());
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y0 = gpu.mem().allocate(4 * 32);
+    const uint32_t y1 = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch a = doubleKernel(x, y0);
+    const KernelLaunch b = doubleKernel(x, y1);
+
+    for (int occ = 1; occ <= 3; occ++) {
+        EXPECT_FALSE(gpu.launch(a, exactPolicy()).replayed);
+        EXPECT_FALSE(gpu.launch(b, exactPolicy()).replayed);
+    }
+    EXPECT_TRUE(gpu.launch(a, exactPolicy()).replayed);
+    EXPECT_TRUE(gpu.launch(b, exactPolicy()).replayed);
+}
+
+TEST(Memo, ColdStartDropsBaselines)
+{
+    Gpu gpu(pascalGP102());
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch l = doubleKernel(x, y);
+    for (int occ = 1; occ <= 3; occ++)
+        gpu.launch(l, exactPolicy());
+    EXPECT_TRUE(gpu.launch(l, exactPolicy()).replayed);
+
+    gpu.coldStart();
+    EXPECT_FALSE(gpu.launch(l, exactPolicy()).replayed);
+}
+
+TEST(Memo, EnvKillSwitchDisablesReplayInProcess)
+{
+    Gpu gpu(pascalGP102());
+    const uint32_t x = gpu.mem().allocate(4 * 32);
+    const uint32_t y = gpu.mem().allocate(4 * 32);
+    fillInput(gpu, x, 1.0f);
+    const KernelLaunch l = doubleKernel(x, y);
+    for (int occ = 1; occ <= 3; occ++)
+        gpu.launch(l, exactPolicy());
+    EXPECT_TRUE(gpu.launch(l, exactPolicy()).replayed);
+
+    setenv("TANGO_NO_MEMO", "1", 1);
+    EXPECT_FALSE(gpu.launch(l, exactPolicy()).replayed);
+    unsetenv("TANGO_NO_MEMO");
+    EXPECT_TRUE(gpu.launch(l, exactPolicy()).replayed);
+
+    // SimPolicy::memoize=false disables it structurally too.
+    SimPolicy off = exactPolicy();
+    off.memoize = false;
+    EXPECT_FALSE(gpu.launch(l, off).replayed);
+}
+
+TEST(Memo, CacheStateDigestIsRecencyOrderStable)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.assoc = 4;
+    cfg.lineBytes = 128;
+    cfg.mshrs = 8;
+
+    // Same final tag content and recency *order*, different raw access
+    // counts: the digest must canonicalize to the order, because the
+    // internal use counter keeps growing across launches even in a
+    // steady state.
+    Cache c1(cfg);
+    Cache c2(cfg);
+    c1.access(0, false, 0);
+    c1.access(4096, false, 1);
+    c2.access(0, false, 0);
+    c2.access(0, false, 1);
+    c2.access(0, false, 2);
+    c2.access(4096, false, 3);
+    EXPECT_EQ(c1.stateDigest(), c2.stateDigest());
+
+    // Flipping the recency order must change the digest.
+    Cache c3(cfg);
+    c3.access(4096, false, 0);
+    c3.access(0, false, 1);
+    EXPECT_NE(c1.stateDigest(), c3.stateDigest());
+
+    // Different tag content must change the digest.
+    Cache c4(cfg);
+    c4.access(0, false, 0);
+    c4.access(8192, false, 1);
+    EXPECT_NE(c1.stateDigest(), c4.stateDigest());
+}
+
+} // namespace
+} // namespace tango::sim

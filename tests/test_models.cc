@@ -177,10 +177,14 @@ TEST(Models, RnnGeometries)
     const RnnModel gru = models::buildGru();
     EXPECT_FALSE(gru.lstm);
     EXPECT_EQ(gru.hidden, 100u);
-    EXPECT_EQ(gru.seqLen, 2u);
+    EXPECT_EQ(gru.seqLen, models::kDefaultRnnSeqLen);
+    EXPECT_EQ(gru.seqLen % 2, 0u);   // parity contract, see models.hh
+    // The paper's exact Table I unroll stays constructible.
+    EXPECT_EQ(models::buildGru(2).seqLen, 2u);
     const RnnModel lstm = models::buildLstm();
     EXPECT_TRUE(lstm.lstm);
     EXPECT_EQ(lstm.hidden, 100u);
+    EXPECT_EQ(lstm.seqLen, models::kDefaultRnnSeqLen);
 }
 
 TEST(Models, BuildByNameMatchesDirect)

@@ -62,8 +62,8 @@ TEST(Runtime, GruEndToEndPrediction)
         rtm.run(model, p, {.sequence = &seq, .prediction = &pred});
     EXPECT_EQ(run.checkFailures, 0u);
     EXPECT_NEAR(pred, model.rnn().forward(seq), 1e-3f);
-    // 2 cell launches + 1 readout.
-    EXPECT_EQ(run.layers.size(), 3u);
+    // One cell launch per time step + 1 readout.
+    EXPECT_EQ(run.layers.size(), model.rnn().seqLen + 1u);
 }
 
 TEST(Runtime, LstmEndToEndPrediction)

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * tango-run — run networks once and print their simulated statistics:
+ * the minimal single-process entry point for wall-time measurements
+ * (scripts/perf_baseline.sh) and quick ad-hoc runs.
+ *
+ *   tango-run [options] [<policy>] <network>...
+ *
+ * The first positional argument may name a RunPolicy ("bench", "mem",
+ * "stall", "exact"); the remaining positionals are networks.  Unlike the
+ * figure benches there is no result cache and no multi-config sweep: the
+ * cost you measure is the cost of simulating exactly what you asked for.
+ *
+ * --seq-len overrides the RNN sequence length (default
+ * nn::models::kDefaultRnnSeqLen), which is how the perf baseline makes
+ * the GRU/LSTM steady state long enough to time meaningfully.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "runtime/engine.hh"
+#include "runtime/runtime.hh"
+#include "sim/gpu.hh"
+
+namespace {
+
+using namespace tango;
+
+struct Options
+{
+    std::string policy = "bench";
+    std::string platform = "GP102";
+    uint32_t seqLen = nn::models::kDefaultRnnSeqLen;
+    bool functional = false;
+    std::vector<std::string> nets;
+};
+
+void
+usage(FILE *to)
+{
+    std::fprintf(to,
+        "usage: tango-run [options] [<policy>] <network>...\n"
+        "\n"
+        "networks: cifarnet alexnet squeezenet resnet vggnet mobilenet\n"
+        "          gru lstm        (case-insensitive)\n"
+        "policies: bench, mem, stall, exact (default bench)\n"
+        "\n"
+        "options:\n"
+        "  --seq-len N      RNN sequence length (default %u; ignored for\n"
+        "                   CNNs)\n"
+        "  --platform P     GP102 | GK210 | TX1 (default GP102)\n"
+        "  --functional     upload weights and compute real outputs\n"
+        "  -h, --help       this message\n"
+        "\n"
+        "TANGO_NO_MEMO=1 disables steady-state launch memoization.\n",
+        nn::models::kDefaultRnnSeqLen);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool
+isPolicyName(const std::string &name)
+{
+    const auto known = rt::RunPolicy::names();
+    return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s expects a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg == "--seq-len") {
+            const std::string v = value();
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || n == 0 || n > (1u << 20))
+                fatal("--seq-len expects an integer in [1, %u], got '%s'",
+                      1u << 20, v.c_str());
+            opt.seqLen = static_cast<uint32_t>(n);
+        } else if (arg == "--platform") {
+            opt.platform = value();
+            if (opt.platform != "GP102" && opt.platform != "GK210" &&
+                opt.platform != "TX1") {
+                fatal("unknown --platform '%s'", opt.platform.c_str());
+            }
+        } else if (arg == "--functional") {
+            opt.functional = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(stderr);
+            fatal("unknown option '%s'", arg.c_str());
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    size_t first = 0;
+    if (!positional.empty() && isPolicyName(lower(positional[0]))) {
+        opt.policy = lower(positional[0]);
+        first = 1;
+    }
+    const auto all = nn::models::allNames();
+    for (size_t i = first; i < positional.size(); i++) {
+        const std::string net = lower(positional[i]);
+        if (std::find(all.begin(), all.end(), net) == all.end() &&
+            net != "mobilenet") {
+            std::string known;
+            for (const auto &n : all)
+                known += (known.empty() ? "" : ", ") + n;
+            fatal("unknown network '%s' (known: %s, mobilenet)",
+                  positional[i].c_str(), known.c_str());
+        }
+        opt.nets.push_back(net);
+    }
+    if (opt.nets.empty()) {
+        usage(stderr);
+        fatal("no network given");
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    rt::RunKey key;
+    key.platform = opt.platform;
+    key.policy = opt.policy;
+    sim::Gpu gpu(rt::makeConfig(key));
+    rt::Runtime rtm(gpu);
+
+    for (const std::string &net : opt.nets) {
+        rt::RunPolicy policy = rt::RunPolicy::named(opt.policy);
+        policy.functional |= opt.functional;
+
+        rt::NetRun run;
+        if (net == "gru" || net == "lstm") {
+            nn::AnyModel model(net == "gru"
+                                   ? nn::models::buildGru(opt.seqLen)
+                                   : nn::models::buildLstm(opt.seqLen));
+            if (policy.functional || policy.check)
+                nn::initWeights(model);
+            run = rtm.run(model, policy);
+        } else {
+            run = rt::runNetworkByName(gpu, net, policy);
+        }
+
+        uint64_t kernels = 0;
+        for (const auto &l : run.layers)
+            kernels += l.kernels.size();
+        std::printf("%-12s policy=%s  kernels=%llu  sim_time=%.6gs  "
+                    "energy=%.6gJ\n",
+                    net.c_str(), opt.policy.c_str(),
+                    static_cast<unsigned long long>(kernels),
+                    run.totalTimeSec, run.totalEnergyJ);
+        std::printf("  launches: replayed=%llu simulated=%llu\n",
+                    static_cast<unsigned long long>(
+                        run.totals.get("mem.replayed_launches")),
+                    static_cast<unsigned long long>(
+                        run.totals.get("mem.simulated_launches")));
+    }
+    return 0;
+}

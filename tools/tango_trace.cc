@@ -47,6 +47,7 @@ struct Options
     uint64_t window = 4096;
     uint32_t maxEvents = 1u << 20;
     uint32_t mask = trace::kDefaultEvents;
+    bool summary = false;
     std::vector<std::string> nets;
 };
 
@@ -70,6 +71,8 @@ usage(FILE *to)
         "                   of two (default %u)\n"
         "  --platform P     GP102 | GK210 | TX1 (default GP102)\n"
         "  --out DIR        output directory (default .)\n"
+        "  --summary        also print a launch-serving summary line\n"
+        "                   (replayed vs fully simulated launches)\n"
         "  -h, --help       this message\n",
         1u << 20);
 }
@@ -191,6 +194,8 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--out") {
             opt.outDir = value();
+        } else if (arg == "--summary") {
+            opt.summary = true;
         } else if (!arg.empty() && arg[0] == '-') {
             usage(stderr);
             fatal("unknown option '%s'", arg.c_str());
@@ -276,6 +281,16 @@ main(int argc, char **argv)
                     net.c_str(), opt.policy.c_str(), run.layers.size(),
                     static_cast<unsigned long long>(kernels),
                     run.totalTimeSec);
+        if (opt.summary) {
+            // How the launches were served by the memoization layer
+            // (sim/gpu.cc): replayed = steady-state launches whose
+            // statistics were spliced from cache.
+            std::printf("  launches: replayed=%llu simulated=%llu\n",
+                        static_cast<unsigned long long>(
+                            run.totals.get("mem.replayed_launches")),
+                        static_cast<unsigned long long>(
+                            run.totals.get("mem.simulated_launches")));
+        }
         std::printf("  events recorded: %llu   dropped: %llu\n",
                     static_cast<unsigned long long>(sink.recorded()),
                     static_cast<unsigned long long>(sink.dropped()));
