@@ -26,6 +26,28 @@ build/tools/tango-trace --summary --out "$tracedir" gru |
     grep -E 'launches: replayed=[1-9][0-9]* simulated=[1-9]'
 rm -rf "$tracedir"
 
+echo "=== tango-prof hotspot attribution (folded flamegraph export) ==="
+profdir=$(mktemp -d)
+build/tools/tango-prof --folded "$profdir/alexnet.folded" fig alexnet \
+    > "$profdir/alexnet.txt"
+# Aggregate the folded stacks ("net;layer;kernel;label cycles") by label.
+# The hottest label of the whole network must be a MAC inner loop, and
+# restricted to the conv layers it must be conv.mac (alexnet's fc6 is
+# memory-bound and tops the whole-network profile).
+top=$(awk '{n = split($1, a, ";"); s[a[n]] += $2}
+           END {best = ""
+                for (l in s) if (best == "" || s[l] > s[best]) best = l
+                print best}' "$profdir/alexnet.folded")
+echo "top hotspot label: $top"
+echo "$top" | grep -qE '\.mac$'
+convtop=$(awk -F';' '$2 ~ /^conv/ {split($4, b, " "); s[b[1]] += b[2]}
+           END {best = ""
+                for (l in s) if (best == "" || s[l] > s[best]) best = l
+                print best}' "$profdir/alexnet.folded")
+echo "top conv-layer label: $convtop"
+[[ "$convtop" == "conv.mac" ]]
+rm -rf "$profdir"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== ThreadSanitizer engine + trace tests ==="
     cmake --preset tsan

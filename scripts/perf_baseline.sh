@@ -58,6 +58,27 @@ for net in gru lstm; do
                             --seq-len "$SEQLEN")
 done
 
+# Profiling-off guard: the per-PC profiler (SimPolicy::profile) must
+# cost nothing when off — the hot loop gains exactly one predictable
+# branch.  If a previous baseline exists, the fresh cold fig01 run
+# (profiling off, as always in the benches) must stay within 2% of it.
+# SKIP_PROF_GUARD=1 skips the check (e.g. first run on a new machine).
+if [[ "${SKIP_PROF_GUARD:-0}" != "1" && -f "$OUT" ]]; then
+    old=$(awk -F': ' '/"fig01_layer_time_breakdown"/ \
+                      {gsub(/[ ,]/, "", $2); print $2; exit}' "$OUT")
+    new="${wall[fig01_layer_time_breakdown]}"
+    if [[ -n $old ]]; then
+        if ! awk -v old="$old" -v new="$new" \
+                 'BEGIN { exit !(new <= old * 1.02) }'; then
+            echo "profiling-off guard FAILED: cold fig01 ${new}s is more" \
+                 "than 2% over the $OUT baseline ${old}s" >&2
+            exit 1
+        fi
+        echo "profiling-off guard: cold fig01 ${new}s within 2%" \
+             "of baseline ${old}s" >&2
+    fi
+fi
+
 {
     echo "{"
     echo "  \"runs\": $RUNS,"

@@ -18,6 +18,7 @@ std::shared_ptr<Program>
 buildMap(const MapDesc &d)
 {
     Builder b(d.name);
+    auto mSetup = b.mark("map.setup");
     b.constant(12);    // C H W
 
     Reg pA = b.param(0);
@@ -47,6 +48,7 @@ buildMap(const MapDesc &d)
     // Per-channel parameters, hoisted out of the pixel loops.
     Reg g = b.reg(), be = b.reg(), tOff = b.reg(), tAddr = b.reg();
     auto loadChannelParams = [&] {
+        auto m = b.mark("map.params");
         if (d.kind == MapKind::Scale) {
             b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
             b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
@@ -66,12 +68,16 @@ buildMap(const MapDesc &d)
 
     Reg tV = b.reg(), tV2 = b.reg(), tBase = b.reg();
     auto emitElem = [&](Reg x, Reg y) {
-        // idx = (k*H + y)*W + x
-        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
-        b.emit3(Op::Add, DType::U32, tBase, tBase, y);
-        b.emit3(Op::Mul, DType::U32, tBase, tBase, rWd);
-        b.emit3(Op::Add, DType::U32, tBase, tBase, x);
-        b.emit3i(Op::Shl, DType::U32, tBase, tBase, 2);
+        {
+            auto m = b.mark("map.idx");
+            // idx = (k*H + y)*W + x
+            b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+            b.emit3(Op::Add, DType::U32, tBase, tBase, y);
+            b.emit3(Op::Mul, DType::U32, tBase, tBase, rWd);
+            b.emit3(Op::Add, DType::U32, tBase, tBase, x);
+            b.emit3i(Op::Shl, DType::U32, tBase, tBase, 2);
+        }
+        auto mElem = b.mark("map.elem");
         b.emit3(Op::Add, DType::U32, tAddr, pA, tBase);
         b.ld(DType::F32, Space::Global, tV, tAddr);
         switch (d.kind) {
@@ -94,8 +100,11 @@ buildMap(const MapDesc &d)
         }
         if (d.relu)
             b.emit3f(Op::Max, tV, tV, 0.0f);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tBase);
-        b.st(DType::F32, Space::Global, tAddr, tV);
+        {
+            auto m = b.mark("map.store");
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tBase);
+            b.st(DType::F32, Space::Global, tAddr, tV);
+        }
     };
 
     auto withPixels = [&] {
@@ -104,8 +113,8 @@ buildMap(const MapDesc &d)
             Reg yy = b.reg(), xx = b.reg();
             detail::stridedLoop(b, yy, ty, rH, d.block.y, [&] {
                 detail::stridedLoop(b, xx, tx, rWd, d.block.x,
-                            [&] { emitElem(xx, yy); });
-            });
+                            [&] { emitElem(xx, yy); }, "map.pixloop");
+            }, "map.pixloop");
             break;
           }
           case PixelMap::RowBlock: {
@@ -160,6 +169,7 @@ std::shared_ptr<Program>
 buildSoftmax(const SoftmaxDesc &d)
 {
     Builder b(d.name);
+    auto mSetup = b.mark("softmax.setup");
     b.constant(4);    // n
     const uint32_t T = d.threads;
     const uint32_t shOff = b.shared(T * 4);
@@ -174,58 +184,67 @@ buildSoftmax(const SoftmaxDesc &d)
 
     // Phase 1: strided local max, then an all-threads serial reduction of
     // the T partials in shared memory (the naive but branch-free pattern).
-    b.movF(m, -3.4e38f);
-    detail::stridedLoop(b, i, tx, rN, T, [&] {
-        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-        b.ld(DType::F32, Space::Global, tV, tAddr);
-        b.emit3(Op::Max, DType::F32, m, m, tV);
-    });
-    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
-    b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
-    b.st(DType::F32, Space::Shared, tAddr, m);
-    b.bar();
-    b.movF(m, -3.4e38f);
-    b.forLoopI(i, 0, T, [&] {
-        b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
-        b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
-        b.emit3(Op::Max, DType::F32, m, m, tV);
-    });
-    b.bar();
+    {
+        auto mPhase = b.mark("softmax.max");
+        b.movF(m, -3.4e38f);
+        detail::stridedLoop(b, i, tx, rN, T, [&] {
+            b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+            b.ld(DType::F32, Space::Global, tV, tAddr);
+            b.emit3(Op::Max, DType::F32, m, m, tV);
+        });
+        b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+        b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
+        b.st(DType::F32, Space::Shared, tAddr, m);
+        b.bar();
+        b.movF(m, -3.4e38f);
+        b.forLoopI(i, 0, T, [&] {
+            b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+            b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
+            b.emit3(Op::Max, DType::F32, m, m, tV);
+        });
+        b.bar();
+    }
 
     // Phase 2: out[i] = exp(in[i]-m) and strided local sum.
-    b.movF(s, 0.0f);
-    detail::stridedLoop(b, i, tx, rN, T, [&] {
-        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-        b.ld(DType::F32, Space::Global, tV, tAddr);
-        b.emit3(Op::Sub, DType::F32, tV, tV, m);
-        b.emit3f(Op::Mul, tV, tV, log2e);
-        b.emit2(Op::Ex2, DType::F32, tV, tV);
-        b.emit3(Op::Add, DType::F32, s, s, tV);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.st(DType::F32, Space::Global, tAddr, tV);
-    });
-    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
-    b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
-    b.st(DType::F32, Space::Shared, tAddr, s);
-    b.bar();
-    b.movF(s, 0.0f);
-    b.forLoopI(i, 0, T, [&] {
-        b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
-        b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
-        b.emit3(Op::Add, DType::F32, s, s, tV);
-    });
-    b.emit2(Op::Rcp, DType::F32, s, s);
+    {
+        auto mPhase = b.mark("softmax.exp");
+        b.movF(s, 0.0f);
+        detail::stridedLoop(b, i, tx, rN, T, [&] {
+            b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+            b.ld(DType::F32, Space::Global, tV, tAddr);
+            b.emit3(Op::Sub, DType::F32, tV, tV, m);
+            b.emit3f(Op::Mul, tV, tV, log2e);
+            b.emit2(Op::Ex2, DType::F32, tV, tV);
+            b.emit3(Op::Add, DType::F32, s, s, tV);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.st(DType::F32, Space::Global, tAddr, tV);
+        });
+        b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+        b.emit3i(Op::Add, DType::U32, tAddr, tOff, shOff);
+        b.st(DType::F32, Space::Shared, tAddr, s);
+        b.bar();
+        b.movF(s, 0.0f);
+        b.forLoopI(i, 0, T, [&] {
+            b.emit3i(Op::Shl, DType::U32, tAddr, i, 2);
+            b.ld(DType::F32, Space::Shared, tV, tAddr, shOff);
+            b.emit3(Op::Add, DType::F32, s, s, tV);
+        });
+        b.emit2(Op::Rcp, DType::F32, s, s);
+    }
 
     // Phase 3: normalize in place.
-    detail::stridedLoop(b, i, tx, rN, T, [&] {
-        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.ld(DType::F32, Space::Global, tV, tAddr);
-        b.emit3(Op::Mul, DType::F32, tV, tV, s);
-        b.st(DType::F32, Space::Global, tAddr, tV);
-    });
+    {
+        auto mPhase = b.mark("softmax.norm");
+        detail::stridedLoop(b, i, tx, rN, T, [&] {
+            b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.ld(DType::F32, Space::Global, tV, tAddr);
+            b.emit3(Op::Mul, DType::F32, tV, tV, s);
+            b.st(DType::F32, Space::Global, tAddr, tV);
+        });
+    }
 
     return b.finish();
 }

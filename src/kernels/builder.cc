@@ -71,6 +71,20 @@ Builder::endGuard()
     guardNeg_ = false;
 }
 
+Builder::Mark
+Builder::mark(const std::string &label)
+{
+    Mark m(this, curLabel_);
+    curLabel_ = prog_->debug.intern(label);
+    return m;
+}
+
+void
+Builder::recordLabel()
+{
+    prog_->debug.pcLabel.push_back(curLabel_);
+}
+
 Instr &
 Builder::push(Instr ins)
 {
@@ -78,6 +92,7 @@ Builder::push(Instr ins)
     ins.pred = guard_;
     ins.predNeg = guardNeg_;
     prog_->code.push_back(ins);
+    recordLabel();
     return prog_->code.back();
 }
 
@@ -418,6 +433,7 @@ Builder::braIf(Label l, PredReg p, bool negate)
     ins.pred = p.idx;       // branch condition, applied regardless of guard
     ins.predNeg = negate;
     prog_->code.push_back(ins);
+    recordLabel();
     fixups_.emplace_back(prog_->code.size() - 1, l.id);
 }
 

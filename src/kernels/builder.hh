@@ -77,6 +77,42 @@ class Builder
     /** Clear the active guard. */
     void endGuard();
 
+    // ----- source mapping ---------------------------------------------------
+    /**
+     * Scoped statement label (mark()): while the returned guard is alive,
+     * every emitted instruction is tagged with @p label in the program's
+     * DebugInfo table.  Scopes nest — an inner mark() overrides until its
+     * guard dies, then the outer label resumes.  The profiler rolls per-PC
+     * counters up by these labels, so name them after the CUDA-C statement
+     * the emission corresponds to ("conv.mac", "gru.gate_sigmoid", ...).
+     */
+    class Mark
+    {
+      public:
+        Mark(Mark &&o) noexcept : b_(o.b_), prev_(o.prev_)
+        {
+            o.b_ = nullptr;
+        }
+        Mark(const Mark &) = delete;
+        Mark &operator=(const Mark &) = delete;
+        Mark &operator=(Mark &&) = delete;
+        ~Mark()
+        {
+            if (b_)
+                b_->curLabel_ = prev_;
+        }
+
+      private:
+        friend class Builder;
+        Mark(Builder *b, uint16_t prev) : b_(b), prev_(prev) {}
+        Builder *b_;
+        uint16_t prev_;
+    };
+
+    /** Tag subsequently emitted instructions with @p label until the
+     *  returned guard is destroyed. */
+    [[nodiscard]] Mark mark(const std::string &label);
+
     // ----- moves / immediates ----------------------------------------------
     Reg movS(SReg s);                    ///< read a special register
     Reg immU(uint32_t v);                ///< materialize a u32 immediate
@@ -153,6 +189,10 @@ class Builder
 
   private:
     Instr &push(Instr ins);
+    /** Record the active mark() label for the instruction just appended
+     *  (every append path — push() and the raw braIf() — goes through
+     *  this, so pc -> label coverage has no holes). */
+    void recordLabel();
 
     std::shared_ptr<Program> prog_;
     std::vector<uint8_t> freeRegs_;
@@ -162,6 +202,7 @@ class Builder
     std::vector<std::pair<size_t, int>> fixups_; // (pc, label id)
     uint8_t guard_ = sim::noPred;
     bool guardNeg_ = false;
+    uint16_t curLabel_ = 0;
     bool finished_ = false;
 };
 

@@ -24,6 +24,7 @@ buildConv(const ConvDesc &desc)
     d.derive();
 
     Builder b(d.name);
+    auto mSetup = b.mark("conv.setup");
     b.constant(d.quantWeights ? 36 : 32);    // C H W K R S P Q [wscale]
 
     // Pointer parameters.
@@ -61,40 +62,58 @@ buildConv(const ConvDesc &desc)
 
     // One output value: out[k, y, x].
     auto emitOutput = [&](Reg k, Reg x, Reg y) {
-        if (d.bias) {
-            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
-            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
-            b.ld(DType::F32, Space::Global, acc, tAddr);
-        } else {
-            b.movF(acc, 0.0f);
+        {
+            auto m = b.mark("conv.bias");
+            if (d.bias) {
+                b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+                b.ld(DType::F32, Space::Global, acc, tAddr);
+            } else {
+                b.movF(acc, 0.0f);
+            }
         }
-        // xs = x*stride - pad; ys = y*stride - pad (u32 wraparound is the
-        // idiomatic unsigned bounds trick: iy >= H also catches iy < 0).
-        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
-        b.emit3i(Op::Add, DType::U32, xs, xs,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
-        b.emit3i(Op::Add, DType::U32, ys, ys,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        b.emit3(Op::Mul, DType::U32, tKC, k, rC);
+        {
+            auto m = b.mark("conv.idx");
+            // xs = x*stride - pad; ys = y*stride - pad (u32 wraparound is
+            // the idiomatic unsigned bounds trick: iy >= H also catches
+            // iy < 0).
+            b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+            b.emit3i(Op::Add, DType::U32, xs, xs,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+            b.emit3i(Op::Add, DType::U32, ys, ys,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            b.emit3(Op::Mul, DType::U32, tKC, k, rC);
+        }
 
+        auto mLoop = b.mark("conv.loop");
         b.forLoop(c, 0, rC, [&] {
-            // kc = (k*C + c) * R
-            b.emit3(Op::Add, DType::U32, tKc, tKC, c);
-            b.emit3(Op::Mul, DType::U32, tKc, tKc, rR);
+            {
+                auto m = b.mark("conv.idx");
+                // kc = (k*C + c) * R
+                b.emit3(Op::Add, DType::U32, tKc, tKC, c);
+                b.emit3(Op::Mul, DType::U32, tKc, tKc, rR);
+            }
             b.forLoop(r, 0, rR, [&] {
-                b.emit3(Op::Add, DType::U32, tIy, ys, r);
-                // rowBase = (c*H + iy) * W          (mad + mul)
-                b.mad(DType::U32, tRow, c, rH, tIy);
-                b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
-                // wRow = ((k*C + c)*R + r) * S      (mad)
-                b.emit3(Op::Add, DType::U32, tWRow, tKc, r);
-                b.emit3(Op::Mul, DType::U32, tWRow, tWRow, rS);
-                b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
-                Label reconv = b.label();
-                b.ssy(reconv);
+                Label reconv;
+                {
+                    auto m = b.mark("conv.idx");
+                    b.emit3(Op::Add, DType::U32, tIy, ys, r);
+                    // rowBase = (c*H + iy) * W          (mad + mul)
+                    b.mad(DType::U32, tRow, c, rH, tIy);
+                    b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
+                    // wRow = ((k*C + c)*R + r) * S      (mad)
+                    b.emit3(Op::Add, DType::U32, tWRow, tKc, r);
+                    b.emit3(Op::Mul, DType::U32, tWRow, tWRow, rS);
+                    b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+                    reconv = b.label();
+                    b.ssy(reconv);
+                }
                 // The filter-width loop is fully unrolled (S is a build
                 // constant), as the CUDA compiler does for small bounds.
+                // The whole unrolled body is the `acc += in * w` statement,
+                // so it carries one label.
+                auto mMac = b.mark("conv.mac");
                 for (uint32_t sIdx = 0; sIdx < d.S; sIdx++) {
                     b.emit3i(Op::Add, DType::U32, tIx, xs, sIdx);
                     b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
@@ -132,22 +151,27 @@ buildConv(const ConvDesc &desc)
             });
         });
 
-        if (d.relu)
+        if (d.relu) {
+            auto m = b.mark("conv.relu");
             b.emit3f(Op::Max, acc, acc, 0.0f);
+        }
 
-        // Guarded store of out[((k*P + y)*Q + x) * 4].
-        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
-        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
-        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
-        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
-        b.mad(DType::U32, tOff, k, rP, y);
-        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
-        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
-        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.guard(pSt);
-        b.st(DType::F32, Space::Global, tAddr, acc);
-        b.endGuard();
+        {
+            auto m = b.mark("conv.store");
+            // Guarded store of out[((k*P + y)*Q + x) * 4].
+            b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+            b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+            b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+            b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+            b.mad(DType::U32, tOff, k, rP, y);
+            b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+            b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+            b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.guard(pSt);
+            b.st(DType::F32, Space::Global, tAddr, acc);
+            b.endGuard();
+        }
     };
 
     // Resolve the filter index.
@@ -202,8 +226,8 @@ buildConv(const ConvDesc &desc)
             Reg yy = b.reg(), xx = b.reg();
             detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
                 detail::stridedLoop(b, xx, tx, rQ, d.block.x,
-                            [&] { body(xx, yy); });
-            });
+                            [&] { body(xx, yy); }, "conv.pixloop");
+            }, "conv.pixloop");
             break;
           }
         }

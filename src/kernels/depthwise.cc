@@ -26,6 +26,7 @@ buildDepthwise(const DepthwiseDesc &desc)
     d.derive();
 
     Builder b(d.name);
+    auto mSetup = b.mark("dw.setup");
     b.constant(20);    // C H W P Q
 
     Reg pIn = b.param(0);
@@ -52,68 +53,84 @@ buildDepthwise(const DepthwiseDesc &desc)
     PredReg pSt = b.pred();
 
     auto emitOutput = [&](Reg x, Reg y) {
-        if (d.bias) {
-            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
-            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
-            b.ld(DType::F32, Space::Global, acc, tAddr);
-        } else {
-            b.movF(acc, 0.0f);
-        }
-        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
-        b.emit3i(Op::Add, DType::U32, xs, xs,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
-        b.emit3i(Op::Add, DType::U32, ys, ys,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        // Input plane base: k*H; filter base: k*R*S.
-        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
-        b.emit3i(Op::Mul, DType::U32, tWBase, k, d.R * d.S);
-        for (uint32_t r = 0; r < d.R; r++) {
-            b.emit3i(Op::Add, DType::U32, tIy, ys, r);
-            b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
-            b.emit3(Op::Add, DType::U32, tRow, tBase, tIy);
-            b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
-            for (uint32_t s = 0; s < d.S; s++) {
-                b.emit3i(Op::Add, DType::U32, tIx, xs, s);
-                b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
-                b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
-                b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
-                b.emit3(Op::Add, DType::U32, tOff, tRow, tIx);
-                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-                b.movF(tV, 0.0f);
-                b.guard(pLd);
-                b.ld(DType::F32, Space::Global, tV, tAddr);
-                b.endGuard();
-                b.emit3i(Op::Add, DType::U32, tOff, tWBase,
-                         r * d.S + s);
-                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-                b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
-                b.ld(DType::F32, Space::Global, tWv, tAddr);
-                b.mad(DType::F32, acc, tV, tWv, acc);
+        {
+            auto m = b.mark("dw.bias");
+            if (d.bias) {
+                b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+                b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+                b.ld(DType::F32, Space::Global, acc, tAddr);
+            } else {
+                b.movF(acc, 0.0f);
             }
         }
-        if (d.relu)
+        {
+            auto m = b.mark("dw.idx");
+            b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+            b.emit3i(Op::Add, DType::U32, xs, xs,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+            b.emit3i(Op::Add, DType::U32, ys, ys,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            // Input plane base: k*H; filter base: k*R*S.
+            b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+            b.emit3i(Op::Mul, DType::U32, tWBase, k, d.R * d.S);
+        }
+        {
+            // The fully unrolled RxS window is the `acc += in * w`
+            // statement.
+            auto m = b.mark("dw.mac");
+            for (uint32_t r = 0; r < d.R; r++) {
+                b.emit3i(Op::Add, DType::U32, tIy, ys, r);
+                b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+                b.emit3(Op::Add, DType::U32, tRow, tBase, tIy);
+                b.emit3(Op::Mul, DType::U32, tRow, tRow, rWd);
+                for (uint32_t s = 0; s < d.S; s++) {
+                    b.emit3i(Op::Add, DType::U32, tIx, xs, s);
+                    b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
+                    b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
+                    b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
+                    b.emit3(Op::Add, DType::U32, tOff, tRow, tIx);
+                    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                    b.movF(tV, 0.0f);
+                    b.guard(pLd);
+                    b.ld(DType::F32, Space::Global, tV, tAddr);
+                    b.endGuard();
+                    b.emit3i(Op::Add, DType::U32, tOff, tWBase,
+                             r * d.S + s);
+                    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                    b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+                    b.ld(DType::F32, Space::Global, tWv, tAddr);
+                    b.mad(DType::F32, acc, tV, tWv, acc);
+                }
+            }
+        }
+        if (d.relu) {
+            auto m = b.mark("dw.relu");
             b.emit3f(Op::Max, acc, acc, 0.0f);
-        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
-        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
-        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
-        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
-        b.mad(DType::U32, tOff, k, rP, y);
-        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
-        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
-        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.guard(pSt);
-        b.st(DType::F32, Space::Global, tAddr, acc);
-        b.endGuard();
+        }
+        {
+            auto m = b.mark("dw.store");
+            b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+            b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+            b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+            b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+            b.mad(DType::U32, tOff, k, rP, y);
+            b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+            b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+            b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.guard(pSt);
+            b.st(DType::F32, Space::Global, tAddr, acc);
+            b.endGuard();
+        }
     };
 
     Reg yy = b.reg(), xx = b.reg();
     detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
         detail::stridedLoop(b, xx, tx, rQ, d.block.x,
-                            [&] { emitOutput(xx, yy); });
-    });
+                            [&] { emitOutput(xx, yy); }, "dw.pixloop");
+    }, "dw.pixloop");
 
     return b.finish();
 }

@@ -8,6 +8,7 @@
 
 #include <cstring>
 #include <initializer_list>
+#include <optional>
 #include <vector>
 
 #include "kernels/builder.hh"
@@ -22,11 +23,18 @@ namespace tango::kern::detail {
  * lanes that exit early park at the reconvergence point until the rest of
  * the warp catches up.  Without this, early lanes would run ahead past
  * barriers and read shared memory before it is written.
+ *
+ * When @p label is given, the loop-control instructions (and, unless it
+ * sets its own mark(), the body) are tagged with it in the program's
+ * DebugInfo table.
  */
 inline void
 stridedLoop(Builder &b, Reg v, Reg init, Reg bound, uint32_t step,
-            const std::function<void()> &body)
+            const std::function<void()> &body, const char *label = nullptr)
 {
+    std::optional<Builder::Mark> m;
+    if (label)
+        m.emplace(b.mark(label));
     Label head = b.label();
     Label done = b.label();
     PredReg p = b.pred();

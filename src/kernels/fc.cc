@@ -27,6 +27,7 @@ std::shared_ptr<Program>
 buildFc(const FcDesc &d)
 {
     Builder b(d.name);
+    auto mSetup = b.mark("fc.setup");
     b.constant(8);    // inN outN
 
     Reg pIn = b.param(0);
@@ -66,40 +67,53 @@ buildFc(const FcDesc &d)
     Reg tOff = b.reg(), tAddr = b.reg(), nIn = b.reg();
     Reg i = b.reg();
 
-    if (d.bias) {
-        b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
-        b.movF(acc, 0.0f);
-        b.guard(pN);
-        b.ld(DType::F32, Space::Global, acc, tAddr);
-        b.endGuard();
-    } else {
-        b.movF(acc, 0.0f);
+    {
+        auto m = b.mark("fc.bias");
+        if (d.bias) {
+            b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pB, tOff);
+            b.movF(acc, 0.0f);
+            b.guard(pN);
+            b.ld(DType::F32, Space::Global, acc, tAddr);
+            b.endGuard();
+        } else {
+            b.movF(acc, 0.0f);
+        }
     }
 
-    b.emit3(Op::Mul, DType::U32, nIn, n, rIn);
-    b.forLoop(i, 0, rIn, [&] {
-        b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-        b.ld(DType::F32, Space::Global, tV, tAddr);
-        b.emit3(Op::Add, DType::U32, tOff, nIn, i);
-        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
-        b.movF(tWv, 0.0f);
-        b.guard(pN);
-        b.ld(DType::F32, Space::Global, tWv, tAddr);
-        b.endGuard();
-        b.mad(DType::F32, acc, tV, tWv, acc);
-    });
+    {
+        // The whole dot-product loop is the `acc += in[i] * w[n][i]`
+        // statement (loop control included).
+        auto m = b.mark("fc.mac");
+        b.emit3(Op::Mul, DType::U32, nIn, n, rIn);
+        b.forLoop(i, 0, rIn, [&] {
+            b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+            b.ld(DType::F32, Space::Global, tV, tAddr);
+            b.emit3(Op::Add, DType::U32, tOff, nIn, i);
+            b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+            b.movF(tWv, 0.0f);
+            b.guard(pN);
+            b.ld(DType::F32, Space::Global, tWv, tAddr);
+            b.endGuard();
+            b.mad(DType::F32, acc, tV, tWv, acc);
+        });
+    }
 
-    if (d.relu)
+    if (d.relu) {
+        auto m = b.mark("fc.relu");
         b.emit3f(Op::Max, acc, acc, 0.0f);
+    }
 
-    b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
-    b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-    b.guard(pN);
-    b.st(DType::F32, Space::Global, tAddr, acc);
-    b.endGuard();
+    {
+        auto m = b.mark("fc.store");
+        b.emit3i(Op::Shl, DType::U32, tOff, n, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pN);
+        b.st(DType::F32, Space::Global, tAddr, acc);
+        b.endGuard();
+    }
 
     return b.finish();
 }

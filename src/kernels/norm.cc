@@ -19,6 +19,7 @@ buildLrn(const LrnDesc &d)
     //   out[c,y,x] = in[c,y,x] / (k + alpha/n * sum_j in[j,y,x]^2)^beta
     // with j in the window of `localSize` channels centred on c.
     Builder b(d.name);
+    auto mSetup = b.mark("lrn.setup");
     b.constant(12);    // C H W
 
     Reg pIn = b.param(0);
@@ -54,7 +55,9 @@ buildLrn(const LrnDesc &d)
 
     b.movF(sum, 0.0f);
     const uint32_t half = d.localSize / 2;
-    // The window is a small build constant: fully unrolled.
+    // The window is a small build constant: fully unrolled.  The whole
+    // unrolled window is the `sum += in[jc]^2` statement.
+    auto mWin = b.mark("lrn.window");
     for (uint32_t j = 0; j < d.localSize; j++) {
         // jc = k - half + j; valid iff jc < C (unsigned wrap covers < 0)
         b.emit3i(Op::Add, DType::U32, tJc, k,
@@ -73,33 +76,39 @@ buildLrn(const LrnDesc &d)
         b.mad(DType::F32, sum, tV, tV, sum);
     }
 
-    // scale = k_const + (alpha/n) * sum;  denom = scale^beta
-    b.emit3f(Op::Mul, sum, sum, d.alpha / float(d.localSize));
-    b.emit3f(Op::Add, sum, sum, d.k);
-    // scale^beta = 2^(beta * log2(scale))
-    b.emit2(Op::Lg2, DType::F32, sum, sum);
-    b.emit3f(Op::Mul, sum, sum, d.beta);
-    b.emit2(Op::Ex2, DType::F32, sum, sum);
-    b.emit2(Op::Rcp, DType::F32, sum, sum);
+    {
+        // scale = k_const + (alpha/n) * sum;  denom = scale^beta
+        auto m = b.mark("lrn.scale");
+        b.emit3f(Op::Mul, sum, sum, d.alpha / float(d.localSize));
+        b.emit3f(Op::Add, sum, sum, d.k);
+        // scale^beta = 2^(beta * log2(scale))
+        b.emit2(Op::Lg2, DType::F32, sum, sum);
+        b.emit3f(Op::Mul, sum, sum, d.beta);
+        b.emit2(Op::Ex2, DType::F32, sum, sum);
+        b.emit2(Op::Rcp, DType::F32, sum, sum);
+    }
 
-    // out[k,y,x] = in[k,y,x] * 1/denom   (guarded for partial tiles)
-    b.setr(DType::U16, Cmp::Lt, tF1, x, rWd);
-    b.setr(DType::U16, Cmp::Lt, tF2, y, rH);
-    b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
-    b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
-    b.emit3(Op::Mul, DType::U32, tOff, k, rH);
-    b.mad(DType::U32, tOff, tOff, rWd, pix);
-    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-    b.movF(tV, 0.0f);
-    b.guard(pSt);
-    b.ld(DType::F32, Space::Global, tV, tAddr);
-    b.endGuard();
-    b.emit3(Op::Mul, DType::F32, tV, tV, sum);
-    b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-    b.guard(pSt);
-    b.st(DType::F32, Space::Global, tAddr, tV);
-    b.endGuard();
+    {
+        // out[k,y,x] = in[k,y,x] * 1/denom   (guarded for partial tiles)
+        auto m = b.mark("lrn.store");
+        b.setr(DType::U16, Cmp::Lt, tF1, x, rWd);
+        b.setr(DType::U16, Cmp::Lt, tF2, y, rH);
+        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+        b.emit3(Op::Mul, DType::U32, tOff, k, rH);
+        b.mad(DType::U32, tOff, tOff, rWd, pix);
+        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+        b.movF(tV, 0.0f);
+        b.guard(pSt);
+        b.ld(DType::F32, Space::Global, tV, tAddr);
+        b.endGuard();
+        b.emit3(Op::Mul, DType::F32, tV, tV, sum);
+        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+        b.guard(pSt);
+        b.st(DType::F32, Space::Global, tAddr, tV);
+        b.endGuard();
+    }
 
     (void)log2e;
     return b.finish();

@@ -34,6 +34,7 @@ buildPool(const PoolDesc &desc)
     d.derive();
 
     Builder b(d.name);
+    auto mSetup = b.mark("pool.setup");
     b.constant(20);    // C H W P Q
 
     Reg pIn = b.param(0);
@@ -63,79 +64,96 @@ buildPool(const PoolDesc &desc)
         PredReg pK = b.pred();
         b.setp(pK, DType::U32, Cmp::Lt, k, rC);
         b.movF(acc, 0.0f);
-        // base = k*H*W
-        b.emit3(Op::Mul, DType::U32, tBase, rH, rWd);
-        b.emit3(Op::Mul, DType::U32, tBase, tBase, k);
-        b.forLoop(i, 0, rH, [&] {
-            b.forLoop(j, 0, rWd, [&] {
-                b.emit3(Op::Mul, DType::U32, tOff, i, rWd);
-                b.emit3(Op::Add, DType::U32, tOff, tOff, j);
-                b.emit3(Op::Add, DType::U32, tOff, tOff, tBase);
-                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-                b.guard(pK);
-                b.ld(DType::F32, Space::Global, tV, tAddr);
-                b.endGuard();
-                b.emit3(Op::Add, DType::F32, acc, acc, tV);
+        {
+            // The whole plane sum is the `acc += in[k][i][j]` statement.
+            auto m = b.mark("pool.gavg");
+            // base = k*H*W
+            b.emit3(Op::Mul, DType::U32, tBase, rH, rWd);
+            b.emit3(Op::Mul, DType::U32, tBase, tBase, k);
+            b.forLoop(i, 0, rH, [&] {
+                b.forLoop(j, 0, rWd, [&] {
+                    b.emit3(Op::Mul, DType::U32, tOff, i, rWd);
+                    b.emit3(Op::Add, DType::U32, tOff, tOff, j);
+                    b.emit3(Op::Add, DType::U32, tOff, tOff, tBase);
+                    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                    b.guard(pK);
+                    b.ld(DType::F32, Space::Global, tV, tAddr);
+                    b.endGuard();
+                    b.emit3(Op::Add, DType::F32, acc, acc, tV);
+                });
             });
-        });
-        b.emit3f(Op::Mul, acc, acc, 1.0f / (float(d.H) * float(d.W)));
-        b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.guard(pK);
-        b.st(DType::F32, Space::Global, tAddr, acc);
-        b.endGuard();
+        }
+        {
+            auto m = b.mark("pool.store");
+            b.emit3f(Op::Mul, acc, acc, 1.0f / (float(d.H) * float(d.W)));
+            b.emit3i(Op::Shl, DType::U32, tOff, k, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.guard(pK);
+            b.st(DType::F32, Space::Global, tAddr, acc);
+            b.endGuard();
+        }
         return b.finish();
     }
 
     auto emitOutput = [&](Reg k, Reg x, Reg y) {
-        b.movF(acc, d.avg ? 0.0f : negInf);
-        b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
-        b.emit3i(Op::Add, DType::U32, xs, xs,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
-        b.emit3i(Op::Add, DType::U32, ys, ys,
-                 static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
-        // base = k*H (plane row base built per i)
-        b.emit3(Op::Mul, DType::U32, tBase, k, rH);
-        // The pooling window is small and a build constant, so it is
-        // fully unrolled, as the compiler would.
-        for (uint32_t i = 0; i < d.win; i++) {
-            b.emit3i(Op::Add, DType::U32, tIy, ys, i);
-            b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
-            for (uint32_t j = 0; j < d.win; j++) {
-                b.emit3i(Op::Add, DType::U32, tIx, xs, j);
-                b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
-                b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
-                b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
-                b.emit3(Op::Add, DType::U32, tOff, tBase, tIy);
-                b.mad(DType::U32, tOff, tOff, rWd, tIx);
-                b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-                b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
-                b.movF(tV, d.avg ? 0.0f : negInf);
-                b.guard(pLd);
-                b.ld(DType::F32, Space::Global, tV, tAddr);
-                b.endGuard();
-                if (d.avg)
-                    b.emit3(Op::Add, DType::F32, acc, acc, tV);
-                else
-                    b.emit3(Op::Max, DType::F32, acc, acc, tV);
+        {
+            auto m = b.mark("pool.idx");
+            b.movF(acc, d.avg ? 0.0f : negInf);
+            b.emit3i(Op::Mul, DType::U32, xs, x, d.stride);
+            b.emit3i(Op::Add, DType::U32, xs, xs,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            b.emit3i(Op::Mul, DType::U32, ys, y, d.stride);
+            b.emit3i(Op::Add, DType::U32, ys, ys,
+                     static_cast<uint32_t>(-static_cast<int32_t>(d.pad)));
+            // base = k*H (plane row base built per i)
+            b.emit3(Op::Mul, DType::U32, tBase, k, rH);
+        }
+        {
+            // The pooling window is small and a build constant, so it is
+            // fully unrolled, as the compiler would.  The whole unrolled
+            // window is the `acc = max/sum(acc, in[...])` statement.
+            auto m = b.mark("pool.acc");
+            for (uint32_t i = 0; i < d.win; i++) {
+                b.emit3i(Op::Add, DType::U32, tIy, ys, i);
+                b.setr(DType::U16, Cmp::Lt, tF1, tIy, rH);
+                for (uint32_t j = 0; j < d.win; j++) {
+                    b.emit3i(Op::Add, DType::U32, tIx, xs, j);
+                    b.setr(DType::U16, Cmp::Lt, tF2, tIx, rWd);
+                    b.emit3(Op::And, DType::U16, tF2, tF2, tF1);
+                    b.setpi(pLd, DType::U16, Cmp::Ne, tF2, 0);
+                    b.emit3(Op::Add, DType::U32, tOff, tBase, tIy);
+                    b.mad(DType::U32, tOff, tOff, rWd, tIx);
+                    b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+                    b.emit3(Op::Add, DType::U32, tAddr, pIn, tOff);
+                    b.movF(tV, d.avg ? 0.0f : negInf);
+                    b.guard(pLd);
+                    b.ld(DType::F32, Space::Global, tV, tAddr);
+                    b.endGuard();
+                    if (d.avg)
+                        b.emit3(Op::Add, DType::F32, acc, acc, tV);
+                    else
+                        b.emit3(Op::Max, DType::F32, acc, acc, tV);
+                }
             }
         }
-        if (d.avg)
-            b.emit3f(Op::Mul, acc, acc, 1.0f / float(d.win * d.win));
-        b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
-        b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
-        b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
-        b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
-        b.mad(DType::U32, tOff, k, rP, y);
-        b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
-        b.emit3(Op::Add, DType::U32, tOff, tOff, x);
-        b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
-        b.guard(pSt);
-        b.st(DType::F32, Space::Global, tAddr, acc);
-        b.endGuard();
+        {
+            auto m = b.mark("pool.store");
+            if (d.avg)
+                b.emit3f(Op::Mul, acc, acc, 1.0f / float(d.win * d.win));
+            b.setr(DType::U16, Cmp::Lt, tF1, x, rQ);
+            b.setr(DType::U16, Cmp::Lt, tF2, y, rP);
+            b.emit3(Op::And, DType::U16, tF1, tF1, tF2);
+            b.setpi(pSt, DType::U16, Cmp::Ne, tF1, 0);
+            b.mad(DType::U32, tOff, k, rP, y);
+            b.emit3(Op::Mul, DType::U32, tOff, tOff, rQ);
+            b.emit3(Op::Add, DType::U32, tOff, tOff, x);
+            b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pOut, tOff);
+            b.guard(pSt);
+            b.st(DType::F32, Space::Global, tAddr, acc);
+            b.endGuard();
+        }
     };
 
     Reg k;
@@ -186,8 +204,8 @@ buildPool(const PoolDesc &desc)
             Reg yy = b.reg(), xx = b.reg();
             detail::stridedLoop(b, yy, ty, rP, d.block.y, [&] {
                 detail::stridedLoop(b, xx, tx, rQ, d.block.x,
-                            [&] { body(xx, yy); });
-            });
+                            [&] { body(xx, yy); }, "pool.pixloop");
+            }, "pool.pixloop");
             break;
           }
         }

@@ -31,7 +31,13 @@ buildRnnCell(const RnnCellDesc &d)
     const uint32_t uBase = G * hid * in;            // U[g][hid][hid]
     const uint32_t bBase = uBase + G * hid * hid;   // b[g][hid]
 
+    const char *cell = d.lstm ? "lstm" : "gru";
+    auto lbl = [cell](const char *stmt) {
+        return std::string(cell) + "." + stmt;
+    };
+
     Builder b(d.name);
+    auto mSetup = b.mark(lbl("setup"));
     b.constant(8);    // inputSize hidden
 
     Reg pX = b.param(0);
@@ -64,14 +70,14 @@ buildRnnCell(const RnnCellDesc &d)
         b.ld(DType::F32, Space::Global, tV, tAddr);
         b.emit3i(Op::Add, DType::U32, tAddr, tOff, shX);
         b.st(DType::F32, Space::Shared, tAddr, tV);
-    });
+    }, lbl("stage_x").c_str());
     detail::stridedLoop(b, i, j, rHid, blockSize, [&] {
         b.emit3i(Op::Shl, DType::U32, tOff, i, 2);
         b.emit3(Op::Add, DType::U32, tAddr, pH, tOff);
         b.ld(DType::F32, Space::Global, tV, tAddr);
         b.emit3i(Op::Add, DType::U32, tAddr, tOff, shH);
         b.st(DType::F32, Space::Shared, tAddr, tV);
-    });
+    }, lbl("stage_h").c_str());
     b.bar();
 
     PredReg pJ = b.pred();
@@ -88,6 +94,7 @@ buildRnnCell(const RnnCellDesc &d)
         const uint32_t mat = over_hidden ? uBase + gate * hid * hid
                                          : wBase + gate * hid * in;
         const uint32_t sh = over_hidden ? shH : shX;
+        auto m = b.mark(lbl("gate_mac"));
         b.forLoopI(i, 0, len, [&] {
             // off = mat + i*hidden + j
             b.mad(DType::U32, tOff, i, rHid, j);
@@ -104,6 +111,7 @@ buildRnnCell(const RnnCellDesc &d)
         });
     };
     auto gateInit = [&](Reg acc, uint32_t gate) {
+        auto m = b.mark(lbl("gate_bias"));
         b.emit3i(Op::Add, DType::U32, tOff, j, bBase + gate * hid);
         b.emit3i(Op::Shl, DType::U32, tOff, tOff, 2);
         b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
@@ -114,13 +122,15 @@ buildRnnCell(const RnnCellDesc &d)
     };
     // v = sigmoid(v) = 1 / (1 + 2^(-v*log2e))
     auto sigmoid = [&](Reg v) {
+        auto m = b.mark(lbl("gate_sigmoid"));
         b.emit3f(Op::Mul, v, v, -log2e);
         b.emit2(Op::Ex2, DType::F32, v, v);
         b.emit3f(Op::Add, v, v, 1.0f);
         b.emit2(Op::Rcp, DType::F32, v, v);
     };
-    // v = tanh(v) = 2*sigmoid(2v) - 1
+    // v = tanh(v) = 2*sigmoid(2v) - 1  (interior labeled gate_sigmoid)
     auto tanhf = [&](Reg v) {
+        auto m = b.mark(lbl("gate_tanh"));
         b.emit3f(Op::Mul, v, v, 2.0f);
         sigmoid(v);
         b.emit3f(Op::Mul, v, v, 2.0f);
@@ -131,6 +141,7 @@ buildRnnCell(const RnnCellDesc &d)
         b.ld(DType::F32, Space::Shared, dst, tAddr, shH);
     };
     auto storeOut = [&](Reg ptr, Reg v) {
+        auto m = b.mark(lbl("store"));
         b.emit3i(Op::Shl, DType::U32, tOff, j, 2);
         b.emit3(Op::Add, DType::U32, tAddr, ptr, tOff);
         b.guard(pJ);
@@ -153,14 +164,17 @@ buildRnnCell(const RnnCellDesc &d)
         gateAccum(anh, 2, true);
         sigmoid(az);
         sigmoid(ar);
-        // n = tanh(anx + r * anh)
-        b.mad(DType::F32, anx, ar, anh, anx);
-        tanhf(anx);
-        // h' = n + z*(h - n)
-        Reg hj = b.reg();
-        loadSharedH(hj);
-        b.emit3(Op::Sub, DType::F32, hj, hj, anx);
-        b.mad(DType::F32, anx, az, hj, anx);
+        {
+            auto m = b.mark("gru.combine");
+            // n = tanh(anx + r * anh)
+            b.mad(DType::F32, anx, ar, anh, anx);
+            tanhf(anx);
+            // h' = n + z*(h - n)
+            Reg hj = b.reg();
+            loadSharedH(hj);
+            b.emit3(Op::Sub, DType::F32, hj, hj, anx);
+            b.mad(DType::F32, anx, az, hj, anx);
+        }
         storeOut(pHOut, anx);
         (void)pC;
         (void)pCOut;
@@ -179,21 +193,27 @@ buildRnnCell(const RnnCellDesc &d)
         sigmoid(ao);
         // c' = f*c + i*g
         Reg cj = b.reg();
-        b.emit3i(Op::Shl, DType::U32, tOff, j, 2);
-        b.emit3(Op::Add, DType::U32, tAddr, pC, tOff);
-        b.movF(cj, 0.0f);
-        b.guard(pJ);
-        b.ld(DType::F32, Space::Global, cj, tAddr);
-        b.endGuard();
-        b.emit3(Op::Mul, DType::F32, ai, ai, ag);      // i*g
-        b.emit3(Op::Mul, DType::F32, cj, af, cj);      // f*c
-        b.emit3(Op::Add, DType::F32, cj, cj, ai);      // c'
+        {
+            auto m = b.mark("lstm.combine");
+            b.emit3i(Op::Shl, DType::U32, tOff, j, 2);
+            b.emit3(Op::Add, DType::U32, tAddr, pC, tOff);
+            b.movF(cj, 0.0f);
+            b.guard(pJ);
+            b.ld(DType::F32, Space::Global, cj, tAddr);
+            b.endGuard();
+            b.emit3(Op::Mul, DType::F32, ai, ai, ag);      // i*g
+            b.emit3(Op::Mul, DType::F32, cj, af, cj);      // f*c
+            b.emit3(Op::Add, DType::F32, cj, cj, ai);      // c'
+        }
         storeOut(pCOut, cj);
         // h' = o * tanh(c')
         Reg th = b.reg();
         b.movR(th, cj, DType::F32);
         tanhf(th);
-        b.emit3(Op::Mul, DType::F32, th, ao, th);
+        {
+            auto m = b.mark("lstm.combine");
+            b.emit3(Op::Mul, DType::F32, th, ao, th);
+        }
         storeOut(pHOut, th);
     }
 
@@ -204,6 +224,7 @@ std::shared_ptr<Program>
 buildRnnReadout(const RnnReadoutDesc &d)
 {
     Builder b(d.name);
+    auto mSetup = b.mark("readout.setup");
     b.constant(4);    // hidden
     const uint32_t sh = b.shared(d.hidden * 4);
 
@@ -218,25 +239,29 @@ buildRnnReadout(const RnnReadoutDesc &d)
     PredReg pJ = b.pred();
     b.setp(pJ, DType::U32, Cmp::Lt, tx, rHid);
 
-    // partial[j] = w[j] * h[j]  (coalesced global reads, used once)
-    b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
-    b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
-    b.movF(tW, 0.0f);
-    b.guard(pJ);
-    b.ld(DType::F32, Space::Global, tW, tAddr);
-    b.endGuard();
-    b.emit3(Op::Add, DType::U32, tAddr, pH, tOff);
-    b.movF(tH, 0.0f);
-    b.guard(pJ);
-    b.ld(DType::F32, Space::Global, tH, tAddr);
-    b.endGuard();
-    b.emit3(Op::Mul, DType::F32, tW, tW, tH);
-    b.emit3i(Op::Add, DType::U32, tAddr, tOff, sh);
-    b.st(DType::F32, Space::Shared, tAddr, tW);
-    b.bar();
+    {
+        auto m = b.mark("readout.partial");
+        // partial[j] = w[j] * h[j]  (coalesced global reads, used once)
+        b.emit3i(Op::Shl, DType::U32, tOff, tx, 2);
+        b.emit3(Op::Add, DType::U32, tAddr, pW, tOff);
+        b.movF(tW, 0.0f);
+        b.guard(pJ);
+        b.ld(DType::F32, Space::Global, tW, tAddr);
+        b.endGuard();
+        b.emit3(Op::Add, DType::U32, tAddr, pH, tOff);
+        b.movF(tH, 0.0f);
+        b.guard(pJ);
+        b.ld(DType::F32, Space::Global, tH, tAddr);
+        b.endGuard();
+        b.emit3(Op::Mul, DType::F32, tW, tW, tH);
+        b.emit3i(Op::Add, DType::U32, tAddr, tOff, sh);
+        b.st(DType::F32, Space::Shared, tAddr, tW);
+        b.bar();
+    }
 
     // Thread 0 reduces the partials from shared memory (latency ~smem,
     // not DRAM) and adds the bias.  The divergent region is SSY-fenced.
+    auto mReduce = b.mark("readout.reduce");
     PredReg p0 = b.pred();
     b.setpi(p0, DType::U32, Cmp::Ne, tx, 0);
     Label done = b.label();

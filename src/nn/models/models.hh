@@ -61,6 +61,11 @@ std::vector<std::string> cnnNames();
 /** All seven network names (RNNs first, as in Fig 2/3). */
 std::vector<std::string> allNames();
 
+/** Every buildable network name: allNames() plus the in-development
+ *  extension networks (currently "mobilenet").  The single registry the
+ *  CLI tools validate against. */
+std::vector<std::string> runnableNames();
+
 /** Build a CNN by name ("cifarnet", "alexnet", ...). */
 Network buildCnn(const std::string &name);
 

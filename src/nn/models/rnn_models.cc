@@ -47,6 +47,14 @@ allNames()
             "vggnet"};
 }
 
+std::vector<std::string>
+runnableNames()
+{
+    std::vector<std::string> names = allNames();
+    names.push_back("mobilenet");
+    return names;
+}
+
 Network
 buildCnn(const std::string &name)
 {

@@ -46,6 +46,70 @@ Series layerStat(const rt::NetRun &run, const std::string &stat);
 /** Merge several stat sets (e.g. across networks for Fig 9). */
 StatSet mergeTotals(const std::vector<const rt::NetRun *> &runs);
 
+// ------------------------------------------------------------------------
+// Per-PC attribution rollups (SimPolicy::profile runs).  Every launch's
+// KernelProfile charges issued cycles, stall cycles, cache misses and
+// DRAM traffic per program counter; the statement labels recorded by the
+// kernel DSL's mark() API roll those up per label -> kernel -> layer ->
+// network.  All values here are scaled (profile scale x workScale), so
+// they live in the same units as KernelStats.stats; replayed launches
+// contribute their spliced profile like any other launch.
+
+/** One (kernel, label) hotspot row aggregated over a network run,
+ *  sorted descending by cycles in hotspots(). */
+struct Hotspot
+{
+    std::string kernel;          ///< kernel (program) name
+    std::string label;           ///< DSL statement label ("" = unlabeled)
+    double cycles = 0.0;         ///< issued + stall cycles
+    double issued = 0.0;         ///< instruction issues
+    double stallCycles = 0.0;    ///< warp-cycles stalled at this label
+    double replayedCycles = 0.0; ///< cycles from memo-replayed launches
+    double l1dMisses = 0.0;
+    double l2Misses = 0.0;
+    double dramBytes = 0.0;      ///< DRAM transactions x line size
+};
+
+/** Aggregate every profiled launch of @p run into per-(kernel, label)
+ *  hotspot rows, sorted by cycles descending.  Launches without a
+ *  profile (profiling off) contribute nothing. */
+std::vector<Hotspot> hotspots(const rt::NetRun &run);
+
+/** One disassembly line of an annotated kernel listing. */
+struct AnnotatedLine
+{
+    uint32_t pc = 0;
+    std::string label;           ///< statement label of this pc
+    std::string text;            ///< disassembled instruction
+    double issued = 0.0;
+    double stallCycles = 0.0;
+    double l1dMisses = 0.0;
+    double l2Misses = 0.0;
+    double dramBytes = 0.0;
+};
+
+/** Per-PC annotated disassembly of every launch of kernel @p kernel in
+ *  @p run, merged (perf-annotate style).  Empty when the kernel never
+ *  ran with profiling on. */
+std::vector<AnnotatedLine> annotateKernel(const rt::NetRun &run,
+                                          const std::string &kernel);
+
+/** Folded-stack flamegraph lines, one per (layer, kernel, label):
+ *  `net;layer;kernel;label cycles\n` with cycles rounded to integers —
+ *  the input format of the usual flamegraph tools. */
+std::string foldedStacks(const rt::NetRun &run);
+
+/**
+ * Verify every profiled kernel of @p run: the per-PC counters must sum
+ * exactly (bit-for-bit after scaling) to the kernel's own stats totals.
+ * @param why when non-null, receives "<layer>/<kernel>: <detail>" of the
+ *        first mismatch.
+ * @return false if any profiled kernel is inconsistent (kernels without
+ *         profiles are skipped).
+ */
+bool checkProfileConsistency(const rt::NetRun &run,
+                             std::string *why = nullptr);
+
 } // namespace tango::prof
 
 #endif // TANGO_PROFILER_PROFILER_HH

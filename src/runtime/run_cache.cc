@@ -99,6 +99,68 @@ appendStatSet(std::string &out, const StatSet &st)
 }
 
 void
+appendU64Vec(std::string &out, const std::vector<uint64_t> &v)
+{
+    out += '[';
+    for (size_t i = 0; i < v.size(); i++) {
+        if (i)
+            out += ',';
+        appendU64(out, v[i]);
+    }
+    out += ']';
+}
+
+void
+appendU16Vec(std::string &out, const std::vector<uint16_t> &v)
+{
+    out += '[';
+    for (size_t i = 0; i < v.size(); i++) {
+        if (i)
+            out += ',';
+        appendU64(out, v[i]);
+    }
+    out += ']';
+}
+
+void
+appendStrVec(std::string &out, const std::vector<std::string> &v)
+{
+    out += '[';
+    for (size_t i = 0; i < v.size(); i++) {
+        if (i)
+            out += ',';
+        appendEscaped(out, v[i]);
+    }
+    out += ']';
+}
+
+void
+appendProfile(std::string &out, const sim::KernelProfile &p)
+{
+    ObjWriter o(out);
+    o.key("labels");
+    appendStrVec(out, p.labels);
+    o.key("pcLabel");
+    appendU16Vec(out, p.pcLabel);
+    o.key("disasm");
+    appendStrVec(out, p.disasm);
+    o.key("issued");
+    appendU64Vec(out, p.issued);
+    o.key("stalls");
+    appendU64Vec(out, p.stalls);
+    o.key("l1dMisses");
+    appendU64Vec(out, p.l1dMisses);
+    o.key("l2Misses");
+    appendU64Vec(out, p.l2Misses);
+    o.key("dramTxns");
+    appendU64Vec(out, p.dramTxns);
+    o.u64("lineBytes", p.lineBytes);
+    o.num("scale", p.scale);
+    o.num("workScale", p.workScale);
+    o.close();
+}
+
+void
 appendDim3(std::string &out, const sim::Dim3 &d)
 {
     out += '[';
@@ -141,6 +203,10 @@ appendKernelStats(std::string &out, const sim::KernelStats &k)
     o.num("energyJ", k.energyJ);
     o.num("peakWindowDynW", k.peakWindowDynW);
     o.u64("replayed", k.replayed ? 1 : 0);
+    if (k.profile) {
+        o.key("profile");
+        appendProfile(out, *k.profile);
+    }
     o.close();
 }
 
@@ -382,6 +448,51 @@ parseStatSet(const Json::Value &v)
     return st;
 }
 
+std::vector<uint64_t>
+parseU64Vec(const Json::Value *v)
+{
+    std::vector<uint64_t> out;
+    if (v == nullptr || v->kind != Json::Value::Kind::Arr)
+        return out;
+    out.reserve(v->arr.size());
+    for (const auto &e : v->arr)
+        out.push_back(static_cast<uint64_t>(e.num));
+    return out;
+}
+
+std::vector<std::string>
+parseStrVec(const Json::Value *v)
+{
+    std::vector<std::string> out;
+    if (v == nullptr || v->kind != Json::Value::Kind::Arr)
+        return out;
+    out.reserve(v->arr.size());
+    for (const auto &e : v->arr)
+        out.push_back(e.str);
+    return out;
+}
+
+std::shared_ptr<sim::KernelProfile>
+parseProfile(const Json::Value &v)
+{
+    auto p = std::make_shared<sim::KernelProfile>();
+    p->labels = parseStrVec(v.find("labels"));
+    if (p->labels.empty())
+        p->labels.emplace_back();   // id 0 ("") must always exist
+    for (uint64_t id : parseU64Vec(v.find("pcLabel")))
+        p->pcLabel.push_back(static_cast<uint16_t>(id));
+    p->disasm = parseStrVec(v.find("disasm"));
+    p->issued = parseU64Vec(v.find("issued"));
+    p->stalls = parseU64Vec(v.find("stalls"));
+    p->l1dMisses = parseU64Vec(v.find("l1dMisses"));
+    p->l2Misses = parseU64Vec(v.find("l2Misses"));
+    p->dramTxns = parseU64Vec(v.find("dramTxns"));
+    p->lineBytes = static_cast<uint32_t>(v.u64Or("lineBytes", 128));
+    p->scale = v.numOr("scale", 1.0);
+    p->workScale = v.numOr("workScale", 1.0);
+    return p;
+}
+
 sim::KernelStats
 parseKernelStats(const Json::Value &v)
 {
@@ -414,6 +525,8 @@ parseKernelStats(const Json::Value &v)
     k.energyJ = v.numOr("energyJ");
     k.peakWindowDynW = v.numOr("peakWindowDynW");
     k.replayed = v.u64Or("replayed") != 0;
+    if (const auto *pv = v.find("profile"))
+        k.profile = parseProfile(*pv);
     return k;
 }
 

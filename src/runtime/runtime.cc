@@ -229,6 +229,13 @@ Runtime::cnnRun(const nn::Network &net, const RunPolicy &policy,
                 ks.gpuCycles *= ws;
                 ks.timeSec *= ws;
                 ks.energyJ *= ws;
+                if (ks.profile) {
+                    // Replays share the memo entry's profile object: clone
+                    // before recording the extra scale factor.
+                    auto p = std::make_shared<sim::KernelProfile>(*ks.profile);
+                    p->workScale *= ws;
+                    ks.profile = std::move(p);
+                }
             }
             lr.kernels.push_back(std::move(ks));
             ki++;

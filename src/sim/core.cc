@@ -101,6 +101,8 @@ SmCore::launchCta(const KernelLaunch &launch, uint64_t linear_id,
         slotRef.constHint = Cache::WayHint{};
         slotRef.hashSlot =
             ctaOrder * static_cast<uint32_t>(warp_ids.size()) + warpOrder++;
+        if (profiling_)
+            slotPc_[ws] = slotRef.active ? slotRef.exec->pc() : 0;
         evalDirty_[ws] = slotRef.active ? 1 : 0;
         activeF_[ws] = slotRef.active ? 1 : 0;
         ages_[ws] = slotRef.age;
@@ -181,6 +183,10 @@ SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
         raw_.noc += 2;
         raw_.l2++;
         const Cache::Result r = l2_.access(addr, write, now, &w.l2Hint);
+        // The cache's own miss counter increments on every non-hit
+        // (MSHR merges included), so charge on exactly that condition.
+        if (profiling_ && !r.hit)
+            pcL2Miss_[profPc_]++;
         if (r.hit || r.mshrMerged) {
             // A hit on an in-flight line waits for its fill.
             const uint64_t fill = r.fillCycle;
@@ -196,6 +202,8 @@ SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
         }
         raw_.mc++;
         raw_.dram++;
+        if (profiling_)
+            pcDram_[profPc_]++;
         const uint64_t avail = dram_.schedule(now) + cfg_.dramLatency;
         if (haveMshr)
             l2_.allocateMshr(addr, avail, now);
@@ -213,6 +221,8 @@ SmCore::memoryLatency(const Step &st, uint64_t now, WarpSlot &w)
                 raw_.l1d++;
                 const Cache::Result r =
                     l1d_->access(addr, write, now, &w.l1Hint);
+                if (profiling_ && !r.hit)
+                    pcL1dMiss_[profPc_]++;
                 if (write) {
                     // Write-through, no-allocate: latency is the L1 pipe,
                     // but the line still traverses NOC/L2.
@@ -293,11 +303,21 @@ SmCore::issue(uint32_t slot, uint64_t now)
     // nextDec points into the per-kernel DecodedProgram (stable storage),
     // so the reference stays valid across step().
     const DecodedInstr &d = *w.nextDec;
+    // Attribution pc must be read before step() advances the warp; it is
+    // cheap here because peekDecoded() already resolved reconvergence.
+    uint32_t ipc = 0;
+    if (profiling_)
+        ipc = w.exec->pc();
     const Step st = w.exec->step();
     if (hashing_ && st.warpDone)
         streamHashes_[w.hashSlot] = w.exec->streamHash();
     if (!st.warpDone)
         w.nextDec = &w.exec->peekDecoded();
+    if (profiling_) {
+        profPc_ = ipc;
+        pcIssued_[ipc]++;
+        slotPc_[slot] = st.warpDone ? 0 : w.exec->pc();
+    }
     const PowerParams &p = cfg_.power;
 
     // --- instruction accounting -----------------------------------------
@@ -469,6 +489,18 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
     earliest_.assign(nSlots, farFuture);
     sched_->reset(nSlots);
 
+    profiling_ = policy.profile;
+    if (profiling_) {
+        const size_t nPcs = prog.code.size();
+        pcIssued_.assign(nPcs, 0);
+        pcStalls_.assign(nPcs * numStalls, 0);
+        pcL1dMiss_.assign(nPcs, 0);
+        pcL2Miss_.assign(nPcs, 0);
+        pcDram_.assign(nPcs, 0);
+        slotPc_.assign(nSlots, 0);
+        profPc_ = 0;
+    }
+
     // Incremental stall accounting: bucketOf(i) maps a slot to the stall
     // reason the per-cycle accounting would charge it (or -1 for "none"),
     // and stallCnt[] holds how many slots sit in each bucket.  Every write
@@ -600,6 +632,17 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
         // time.
         for (size_t s = 0; s < numStalls; s++)
             stalls_[s] += stallCnt[s] * skip;
+        if (profiling_) {
+            // Per-PC attribution walk, mirroring bucketOf() exactly so the
+            // per-PC sums reproduce stalls_[] bit-for-bit: each stalled
+            // warp charges the pc of the instruction it is waiting to
+            // issue.
+            for (uint32_t i = 0; i < nSlots; i++) {
+                const int bkt = bucketOf(i);
+                if (bkt >= 0)
+                    pcStalls_[size_t(slotPc_[i]) * numStalls + bkt] += skip;
+            }
+        }
         raw_.sched += skip;
         now += skip;
 
@@ -710,6 +753,23 @@ SmCore::run(const KernelLaunch &launch, const std::vector<uint64_t> &cta_ids,
             digest::mix(combined, h);
         *stream_hash = combined;
         hashing_ = false;
+    }
+    if (profiling_) {
+        auto prof = std::make_shared<KernelProfile>();
+        prof->labels = prog.debug.labels;
+        prof->pcLabel = prog.debug.pcLabel;
+        prof->pcLabel.resize(prog.code.size(), 0);
+        prof->disasm.reserve(prog.code.size());
+        for (const Instr &ins : prog.code)
+            prof->disasm.push_back(disasm(ins));
+        prof->issued = std::move(pcIssued_);
+        prof->stalls = std::move(pcStalls_);
+        prof->l1dMisses = std::move(pcL1dMiss_);
+        prof->l2Misses = std::move(pcL2Miss_);
+        prof->dramTxns = std::move(pcDram_);
+        prof->lineBytes = cfg_.lineBytes;
+        ks.profile = std::move(prof);
+        profiling_ = false;
     }
     decoded_ = nullptr;
     return ks;

@@ -26,6 +26,7 @@
 #include "sim/config.hh"
 #include "sim/dram.hh"
 #include "sim/interp.hh"
+#include "sim/profile.hh"
 #include "sim/program.hh"
 #include "sim/scheduler.hh"
 #include "sim/stall.hh"
@@ -70,6 +71,17 @@ struct SimPolicy
      * Excluded from the launch signature itself.
      */
     bool memoize = true;
+    /**
+     * Per-PC attribution profiling (tango::prof): charge issued cycles,
+     * per-reason stall cycles, L1D/L2 misses and DRAM transactions to
+     * flat per-PC counter arrays and attach a KernelProfile to the
+     * launch's KernelStats.  Pure observation: simulated statistics are
+     * bit-identical with the flag on or off.  Part of the launch
+     * signature (profiled and unprofiled runs memoize separately so
+     * replays can splice cached profiles).  TANGO_PROFILE=1 forces it
+     * on at runtime.
+     */
+    bool profile = false;
 };
 
 /** Results of one kernel launch (scaled to the full grid). */
@@ -111,6 +123,12 @@ struct KernelStats
      *  copy of the steady-state full simulation).  Not a statistic: the
      *  golden fixtures deliberately ignore it. */
     bool replayed = false;
+
+    /** Per-PC attribution profile (only when SimPolicy::profile).  Shared
+     *  and treated as immutable once published: replayed launches point
+     *  at the armed launch's profile, so never mutate through this
+     *  pointer — clone first (runtime work scaling does). */
+    std::shared_ptr<KernelProfile> profile;
 
     /** @return thread-level instruction count. */
     double totalThreadInstructions() const { return stats.sumPrefix("op."); }
@@ -257,6 +275,19 @@ class SmCore
     RawCounts raw_;
     StatSet stats_;
     StallCounts stalls_{};
+
+    /** Per-PC attribution counters (SimPolicy::profile only).  Raw, like
+     *  RawCounts; folded into a KernelProfile at the end of run().  All
+     *  charging is read-only with respect to simulation state, so the
+     *  simulated statistics stay bit-identical either way. */
+    bool profiling_ = false;
+    uint32_t profPc_ = 0;             ///< pc of the instr being issued
+    std::vector<uint32_t> slotPc_;    ///< per-slot current pc mirror
+    std::vector<uint64_t> pcIssued_;
+    std::vector<uint64_t> pcStalls_;  ///< [pc * numStalls + reason]
+    std::vector<uint64_t> pcL1dMiss_;
+    std::vector<uint64_t> pcL2Miss_;
+    std::vector<uint64_t> pcDram_;
 
     /** Issuability re-evaluation flags: a warp whose cached stall reason
      *  points to a far-future event is not re-scanned every cycle; it is

@@ -63,6 +63,16 @@ envNoMemo()
     return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
 }
 
+/** Runtime force-on switch for per-PC profiling (TANGO_PROFILE=1).  Folded
+ *  into the effective policy, so it participates in the launch signature
+ *  like an explicit SimPolicy::profile request. */
+bool
+envProfile()
+{
+    const char *e = std::getenv("TANGO_PROFILE");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
 /**
  * Digest of everything that determines a launch's trip through the timing
  * model *given* the µ-arch starting state: the program (identity and shape
@@ -96,6 +106,7 @@ launchSignature(const KernelLaunch &launch, const SimPolicy &policy)
     digest::mix(h, policy.fullSim ? 1 : 0);
     digest::mix(h, policy.maxWarpsPerCta);
     digest::mix(h, policy.maxCycles);
+    digest::mix(h, policy.profile ? 1 : 0);
     return h;
 }
 
@@ -141,7 +152,9 @@ statsEqual(const KernelStats &a, const KernelStats &b)
            bitEq(a.peakPowerW, b.peakPowerW) &&
            bitEq(a.avgPowerW, b.avgPowerW) && bitEq(a.energyJ, b.energyJ) &&
            bitEq(a.peakWindowDynW, b.peakWindowDynW) &&
-           statSetEqual(a.stats, b.stats);
+           statSetEqual(a.stats, b.stats) &&
+           (a.profile == nullptr) == (b.profile == nullptr) &&
+           (a.profile == nullptr || *a.profile == *b.profile);
 }
 
 } // namespace
@@ -215,10 +228,16 @@ Gpu::staticPowerW(uint32_t active_sms) const
 }
 
 KernelStats
-Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
+Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
 {
     TANGO_ASSERT(launch.program != nullptr, "launch without a program");
     launch.program->validate();
+
+    // Fold the TANGO_PROFILE force-on knob into the effective policy up
+    // front so the launch signature and the core see the same value.
+    SimPolicy policy = requested;
+    if (envProfile())
+        policy.profile = true;
 
     const uint64_t totalCtas = launch.grid.count();
     const uint32_t threadsPerCta = launch.threadsPerCta();
@@ -409,6 +428,17 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &policy)
     ks.scale = static_cast<double>(totalCtas) / static_cast<double>(sampled) *
                warpScale;
     ks.stats.scale(ks.scale);
+    if (ks.profile) {
+        // The profile is still exclusively ours here (not yet published to
+        // the memo table), so recording the stat scale in place is safe.
+        ks.profile->scale = ks.scale;
+#ifndef NDEBUG
+        std::string why;
+        TANGO_ASSERT(profileConsistent(*ks.profile, ks.stats, &why),
+                     "per-PC profile out of step with KernelStats for %s: %s",
+                     ks.name.c_str(), why.c_str());
+#endif
+    }
 
     // Whole-GPU time extrapolation by CTA waves; warp sampling
     // extrapolates linearly (exact for compute-bound kernels).

@@ -1,0 +1,92 @@
+#include "sim/profile.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tango::sim {
+
+uint64_t
+KernelProfile::stallTotalAt(uint32_t pc) const
+{
+    uint64_t total = 0;
+    for (size_t s = 0; s < numStalls; s++)
+        total += stallAt(pc, s);
+    return total;
+}
+
+namespace {
+
+/**
+ * Compare a scaled per-PC counter sum against one StatSet total.  An
+ * absent key means the total never got a non-zero increment, so the sum
+ * must scale to exactly 0.
+ */
+bool
+checkTotal(const KernelProfile &prof, const StatSet &stats,
+           const std::string &key, uint64_t rawSum, std::string *why)
+{
+    const double want = stats.get(key);    // absent -> 0
+    const double got = prof.scaled(rawSum);
+    if (got == want)
+        return true;
+    if (why) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "profile mismatch on '" << key << "': per-PC sum " << got
+           << " (raw " << rawSum << " x scale " << prof.scale << " x workScale "
+           << prof.workScale << ") != stat " << want;
+        *why = os.str();
+    }
+    return false;
+}
+
+uint64_t
+sumVec(const std::vector<uint64_t> &v)
+{
+    uint64_t total = 0;
+    for (uint64_t x : v)
+        total += x;
+    return total;
+}
+
+} // namespace
+
+bool
+profileConsistent(const KernelProfile &prof, const StatSet &stats,
+                  std::string *why)
+{
+    const uint32_t n = prof.numPcs();
+    if (prof.stalls.size() != size_t(n) * numStalls ||
+        prof.l1dMisses.size() != n || prof.l2Misses.size() != n ||
+        prof.dramTxns.size() != n) {
+        if (why)
+            *why = "profile counter arrays have inconsistent sizes";
+        return false;
+    }
+
+    if (!checkTotal(prof, stats, "issued", sumVec(prof.issued), why))
+        return false;
+
+    for (size_t s = 0; s < numStalls; s++) {
+        uint64_t rawSum = 0;
+        for (uint32_t pc = 0; pc < n; pc++)
+            rawSum += prof.stallAt(pc, s);
+        const std::string key =
+            std::string("stall.") + stallName(static_cast<Stall>(s));
+        if (!checkTotal(prof, stats, key, rawSum, why))
+            return false;
+    }
+
+    if (!checkTotal(prof, stats, "mem.l1d.misses", sumVec(prof.l1dMisses),
+                    why))
+        return false;
+    if (!checkTotal(prof, stats, "mem.l2.misses", sumVec(prof.l2Misses), why))
+        return false;
+    if (!checkTotal(prof, stats, "evt.dram", sumVec(prof.dramTxns), why))
+        return false;
+
+    return true;
+}
+
+} // namespace tango::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-PC attribution profile of one kernel launch (tango::prof backend).
+ *
+ * When SimPolicy::profile is set, SmCore charges issued cycles, per-reason
+ * stall cycles, L1D/L2 misses and DRAM transactions to flat per-PC counter
+ * arrays while it simulates, and attaches the result to the launch's
+ * KernelStats.  The counters are kept as *raw* (unscaled) integers from the
+ * simulated CTA/warp population; the scale factors that were applied to the
+ * owning StatSet ride along so rollups can reproduce the scaled totals
+ * bit-for-bit (profileConsistent() checks exactly that).
+ *
+ * The profile also carries its own copy of the source mapping (statement
+ * labels from the kernel DSL's mark() API) and the per-PC disassembly text:
+ * profiles ride on NetRun through the engine's result cache and disk spill,
+ * where the Program itself does not survive.
+ */
+
+#ifndef TANGO_SIM_PROFILE_HH
+#define TANGO_SIM_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/stall.hh"
+
+namespace tango::sim {
+
+struct KernelProfile
+{
+    // Source mapping + listing (lock-step with the program's code).
+    std::vector<std::string> labels;    ///< label id -> text; [0] = ""
+    std::vector<uint16_t> pcLabel;      ///< pc -> label id
+    std::vector<std::string> disasm;    ///< pc -> disassembled instruction
+
+    // Raw per-PC counters of the simulated population (unscaled).
+    std::vector<uint64_t> issued;       ///< [pc] instruction issues
+    std::vector<uint64_t> stalls;       ///< [pc * numStalls + reason] cycles
+    std::vector<uint64_t> l1dMisses;    ///< [pc]
+    std::vector<uint64_t> l2Misses;     ///< [pc]
+    std::vector<uint64_t> dramTxns;     ///< [pc] DRAM transactions
+
+    /** Bytes per DRAM transaction (the L2 line size), for byte rollups. */
+    uint32_t lineBytes = 128;
+
+    /**
+     * Scale factors applied to the owning KernelStats' stats, in
+     * application order: first `scale` (CTA x warp extrapolation,
+     * Gpu::launch), then `workScale` (the runtime's loop-channel
+     * extrapolation).  scaled() reproduces the StatSet's arithmetic
+     * exactly, so integer counter sums map bitwise onto scaled totals.
+     */
+    double scale = 1.0;
+    double workScale = 1.0;
+
+    uint32_t numPcs() const { return static_cast<uint32_t>(issued.size()); }
+
+    uint64_t stallAt(uint32_t pc, size_t reason) const
+    {
+        return stalls[size_t(pc) * numStalls + reason];
+    }
+
+    /** Total stall cycles charged to @p pc across all reasons. */
+    uint64_t stallTotalAt(uint32_t pc) const;
+
+    /** Map a raw counter onto the owning StatSet's scale, bit-exactly. */
+    double scaled(uint64_t raw) const
+    {
+        double v = static_cast<double>(raw);
+        v *= scale;
+        v *= workScale;
+        return v;
+    }
+
+    /** @return statement label of @p pc ("" when unlabeled). */
+    const std::string &labelAt(uint32_t pc) const
+    {
+        return labels[pc < pcLabel.size() ? pcLabel[pc] : 0];
+    }
+
+    bool operator==(const KernelProfile &o) const = default;
+};
+
+/**
+ * Verify that @p prof's per-PC counters sum exactly (bit-for-bit after
+ * scaling) to the whole-kernel totals in @p stats: "issued", every
+ * "stall.<reason>", "mem.l1d.misses", "mem.l2.misses" and "evt.dram".
+ *
+ * @param why when non-null, receives a description of the first mismatch.
+ * @return whether every total matches.
+ */
+bool profileConsistent(const KernelProfile &prof, const StatSet &stats,
+                       std::string *why = nullptr);
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_PROFILE_HH

@@ -72,6 +72,18 @@ DecodedProgram::DecodedProgram(const Program &prog)
     }
 }
 
+uint16_t
+DebugInfo::intern(const std::string &label)
+{
+    for (size_t i = 0; i < labels.size(); i++) {
+        if (labels[i] == label)
+            return static_cast<uint16_t>(i);
+    }
+    TANGO_ASSERT(labels.size() < 0xffff, "label table overflow");
+    labels.push_back(label);
+    return static_cast<uint16_t>(labels.size() - 1);
+}
+
 std::string
 Program::disassemble() const
 {
@@ -116,6 +128,13 @@ Program::validate() const
     }
     if (code.empty() || code.back().op != Op::Exit)
         panic("%s: program must end with exit", name.c_str());
+    if (!debug.pcLabel.empty() && debug.pcLabel.size() != code.size())
+        panic("%s: debug pcLabel covers %zu of %zu instructions",
+              name.c_str(), debug.pcLabel.size(), code.size());
+    for (uint16_t id : debug.pcLabel) {
+        if (id >= debug.labels.size())
+            panic("%s: debug label id %u out of range", name.c_str(), id);
+    }
 }
 
 } // namespace tango::sim

@@ -29,6 +29,37 @@ struct Dim3
     bool operator==(const Dim3 &o) const = default;
 };
 
+/**
+ * DSL source mapping: which kernel-DSL statement emitted each instruction.
+ *
+ * The kernel builder's scoped mark("label") API records the active label
+ * for every instruction it appends, so per-PC profile counters can be
+ * rolled back up to the statement that emitted them (conv.mac,
+ * gru.gate_sigmoid, ...).  Label ids are interned; id 0 is always the
+ * empty (unlabeled) string.  pcLabel is in lock-step with Program::code;
+ * an empty table means "no debug info" and every pc maps to label 0.
+ */
+struct DebugInfo
+{
+    std::vector<std::string> labels{std::string()}; ///< id -> label text
+    std::vector<uint16_t> pcLabel;                  ///< pc -> label id
+
+    /** Intern @p label, returning its id (0 for the empty string). */
+    uint16_t intern(const std::string &label);
+
+    /** @return label id of @p pc (0 when out of range / unlabeled). */
+    uint16_t labelId(uint32_t pc) const
+    {
+        return pc < pcLabel.size() ? pcLabel[pc] : 0;
+    }
+
+    /** @return label text of @p pc ("" when unlabeled). */
+    const std::string &labelAt(uint32_t pc) const
+    {
+        return labels[labelId(pc)];
+    }
+};
+
 /** A compiled kernel program. */
 struct Program
 {
@@ -38,6 +69,7 @@ struct Program
     uint32_t numPreds = 0;       ///< predicate registers per thread
     uint32_t smemBytes = 0;      ///< static shared memory per CTA
     uint32_t cmemBytes = 0;      ///< constant-bank bytes referenced
+    DebugInfo debug;             ///< pc -> DSL statement label mapping
 
     /** @return maximum number of simultaneously live registers
      *  (linear-scan def/use approximation; always <= numRegs). */

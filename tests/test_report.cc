@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Edge-case tests for the report printers (runtime/report.cc): empty
+ * series, percent formatting of all-zero breakdowns (a zero-sum series
+ * reaches printSeries as literal zeros), and ragged stacked input where
+ * groups/labels disagree with the value matrix shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/report.hh"
+
+namespace tango::rt {
+namespace {
+
+TEST(Report, PrintSeriesEmpty)
+{
+    std::ostringstream os;
+    printSeries(os, "empty-series", {});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("empty-series"), std::string::npos);
+    EXPECT_NE(out.find("label"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(Report, PrintSeriesPercentWithZeroSum)
+{
+    // Breakdown helpers emit v/total = 0.0 for every entry when the
+    // total is zero; the printer must render plain zero percentages,
+    // not NaN or inf.
+    std::ostringstream os;
+    printSeries(os, "zeros", {{"a", 0.0}, {"b", 0.0}}, true);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("0.0%"), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(Report, PrintSeriesPlainValues)
+{
+    std::ostringstream os;
+    printSeries(os, "plain", {{"x", 1.5}});
+    EXPECT_NE(os.str().find("1.5"), std::string::npos);
+}
+
+TEST(Report, PrintStackedRaggedValuesFillZero)
+{
+    // values is ragged: group g1 is missing label "y" entirely and
+    // group g2 is missing altogether.  Missing cells print as 0.
+    std::ostringstream os;
+    printStacked(os, "ragged", {"g1", "g2"}, {"x", "y"}, {{1.0}});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("g1"), std::string::npos);
+    EXPECT_NE(out.find("g2"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+    EXPECT_NE(out.find("y"), std::string::npos);
+    EXPECT_NE(out.find("1.0000"), std::string::npos);
+    EXPECT_NE(out.find("0.0000"), std::string::npos);
+}
+
+TEST(Report, PrintStackedEmptyGroups)
+{
+    std::ostringstream os;
+    printStacked(os, "no-groups", {}, {"only-label"}, {});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("no-groups"), std::string::npos);
+    EXPECT_NE(out.find("only-label"), std::string::npos);
+}
+
+TEST(Report, PrintStackedPercentZeroSum)
+{
+    std::ostringstream os;
+    printStacked(os, "pct", {"g"}, {"a", "b"}, {{0.0, 0.0}}, true);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("0.0%"), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+} // namespace
+} // namespace tango::rt

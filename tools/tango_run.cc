@@ -16,14 +16,12 @@
  * the GRU/LSTM steady state long enough to time meaningfully.
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "common/logging.hh"
 #include "nn/models/models.hh"
 #include "nn/weights.hh"
@@ -50,9 +48,8 @@ usage(FILE *to)
     std::fprintf(to,
         "usage: tango-run [options] [<policy>] <network>...\n"
         "\n"
-        "networks: cifarnet alexnet squeezenet resnet vggnet mobilenet\n"
-        "          gru lstm        (case-insensitive)\n"
-        "policies: bench, mem, stall, exact (default bench)\n"
+        "networks: %s\n"
+        "policies: bench (alias: fig), mem, stall, exact (default bench)\n"
         "\n"
         "options:\n"
         "  --seq-len N      RNN sequence length (default %u; ignored for\n"
@@ -62,22 +59,8 @@ usage(FILE *to)
         "  -h, --help       this message\n"
         "\n"
         "TANGO_NO_MEMO=1 disables steady-state launch memoization.\n",
+        tools::knownNetworksLine().c_str(),
         nn::models::kDefaultRnnSeqLen);
-}
-
-std::string
-lower(std::string s)
-{
-    std::transform(s.begin(), s.end(), s.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    return s;
-}
-
-bool
-isPolicyName(const std::string &name)
-{
-    const auto known = rt::RunPolicy::names();
-    return std::find(known.begin(), known.end(), name) != known.end();
 }
 
 Options
@@ -96,19 +79,13 @@ parseArgs(int argc, char **argv)
             usage(stdout);
             std::exit(0);
         } else if (arg == "--seq-len") {
-            const std::string v = value();
-            char *end = nullptr;
-            const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-            if (!end || *end != '\0' || n == 0 || n > (1u << 20))
-                fatal("--seq-len expects an integer in [1, %u], got '%s'",
-                      1u << 20, v.c_str());
+            const uint64_t n = tools::parseUint("--seq-len", value());
+            if (n == 0 || n > (1u << 20))
+                fatal("--seq-len must be in [1, %u]", 1u << 20);
             opt.seqLen = static_cast<uint32_t>(n);
         } else if (arg == "--platform") {
             opt.platform = value();
-            if (opt.platform != "GP102" && opt.platform != "GK210" &&
-                opt.platform != "TX1") {
-                fatal("unknown --platform '%s'", opt.platform.c_str());
-            }
+            tools::validatePlatform(opt.platform);
         } else if (arg == "--functional") {
             opt.functional = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -118,29 +95,13 @@ parseArgs(int argc, char **argv)
             positional.push_back(arg);
         }
     }
-
-    size_t first = 0;
-    if (!positional.empty() && isPolicyName(lower(positional[0]))) {
-        opt.policy = lower(positional[0]);
-        first = 1;
-    }
-    const auto all = nn::models::allNames();
-    for (size_t i = first; i < positional.size(); i++) {
-        const std::string net = lower(positional[i]);
-        if (std::find(all.begin(), all.end(), net) == all.end() &&
-            net != "mobilenet") {
-            std::string known;
-            for (const auto &n : all)
-                known += (known.empty() ? "" : ", ") + n;
-            fatal("unknown network '%s' (known: %s, mobilenet)",
-                  positional[i].c_str(), known.c_str());
-        }
-        opt.nets.push_back(net);
-    }
-    if (opt.nets.empty()) {
+    if (positional.empty()) {
         usage(stderr);
         fatal("no network given");
     }
+    const tools::NetSelection sel = tools::parseNetArgs(positional);
+    opt.policy = sel.policy;
+    opt.nets = sel.nets;
     return opt;
 }
 

@@ -19,14 +19,12 @@
  * the JSON's otherData.
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "common/logging.hh"
 #include "nn/models/models.hh"
 #include "runtime/engine.hh"
@@ -57,8 +55,7 @@ usage(FILE *to)
     std::fprintf(to,
         "usage: tango-trace [options] [<policy>] <network>...\n"
         "\n"
-        "networks: cifarnet alexnet squeezenet resnet vggnet mobilenet\n"
-        "          gru lstm        (case-insensitive)\n"
+        "networks: %s\n"
         "policies: bench (alias: fig), mem, stall, exact\n"
         "\n"
         "options:\n"
@@ -74,16 +71,10 @@ usage(FILE *to)
         "  --summary        also print a launch-serving summary line\n"
         "                   (replayed vs fully simulated launches)\n"
         "  -h, --help       this message\n",
-        1u << 20);
+        tools::knownNetworksLine().c_str(), 1u << 20);
 }
 
-std::string
-lower(std::string s)
-{
-    std::transform(s.begin(), s.end(), s.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    return s;
-}
+using tools::lower;
 
 /** @return the mask bits of one --events group name, or 0 if unknown. */
 uint32_t
@@ -140,25 +131,7 @@ parseEvents(const std::string &list)
     return mask;
 }
 
-uint64_t
-parseUint(const char *flag, const std::string &v)
-{
-    char *end = nullptr;
-    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-    if (!end || *end != '\0' || v.empty())
-        fatal("%s expects a non-negative integer, got '%s'", flag,
-              v.c_str());
-    return n;
-}
-
-bool
-isPolicyName(const std::string &name)
-{
-    if (name == "fig")
-        return true;
-    const auto known = rt::RunPolicy::names();
-    return std::find(known.begin(), known.end(), name) != known.end();
-}
+using tools::parseUint;
 
 Options
 parseArgs(int argc, char **argv)
@@ -188,10 +161,7 @@ parseArgs(int argc, char **argv)
             opt.maxEvents = static_cast<uint32_t>(n);
         } else if (arg == "--platform") {
             opt.platform = value();
-            if (opt.platform != "GP102" && opt.platform != "GK210" &&
-                opt.platform != "TX1") {
-                fatal("unknown --platform '%s'", opt.platform.c_str());
-            }
+            tools::validatePlatform(opt.platform);
         } else if (arg == "--out") {
             opt.outDir = value();
         } else if (arg == "--summary") {
@@ -204,31 +174,15 @@ parseArgs(int argc, char **argv)
         }
     }
 
-    // A leading positional naming a policy selects it ("fig" is the
-    // policy of the paper-figure benches, i.e. "bench").
-    size_t first = 0;
-    if (!positional.empty() && isPolicyName(lower(positional[0]))) {
-        const std::string p = lower(positional[0]);
-        opt.policy = p == "fig" ? "bench" : p;
-        first = 1;
-    }
-
-    const auto all = nn::models::allNames();
-    for (size_t i = first; i < positional.size(); i++) {
-        const std::string net = lower(positional[i]);
-        if (std::find(all.begin(), all.end(), net) == all.end()) {
-            std::string known;
-            for (const auto &n : all)
-                known += (known.empty() ? "" : ", ") + n;
-            fatal("unknown network '%s' (known: %s)",
-                  positional[i].c_str(), known.c_str());
-        }
-        opt.nets.push_back(net);
-    }
-    if (opt.nets.empty()) {
+    if (positional.empty()) {
         usage(stderr);
         fatal("no network given");
     }
+    // A leading positional naming a policy selects it ("fig" is the
+    // policy of the paper-figure benches, i.e. "bench").
+    const tools::NetSelection sel = tools::parseNetArgs(positional);
+    opt.policy = sel.policy;
+    opt.nets = sel.nets;
     return opt;
 }
 
