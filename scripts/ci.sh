@@ -5,6 +5,7 @@
 #
 #   scripts/ci.sh            # everything
 #   SKIP_TSAN=1 scripts/ci.sh  # skip the sanitizer stage (e.g. no tsan rt)
+#   SKIP_SERVE=1 scripts/ci.sh # skip the tango-serve daemon stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +48,37 @@ convtop=$(awk -F';' '$2 ~ /^conv/ {split($4, b, " "); s[b[1]] += b[2]}
 echo "top conv-layer label: $convtop"
 [[ "$convtop" == "conv.mac" ]]
 rm -rf "$profdir"
+
+if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
+    echo "=== tango-serve: in-flight dedup, cache hits, graceful drain ==="
+    servedir=$(mktemp -d)
+    build/tools/tango-serve --port 0 --port-file "$servedir/port" &
+    serve_pid=$!
+    for _ in $(seq 100); do [[ -s "$servedir/port" ]] && break; sleep 0.1; done
+    [[ -s "$servedir/port" ]] || { echo "tango-serve never bound" >&2; exit 1; }
+    build/tools/tango-load --port "$(cat "$servedir/port")" \
+        --nets gru,lstm --conns 4 --requests 25 --json "$servedir/load.json"
+    # Every warm request must be served from cache/dedup: the engine's
+    # miss counter (actual simulations) stays at the cold job count.
+    python3 - "$servedir/load.json" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+stats, warm = rec["server_stats"], rec["warm"]
+assert rec["cold"]["ok"] == rec["jobs"], rec["cold"]
+assert warm["ok"] == warm["requests"] and warm["requests"] > 0, warm
+assert stats["cache_misses"] == rec["jobs"], stats
+assert stats["cache_mem_hits"] >= warm["requests"], stats
+assert stats["failures"] == 0, stats
+print("serve: %d jobs simulated once, %d warm hits (hit rate %.3f)"
+      % (stats["cache_misses"], stats["cache_mem_hits"],
+         stats["cache_hit_rate"]))
+EOF
+    # SIGTERM must drain gracefully and exit 0 (set -e enforces it).
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    echo "tango-serve drained cleanly on SIGTERM"
+    rm -rf "$servedir"
+fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== ThreadSanitizer engine + trace tests ==="

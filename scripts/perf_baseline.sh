@@ -15,6 +15,12 @@
 #   scripts/perf_baseline.sh                # writes BENCH_simwall.json
 #   RUNS=5 SEQLEN=1024 scripts/perf_baseline.sh
 #   OUT=/tmp/w.json scripts/perf_baseline.sh
+#
+# Unless SKIP_SERVE=1, also boots a tango-serve daemon on an ephemeral
+# port and drives it with tango-load (the default mix: all seven nets x
+# the bench policy — never exact on the big CNNs), writing the serving
+# baseline (cold/warm QPS, p50/p99, warm-over-cold ratio) to
+# BENCH_serve.json (override with SERVE_OUT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,3 +111,19 @@ fi
 
 echo "wrote $OUT:" >&2
 cat "$OUT"
+
+if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
+    SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+    echo "measuring tango-serve cold vs warm QPS ..." >&2
+    servedir=$(mktemp -d)
+    build/tools/tango-serve --port 0 --port-file "$servedir/port" &
+    serve_pid=$!
+    for _ in $(seq 100); do [[ -s "$servedir/port" ]] && break; sleep 0.1; done
+    [[ -s "$servedir/port" ]] || { echo "tango-serve never bound" >&2; exit 1; }
+    build/tools/tango-load --port "$(cat "$servedir/port")" \
+        --conns 4 --requests 200 --json "$SERVE_OUT"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    rm -rf "$servedir"
+    echo "wrote $SERVE_OUT" >&2
+fi

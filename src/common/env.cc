@@ -1,0 +1,32 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tango {
+
+uint64_t
+envUint(const char *name, uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    // Reject signs and whitespace up front: strtoull accepts "-1" (as a
+    // huge wraparound) and leading spaces, neither of which is a sane
+    // knob value.
+    if (!std::isdigit(static_cast<unsigned char>(v[0])))
+        fatal("%s expects a non-negative integer, got '%s'", name, v);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (errno == ERANGE)
+        fatal("%s value '%s' is out of range", name, v);
+    if (!end || *end != '\0')
+        fatal("%s expects a non-negative integer, got '%s'", name, v);
+    return n;
+}
+
+} // namespace tango

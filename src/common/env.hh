@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Strict environment-variable parsing for the runtime TANGO_* knobs.
+ *
+ * A knob like TANGO_ENGINE_THREADS=abc used to be silently treated as 0
+ * (strtol's soft failure), which reads as "knob applied" while actually
+ * falling back to the default.  These helpers fatal() instead: a
+ * malformed value is a user error the run must not paper over.
+ */
+
+#ifndef TANGO_COMMON_ENV_HH
+#define TANGO_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace tango {
+
+/**
+ * Read a non-negative integer environment variable.
+ * @return @p dflt when the variable is unset or empty; otherwise the
+ *         parsed value.  fatal()s on anything that is not a plain
+ *         decimal non-negative integer (garbage, signs, trailing
+ *         characters, overflow).
+ */
+uint64_t envUint(const char *name, uint64_t dflt);
+
+} // namespace tango
+
+#endif // TANGO_COMMON_ENV_HH

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <tuple>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "runtime/run_cache.hh"
 #include "sim/gpu.hh"
@@ -51,18 +52,11 @@ EngineOptions
 EngineOptions::fromEnv()
 {
     EngineOptions opt;
-    if (const char *t = std::getenv("TANGO_ENGINE_THREADS")) {
-        const long n = std::strtol(t, nullptr, 10);
-        if (n > 0)
-            opt.threads = static_cast<unsigned>(n);
-    }
+    opt.threads = static_cast<unsigned>(envUint("TANGO_ENGINE_THREADS", 0));
     if (const char *c = std::getenv("TANGO_ENGINE_CACHE"))
         opt.cachePath = c;
-    if (const char *m = std::getenv("TANGO_ENGINE_CACHE_MAX_MB")) {
-        const long mb = std::strtol(m, nullptr, 10);
-        if (mb > 0)
-            opt.maxCacheBytes = static_cast<uint64_t>(mb) * 1024 * 1024;
-    }
+    opt.maxCacheBytes =
+        envUint("TANGO_ENGINE_CACHE_MAX_MB", 0) * 1024 * 1024;
     return opt;
 }
 
@@ -122,11 +116,13 @@ Engine::execute(const std::shared_ptr<Slot> &slot)
         slot->fn = nullptr;
         slot->result = std::make_unique<NetRun>(std::move(run));
         dirty_ = true;
+        inflight_--;
         slot->promise.set_value(slot->result.get());
     } catch (...) {
         std::unique_lock<std::mutex> lock(mu_);
         slot->fn = nullptr;
         stats_.failures++;
+        inflight_--;
         // Evict so a retry re-simulates; waiters holding the shared
         // future still see the exception through the shared state.
         slots_.erase(slot->key);
@@ -162,6 +158,7 @@ Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
     }
 
     stats_.misses++;
+    inflight_++;
     slot->fn = std::move(fn);
     slots_.emplace(key, slot);
     pool_.submit([this, slot] { execute(slot); });
@@ -171,13 +168,61 @@ Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
 std::shared_future<const NetRun *>
 Engine::submit(const RunKey &key)
 {
-    const sim::GpuConfig cfg = makeConfig(key);
-    const std::string net = key.net;
-    const std::string policy = key.policy;
+    // A RunKey is the all-defaults subset of a JobSpec; its str() and
+    // the JobSpec cache key are character-identical (test_job asserts
+    // this), so bench sweeps and serve traffic share one cache.
+    JobSpec spec;
+    spec.net = key.net;
+    spec.policy = key.policy;
+    spec.platform = key.platform;
+    spec.l1dBytes = key.l1dBytes;
+    spec.sched = key.sched;
+    const sim::GpuConfig cfg = spec.gpuConfig();
     std::unique_lock<std::mutex> lock(mu_);
-    return submitLocked(key.str(), cfg, [net, policy](sim::Gpu &gpu) {
-        return runNetworkByName(gpu, net, RunPolicy::named(policy));
+    return submitLocked(key.str(), cfg, [spec](sim::Gpu &gpu) {
+        return runJob(gpu, spec);
     });
+}
+
+Engine::Submitted
+Engine::submitJob(const JobSpec &spec, unsigned maxInFlight, JobFn fn)
+{
+    JobSpec job = spec;
+    job.trace = false;   // a driver concern; never part of the job body
+    const std::string key = job.cacheKey().str;
+    const sim::GpuConfig cfg = job.gpuConfig();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    Submitted out;
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+        stats_.memHits++;
+        out.served = it->second->result ? Submitted::Served::MemHit
+                                        : Submitted::Served::Joined;
+        out.future = it->second->future;
+        return out;
+    }
+    if (disk_.find(key) != disk_.end()) {
+        out.served = Submitted::Served::DiskHit;
+        out.future = submitLocked(key, cfg, nullptr);
+        return out;
+    }
+    if (maxInFlight && inflight_ >= maxInFlight) {
+        out.served = Submitted::Served::Rejected;
+        return out;
+    }
+    out.served = Submitted::Served::Simulated;
+    if (!fn)
+        fn = [job](sim::Gpu &gpu) { return runJob(gpu, job); };
+    out.future = submitLocked(key, cfg, std::move(fn));
+    return out;
+}
+
+unsigned
+Engine::inFlightSims() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return inflight_;
 }
 
 std::shared_future<const NetRun *>

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "runtime/job.hh"
 #include "runtime/runtime.hh"
 #include "sim/config.hh"
 
@@ -74,7 +75,9 @@ struct EngineOptions
 
     /** Read TANGO_ENGINE_THREADS / TANGO_ENGINE_CACHE /
      *  TANGO_ENGINE_CACHE_MAX_MB from the environment (unset variables
-     *  keep the defaults above). */
+     *  keep the defaults above).  Malformed numeric values — anything
+     *  but a plain non-negative integer — are a fatal() error, never
+     *  silently treated as 0. */
     static EngineOptions fromEnv();
 };
 
@@ -108,6 +111,44 @@ class Engine
 
     /** Enqueue a standard simulation point (no-op if cached). */
     std::shared_future<const NetRun *> submit(const RunKey &key);
+
+    /** How a submitJob() was satisfied.  The slot map doubles as an
+     *  in-flight dedup table: a job whose key is already being
+     *  simulated joins that simulation instead of starting another —
+     *  this is what makes tango-serve safe under request storms. */
+    struct Submitted
+    {
+        enum class Served
+        {
+            Simulated,   ///< started a fresh simulation
+            Joined,      ///< deduplicated onto an identical in-flight job
+            MemHit,      ///< result already resident
+            DiskHit,     ///< recalled from the JSON spill
+            Rejected     ///< admission control refused (maxInFlight)
+        };
+        Served served = Served::Rejected;
+        /** Valid unless served == Rejected. */
+        std::shared_future<const NetRun *> future;
+    };
+
+    /**
+     * Enqueue a JobSpec under its canonical cache key.
+     * @param maxInFlight if nonzero, reject (rather than enqueue) a job
+     *        that would start a NEW simulation while that many are
+     *        already in flight — cache hits and joins are always
+     *        admitted; they cost nearly nothing.  The check and the
+     *        enqueue are one critical section, so the bound is exact.
+     * @param fn if given, runs instead of the standard job body
+     *        runJob(gpu, spec) — the tango-serve tests inject blocking
+     *        runners through this to pin jobs in flight.
+     * fatal()s later (on the worker) if the spec is invalid —
+     * validate() first.
+     */
+    Submitted submitJob(const JobSpec &spec, unsigned maxInFlight = 0,
+                        JobFn fn = nullptr);
+
+    /** @return jobs currently being simulated (submitted, not done). */
+    unsigned inFlightSims() const;
 
     /** Enqueue a custom job under @p key (no-op if cached). */
     std::shared_future<const NetRun *> submit(const std::string &key,
@@ -167,6 +208,7 @@ class Engine
     std::map<std::string, std::shared_ptr<Slot>> slots_;
     std::map<std::string, NetRun> disk_;   ///< loaded, not-yet-claimed spill
     CacheStats stats_;
+    unsigned inflight_ = 0;   ///< simulations submitted but not finished
     bool dirty_ = false;   ///< new results since the last flush
     bool statsLogged_ = false;   ///< logCacheStats() once-guard
 

@@ -1,0 +1,342 @@
+#include "runtime/job.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "nn/models/models.hh"
+#include "nn/weights.hh"
+#include "runtime/run_cache.hh"
+#include "sim/digest.hh"
+#include "sim/gpu.hh"
+
+namespace tango::rt {
+
+namespace {
+
+using json::ObjWriter;
+using json::Reader;
+
+bool
+isRnnNet(const std::string &net)
+{
+    return net == "gru" || net == "lstm";
+}
+
+// ----------------------------------------------------- RunPolicy <-> JSON
+//
+// Inline policies travel in full: every SimPolicy field plus the
+// RunPolicy wrapper.  The field order is fixed so the serialized form is
+// canonical (the content digest below keys the run cache).
+
+void
+appendRunPolicy(std::string &out, const RunPolicy &p)
+{
+    ObjWriter o(out);
+    o.key("sim");
+    {
+        ObjWriter s(out);
+        s.u64("maxResidentCtas", p.sim.maxResidentCtas);
+        s.u64("maxResidentWarps", p.sim.maxResidentWarps);
+        s.u64("maxSampledCtas", p.sim.maxSampledCtas);
+        s.boolean("fullSim", p.sim.fullSim);
+        s.u64("maxWarpsPerCta", p.sim.maxWarpsPerCta);
+        s.u64("maxCycles", p.sim.maxCycles);
+        s.boolean("memoize", p.sim.memoize);
+        s.boolean("profile", p.sim.profile);
+        s.close();
+    }
+    o.boolean("functional", p.functional);
+    o.boolean("check", p.check);
+    o.num("tolerance", p.tolerance);
+    o.u64("maxLoopChannels", p.maxLoopChannels);
+    o.close();
+}
+
+RunPolicy
+parseRunPolicy(const Reader::Value &v)
+{
+    RunPolicy p;
+    if (const Reader::Value *s = v.find("sim")) {
+        p.sim.maxResidentCtas =
+            static_cast<uint32_t>(s->u64Or("maxResidentCtas",
+                                           p.sim.maxResidentCtas));
+        p.sim.maxResidentWarps =
+            static_cast<uint32_t>(s->u64Or("maxResidentWarps",
+                                           p.sim.maxResidentWarps));
+        p.sim.maxSampledCtas = s->u64Or("maxSampledCtas",
+                                        p.sim.maxSampledCtas);
+        p.sim.fullSim = s->boolOr("fullSim", p.sim.fullSim);
+        p.sim.maxWarpsPerCta =
+            static_cast<uint32_t>(s->u64Or("maxWarpsPerCta",
+                                           p.sim.maxWarpsPerCta));
+        p.sim.maxCycles = s->u64Or("maxCycles", p.sim.maxCycles);
+        p.sim.memoize = s->boolOr("memoize", p.sim.memoize);
+        p.sim.profile = s->boolOr("profile", p.sim.profile);
+    }
+    p.functional = v.boolOr("functional", p.functional);
+    p.check = v.boolOr("check", p.check);
+    p.tolerance = static_cast<float>(v.numOr("tolerance", p.tolerance));
+    p.maxLoopChannels =
+        static_cast<uint32_t>(v.u64Or("maxLoopChannels",
+                                      p.maxLoopChannels));
+    return p;
+}
+
+/** Content digest of an inline policy's canonical JSON, as 16 hex
+ *  chars: equal policies key equally no matter how they were built. */
+std::string
+inlinePolicyTag(const RunPolicy &p)
+{
+    std::string body;
+    appendRunPolicy(body, p);
+    uint64_t h = sim::digest::kInit;
+    sim::digest::mixBytes(h, body.data(), body.size());
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "inline-%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- JobSpec
+
+std::string
+JobSpec::validate() const
+{
+    const auto nets = nn::models::runnableNames();
+    if (std::find(nets.begin(), nets.end(), net) == nets.end())
+        return "unknown network '" + net + "'";
+    if (platform != "GP102" && platform != "GK210" && platform != "TX1")
+        return "unknown platform '" + platform +
+               "' (known: GP102, GK210, TX1)";
+    if (!hasInlinePolicy) {
+        const auto known = RunPolicy::names();
+        if (std::find(known.begin(), known.end(), policy) == known.end())
+            return "unknown policy '" + policy + "'";
+    }
+    if (seqLen > (1u << 20))
+        return "seqLen " + std::to_string(seqLen) + " out of range [0, " +
+               std::to_string(1u << 20) + "]";
+    return "";
+}
+
+RunPolicy
+JobSpec::resolvedPolicy() const
+{
+    RunPolicy p =
+        hasInlinePolicy ? inlinePolicy : RunPolicy::named(policy);
+    p.functional |= functional;
+    p.sim.profile |= profile;
+    return p;
+}
+
+sim::GpuConfig
+JobSpec::gpuConfig() const
+{
+    sim::GpuConfig cfg = platform == "GK210" ? sim::keplerGK210()
+                         : platform == "TX1" ? sim::maxwellTX1()
+                                             : sim::pascalGP102();
+    cfg.l1dBytes = l1dBytes;
+    cfg.scheduler = sched;
+    return cfg;
+}
+
+CacheKey
+JobSpec::cacheKey() const
+{
+    const std::string l1 =
+        l1dBytes ? std::to_string(l1dBytes / 1024) + "K" : "off";
+    std::string key = net + "/" + platform + "/l1=" + l1 + "/" +
+                      sim::schedName(sched) + "/" +
+                      (hasInlinePolicy ? inlinePolicyTag(inlinePolicy)
+                                       : policy);
+    // Normalize the extras away when they are defaults, so a JobSpec
+    // that says nothing beyond net x policy x platform keys exactly
+    // like the legacy RunKey ("alexnet/GP102/l1=64K/gto/bench") and the
+    // serve daemon, the bench binaries and the CLI tools all share one
+    // cache entry.  The trace flag never participates: tracing observes
+    // a run, it does not change what is simulated.
+    const uint32_t seq =
+        isRnnNet(net) && seqLen != nn::models::kDefaultRnnSeqLen ? seqLen
+                                                                 : 0;
+    if (seq)
+        key += "/seq=" + std::to_string(seq);
+    if (functional)
+        key += "/fn";
+    if (profile)
+        key += "/prof";
+    return CacheKey{key};
+}
+
+std::string
+JobSpec::toJson() const
+{
+    std::string out;
+    ObjWriter o(out);
+    o.str("net", net);
+    if (hasInlinePolicy) {
+        o.key("runPolicy");
+        appendRunPolicy(out, inlinePolicy);
+    } else {
+        o.str("policy", policy);
+    }
+    o.str("platform", platform);
+    o.u64("l1dBytes", l1dBytes);
+    o.str("sched", sim::schedName(sched));
+    o.u64("seqLen", seqLen);
+    o.boolean("functional", functional);
+    o.boolean("profile", profile);
+    o.boolean("trace", trace);
+    o.close();
+    return out;
+}
+
+bool
+JobSpec::fromJson(const std::string &text, JobSpec &out, std::string *err)
+{
+    const auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    Reader::Value v;
+    try {
+        v = Reader(text).parse();
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+    if (v.kind != Reader::Value::Kind::Obj)
+        return fail("job spec must be a JSON object");
+
+    JobSpec spec;
+    spec.net = v.strOr("net");
+    if (spec.net.empty())
+        return fail("missing required field 'net'");
+
+    const Reader::Value *inlinePol = v.find("runPolicy");
+    const Reader::Value *named = v.find("policy");
+    if (inlinePol && named)
+        return fail("'policy' and 'runPolicy' are mutually exclusive");
+    if (inlinePol) {
+        if (inlinePol->kind != Reader::Value::Kind::Obj)
+            return fail("'runPolicy' must be an object");
+        spec.hasInlinePolicy = true;
+        spec.inlinePolicy = parseRunPolicy(*inlinePol);
+    } else if (named) {
+        if (named->kind != Reader::Value::Kind::Str)
+            return fail("'policy' must be a string");
+        spec.policy = named->str;
+    }
+
+    if (const Reader::Value *p = v.find("platform")) {
+        if (p->kind != Reader::Value::Kind::Str)
+            return fail("'platform' must be a string");
+        spec.platform = p->str;
+    }
+    spec.l1dBytes = static_cast<uint32_t>(v.u64Or("l1dBytes",
+                                                  spec.l1dBytes));
+    if (const Reader::Value *s = v.find("sched")) {
+        if (s->kind != Reader::Value::Kind::Str ||
+            !sim::schedFromName(s->str, spec.sched))
+            return fail("unknown scheduler '" + s->strOr("sched") +
+                        "' (known: gto, lrr, tlv)");
+    }
+    spec.seqLen = static_cast<uint32_t>(v.u64Or("seqLen", 0));
+    spec.functional = v.boolOr("functional", false);
+    spec.profile = v.boolOr("profile", false);
+    spec.trace = v.boolOr("trace", false);
+    out = std::move(spec);
+    return true;
+}
+
+// ---------------------------------------------------------------- JobResult
+
+std::string
+JobResult::toJson() const
+{
+    std::string out;
+    ObjWriter o(out);
+    o.boolean("ok", ok);
+    if (!ok)
+        o.str("error", error);
+    if (!served.empty())
+        o.str("served", served);
+    o.num("latencyMs", latencyMs);
+    if (ok) {
+        o.key("run");
+        out += serializeNetRun(run);
+    }
+    o.close();
+    return out;
+}
+
+bool
+JobResult::fromJson(const std::string &text, JobResult &out,
+                    std::string *err)
+{
+    const auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    Reader::Value v;
+    try {
+        v = Reader(text).parse();
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+    if (v.kind != Reader::Value::Kind::Obj)
+        return fail("job result must be a JSON object");
+
+    JobResult res;
+    res.ok = v.boolOr("ok", false);
+    res.error = v.strOr("error");
+    res.served = v.strOr("served");
+    res.latencyMs = v.numOr("latencyMs");
+    if (res.ok) {
+        const Reader::Value *run = v.find("run");
+        if (!run || run->kind != Reader::Value::Kind::Obj)
+            return fail("ok result is missing its 'run' object");
+        res.run = netRunFromJson(*run);
+    }
+    out = std::move(res);
+    return true;
+}
+
+// ------------------------------------------------------------------ running
+
+NetRun
+runJob(sim::Gpu &gpu, const JobSpec &spec)
+{
+    Runtime rt(gpu);
+    return rt.run(spec);
+}
+
+NetRun
+Runtime::run(const JobSpec &spec)
+{
+    const std::string why = spec.validate();
+    if (!why.empty())
+        fatal("invalid job %s: %s", spec.toJson().c_str(), why.c_str());
+
+    const RunPolicy policy = spec.resolvedPolicy();
+    nn::AnyModel model = [&] {
+        if (spec.net == "gru")
+            return nn::AnyModel(
+                spec.seqLen ? nn::models::buildGru(spec.seqLen)
+                            : nn::models::buildGru());
+        if (spec.net == "lstm")
+            return nn::AnyModel(
+                spec.seqLen ? nn::models::buildLstm(spec.seqLen)
+                            : nn::models::buildLstm());
+        return nn::models::buildAny(spec.net);
+    }();
+    if (policy.functional || policy.check)
+        nn::initWeights(model);
+    return run(model, policy);
+}
+
+} // namespace tango::rt

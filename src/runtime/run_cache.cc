@@ -1,10 +1,8 @@
 #include "runtime/run_cache.hh"
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -15,72 +13,10 @@ namespace {
 
 // ---------------------------------------------------------------- writer
 
-void
-appendEscaped(std::string &out, const std::string &s)
-{
-    out += '"';
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-}
-
-void
-appendDouble(std::string &out, double v)
-{
-    char buf[40];
-    // 17 significant digits round-trip any IEEE-754 double exactly.
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    out += buf;
-}
-
-void
-appendU64(std::string &out, uint64_t v)
-{
-    out += std::to_string(v);
-}
-
-/** Emits `"name":value` sequences inside one JSON object. */
-class ObjWriter
-{
-  public:
-    explicit ObjWriter(std::string &out) : out_(out) { out_ += '{'; }
-    void close() { out_ += '}'; }
-
-    void key(const char *name)
-    {
-        if (!first_)
-            out_ += ',';
-        first_ = false;
-        out_ += '"';
-        out_ += name;
-        out_ += "\":";
-    }
-    void num(const char *name, double v) { key(name); appendDouble(out_, v); }
-    void u64(const char *name, uint64_t v) { key(name); appendU64(out_, v); }
-    void str(const char *name, const std::string &v)
-    {
-        key(name);
-        appendEscaped(out_, v);
-    }
-
-  private:
-    std::string &out_;
-    bool first_ = true;
-};
+using json::ObjWriter;
+using json::appendDouble;
+using json::appendEscaped;
+using json::appendU64;
 
 void
 appendStatSet(std::string &out, const StatSet &st)
@@ -230,202 +166,11 @@ appendLayerRun(std::string &out, const LayerRun &l)
 
 // ---------------------------------------------------------------- parser
 
-/** A minimal recursive-descent JSON reader over an in-memory buffer.
- *  Parse errors throw std::runtime_error; loadRunCache catches them.
- *  The token-level primitives (peek/next/expect/string/value) are public
- *  so the cache loader can walk the top-level "runs" object entry by
- *  entry and salvage the valid prefix of a damaged file. */
-class Json
-{
-  public:
-    struct Value
-    {
-        enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
-        bool b = false;
-        double num = 0.0;
-        std::string str;
-        std::vector<Value> arr;
-        std::vector<std::pair<std::string, Value>> obj;
-
-        const Value *find(const char *key) const
-        {
-            for (const auto &[k, v] : obj) {
-                if (k == key)
-                    return &v;
-            }
-            return nullptr;
-        }
-        double numOr(const char *key, double dflt = 0.0) const
-        {
-            const Value *v = find(key);
-            return v && v->kind == Kind::Num ? v->num : dflt;
-        }
-        uint64_t u64Or(const char *key, uint64_t dflt = 0) const
-        {
-            return static_cast<uint64_t>(numOr(key, double(dflt)));
-        }
-        std::string strOr(const char *key) const
-        {
-            const Value *v = find(key);
-            return v && v->kind == Kind::Str ? v->str : std::string();
-        }
-    };
-
-    explicit Json(const std::string &text) : s_(text) {}
-
-    Value parse()
-    {
-        Value v = value();
-        skipWs();
-        if (pos_ != s_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            fail("unexpected end");
-        return s_[pos_];
-    }
-    char next()
-    {
-        const char c = peek();
-        pos_++;
-        return c;
-    }
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail("unexpected character");
-        pos_++;
-    }
-
-    std::string string()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    fail("bad escape");
-                char e = s_[pos_++];
-                switch (e) {
-                case '"': out += '"'; break;
-                case '\\': out += '\\'; break;
-                case '/': out += '/'; break;
-                case 'n': out += '\n'; break;
-                case 't': out += '\t'; break;
-                case 'r': out += '\r'; break;
-                case 'b': out += '\b'; break;
-                case 'f': out += '\f'; break;
-                case 'u': {
-                    if (pos_ + 4 > s_.size())
-                        fail("bad \\u escape");
-                    const unsigned cp = static_cast<unsigned>(std::strtoul(
-                        s_.substr(pos_, 4).c_str(), nullptr, 16));
-                    pos_ += 4;
-                    // Cache strings are ASCII; anything else is replaced.
-                    out += cp < 0x80 ? static_cast<char>(cp) : '?';
-                    break;
-                }
-                default: fail("bad escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        if (pos_ >= s_.size())
-            fail("unterminated string");
-        pos_++;   // closing quote
-        return out;
-    }
-
-    Value value()
-    {
-        const char c = peek();
-        Value v;
-        if (c == '{') {
-            pos_++;
-            v.kind = Value::Kind::Obj;
-            if (peek() == '}') {
-                pos_++;
-                return v;
-            }
-            for (;;) {
-                std::string key = string();
-                expect(':');
-                v.obj.emplace_back(std::move(key), value());
-                const char n = peek();
-                pos_++;
-                if (n == '}')
-                    return v;
-                if (n != ',')
-                    fail("expected , or }");
-            }
-        }
-        if (c == '[') {
-            pos_++;
-            v.kind = Value::Kind::Arr;
-            if (peek() == ']') {
-                pos_++;
-                return v;
-            }
-            for (;;) {
-                v.arr.push_back(value());
-                const char n = peek();
-                pos_++;
-                if (n == ']')
-                    return v;
-                if (n != ',')
-                    fail("expected , or ]");
-            }
-        }
-        if (c == '"') {
-            v.kind = Value::Kind::Str;
-            v.str = string();
-            return v;
-        }
-        if (c == 't' || c == 'f' || c == 'n') {
-            const char *word = c == 't' ? "true" : c == 'f' ? "false" : "null";
-            const size_t len = std::strlen(word);
-            if (s_.compare(pos_, len, word) != 0)
-                fail("bad literal");
-            pos_ += len;
-            v.kind = c == 'n' ? Value::Kind::Null : Value::Kind::Bool;
-            v.b = c == 't';
-            return v;
-        }
-        // Number.
-        const char *start = s_.c_str() + pos_;
-        char *end = nullptr;
-        v.num = std::strtod(start, &end);
-        if (end == start)
-            fail("bad number");
-        pos_ += static_cast<size_t>(end - start);
-        v.kind = Value::Kind::Num;
-        return v;
-    }
-
-  private:
-    [[noreturn]] void fail(const char *what)
-    {
-        throw std::runtime_error(std::string("json: ") + what + " at " +
-                                 std::to_string(pos_));
-    }
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-                s_[pos_] == '\r'))
-            pos_++;
-    }
-
-    const std::string &s_;
-    size_t pos_ = 0;
-};
+/** The shared recursive-descent reader (common/json.hh).  Its
+ *  token-level primitives let loadRunCache walk the top-level "runs"
+ *  object entry by entry and salvage the valid prefix of a damaged
+ *  file. */
+using Json = json::Reader;
 
 sim::Dim3
 parseDim3(const Json::Value &v)
@@ -564,6 +309,12 @@ parseNetRun(const Json::Value &v)
 }
 
 } // namespace
+
+NetRun
+netRunFromJson(const json::Reader::Value &v)
+{
+    return parseNetRun(v);
+}
 
 std::string
 serializeNetRun(const NetRun &run)

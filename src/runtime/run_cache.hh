@@ -19,6 +19,7 @@
 #include <map>
 #include <string>
 
+#include "common/json.hh"
 #include "runtime/runtime.hh"
 
 namespace tango::rt {
@@ -46,6 +47,10 @@ std::string serializeNetRun(const NetRun &run);
  * @return false (out untouched) on malformed input; never throws.
  */
 bool parseNetRunJson(const std::string &text, NetRun &out);
+
+/** Build a NetRun from an already-parsed JSON object (the embedded
+ *  "run" field of a serve protocol result; missing fields default). */
+NetRun netRunFromJson(const json::Reader::Value &v);
 
 /**
  * Load a cache file.

@@ -159,20 +159,6 @@ Runtime::run(const nn::AnyModel &model, const RunPolicy &policy,
 }
 
 NetRun
-Runtime::runCnn(const nn::Network &net, const RunPolicy &policy,
-                const nn::Tensor *input)
-{
-    return cnnRun(net, policy, input);
-}
-
-NetRun
-Runtime::runRnn(const nn::RnnModel &model, const RunPolicy &policy,
-                const std::vector<float> *sequence, float *prediction)
-{
-    return rnnRun(model, policy, sequence, prediction);
-}
-
-NetRun
 Runtime::cnnRun(const nn::Network &net, const RunPolicy &policy,
                 const nn::Tensor *input)
 {
@@ -442,24 +428,6 @@ RunPolicy::names()
     for (const auto &[name, p] : reg.policies)
         out.push_back(name);
     return out;
-}
-
-RunPolicy
-benchPolicy()
-{
-    return RunPolicy::named("bench");
-}
-
-RunPolicy
-memStudyPolicy()
-{
-    return RunPolicy::named("mem");
-}
-
-RunPolicy
-stallStudyPolicy()
-{
-    return RunPolicy::named("stall");
 }
 
 NetRun

@@ -26,6 +26,8 @@
 
 namespace tango::rt {
 
+struct JobSpec; // runtime/job.hh
+
 /** Execution policy for one network run. */
 struct RunPolicy
 {
@@ -123,16 +125,14 @@ class Runtime
     NetRun run(const nn::AnyModel &model, const RunPolicy &policy,
                const RunIo &io = {});
 
-    /** @deprecated Compatibility shim — use run(). */
-    [[deprecated("use Runtime::run(nn::AnyModel, RunPolicy, RunIo)")]]
-    NetRun runCnn(const nn::Network &net, const RunPolicy &policy,
-                  const nn::Tensor *input = nullptr);
-
-    /** @deprecated Compatibility shim — use run(). */
-    [[deprecated("use Runtime::run(nn::AnyModel, RunPolicy, RunIo)")]]
-    NetRun runRnn(const nn::RnnModel &model, const RunPolicy &policy,
-                  const std::vector<float> *sequence = nullptr,
-                  float *prediction = nullptr);
+    /**
+     * Run a JobSpec (runtime/job.hh): builds the model it names
+     * (honouring seqLen), generates weights only when the resolved
+     * policy needs functional outputs, and runs it.  The Gpu this
+     * Runtime wraps must already match spec.gpuConfig().  fatal()s on
+     * an invalid spec — validate() first.
+     */
+    NetRun run(const JobSpec &spec);
 
   private:
     NetRun cnnRun(const nn::Network &net, const RunPolicy &policy,
@@ -148,18 +148,6 @@ class Runtime
  *  the standard timing-study entry point (and the rt::Engine job body). */
 NetRun runNetworkByName(sim::Gpu &gpu, const std::string &name,
                         const RunPolicy &policy);
-
-/** @deprecated Compatibility shim — use RunPolicy::named("bench"). */
-[[deprecated("use RunPolicy::named(\"bench\")")]]
-RunPolicy benchPolicy();
-
-/** @deprecated Compatibility shim — use RunPolicy::named("mem"). */
-[[deprecated("use RunPolicy::named(\"mem\")")]]
-RunPolicy memStudyPolicy();
-
-/** @deprecated Compatibility shim — use RunPolicy::named("stall"). */
-[[deprecated("use RunPolicy::named(\"stall\")")]]
-RunPolicy stallStudyPolicy();
 
 } // namespace tango::rt
 

@@ -17,6 +17,19 @@ schedName(SchedPolicy p)
     return "?";
 }
 
+bool
+schedFromName(const std::string &name, SchedPolicy &out)
+{
+    for (SchedPolicy p :
+         {SchedPolicy::GTO, SchedPolicy::LRR, SchedPolicy::TLV}) {
+        if (name == schedName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 uint32_t
 GpuConfig::occupancyCtas(uint32_t threads_per_cta, uint32_t regs_per_thread,
                          uint32_t smem_per_cta) const

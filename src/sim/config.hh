@@ -26,6 +26,10 @@ enum class SchedPolicy : uint8_t {
 /** @return "gto" / "lrr" / "tlv". */
 const char *schedName(SchedPolicy p);
 
+/** Parse a schedName() string (case-sensitive, lowercase).
+ *  @return false (out untouched) on an unknown name. */
+bool schedFromName(const std::string &name, SchedPolicy &out);
+
 /** Per-event dynamic energies (picojoules) and static power (watts). */
 struct PowerParams
 {

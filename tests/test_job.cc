@@ -1,0 +1,307 @@
+/**
+ * @file
+ * rt::JobSpec / rt::JobResult unit tests: JSON round trips, cache-key
+ * canonicalization (field order, default normalization, RunKey
+ * equivalence — the property that lets serve traffic and bench sweeps
+ * share one Engine cache), inline-policy content keying, and the strict
+ * envUint() parsing behind EngineOptions::fromEnv().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "nn/models/models.hh"
+#include "runtime/engine.hh"
+#include "runtime/job.hh"
+#include "runtime/run_cache.hh"
+
+namespace tango {
+namespace {
+
+using rt::JobSpec;
+using rt::JobResult;
+
+// ------------------------------------------------------------ JSON round trip
+
+TEST(Job, SpecJsonRoundTrip)
+{
+    JobSpec spec;
+    spec.net = "gru";
+    spec.policy = "exact";
+    spec.platform = "TX1";
+    spec.l1dBytes = 0;
+    spec.sched = sim::SchedPolicy::LRR;
+    spec.seqLen = 64;
+    spec.functional = true;
+    spec.profile = true;
+    spec.trace = true;
+
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(spec.toJson(), back, &err)) << err;
+    EXPECT_EQ(back.net, "gru");
+    EXPECT_EQ(back.policy, "exact");
+    EXPECT_EQ(back.platform, "TX1");
+    EXPECT_EQ(back.l1dBytes, 0u);
+    EXPECT_EQ(back.sched, sim::SchedPolicy::LRR);
+    EXPECT_EQ(back.seqLen, 64u);
+    EXPECT_TRUE(back.functional);
+    EXPECT_TRUE(back.profile);
+    EXPECT_TRUE(back.trace);
+    EXPECT_FALSE(back.hasInlinePolicy);
+    EXPECT_EQ(back.toJson(), spec.toJson());
+    EXPECT_EQ(back.cacheKey().str, spec.cacheKey().str);
+}
+
+TEST(Job, SpecFromJsonAcceptsAnyFieldOrderAndUnknownFields)
+{
+    JobSpec a, b;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(
+        R"({"net":"alexnet","policy":"mem","platform":"GK210",)"
+        R"("functional":true,"sched":"tlv"})",
+        a, &err))
+        << err;
+    ASSERT_TRUE(JobSpec::fromJson(
+        R"({"sched":"tlv","functional":true,"future_knob":123,)"
+        R"("platform":"GK210","policy":"mem","net":"alexnet"})",
+        b, &err))
+        << err;
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.cacheKey().str, b.cacheKey().str);
+}
+
+TEST(Job, SpecFromJsonRejectsGarbage)
+{
+    JobSpec out;
+    std::string err;
+    EXPECT_FALSE(JobSpec::fromJson("{not json", out, &err));
+    EXPECT_FALSE(JobSpec::fromJson("[]", out, &err));
+    EXPECT_FALSE(JobSpec::fromJson(R"({"policy":"bench"})", out, &err))
+        << "missing net must be rejected";
+    EXPECT_FALSE(JobSpec::fromJson(
+        R"({"net":"gru","sched":"fifo"})", out, &err))
+        << "unknown scheduler must be rejected";
+    EXPECT_FALSE(JobSpec::fromJson(
+        R"({"net":"gru","policy":"bench","runPolicy":{}})", out, &err))
+        << "policy and runPolicy are mutually exclusive";
+}
+
+// ----------------------------------------------------------------- cache keys
+
+TEST(Job, CacheKeyMatchesRunKeyString)
+{
+    // The legacy RunKey and an all-default-extras JobSpec must key
+    // character-identically, or serve traffic and bench sweeps would
+    // stop sharing one cache.
+    const struct
+    {
+        const char *net, *platform, *policy;
+        uint32_t l1d;
+        sim::SchedPolicy sched;
+    } cases[] = {
+        {"alexnet", "GP102", "bench", 64 * 1024, sim::SchedPolicy::GTO},
+        {"gru", "TX1", "exact", 0, sim::SchedPolicy::LRR},
+        {"vggnet", "GK210", "mem", 128 * 1024, sim::SchedPolicy::TLV},
+    };
+    for (const auto &c : cases) {
+        rt::RunKey key;
+        key.net = c.net;
+        key.platform = c.platform;
+        key.policy = c.policy;
+        key.l1dBytes = c.l1d;
+        key.sched = c.sched;
+
+        JobSpec spec;
+        spec.net = c.net;
+        spec.platform = c.platform;
+        spec.policy = c.policy;
+        spec.l1dBytes = c.l1d;
+        spec.sched = c.sched;
+        EXPECT_EQ(spec.cacheKey().str, key.str());
+    }
+}
+
+TEST(Job, CacheKeyNormalizesDefaults)
+{
+    JobSpec spec;
+    spec.net = "gru";
+    const std::string base = spec.cacheKey().str;
+
+    // An explicit default seqLen is the same simulation.
+    JobSpec explicitSeq = spec;
+    explicitSeq.seqLen = nn::models::kDefaultRnnSeqLen;
+    EXPECT_EQ(explicitSeq.cacheKey().str, base);
+
+    // A different seqLen is not.
+    JobSpec longSeq = spec;
+    longSeq.seqLen = 64;
+    EXPECT_NE(longSeq.cacheKey().str, base);
+    EXPECT_NE(longSeq.cacheKey().str.find("/seq=64"), std::string::npos);
+
+    // CNNs ignore seqLen entirely.
+    JobSpec cnn;
+    cnn.net = "alexnet";
+    JobSpec cnnSeq = cnn;
+    cnnSeq.seqLen = 999;
+    EXPECT_EQ(cnnSeq.cacheKey().str, cnn.cacheKey().str);
+
+    // trace observes a run without changing it: excluded from the key.
+    JobSpec traced = spec;
+    traced.trace = true;
+    EXPECT_EQ(traced.cacheKey().str, base);
+
+    // functional and profile change what is simulated/recorded.
+    JobSpec fn = spec;
+    fn.functional = true;
+    EXPECT_NE(fn.cacheKey().str, base);
+    JobSpec prof = spec;
+    prof.profile = true;
+    EXPECT_NE(prof.cacheKey().str, base);
+    EXPECT_NE(fn.cacheKey().str, prof.cacheKey().str);
+}
+
+TEST(Job, InlinePolicyKeysByContent)
+{
+    JobSpec a;
+    a.net = "cifarnet";
+    a.hasInlinePolicy = true;
+    a.inlinePolicy = rt::RunPolicy::named("bench");
+
+    JobSpec b = a;
+    b.inlinePolicy = rt::RunPolicy::named("bench");   // rebuilt, equal
+    EXPECT_EQ(a.cacheKey().str, b.cacheKey().str);
+
+    JobSpec c = a;
+    c.inlinePolicy.sim.maxCycles = 12345;
+    EXPECT_NE(c.cacheKey().str, a.cacheKey().str);
+
+    // Inline policies round-trip through JSON with the key preserved.
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(a.toJson(), back, &err)) << err;
+    EXPECT_TRUE(back.hasInlinePolicy);
+    EXPECT_EQ(back.cacheKey().str, a.cacheKey().str);
+}
+
+// ------------------------------------------------------------------ validate
+
+TEST(Job, Validate)
+{
+    JobSpec spec;
+    spec.net = "alexnet";
+    EXPECT_EQ(spec.validate(), "");
+
+    JobSpec badNet = spec;
+    badNet.net = "transformer";
+    EXPECT_NE(badNet.validate(), "");
+
+    JobSpec badPolicy = spec;
+    badPolicy.policy = "warp9";
+    EXPECT_NE(badPolicy.validate(), "");
+
+    JobSpec badPlatform = spec;
+    badPlatform.platform = "H100";
+    EXPECT_NE(badPlatform.validate(), "");
+
+    JobSpec badSeq = spec;
+    badSeq.net = "gru";
+    badSeq.seqLen = (1u << 20) + 1;
+    EXPECT_NE(badSeq.validate(), "");
+
+    // An inline policy needs no registry name.
+    JobSpec inlineP = spec;
+    inlineP.policy = "not-registered";
+    inlineP.hasInlinePolicy = true;
+    inlineP.inlinePolicy = rt::RunPolicy::named("bench");
+    EXPECT_EQ(inlineP.validate(), "");
+}
+
+// ------------------------------------------------------------------ JobResult
+
+TEST(Job, ResultJsonRoundTrip)
+{
+    rt::NetRun run;
+    run.netName = "cifarnet";
+    run.totalTimeSec = 0.001234567890123456;
+    run.totalEnergyJ = 3.25;
+    run.peakPowerW = 17.5;
+    run.deviceBytes = 123456;
+    run.totals.add("sim.cycles", 987654.0);
+    run.totals.add("mem.l2_misses", 42.0);
+
+    JobResult res;
+    res.ok = true;
+    res.served = "sim";
+    res.latencyMs = 12.5;
+    res.run = run;
+
+    JobResult back;
+    std::string err;
+    ASSERT_TRUE(JobResult::fromJson(res.toJson(), back, &err)) << err;
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.served, "sim");
+    EXPECT_EQ(back.latencyMs, 12.5);
+    // The embedded NetRun is the run-cache serialization: comparing the
+    // serialized forms compares every field bit-exactly.
+    EXPECT_EQ(rt::serializeNetRun(back.run), rt::serializeNetRun(run));
+}
+
+TEST(Job, ResultErrorRoundTrip)
+{
+    JobResult res;
+    res.ok = false;
+    res.error = "queue_full";
+    res.served = "reject";
+
+    JobResult back;
+    std::string err;
+    ASSERT_TRUE(JobResult::fromJson(res.toJson(), back, &err)) << err;
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "queue_full");
+    EXPECT_EQ(back.served, "reject");
+}
+
+// ------------------------------------------------------------ strict env knobs
+
+using JobDeathTest = ::testing::Test;
+
+TEST(JobDeathTest, EnvUintRejectsGarbage)
+{
+    setenv("TANGO_TEST_KNOB", "abc", 1);
+    EXPECT_DEATH(envUint("TANGO_TEST_KNOB", 0), "non-negative integer");
+    setenv("TANGO_TEST_KNOB", "12abc", 1);
+    EXPECT_DEATH(envUint("TANGO_TEST_KNOB", 0), "non-negative integer");
+    setenv("TANGO_TEST_KNOB", "-3", 1);
+    EXPECT_DEATH(envUint("TANGO_TEST_KNOB", 0), "non-negative integer");
+    setenv("TANGO_TEST_KNOB", "999999999999999999999999", 1);
+    EXPECT_DEATH(envUint("TANGO_TEST_KNOB", 0), "out of range");
+    unsetenv("TANGO_TEST_KNOB");
+}
+
+TEST(JobDeathTest, EnvUintAcceptsPlainIntegersAndDefaults)
+{
+    unsetenv("TANGO_TEST_KNOB");
+    EXPECT_EQ(envUint("TANGO_TEST_KNOB", 7), 7u);
+    setenv("TANGO_TEST_KNOB", "", 1);
+    EXPECT_EQ(envUint("TANGO_TEST_KNOB", 7), 7u);
+    setenv("TANGO_TEST_KNOB", "42", 1);
+    EXPECT_EQ(envUint("TANGO_TEST_KNOB", 7), 42u);
+    unsetenv("TANGO_TEST_KNOB");
+}
+
+TEST(JobDeathTest, EngineOptionsFromEnvRejectsMalformedThreads)
+{
+    setenv("TANGO_ENGINE_THREADS", "abc", 1);
+    EXPECT_DEATH(rt::EngineOptions::fromEnv(), "TANGO_ENGINE_THREADS");
+    unsetenv("TANGO_ENGINE_THREADS");
+
+    setenv("TANGO_ENGINE_CACHE_MAX_MB", "10MB", 1);
+    EXPECT_DEATH(rt::EngineOptions::fromEnv(), "TANGO_ENGINE_CACHE_MAX_MB");
+    unsetenv("TANGO_ENGINE_CACHE_MAX_MB");
+}
+
+} // namespace
+} // namespace tango

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * tango-serve end-to-end tests: protocol framing, request/response
+ * parsing, and the daemon's production properties — in-flight dedup
+ * (two clients submitting the identical cold JobSpec trigger exactly
+ * one Engine simulation and both receive stats bit-identical to the
+ * committed golden fixture), bounded admission (queue_full rejects),
+ * and graceful drain (in-flight requests answered, new ones refused,
+ * clean exit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "runtime/job.hh"
+#include "runtime/run_cache.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+#ifndef TANGO_GOLDEN_DIR
+#error "TANGO_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace tango {
+namespace {
+
+using rt::JobResult;
+using rt::JobSpec;
+using rt::NetRun;
+
+// ------------------------------------------------------------------ framing
+
+TEST(ServeProtocol, FrameRoundTrip)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    const std::string payloads[] = {"", "x", std::string(100000, 'j'),
+                                    "{\"type\":\"ping\"}"};
+    for (const std::string &p : payloads) {
+        ASSERT_TRUE(serve::writeFrame(sv[0], p));
+        std::string got;
+        ASSERT_EQ(serve::readFrame(sv[1], got), serve::FrameStatus::Ok);
+        EXPECT_EQ(got, p);
+    }
+
+    // Clean close at a frame boundary is Eof, not Error.
+    ::close(sv[0]);
+    std::string got;
+    EXPECT_EQ(serve::readFrame(sv[1], got), serve::FrameStatus::Eof);
+    ::close(sv[1]);
+}
+
+TEST(ServeProtocol, OversizedFrameRejected)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    // A length prefix past the cap must be refused without allocating.
+    const uint8_t hdr[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(sv[0], hdr, 4), 4);
+    std::string got;
+    EXPECT_EQ(serve::readFrame(sv[1], got), serve::FrameStatus::Error);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(ServeProtocol, RequestRoundTrip)
+{
+    JobSpec job;
+    job.net = "lstm";
+    job.policy = "exact";
+    job.functional = true;
+    job.seqLen = 16;
+
+    serve::Request req;
+    std::string err;
+    ASSERT_TRUE(serve::parseRequest(serve::makeRunRequest(7, job), req,
+                                    &err))
+        << err;
+    EXPECT_EQ(req.type, serve::Request::Type::Run);
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.job.toJson(), job.toJson());
+
+    ASSERT_TRUE(serve::parseRequest(serve::makeStatsRequest(), req, &err));
+    EXPECT_EQ(req.type, serve::Request::Type::Stats);
+    ASSERT_TRUE(serve::parseRequest(serve::makePingRequest(), req, &err));
+    EXPECT_EQ(req.type, serve::Request::Type::Ping);
+    ASSERT_TRUE(
+        serve::parseRequest(serve::makeShutdownRequest(), req, &err));
+    EXPECT_EQ(req.type, serve::Request::Type::Shutdown);
+
+    EXPECT_FALSE(serve::parseRequest("{\"type\":\"dance\"}", req, &err));
+    EXPECT_FALSE(serve::parseRequest("{\"type\":\"run\",\"id\":1}", req,
+                                     &err))
+        << "run without a job object must be rejected";
+}
+
+TEST(ServeProtocol, ResultResponseRoundTrip)
+{
+    JobResult res;
+    res.ok = false;
+    res.error = "queue_full";
+    res.served = "reject";
+    res.latencyMs = 0.25;
+
+    uint64_t id = 0;
+    JobResult back;
+    std::string err;
+    ASSERT_TRUE(serve::parseResultResponse(
+        serve::makeResultResponse(42, res), id, back, &err))
+        << err;
+    EXPECT_EQ(id, 42u);
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "queue_full");
+    EXPECT_EQ(back.served, "reject");
+}
+
+// ----------------------------------------------------------------- harness
+
+/** A started server on an ephemeral port plus a connect helper. */
+struct TestServer
+{
+    explicit TestServer(serve::ServerOptions opt = {})
+        : server(std::move(opt))
+    {
+        std::string err;
+        if (!server.start(&err))
+            ADD_FAILURE() << "server start failed: " << err;
+    }
+
+    serve::Client connect()
+    {
+        serve::Client c;
+        std::string err;
+        if (!c.connect("127.0.0.1", server.port(), &err))
+            ADD_FAILURE() << "connect failed: " << err;
+        return c;
+    }
+
+    serve::Server server;
+};
+
+JobSpec
+gruExactJob()
+{
+    // Matches tests/golden/gru.json: full (unreduced) GRU, default
+    // seqLen, policy "exact" with functional outputs, on the default
+    // GP102 configuration.
+    JobSpec job;
+    job.net = "gru";
+    job.policy = "exact";
+    job.functional = true;
+    return job;
+}
+
+std::string
+goldenFixture(const std::string &name)
+{
+    std::ifstream in(std::string(TANGO_GOLDEN_DIR) + "/" + name + ".json",
+                     std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing golden fixture " << name;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Serialize with the launch-memoization meta-counters pinned: they
+ *  record how launches were *served*, not what was simulated, and are
+ *  the one legitimate run-to-run difference (see test_golden_stats). */
+std::string
+canonicalRun(NetRun run)
+{
+    run.totals.set("mem.replayed_launches", 0.0);
+    run.totals.set("mem.simulated_launches", 0.0);
+    return rt::serializeNetRun(run);
+}
+
+// ------------------------------------------------------------------- serving
+
+TEST(Serve, PingStatsAndInvalidSpec)
+{
+    TestServer ts;
+    serve::Client client = ts.connect();
+
+    std::string err;
+    EXPECT_TRUE(client.ping(&err)) << err;
+
+    std::string stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    const json::Reader::Value v = json::Reader(stats).parse();
+    EXPECT_EQ(v.strOr("type"), "stats");
+    EXPECT_EQ(v.u64Or("run_requests", 999), 0u);
+
+    JobSpec bad;
+    bad.net = "transformer";
+    JobResult res;
+    ASSERT_TRUE(client.run(bad, res, &err)) << err;
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("unknown network"), std::string::npos);
+
+    JobSpec traced = gruExactJob();
+    traced.trace = true;
+    ASSERT_TRUE(client.run(traced, res, &err)) << err;
+    EXPECT_FALSE(res.ok) << "traced jobs must be refused";
+}
+
+TEST(Serve, ConcurrentIdenticalColdJobsSimulateOnceBitIdenticalToGolden)
+{
+    serve::ServerOptions opt;
+    // Hold every simulation briefly so the second client's request
+    // arrives while the first is still in flight — the dedup window.
+    opt.runner = [](sim::Gpu &gpu, const JobSpec &spec) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        return rt::runJob(gpu, spec);
+    };
+    TestServer ts(opt);
+
+    const JobSpec job = gruExactJob();
+    auto submit = [&]() -> JobResult {
+        serve::Client client = ts.connect();
+        JobResult res;
+        std::string err;
+        EXPECT_TRUE(client.run(job, res, &err)) << err;
+        return res;
+    };
+    auto fa = std::async(std::launch::async, submit);
+    auto fb = std::async(std::launch::async, submit);
+    const JobResult a = fa.get();
+    const JobResult b = fb.get();
+
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+
+    // Exactly one simulation: the Engine's miss counter is the number
+    // of jobs actually simulated.
+    const rt::Engine::CacheStats cache = ts.server.engine().cacheStats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.failures, 0u);
+
+    // One request simulated; the other joined it (or, if it lost the
+    // race entirely, was served the resident result).
+    const serve::Server::Metrics m = ts.server.metrics();
+    EXPECT_EQ(m.servedSim, 1u);
+    EXPECT_EQ(m.servedJoin + m.servedMem, 1u);
+
+    // Both clients got stats bit-identical to the committed fixture.
+    NetRun golden;
+    ASSERT_TRUE(rt::parseNetRunJson(goldenFixture("gru"), golden));
+    const std::string want = canonicalRun(golden);
+    EXPECT_EQ(canonicalRun(a.run), want);
+    EXPECT_EQ(canonicalRun(b.run), want);
+
+    // A repeat of the same job is now a warm memory hit.
+    const JobResult warm = submit();
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.served, "mem");
+    EXPECT_EQ(canonicalRun(warm.run), want);
+    EXPECT_EQ(ts.server.engine().cacheStats().misses, 1u);
+}
+
+TEST(Serve, QueueFullRejectsNewSimulationsButAdmitsJoins)
+{
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+
+    serve::ServerOptions opt;
+    opt.queueMax = 1;
+    opt.runner = [gate](sim::Gpu &gpu, const JobSpec &spec) {
+        gate.wait();
+        return rt::runJob(gpu, spec);
+    };
+    TestServer ts(opt);
+
+    JobSpec small = gruExactJob();   // cheap exact model
+
+    // First job occupies the single admission slot.
+    auto first = std::async(std::launch::async, [&]() -> JobResult {
+        serve::Client client = ts.connect();
+        JobResult res;
+        std::string err;
+        EXPECT_TRUE(client.run(small, res, &err)) << err;
+        return res;
+    });
+    while (ts.server.engine().inFlightSims() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A different job would need a second simulation: rejected.
+    JobSpec other = small;
+    other.net = "lstm";
+    {
+        serve::Client client = ts.connect();
+        JobResult res;
+        std::string err;
+        ASSERT_TRUE(client.run(other, res, &err)) << err;
+        EXPECT_FALSE(res.ok);
+        EXPECT_EQ(res.error, "queue_full");
+    }
+
+    // The identical job joins the in-flight simulation: admitted even
+    // at the admission bound (it costs no new slot).
+    auto joined = std::async(std::launch::async, [&]() -> JobResult {
+        serve::Client client = ts.connect();
+        JobResult res;
+        std::string err;
+        EXPECT_TRUE(client.run(small, res, &err)) << err;
+        return res;
+    });
+
+    release.set_value();
+    const JobResult a = first.get();
+    const JobResult j = joined.get();
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(j.ok) << j.error;
+
+    const serve::Server::Metrics m = ts.server.metrics();
+    EXPECT_EQ(m.rejectedQueueFull, 1u);
+    EXPECT_EQ(m.servedSim, 1u);
+    EXPECT_EQ(ts.server.engine().cacheStats().misses, 1u);
+}
+
+TEST(Serve, GracefulDrainFinishesInFlightAndRefusesNew)
+{
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+
+    serve::ServerOptions opt;
+    opt.runner = [gate](sim::Gpu &gpu, const JobSpec &spec) {
+        gate.wait();
+        return rt::runJob(gpu, spec);
+    };
+    TestServer ts(opt);
+
+    // Open both connections BEFORE the drain: draining refuses new run
+    // requests on live connections (the listener itself is closed).
+    serve::Client late = ts.connect();
+
+    auto inflight = std::async(std::launch::async, [&]() -> JobResult {
+        serve::Client client = ts.connect();
+        JobResult res;
+        std::string err;
+        EXPECT_TRUE(client.run(gruExactJob(), res, &err)) << err;
+        return res;
+    });
+    while (ts.server.engine().inFlightSims() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    ts.server.requestDrain();
+    while (!ts.server.draining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A run request during the drain is refused...
+    JobResult res;
+    std::string err;
+    ASSERT_TRUE(late.run(gruExactJob(), res, &err)) << err;
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "draining");
+
+    // ...but the in-flight one completes and is answered.
+    release.set_value();
+    const JobResult done = inflight.get();
+    ASSERT_TRUE(done.ok) << done.error;
+
+    ts.server.waitDrained();
+    const serve::Server::Metrics m = ts.server.metrics();
+    EXPECT_EQ(m.rejectedDraining, 1u);
+    EXPECT_EQ(m.servedSim, 1u);
+}
+
+TEST(Serve, ShutdownRequestTriggersDrain)
+{
+    TestServer ts;
+    serve::Client client = ts.connect();
+    std::string err;
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    ts.server.waitDrained();
+    EXPECT_TRUE(ts.server.draining());
+}
+
+} // namespace
+} // namespace tango

@@ -88,4 +88,21 @@ knownNetworksLine()
     return out;
 }
 
+rt::JobSpec
+makeJobSpec(const std::string &net, const JobSpecArgs &args)
+{
+    rt::JobSpec spec;
+    spec.net = net;
+    spec.policy = args.policy;
+    spec.platform = args.platform;
+    spec.seqLen = args.seqLen;
+    spec.functional = args.functional;
+    spec.profile = args.profile;
+    spec.trace = args.trace;
+    const std::string why = spec.validate();
+    if (!why.empty())
+        fatal("%s", why.c_str());
+    return spec;
+}
+
 } // namespace tango::tools

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/job.hh"
+
 namespace tango::tools {
 
 /** @return @p s lowercased (ASCII). */
@@ -50,6 +52,24 @@ NetSelection parseNetArgs(const std::vector<std::string> &positional,
 
 /** Comma-separated runnableNames() — for usage/error text. */
 std::string knownNetworksLine();
+
+/**
+ * The flag-derived parts of a job, shared by every tango-* tool; one
+ * per invocation, combined with each positional network.
+ */
+struct JobSpecArgs
+{
+    std::string policy = "bench";
+    std::string platform = "GP102";
+    uint32_t seqLen = 0;       ///< 0 = model default (RNNs only)
+    bool functional = false;
+    bool profile = false;
+    bool trace = false;
+};
+
+/** @return the rt::JobSpec for running @p net under @p args; fatal()s
+ *  with the validation reason if the combination is not runnable. */
+rt::JobSpec makeJobSpec(const std::string &net, const JobSpecArgs &args);
 
 } // namespace tango::tools
 

@@ -26,10 +26,8 @@
 #include "cli_common.hh"
 #include "common/logging.hh"
 #include "nn/models/models.hh"
-#include "nn/weights.hh"
 #include "profiler/profiler.hh"
-#include "runtime/engine.hh"
-#include "runtime/runtime.hh"
+#include "runtime/job.hh"
 #include "sim/gpu.hh"
 
 namespace {
@@ -38,9 +36,7 @@ using namespace tango;
 
 struct Options
 {
-    std::string policy = "bench";
-    std::string platform = "GP102";
-    uint32_t seqLen = nn::models::kDefaultRnnSeqLen;
+    tools::JobSpecArgs args;
     size_t top = 20;
     std::string annotate;      // kernel name; empty = off
     std::string foldedPath;    // output file; empty = off
@@ -98,10 +94,10 @@ parseArgs(int argc, char **argv)
             const uint64_t n = tools::parseUint("--seq-len", value());
             if (n == 0 || n > (1u << 20))
                 fatal("--seq-len must be in [1, %u]", 1u << 20);
-            opt.seqLen = static_cast<uint32_t>(n);
+            opt.args.seqLen = static_cast<uint32_t>(n);
         } else if (arg == "--platform") {
-            opt.platform = value();
-            tools::validatePlatform(opt.platform);
+            opt.args.platform = value();
+            tools::validatePlatform(opt.args.platform);
         } else if (!arg.empty() && arg[0] == '-') {
             usage(stderr);
             fatal("unknown option '%s'", arg.c_str());
@@ -114,7 +110,8 @@ parseArgs(int argc, char **argv)
         fatal("no network given");
     }
     const tools::NetSelection sel = tools::parseNetArgs(positional);
-    opt.policy = sel.policy;
+    opt.args.policy = sel.policy;
+    opt.args.profile = true;
     opt.nets = sel.nets;
     return opt;
 }
@@ -180,33 +177,17 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
-    rt::RunKey key;
-    key.platform = opt.platform;
-    key.policy = opt.policy;
-    sim::Gpu gpu(rt::makeConfig(key));
-    rt::Runtime rtm(gpu);
+    sim::Gpu gpu(tools::makeJobSpec(opt.nets[0], opt.args).gpuConfig());
 
     std::string folded;
     int failures = 0;
     for (const std::string &net : opt.nets) {
-        rt::RunPolicy policy = rt::RunPolicy::named(opt.policy);
-        policy.sim.profile = true;
-
-        rt::NetRun run;
-        if (net == "gru" || net == "lstm") {
-            nn::AnyModel model(net == "gru"
-                                   ? nn::models::buildGru(opt.seqLen)
-                                   : nn::models::buildLstm(opt.seqLen));
-            if (policy.functional || policy.check)
-                nn::initWeights(model);
-            run = rtm.run(model, policy);
-        } else {
-            run = rt::runNetworkByName(gpu, net, policy);
-        }
+        const rt::NetRun run =
+            rt::runJob(gpu, tools::makeJobSpec(net, opt.args));
 
         std::printf("%-12s policy=%s  sim_time=%.6gs  launches: "
                     "replayed=%llu simulated=%llu\n",
-                    net.c_str(), opt.policy.c_str(), run.totalTimeSec,
+                    net.c_str(), opt.args.policy.c_str(), run.totalTimeSec,
                     static_cast<unsigned long long>(
                         run.totals.get("mem.replayed_launches")),
                     static_cast<unsigned long long>(

@@ -24,9 +24,7 @@
 #include "cli_common.hh"
 #include "common/logging.hh"
 #include "nn/models/models.hh"
-#include "nn/weights.hh"
-#include "runtime/engine.hh"
-#include "runtime/runtime.hh"
+#include "runtime/job.hh"
 #include "sim/gpu.hh"
 
 namespace {
@@ -35,10 +33,7 @@ using namespace tango;
 
 struct Options
 {
-    std::string policy = "bench";
-    std::string platform = "GP102";
-    uint32_t seqLen = nn::models::kDefaultRnnSeqLen;
-    bool functional = false;
+    tools::JobSpecArgs args;
     std::vector<std::string> nets;
 };
 
@@ -82,12 +77,12 @@ parseArgs(int argc, char **argv)
             const uint64_t n = tools::parseUint("--seq-len", value());
             if (n == 0 || n > (1u << 20))
                 fatal("--seq-len must be in [1, %u]", 1u << 20);
-            opt.seqLen = static_cast<uint32_t>(n);
+            opt.args.seqLen = static_cast<uint32_t>(n);
         } else if (arg == "--platform") {
-            opt.platform = value();
-            tools::validatePlatform(opt.platform);
+            opt.args.platform = value();
+            tools::validatePlatform(opt.args.platform);
         } else if (arg == "--functional") {
-            opt.functional = true;
+            opt.args.functional = true;
         } else if (!arg.empty() && arg[0] == '-') {
             usage(stderr);
             fatal("unknown option '%s'", arg.c_str());
@@ -100,7 +95,7 @@ parseArgs(int argc, char **argv)
         fatal("no network given");
     }
     const tools::NetSelection sel = tools::parseNetArgs(positional);
-    opt.policy = sel.policy;
+    opt.args.policy = sel.policy;
     opt.nets = sel.nets;
     return opt;
 }
@@ -112,34 +107,18 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
-    rt::RunKey key;
-    key.platform = opt.platform;
-    key.policy = opt.policy;
-    sim::Gpu gpu(rt::makeConfig(key));
-    rt::Runtime rtm(gpu);
+    sim::Gpu gpu(tools::makeJobSpec(opt.nets[0], opt.args).gpuConfig());
 
     for (const std::string &net : opt.nets) {
-        rt::RunPolicy policy = rt::RunPolicy::named(opt.policy);
-        policy.functional |= opt.functional;
-
-        rt::NetRun run;
-        if (net == "gru" || net == "lstm") {
-            nn::AnyModel model(net == "gru"
-                                   ? nn::models::buildGru(opt.seqLen)
-                                   : nn::models::buildLstm(opt.seqLen));
-            if (policy.functional || policy.check)
-                nn::initWeights(model);
-            run = rtm.run(model, policy);
-        } else {
-            run = rt::runNetworkByName(gpu, net, policy);
-        }
+        const rt::JobSpec spec = tools::makeJobSpec(net, opt.args);
+        const rt::NetRun run = rt::runJob(gpu, spec);
 
         uint64_t kernels = 0;
         for (const auto &l : run.layers)
             kernels += l.kernels.size();
         std::printf("%-12s policy=%s  kernels=%llu  sim_time=%.6gs  "
                     "energy=%.6gJ\n",
-                    net.c_str(), opt.policy.c_str(),
+                    net.c_str(), opt.args.policy.c_str(),
                     static_cast<unsigned long long>(kernels),
                     run.totalTimeSec, run.totalEnergyJ);
         std::printf("  launches: replayed=%llu simulated=%llu\n",

@@ -27,8 +27,7 @@
 #include "cli_common.hh"
 #include "common/logging.hh"
 #include "nn/models/models.hh"
-#include "runtime/engine.hh"
-#include "runtime/runtime.hh"
+#include "runtime/job.hh"
 #include "sim/gpu.hh"
 #include "trace/export_chrome.hh"
 #include "trace/trace.hh"
@@ -39,8 +38,7 @@ using namespace tango;
 
 struct Options
 {
-    std::string policy = "bench";
-    std::string platform = "GP102";
+    tools::JobSpecArgs args;
     std::string outDir = ".";
     uint64_t window = 4096;
     uint32_t maxEvents = 1u << 20;
@@ -160,8 +158,8 @@ parseArgs(int argc, char **argv)
                 fatal("--max-events must be in [1, %u]", 1u << 28);
             opt.maxEvents = static_cast<uint32_t>(n);
         } else if (arg == "--platform") {
-            opt.platform = value();
-            tools::validatePlatform(opt.platform);
+            opt.args.platform = value();
+            tools::validatePlatform(opt.args.platform);
         } else if (arg == "--out") {
             opt.outDir = value();
         } else if (arg == "--summary") {
@@ -181,7 +179,8 @@ parseArgs(int argc, char **argv)
     // A leading positional naming a policy selects it ("fig" is the
     // policy of the paper-figure benches, i.e. "bench").
     const tools::NetSelection sel = tools::parseNetArgs(positional);
-    opt.policy = sel.policy;
+    opt.args.policy = sel.policy;
+    opt.args.trace = true;
     opt.nets = sel.nets;
     return opt;
 }
@@ -193,10 +192,8 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
-    rt::RunKey key;
-    key.platform = opt.platform;
-    key.policy = opt.policy;
-    const sim::GpuConfig cfg = rt::makeConfig(key);
+    const sim::GpuConfig cfg =
+        tools::makeJobSpec(opt.nets[0], opt.args).gpuConfig();
     sim::Gpu gpu(cfg);
 
     int failures = 0;
@@ -212,14 +209,13 @@ main(int argc, char **argv)
             // Installed for this thread only, and removed before export
             // so the exporter's own work cannot be traced.
             trace::ScopedSink install(&sink);
-            run = rt::runNetworkByName(gpu, net,
-                                       rt::RunPolicy::named(opt.policy));
+            run = rt::runJob(gpu, tools::makeJobSpec(net, opt.args));
         }
 
         const std::string path = opt.outDir + "/" + net + ".trace.json";
         trace::ChromeExportOptions eopt;
         eopt.coreClockGhz = cfg.coreClockGhz;
-        eopt.label = net + "/" + opt.platform + "/" + opt.policy;
+        eopt.label = net + "/" + opt.args.platform + "/" + opt.args.policy;
         if (!trace::writeChromeTrace(sink, path, eopt)) {
             std::fprintf(stderr, "tango-trace: cannot write '%s'\n",
                          path.c_str());
@@ -232,7 +228,7 @@ main(int argc, char **argv)
             kernels += l.kernels.size();
         std::printf("%-12s policy=%s  layers=%zu kernels=%llu  "
                     "sim_time=%.3gs\n",
-                    net.c_str(), opt.policy.c_str(), run.layers.size(),
+                    net.c_str(), opt.args.policy.c_str(), run.layers.size(),
                     static_cast<unsigned long long>(kernels),
                     run.totalTimeSec);
         if (opt.summary) {
