@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command CI gate: default build + full test suite (including the
-# golden-stats corpus) + a tango-trace export validated as JSON +
-# ThreadSanitizer engine/trace tests.
+# golden-stats corpus) + the TANGO_SIM_SHARDS={1,2,4} golden matrix +
+# the parallel-determinism tier + a tango-trace export validated as
+# JSON + ThreadSanitizer engine/trace/parallel tests.
 #
 #   scripts/ci.sh            # everything
 #   SKIP_TSAN=1 scripts/ci.sh  # skip the sanitizer stage (e.g. no tsan rt)
@@ -15,6 +16,19 @@ cmake --build --preset default -j
 
 echo "=== tier-1 tests (includes -L golden and -L trace) ==="
 ctest --preset default -j
+
+echo "=== shard matrix: golden corpus at TANGO_SIM_SHARDS=1,2,4 ==="
+# Intra-run CTA sharding is pinned per shard count: K=1 against the
+# base fixtures, K>1 against the <net>.k<K>.json corpus (the documented
+# delta policy — see DESIGN.md "Intra-run sharding").
+for k in 1 2 4; do
+    echo "--- TANGO_SIM_SHARDS=$k ---"
+    TANGO_SIM_SHARDS=$k ctest --test-dir build -L golden \
+        --output-on-failure -j
+done
+
+echo "=== parallel-determinism tier (sharded runs are bit-reproducible) ==="
+ctest --test-dir build -L parallel --output-on-failure -j
 
 echo "=== tango-trace export validates as JSON ==="
 tracedir=$(mktemp -d)

@@ -12,6 +12,11 @@
 # speedup is recorded alongside (<net>_memo_off and <net>_memo_speedup);
 # the ISSUE-4 acceptance bar is gru/lstm_memo_speedup >= 3.
 #
+# A "wall_seconds_sharded" section records cold fig01/fig15 WALL times
+# at TANGO_SIM_SHARDS=1,2,4 with TANGO_ENGINE_THREADS=1, so the
+# intra-run sharding speedup (ISSUE-7: fig15 >=2x at 4 shards on a
+# 4-core host) is tracked per machine.
+#
 #   scripts/perf_baseline.sh                # writes BENCH_simwall.json
 #   RUNS=5 SEQLEN=1024 scripts/perf_baseline.sh
 #   OUT=/tmp/w.json scripts/perf_baseline.sh
@@ -49,6 +54,25 @@ min_user() {
     echo "$best"
 }
 
+# min_real <cmd...> — minimum WALL-CLOCK seconds over $RUNS runs.  The
+# sharded entries below need wall time, not user time: intra-run
+# sharding spends the same simulated work across K threads, so its
+# speedup only shows on the real-time axis (user seconds go slightly UP
+# from the fork/join overhead).
+min_real() {
+    local best="" t
+    for _ in $(seq "$RUNS"); do
+        t=$( { time "$@" >/dev/null 2>/dev/null; } 2>&1 |
+             awk '/^real/ { sub("s", "", $2); split($2, a, "m");
+                            printf "%.3f", a[1] * 60 + a[2] }' )
+        if [[ -z $best ]] || awk -v a="$t" -v b="$best" \
+                                 'BEGIN { exit !(a < b) }'; then
+            best=$t
+        fi
+    done
+    echo "$best"
+}
+
 declare -A wall
 for fig in fig01_layer_time_breakdown fig07_stall_breakdown \
            fig15_scheduler_sensitivity; do
@@ -62,6 +86,21 @@ for net in gru lstm; do
     wall[${net}_memo_off]=$(min_user env TANGO_NO_MEMO=1 \
                             build/tools/tango-run exact "$net" \
                             --seq-len "$SEQLEN")
+done
+
+# Intra-run CTA sharding: cold fig01/fig15 WALL time per shard count.
+# TANGO_ENGINE_THREADS=1 pins run-level parallelism at one worker so the
+# measured speedup is the intra-run (shard-level) one alone; the ISSUE-7
+# acceptance bar is fig15_shards4 <= fig15_shards1 / 2 on a >=4-core
+# host.
+for k in 1 2 4; do
+    echo "measuring sharded fig01/fig15 wall time, TANGO_SIM_SHARDS=$k (${RUNS}x each) ..." >&2
+    wall[fig01_shards$k]=$(min_real env TANGO_SIM_SHARDS=$k \
+                           TANGO_ENGINE_THREADS=1 \
+                           build/bench/fig01_layer_time_breakdown)
+    wall[fig15_shards$k]=$(min_real env TANGO_SIM_SHARDS=$k \
+                           TANGO_ENGINE_THREADS=1 \
+                           build/bench/fig15_scheduler_sensitivity)
 done
 
 # Profiling-off guard: the per-PC profiler (SimPolicy::profile) must
@@ -96,6 +135,16 @@ fi
              lstm_memo_off; do
         printf '%s    "%s": %s' "$sep" "$k" "${wall[$k]}"
         sep=$',\n'
+    done
+    printf '\n  },\n'
+    echo "  \"wall_seconds_sharded\": {"
+    sep=""
+    for k in 1 2 4; do
+        for fig in fig01 fig15; do
+            printf '%s    "%s_shards%s": %s' "$sep" "$fig" "$k" \
+                   "${wall[${fig}_shards$k]}"
+            sep=$',\n'
+        done
     done
     printf '\n  },\n'
     echo "  \"memo_speedup\": {"

@@ -1,12 +1,15 @@
 #include "runtime/engine.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 #include <tuple>
 
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "runtime/run_cache.hh"
 #include "sim/gpu.hh"
+#include "sim/shard.hh"
 
 namespace tango::rt {
 
@@ -53,6 +56,21 @@ EngineOptions::fromEnv()
 {
     EngineOptions opt;
     opt.threads = static_cast<unsigned>(envUint("TANGO_ENGINE_THREADS", 0));
+    if (opt.threads == 0) {
+        // Share the machine between run-level workers and shard-level
+        // workers: with TANGO_SIM_SHARDS=K every launch forks up to K
+        // simulation threads, so the default worker count drops by K to
+        // keep the total thread budget at hardware concurrency.  The
+        // division is static (env only, never load-dependent), so it can
+        // never make results differ between machines.  An explicit
+        // TANGO_ENGINE_THREADS always wins.
+        const uint32_t k = sim::envSimShards();
+        if (k > 1) {
+            const unsigned hw =
+                std::max(1u, std::thread::hardware_concurrency());
+            opt.threads = std::max(1u, hw / k);
+        }
+    }
     if (const char *c = std::getenv("TANGO_ENGINE_CACHE"))
         opt.cachePath = c;
     opt.maxCacheBytes =
@@ -170,7 +188,10 @@ Engine::submit(const RunKey &key)
 {
     // A RunKey is the all-defaults subset of a JobSpec; its str() and
     // the JobSpec cache key are character-identical (test_job asserts
-    // this), so bench sweeps and serve traffic share one cache.
+    // this), so bench sweeps and serve traffic share one cache.  Keying
+    // goes through cacheKey() — not key.str() — so environment-driven
+    // result changes it encodes (the TANGO_SIM_SHARDS /k=N suffix) can
+    // never alias a differently-sharded entry.
     JobSpec spec;
     spec.net = key.net;
     spec.policy = key.policy;
@@ -179,7 +200,7 @@ Engine::submit(const RunKey &key)
     spec.sched = key.sched;
     const sim::GpuConfig cfg = spec.gpuConfig();
     std::unique_lock<std::mutex> lock(mu_);
-    return submitLocked(key.str(), cfg, [spec](sim::Gpu &gpu) {
+    return submitLocked(spec.cacheKey().str, cfg, [spec](sim::Gpu &gpu) {
         return runJob(gpu, spec);
     });
 }

@@ -77,7 +77,10 @@ struct EngineOptions
      *  TANGO_ENGINE_CACHE_MAX_MB from the environment (unset variables
      *  keep the defaults above).  Malformed numeric values — anything
      *  but a plain non-negative integer — are a fatal() error, never
-     *  silently treated as 0. */
+     *  silently treated as 0.  With TANGO_SIM_SHARDS=K (> 1) and no
+     *  explicit thread count, the default worker count becomes
+     *  hardware concurrency / K, so run-level and shard-level workers
+     *  share one static thread budget. */
     static EngineOptions fromEnv();
 };
 

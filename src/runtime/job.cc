@@ -10,6 +10,7 @@
 #include "runtime/run_cache.hh"
 #include "sim/digest.hh"
 #include "sim/gpu.hh"
+#include "sim/shard.hh"
 
 namespace tango::rt {
 
@@ -45,6 +46,7 @@ appendRunPolicy(std::string &out, const RunPolicy &p)
         s.u64("maxCycles", p.sim.maxCycles);
         s.boolean("memoize", p.sim.memoize);
         s.boolean("profile", p.sim.profile);
+        s.u64("shards", p.sim.shards);
         s.close();
     }
     o.boolean("functional", p.functional);
@@ -74,6 +76,8 @@ parseRunPolicy(const Reader::Value &v)
         p.sim.maxCycles = s->u64Or("maxCycles", p.sim.maxCycles);
         p.sim.memoize = s->boolOr("memoize", p.sim.memoize);
         p.sim.profile = s->boolOr("profile", p.sim.profile);
+        p.sim.shards =
+            static_cast<uint32_t>(s->u64Or("shards", p.sim.shards));
     }
     p.functional = v.boolOr("functional", p.functional);
     p.check = v.boolOr("check", p.check);
@@ -168,6 +172,14 @@ JobSpec::cacheKey() const
         key += "/fn";
     if (profile)
         key += "/prof";
+    // Intra-run sharding changes the simulated statistics (see
+    // SimPolicy::shards), so shard counts > 1 must not collide with the
+    // K=1 entries — in memory or in a disk spill shared across processes
+    // with different TANGO_SIM_SHARDS.  K=1 stays suffix-free so the base
+    // form remains character-identical to RunKey::str().
+    const uint32_t k = sim::effectiveShards(resolvedPolicy().sim);
+    if (k > 1)
+        key += "/k=" + std::to_string(k);
     return CacheKey{key};
 }
 

@@ -82,6 +82,20 @@ struct SimPolicy
      * on at runtime.
      */
     bool profile = false;
+    /**
+     * Intra-run CTA sharding (sim/gpu.cc, sim/shard.hh): partition the
+     * launch's sampled CTAs into this many contiguous wave-aligned
+     * shards, simulate each on its own SmCore with a private L2/DRAM
+     * instance, and reduce the results in fixed shard order.  0 = read
+     * the TANGO_SIM_SHARDS environment knob (default 1); 1 = the exact
+     * sequential path.  Shard counts > 1 change the simulated sample's
+     * memory-system interleaving, so their statistics are pinned by
+     * K-parameterized golden fixtures rather than the K=1 set; for a
+     * given K the results are bit-identical run to run regardless of
+     * thread scheduling (tests/test_parallel_determinism.cc).  Part of
+     * the launch memo signature.
+     */
+    uint32_t shards = 0;
 };
 
 /** Results of one kernel launch (scaled to the full grid). */
@@ -168,6 +182,16 @@ class SmCore
 
     /** Per-SM L1D statistics of the last run. */
     const CacheStats &l1dStats() const { return l1d_->stats(); }
+
+    /** Per-warp Step-stream digests of the last run, one per (sampled
+     *  CTA, sampled warp) launch position — populated only when run()
+     *  was asked for a stream hash.  The sharded launch path
+     *  (sim/gpu.cc) concatenates these across shards to rebuild the
+     *  whole launch's digest array. */
+    const std::vector<uint64_t> &streamDigests() const
+    {
+        return streamHashes_;
+    }
 
     /** Deterministic digest of the SM-side µ-arch state (L1D + constant
      *  cache tags, recency order and MSHRs) after the last run.  Both

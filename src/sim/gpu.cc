@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.hh"
 #include "sim/cache.hh"
 #include "sim/digest.hh"
 #include "sim/interp.hh"
+#include "sim/shard.hh"
 #include "trace/trace.hh"
 
 namespace tango::sim {
@@ -107,6 +109,7 @@ launchSignature(const KernelLaunch &launch, const SimPolicy &policy)
     digest::mix(h, policy.maxWarpsPerCta);
     digest::mix(h, policy.maxCycles);
     digest::mix(h, policy.profile ? 1 : 0);
+    digest::mix(h, policy.shards);
     return h;
 }
 
@@ -235,9 +238,15 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
 
     // Fold the TANGO_PROFILE force-on knob into the effective policy up
     // front so the launch signature and the core see the same value.
+    // Likewise resolve the shard count now (policy request, else the
+    // TANGO_SIM_SHARDS knob): the shard plan must be a pure function of
+    // policy + environment — never thread availability — and sharded
+    // results differ from sequential ones, so the count is part of the
+    // launch signature too.
     SimPolicy policy = requested;
     if (envProfile())
         policy.profile = true;
+    policy.shards = effectiveShards(policy);
 
     const uint64_t totalCtas = launch.grid.count();
     const uint32_t threadsPerCta = launch.threadsPerCta();
@@ -376,12 +385,18 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
     l2_->newTimeDomain();   // the kernel clock restarts at zero
     dram_->reset();         // queue times are absolute cycles too
 
-    // Tracing: attach this thread's sink (if any) for the launch and open
-    // the kernel span at the kernel's cycle 0.  The sink rebases kernel-
-    // local cycles onto the run's global timeline (TraceSink::record).
+    // Intra-run sharding: contiguous wave-aligned ranges of the sampled
+    // CTA list, each simulated on a private memory system and reduced in
+    // fixed shard order (sim/shard.hh).  A single-wave kernel — or an
+    // effective shard count of 1 — always takes the exact sequential
+    // path, so K=1 results are byte-identical to the unsharded simulator.
+    const std::vector<CtaShard> plan =
+        planCtaShards(sampled, resident, policy.shards);
+
+    // Tracing: open the kernel span at the kernel's cycle 0 on this
+    // thread's sink (if any).  The sink rebases kernel-local cycles onto
+    // the run's global timeline (TraceSink::record).
     trace::TraceSink *ts = trace::threadSink();
-    l2_->setTrace(ts, trace::CacheLevel::L2);
-    dram_->setTrace(ts);
     uint32_t traceNameId = 0;
     if (ts && ts->wants(trace::EventKind::KernelBegin)) {
         traceNameId = ts->intern(launch.program->name);
@@ -397,10 +412,21 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
     // one-shot launches (every CNN kernel) pay a hash-map insert and
     // nothing else.
     uint64_t streamHash = 0;
+    uint64_t fingerprint = 0;
     const bool hashed = entry != nullptr && entry->seen >= 2;
-    SmCore core(cfg_, mem_, *l2_, *dram_);
-    KernelStats ks = core.run(launch, ids, warpIds, resident, policy,
-                              hashed ? &streamHash : nullptr);
+    KernelStats ks;
+    if (plan.size() == 1) {
+        l2_->setTrace(ts, trace::CacheLevel::L2);
+        dram_->setTrace(ts);
+        SmCore core(cfg_, mem_, *l2_, *dram_);
+        ks = core.run(launch, ids, warpIds, resident, policy,
+                      hashed ? &streamHash : nullptr);
+        if (hashed)
+            fingerprint = stateFingerprint(core);
+    } else {
+        ks = launchSharded(launch, policy, plan, ids, warpIds, resident,
+                           hashed, ts, &streamHash, &fingerprint);
+    }
 
     if (ts) {
         if (ts->wants(trace::EventKind::KernelEnd)) {
@@ -479,7 +505,7 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
     if (hashed) {
         // Arm on the second *identical* full simulation in a row;
         // otherwise (re)baseline and keep watching.
-        const uint64_t fp = stateFingerprint(core);
+        const uint64_t fp = fingerprint;
         if (entry->hasBaseline && entry->fingerprint == fp &&
             entry->streamHash == streamHash && statsEqual(entry->stats, ks)) {
             entry->armed = true;
@@ -490,6 +516,147 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
             entry->stats = ks;
         }
     }
+    return ks;
+}
+
+KernelStats
+Gpu::launchSharded(const KernelLaunch &launch, const SimPolicy &policy,
+                   const std::vector<CtaShard> &plan,
+                   const std::vector<uint64_t> &ids,
+                   const std::vector<uint32_t> &warp_ids, uint32_t resident,
+                   bool hashed, trace::TraceSink *parent_sink,
+                   uint64_t *stream_hash, uint64_t *fingerprint)
+{
+    struct ShardResult
+    {
+        KernelStats ks;
+        uint64_t fingerprint = 0;
+        std::vector<uint64_t> streamDigests;
+        std::unique_ptr<trace::RingSink> sink;
+        std::unique_ptr<Cache> l2;
+    };
+    std::vector<ShardResult> results(plan.size());
+
+    // When the launch is traced, each shard records into a private ring
+    // (same event selection as the parent) that is merged below in shard
+    // order — a deterministic stream no matter which shard finishes
+    // first.  Name-carrying events (KernelBegin/End/Replay) are recorded
+    // at this level, never inside the core, so no intern-id remapping is
+    // needed.
+    if (parent_sink) {
+        trace::RingOptions opt;
+        opt.capacity = 1u << 18;
+        opt.mask = parent_sink->mask();
+        opt.samplePeriod = parent_sink->samplePeriod();
+        for (auto &r : results)
+            r.sink = std::make_unique<trace::RingSink>(opt);
+    }
+
+    // Worker body.  Everything a shard touches is private: an L2 clone
+    // seeded from the master's current warm state, a fresh DRAM channel,
+    // its own SmCore (constructed on the worker thread, under the
+    // shard's sink), and its own trace ring.  DeviceMemory is shared —
+    // CTAs of one launch write disjoint outputs (the CUDA independence
+    // contract the kernels are written against) — so functional results
+    // match the sequential interleaving.
+    const auto runShard = [&](size_t i) {
+        ShardResult &r = results[i];
+        trace::ScopedSink scoped(r.sink.get());
+        auto l2 = std::make_unique<Cache>(*l2_);
+        Dram dram(cfg_.dramLatency, cfg_.dramIssueInterval);
+        if (r.sink) {
+            l2->setTrace(r.sink.get(), trace::CacheLevel::L2);
+            dram.setTrace(r.sink.get());
+        }
+        const std::vector<uint64_t> shardIds(
+            ids.begin() + static_cast<ptrdiff_t>(plan[i].begin),
+            ids.begin() + static_cast<ptrdiff_t>(plan[i].end));
+        uint64_t sh = 0;
+        SmCore core(cfg_, mem_, *l2, dram);
+        r.ks = core.run(launch, shardIds, warp_ids, plan[i].resident,
+                        policy, hashed ? &sh : nullptr);
+        if (hashed) {
+            r.streamDigests = core.streamDigests();
+            uint64_t fp = digest::kInit;
+            digest::mix(fp, l2->stateDigest());
+            digest::mix(fp, dram.stateDigest());
+            digest::mix(fp, core.stateDigest());
+            r.fingerprint = fp;
+        }
+        // The clone outlives the shard ring (warm-state adoption below);
+        // drop the sink pointer before it dangles.
+        l2->setTrace(nullptr, trace::CacheLevel::L2);
+        r.l2 = std::move(l2);
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(plan.size() - 1);
+    for (size_t i = 1; i < plan.size(); i++)
+        workers.emplace_back(runShard, i);
+    runShard(0);
+    for (auto &t : workers)
+        t.join();
+
+    // --- reduce, strictly in shard order ----------------------------
+    // Raw counters are integer-valued doubles (and uint64 arrays in the
+    // profile), so the shard-order fold is exact; scaling happens once,
+    // in launch(), after this returns.
+    KernelStats ks = std::move(results[0].ks);
+    for (size_t i = 1; i < results.size(); i++)
+        foldShardStats(ks, results[i].ks);
+    // Report the launch residency (the machine model), not the first
+    // shard's slice size: wave extrapolation and occupancy reporting are
+    // properties of the launch, independent of how it was sharded.
+    ks.residentCtas = resident;
+
+    if (hashed) {
+        // Shard ranges are contiguous in launch position, so the
+        // shard-order concatenation of per-warp digests is the whole
+        // launch's digest array — the same fold a sequential run (and
+        // runFunctionalOnly, which memo replays verify against) computes.
+        std::vector<std::vector<uint64_t>> digests;
+        digests.reserve(results.size());
+        for (auto &r : results)
+            digests.push_back(std::move(r.streamDigests));
+        *stream_hash = combineStreamDigests(digests);
+        uint64_t fp = digest::kInit;
+        for (const auto &r : results)
+            digest::mix(fp, r.fingerprint);
+        *fingerprint = fp;
+    }
+
+    // Merge shard traces onto the parent sink in shard order, rebasing
+    // each shard onto the reduced timeline (shards back-to-back, the
+    // same order foldShardStats accumulated smCycles in) and tagging
+    // every event with its shard index as the core id.
+    if (parent_sink) {
+        uint64_t offset = 0;
+        uint64_t drops = 0;
+        for (size_t i = 0; i < results.size(); i++) {
+            trace::RingSink &ring = *results[i].sink;
+            drops += ring.dropped();
+            for (uint8_t c : ring.cores()) {
+                for (trace::Event e : ring.coreEvents(c)) {
+                    e.core = static_cast<uint8_t>(i);
+                    e.cycle += offset;
+                    parent_sink->record(e);
+                }
+            }
+            offset += results[i].ks.smCycles;
+        }
+        if (drops > 0) {
+            warn("sharded launch of %s dropped %llu trace events "
+                 "(per-shard ring full)",
+                 launch.program->name.c_str(),
+                 static_cast<unsigned long long>(drops));
+        }
+    }
+
+    // Adopt the last shard's end-of-launch L2 as the device's warm state
+    // for the next launch — a deterministic stand-in for the sequential
+    // end state (the last shard simulated the final waves of the sample).
+    *l2_ = *results.back().l2;
+
     return ks;
 }
 

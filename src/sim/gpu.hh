@@ -23,6 +23,7 @@
 #include "sim/dram.hh"
 #include "sim/memory.hh"
 #include "sim/power.hh"
+#include "sim/shard.hh"
 
 namespace tango::sim {
 
@@ -96,6 +97,26 @@ class Gpu
 
     /** (Re)build the shared L2 + DRAM if the config changed. */
     void ensureMemorySystem();
+
+    /**
+     * Simulate one launch split across @p plan (>= 2 shards): fork one
+     * worker thread per extra shard (shard 0 runs on the caller), each
+     * with a private L2 clone / DRAM / SmCore / trace ring, then reduce
+     * stats, profiles, stream digests and trace events in fixed shard
+     * order (sim/shard.hh).  Returns raw (unscaled) statistics exactly
+     * like SmCore::run; launch() applies the common scaling after.
+     * @param hashed whether stream digests + fingerprints are wanted
+     *        (memo arming); when set, @p stream_hash and @p fingerprint
+     *        receive the shard-order folds.
+     */
+    KernelStats launchSharded(const KernelLaunch &launch,
+                              const SimPolicy &policy,
+                              const std::vector<CtaShard> &plan,
+                              const std::vector<uint64_t> &ids,
+                              const std::vector<uint32_t> &warp_ids,
+                              uint32_t resident, bool hashed,
+                              trace::TraceSink *parent_sink,
+                              uint64_t *stream_hash, uint64_t *fingerprint);
 
     /** Digest of the end-of-launch µ-arch state (L2 + DRAM + SM caches). */
     uint64_t stateFingerprint(const SmCore &core) const;

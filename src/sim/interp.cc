@@ -144,8 +144,17 @@ compare(Cmp c, DType t, uint32_t a, uint32_t b)
  * simulated values do not depend on the host ISA.  The destination row may
  * alias a source row (accumulate form "mad d, a, b, d"), which is safe:
  * the op is elementwise over the same index.
+ *
+ * Not multi-versioned under ThreadSanitizer: target_clones emits an ifunc
+ * whose instrumented resolver runs at relocation time, before the tsan
+ * runtime has set up its thread state — every binary linking this TU then
+ * segfaults in __tsan_func_entry before main.  The clones are
+ * bit-identical anyway, so sanitized builds just take the default path.
  */
-__attribute__((target_clones("default", "fma"))) void
+#if !defined(__SANITIZE_THREAD__)
+__attribute__((target_clones("default", "fma")))
+#endif
+void
 madWarpF32(uint32_t *dp, const uint32_t *a, const uint32_t *b,
            const uint32_t *c)
 {

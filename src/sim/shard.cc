@@ -1,0 +1,120 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "sim/digest.hh"
+
+namespace tango::sim {
+
+uint32_t
+envSimShards()
+{
+    const uint64_t v = envUint("TANGO_SIM_SHARDS", 1);
+    if (v > kMaxShards)
+        fatal("TANGO_SIM_SHARDS=%llu exceeds the maximum of %u",
+              static_cast<unsigned long long>(v), kMaxShards);
+    return v == 0 ? 1 : static_cast<uint32_t>(v);
+}
+
+uint32_t
+effectiveShards(const SimPolicy &policy)
+{
+    if (policy.shards > 0) {
+        if (policy.shards > kMaxShards)
+            fatal("SimPolicy::shards=%u exceeds the maximum of %u",
+                  policy.shards, kMaxShards);
+        return policy.shards;
+    }
+    return envSimShards();
+}
+
+std::vector<CtaShard>
+planCtaShards(uint64_t sampled, uint32_t resident, uint32_t k)
+{
+    TANGO_ASSERT(resident > 0, "shard plan needs a positive wave size");
+    const uint64_t waves = (sampled + resident - 1) / resident;
+    std::vector<CtaShard> plan;
+
+    if (waves >= 2 || k <= 1) {
+        // Wave regime: whole waves per shard, launch residency.
+        const uint64_t shards =
+            std::max<uint64_t>(1, std::min<uint64_t>(k, waves));
+        const uint64_t base = waves / shards;
+        const uint64_t extra = waves % shards;
+        plan.reserve(shards);
+        uint64_t wave = 0;
+        for (uint64_t i = 0; i < shards; i++) {
+            const uint64_t take = base + (i < extra ? 1 : 0);
+            CtaShard s;
+            s.begin = wave * resident;
+            wave += take;
+            s.end = std::min(wave * resident, sampled);
+            s.resident = resident;
+            plan.push_back(s);
+        }
+        return plan;
+    }
+
+    // Intra-wave regime: split the single wave's CTAs into contiguous
+    // even slices, each its own one-wave core.
+    const uint64_t shards = std::min<uint64_t>(k, sampled);
+    const uint64_t base = sampled / shards;
+    const uint64_t extra = sampled % shards;
+    plan.reserve(shards);
+    uint64_t at = 0;
+    for (uint64_t i = 0; i < shards; i++) {
+        const uint64_t take = base + (i < extra ? 1 : 0);
+        CtaShard s;
+        s.begin = at;
+        at += take;
+        s.end = at;
+        s.resident = static_cast<uint32_t>(take);
+        plan.push_back(s);
+    }
+    return plan;
+}
+
+void
+foldShardStats(KernelStats &acc, const KernelStats &frag)
+{
+    acc.smCycles += frag.smCycles;
+    acc.peakWindowDynW = std::max(acc.peakWindowDynW, frag.peakWindowDynW);
+    acc.stats.merge(frag.stats);
+    if (acc.profile && frag.profile)
+        foldShardProfile(*acc.profile, *frag.profile);
+}
+
+void
+foldShardProfile(KernelProfile &acc, const KernelProfile &frag)
+{
+    if (acc.issued.size() != frag.issued.size() ||
+        acc.stalls.size() != frag.stalls.size()) {
+        fatal("shard profile shape mismatch: %zu/%zu pcs, %zu/%zu stalls",
+              acc.issued.size(), frag.issued.size(), acc.stalls.size(),
+              frag.stalls.size());
+    }
+    for (size_t i = 0; i < acc.issued.size(); i++)
+        acc.issued[i] += frag.issued[i];
+    for (size_t i = 0; i < acc.stalls.size(); i++)
+        acc.stalls[i] += frag.stalls[i];
+    for (size_t i = 0; i < acc.l1dMisses.size(); i++)
+        acc.l1dMisses[i] += frag.l1dMisses[i];
+    for (size_t i = 0; i < acc.l2Misses.size(); i++)
+        acc.l2Misses[i] += frag.l2Misses[i];
+    for (size_t i = 0; i < acc.dramTxns.size(); i++)
+        acc.dramTxns[i] += frag.dramTxns[i];
+}
+
+uint64_t
+combineStreamDigests(const std::vector<std::vector<uint64_t>> &per_shard)
+{
+    uint64_t combined = digest::kInit;
+    for (const auto &shard : per_shard)
+        for (uint64_t h : shard)
+            digest::mix(combined, h);
+    return combined;
+}
+
+} // namespace tango::sim

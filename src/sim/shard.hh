@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Intra-run CTA sharding: partition one kernel launch's sampled CTAs into
+ * K deterministic shards and reduce the per-shard results in fixed shard
+ * order.
+ *
+ * The shard *plan* is a pure function of (sampled CTA count, resident CTAs
+ * per wave, requested shard count): contiguous, wave-aligned index ranges
+ * into the sampled CTA list, never more shards than waves.  Each shard is
+ * simulated on its own SmCore with a private L2/DRAM model instance
+ * (sim/gpu.cc), so shards share no mutable µ-arch state and the per-shard
+ * results are independent of thread scheduling.  The *reduction* here is
+ * the other half of the determinism contract: every merge is performed in
+ * shard order over raw (unscaled) counters — integer-valued doubles and
+ * uint64 arrays, whose addition is exact and associative — so the reduced
+ * result is a pure function of the plan, not of which shard finished
+ * first.  tests/test_parallel_determinism.cc pins the end-to-end property;
+ * the reduction helpers are exposed here so the property tests can drive
+ * them with synthetic fragments.
+ */
+
+#ifndef TANGO_SIM_SHARD_HH
+#define TANGO_SIM_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core.hh"
+#include "sim/profile.hh"
+
+namespace tango::sim {
+
+/** One shard: the half-open range [begin, end) of *positions* in the
+ *  sampled CTA id list (not raw CTA ids), plus the CTA residency its
+ *  SmCore simulates with. */
+struct CtaShard
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    /** Concurrent CTA slots for this shard's core: the launch residency
+     *  in the wave regime, the shard's own CTA count in the intra-wave
+     *  regime (the slice is then exactly one private wave). */
+    uint32_t resident = 1;
+
+    uint64_t count() const { return end - begin; }
+    bool operator==(const CtaShard &o) const = default;
+};
+
+/** Upper bound on the shard count (sanity valve; Event::core is a u8 and
+ *  nobody has 64 spare cores per run). */
+inline constexpr uint32_t kMaxShards = 64;
+
+/** Read TANGO_SIM_SHARDS (default 1; 0 is treated as 1).  fatal()s on
+ *  malformed values or anything above kMaxShards. */
+uint32_t envSimShards();
+
+/** @return the shard count a policy asks for: SimPolicy::shards when
+ *  nonzero, else the TANGO_SIM_SHARDS environment knob.  This is a pure
+ *  function of policy + environment — never of runtime thread
+ *  availability — so a run's shard plan (and therefore its statistics)
+ *  cannot depend on machine load. */
+uint32_t effectiveShards(const SimPolicy &policy);
+
+/**
+ * Plan the shards for one launch: split @p sampled CTA positions into at
+ * most @p k contiguous ranges.  Two regimes, picked deterministically
+ * from the geometry alone:
+ *
+ *  - *Wave regime* (multiple waves, waves >= 2): boundaries fall on
+ *    multiples of @p resident (wave boundaries — a shard simulates whole
+ *    waves with the launch residency, so its CTA slot reuse matches the
+ *    sequential simulation of those waves).  Waves are distributed as
+ *    evenly as possible, earlier shards taking the remainder; @p k is
+ *    clamped to the wave count.
+ *
+ *  - *Intra-wave regime* (a single wave — the bench/mem/stall policies
+ *    sample exactly one resident wave): the wave's CTAs are split into
+ *    at most @p k contiguous even ranges, and each shard simulates its
+ *    slice as one whole wave of its own core (resident = slice size).
+ *    This models what the hardware actually does with a wave — spread
+ *    its CTAs across SMs — where the sequential path time-multiplexes
+ *    them onto one SM; the per-shard cycle counts sum to roughly the
+ *    sequential count, which is exactly how foldShardStats reduces them.
+ *
+ * K=1 (or a single sampled CTA) always yields one shard with the launch
+ * residency — byte-identical to the sequential path.
+ */
+std::vector<CtaShard> planCtaShards(uint64_t sampled, uint32_t resident,
+                                    uint32_t k);
+
+/**
+ * Fold one shard's raw KernelStats fragment into the accumulator, in
+ * shard order (@p acc must hold the preceding shards' fold; initialize it
+ * with the first shard's fragment).  Raw counters are integer-valued
+ * doubles well below 2^53, so the StatSet addition is exact and
+ * associative; smCycles add (the reduced timeline models the shards'
+ * waves back-to-back, exactly where the sequential simulation would run
+ * them); peakWindowDynW takes the max (a peak over disjoint windows).
+ * Scaling (CTA x warp extrapolation) is applied once, after the fold.
+ */
+void foldShardStats(KernelStats &acc, const KernelStats &frag);
+
+/** Elementwise-add @p frag's per-PC counters into @p acc (same program,
+ *  so identical array shapes; fatal() on a shape mismatch). */
+void foldShardProfile(KernelProfile &acc, const KernelProfile &frag);
+
+/**
+ * Combine per-shard Step-stream digest vectors into the single launch
+ * digest.  Shard ranges are contiguous in launch position, so the
+ * concatenation in shard order *is* the per-(CTA, warp) launch-position
+ * digest array of the whole sample; folding it with digest::mix yields
+ * exactly what a sequential SmCore::run — and runFunctionalOnly(), which
+ * the memo replay path compares against — computes.
+ */
+uint64_t combineStreamDigests(
+    const std::vector<std::vector<uint64_t>> &per_shard);
+
+} // namespace tango::sim
+
+#endif // TANGO_SIM_SHARD_HH

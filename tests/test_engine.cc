@@ -65,6 +65,20 @@ expectIdentical(const rt::NetRun &a, const rt::NetRun &b)
     }
 }
 
+/** Accounting invariant: every admitted submission lands in exactly one
+ *  cache bucket (memory hit, disk hit, or miss = actually simulated).
+ *  failures is not a bucket of its own — a failed job was first
+ *  admitted as a miss — so it bounds the miss count instead. */
+void
+expectCacheAccounted(const Engine &e, uint64_t submissions)
+{
+    const Engine::CacheStats s = e.cacheStats();
+    EXPECT_EQ(s.memHits + s.diskHits + s.misses, submissions)
+        << "memHits=" << s.memHits << " diskHits=" << s.diskHits
+        << " misses=" << s.misses;
+    EXPECT_LE(s.failures, s.misses);
+}
+
 TEST(Engine, ParallelRunsAreBitIdenticalToSerial)
 {
     // One CNN and one RNN, each simulated by a 1-worker and a 4-worker
@@ -85,6 +99,8 @@ TEST(Engine, ParallelRunsAreBitIdenticalToSerial)
         SCOPED_TRACE(keys[i].str());
         expectIdentical(*serialRuns[i], *parallelRuns[i]);
     }
+    expectCacheAccounted(serial, keys.size());
+    expectCacheAccounted(parallel, keys.size());
 }
 
 TEST(Engine, CacheHitReturnsTheSameObject)
@@ -98,6 +114,7 @@ TEST(Engine, CacheHitReturnsTheSameObject)
     const auto stats = e.cacheStats();
     EXPECT_EQ(stats.misses, 1u);
     EXPECT_GE(stats.memHits, 1u);
+    expectCacheAccounted(e, 2);
 }
 
 TEST(Engine, RunKeyOrderingAndNames)
@@ -141,6 +158,10 @@ TEST(Engine, ThrowingJobDoesNotPoisonThePool)
     // ...and unrelated jobs keep flowing through the same workers.
     const rt::NetRun &after = e.run(RunKey{"gru"});
     EXPECT_GT(after.totalTimeSec, 0.0);
+
+    // Three submissions (boom, retry, gru), each a miss; the failed one
+    // also counted a failure but not a second bucket.
+    expectCacheAccounted(e, 3);
 }
 
 TEST(Engine, DiskSpillRoundTrips)
@@ -161,6 +182,7 @@ TEST(Engine, DiskSpillRoundTrips)
     EXPECT_EQ(reader.cacheStats().diskHits, 1u);
     EXPECT_EQ(reader.cacheStats().misses, 0u);
     expectIdentical(fresh, recalled);
+    expectCacheAccounted(reader, 1);
 
     std::remove(path.c_str());
 }

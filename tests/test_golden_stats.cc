@@ -35,6 +35,7 @@
 #include "runtime/run_cache.hh"
 #include "runtime/runtime.hh"
 #include "sim/gpu.hh"
+#include "sim/shard.hh"
 
 #ifndef TANGO_GOLDEN_DIR
 #error "TANGO_GOLDEN_DIR must point at tests/golden"
@@ -753,7 +754,16 @@ diffNetRun(const NetRun &g, const NetRun &a)
 std::string
 fixturePath(const std::string &name)
 {
-    return std::string(TANGO_GOLDEN_DIR) + "/" + name + ".json";
+    // Intra-run sharding (TANGO_SIM_SHARDS, sim/shard.hh) changes the
+    // simulated statistics above K=1 by design, so each shard count is
+    // pinned by its own fixture corpus: <net>.json for the sequential
+    // run, <net>.k<K>.json for K>1.  scripts/ci.sh runs the golden
+    // label across the {1,2,4} matrix.
+    std::string file = name;
+    const uint32_t k = sim::envSimShards();
+    if (k > 1)
+        file += ".k" + std::to_string(k);
+    return std::string(TANGO_GOLDEN_DIR) + "/" + file + ".json";
 }
 
 bool

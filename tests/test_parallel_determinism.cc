@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Parallel-determinism tier (ctest label `parallel`): intra-run CTA
+ * sharding (SimPolicy::shards, sim/shard.hh) must be DETERMINISTIC, not
+ * merely race-free.  For every network in the suite, a K=2 and a K=4
+ * sharded run — with per-PC profiling on, so the reduction of the
+ * profile arrays is exercised too — must be bit-identical
+ *
+ *   (a) across repeated executions in one process (each on a fresh Gpu,
+ *       so launch memoization arms the same way and the
+ *       mem.*_launches counters must agree exactly, not just the
+ *       simulated statistics), and
+ *   (b) to a pinned fixture (tests/golden/parallel_k<K>.json) carrying
+ *       an FNV-1a digest of the full serialized NetRun — per-PC
+ *       profiles included — plus human-readable headline numbers.
+ *
+ * The fixtures are the K>1 counterpart of the K=1 golden corpus: K>1
+ * statistics may differ from K=1 by design (each shard simulates on a
+ * private core with cold private L2/DRAM state), and these fixtures pin
+ * that documented delta so it can only change deliberately:
+ *
+ *     TANGO_UPDATE_GOLDEN=1 ctest -L parallel
+ *
+ * The tier runs under the tsan preset as well (CMakePresets.json filter
+ * includes `parallel`), where the shard worker threads are checked for
+ * data races while the bit-identity assertions run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "runtime/run_cache.hh"
+#include "runtime/runtime.hh"
+#include "sim/digest.hh"
+#include "sim/gpu.hh"
+#include "sim/profile.hh"
+
+#ifndef TANGO_GOLDEN_DIR
+#error "TANGO_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace tango {
+namespace {
+
+using rt::NetRun;
+
+const std::vector<std::string> kNets = {"cifarnet", "alexnet",
+                                        "squeezenet", "resnet",
+                                        "vggnet", "gru", "lstm"};
+
+/** One full-suite network under the bench policy, profiled, split into
+ *  @p k shards.  A fresh Gpu per call: repeated executions start from
+ *  the same cold state, so even the launch-memoization meta-counters
+ *  must reproduce. */
+NetRun
+runSharded(const std::string &net, uint32_t k)
+{
+    sim::Gpu gpu(sim::pascalGP102());
+    rt::RunPolicy policy = rt::RunPolicy::named("bench");
+    policy.sim.profile = true;
+    policy.sim.shards = k;
+    return rt::runNetworkByName(gpu, net, policy);
+}
+
+/** 16-hex-char FNV-1a digest of a serialized NetRun. */
+std::string
+runDigest(const std::string &serialized)
+{
+    uint64_t h = sim::digest::kInit;
+    sim::digest::mixBytes(h, serialized.data(), serialized.size());
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+updateMode()
+{
+    const char *env = std::getenv("TANGO_UPDATE_GOLDEN");
+    return env && env[0] && std::string(env) != "0";
+}
+
+std::string
+fixturePath(uint32_t k)
+{
+    return std::string(TANGO_GOLDEN_DIR) + "/parallel_k" +
+           std::to_string(k) + ".json";
+}
+
+/** Everything the fixture pins per network. */
+struct Headline
+{
+    std::string digest;
+    double totalTimeSec = 0.0;
+    double totalEnergyJ = 0.0;
+    uint64_t replayed = 0;
+    uint64_t simulated = 0;
+};
+
+/** The sharded reduction folds raw per-PC counters and applies the
+ *  CTA/warp scale exactly once afterwards, so every profile must still
+ *  sum bit-exactly to its kernel's scaled StatSet totals. */
+void
+expectProfilesConsistent(const NetRun &run, const std::string &net)
+{
+    size_t profiled = 0;
+    for (const auto &layer : run.layers) {
+        for (const auto &k : layer.kernels) {
+            if (!k.profile)
+                continue;
+            profiled++;
+            std::string why;
+            EXPECT_TRUE(sim::profileConsistent(*k.profile, k.stats, &why))
+                << net << "/" << k.name << ": " << why;
+        }
+    }
+    EXPECT_GT(profiled, 0u) << net << ": no kernel carried a profile";
+}
+
+void
+checkShardCount(uint32_t k)
+{
+    std::vector<Headline> headlines;
+    headlines.reserve(kNets.size());
+
+    for (const std::string &net : kNets) {
+        SCOPED_TRACE(net + " k=" + std::to_string(k));
+        const NetRun first = runSharded(net, k);
+        const NetRun second = runSharded(net, k);
+
+        // Bit-identity across repeated executions, profiles and memo
+        // counters included: serializeNetRun round-trips doubles
+        // exactly, so string equality is bit equality.
+        const std::string a = rt::serializeNetRun(first);
+        const std::string b = rt::serializeNetRun(second);
+        EXPECT_EQ(a, b) << net << ": two identical sharded runs diverged";
+
+        expectProfilesConsistent(first, net);
+
+        Headline h;
+        h.digest = runDigest(a);
+        h.totalTimeSec = first.totalTimeSec;
+        h.totalEnergyJ = first.totalEnergyJ;
+        h.replayed =
+            static_cast<uint64_t>(first.totals.get("mem.replayed_launches"));
+        h.simulated = static_cast<uint64_t>(
+            first.totals.get("mem.simulated_launches"));
+        headlines.push_back(h);
+    }
+
+    const std::string path = fixturePath(k);
+    if (updateMode()) {
+        std::string out;
+        json::ObjWriter o(out);
+        o.u64("shards", k);
+        for (size_t i = 0; i < kNets.size(); i++) {
+            o.key(kNets[i].c_str());
+            json::ObjWriter n(out);
+            n.str("digest", headlines[i].digest);
+            n.num("totalTimeSec", headlines[i].totalTimeSec);
+            n.num("totalEnergyJ", headlines[i].totalEnergyJ);
+            n.u64("replayed", headlines[i].replayed);
+            n.u64("simulated", headlines[i].simulated);
+            n.close();
+        }
+        o.close();
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(f.good()) << "cannot write " << path;
+        f << out << "\n";
+        ASSERT_TRUE(f.good()) << "short write to " << path;
+        std::printf("[parallel] regenerated %s\n", path.c_str());
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << path
+        << " — regenerate with TANGO_UPDATE_GOLDEN=1 (ctest -L parallel)";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const json::Reader::Value v = json::Reader(ss.str()).parse();
+    EXPECT_EQ(v.u64Or("shards", 0), k);
+
+    for (size_t i = 0; i < kNets.size(); i++) {
+        SCOPED_TRACE(kNets[i] + " k=" + std::to_string(k));
+        const json::Reader::Value *n = v.find(kNets[i].c_str());
+        ASSERT_NE(n, nullptr) << "fixture lacks " << kNets[i];
+        EXPECT_EQ(n->strOr("digest"), headlines[i].digest)
+            << "sharded statistics drifted from " << path
+            << " (if intentional, TANGO_UPDATE_GOLDEN=1)";
+        EXPECT_EQ(n->numOr("totalTimeSec"), headlines[i].totalTimeSec);
+        EXPECT_EQ(n->numOr("totalEnergyJ"), headlines[i].totalEnergyJ);
+        EXPECT_EQ(n->u64Or("replayed", ~0ull), headlines[i].replayed);
+        EXPECT_EQ(n->u64Or("simulated", ~0ull), headlines[i].simulated);
+    }
+}
+
+TEST(ParallelDeterminism, K2BitIdenticalAndPinned) { checkShardCount(2); }
+TEST(ParallelDeterminism, K4BitIdenticalAndPinned) { checkShardCount(4); }
+
+/** The delta policy in one assertion: sharding may change statistics
+ *  only above K=1, and only for launches that actually split.  A
+ *  multi-CTA CNN diverges from the sequential run at K=2; the GRU's
+ *  single-CTA cell launches can never split, so its K=4 run stays
+ *  bit-identical to K=1. */
+TEST(ParallelDeterminism, ShardingChangesStatsOnlyWhenLaunchesSplit)
+{
+    const std::string alex1 = rt::serializeNetRun(runSharded("alexnet", 1));
+    const std::string alex2 = rt::serializeNetRun(runSharded("alexnet", 2));
+    EXPECT_NE(alex1, alex2)
+        << "alexnet K=2 should exercise the sharded path (private "
+           "per-shard L2/DRAM make its stats differ from K=1)";
+
+    const std::string gru1 = rt::serializeNetRun(runSharded("gru", 1));
+    const std::string gru4 = rt::serializeNetRun(runSharded("gru", 4));
+    EXPECT_EQ(gru1, gru4)
+        << "gru's single-CTA launches must fall back to the exact "
+           "sequential path at any K";
+}
+
+} // namespace
+} // namespace tango

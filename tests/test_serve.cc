@@ -185,6 +185,28 @@ canonicalRun(NetRun run)
     return rt::serializeNetRun(run);
 }
 
+/** Accounting invariant: every run request is resolved exactly once —
+ *  rejected (draining / queue-full), refused as an invalid spec, or
+ *  served from one of the four sources.  @p invalidSpecs is the number
+ *  of run requests with a bad JobSpec (Metrics::invalid also counts
+ *  malformed frames, which never reach runRequests, so the caller says
+ *  how many of the invalids were run requests).  failures happen to
+ *  already-served requests, so they bound rather than add. */
+void
+expectRunsAccounted(const serve::Server::Metrics &m,
+                    uint64_t invalidSpecs = 0)
+{
+    EXPECT_EQ(m.runRequests, m.rejectedDraining + m.rejectedQueueFull +
+                                 invalidSpecs + m.servedSim +
+                                 m.servedJoin + m.servedMem + m.servedDisk)
+        << "run=" << m.runRequests << " drain=" << m.rejectedDraining
+        << " full=" << m.rejectedQueueFull << " invalid=" << invalidSpecs
+        << " sim=" << m.servedSim << " join=" << m.servedJoin
+        << " mem=" << m.servedMem << " disk=" << m.servedDisk;
+    EXPECT_LE(m.failures,
+              m.servedSim + m.servedJoin + m.servedMem + m.servedDisk);
+}
+
 // ------------------------------------------------------------------- serving
 
 TEST(Serve, PingStatsAndInvalidSpec)
@@ -212,6 +234,9 @@ TEST(Serve, PingStatsAndInvalidSpec)
     traced.trace = true;
     ASSERT_TRUE(client.run(traced, res, &err)) << err;
     EXPECT_FALSE(res.ok) << "traced jobs must be refused";
+
+    // Both run requests were refused as invalid specs; nothing served.
+    expectRunsAccounted(ts.server.metrics(), 2);
 }
 
 TEST(Serve, ConcurrentIdenticalColdJobsSimulateOnceBitIdenticalToGolden)
@@ -266,6 +291,7 @@ TEST(Serve, ConcurrentIdenticalColdJobsSimulateOnceBitIdenticalToGolden)
     EXPECT_EQ(warm.served, "mem");
     EXPECT_EQ(canonicalRun(warm.run), want);
     EXPECT_EQ(ts.server.engine().cacheStats().misses, 1u);
+    expectRunsAccounted(ts.server.metrics());
 }
 
 TEST(Serve, QueueFullRejectsNewSimulationsButAdmitsJoins)
@@ -326,6 +352,7 @@ TEST(Serve, QueueFullRejectsNewSimulationsButAdmitsJoins)
     EXPECT_EQ(m.rejectedQueueFull, 1u);
     EXPECT_EQ(m.servedSim, 1u);
     EXPECT_EQ(ts.server.engine().cacheStats().misses, 1u);
+    expectRunsAccounted(m);
 }
 
 TEST(Serve, GracefulDrainFinishesInFlightAndRefusesNew)
@@ -374,6 +401,7 @@ TEST(Serve, GracefulDrainFinishesInFlightAndRefusesNew)
     const serve::Server::Metrics m = ts.server.metrics();
     EXPECT_EQ(m.rejectedDraining, 1u);
     EXPECT_EQ(m.servedSim, 1u);
+    expectRunsAccounted(m);
 }
 
 TEST(Serve, ShutdownRequestTriggersDrain)
