@@ -7,6 +7,7 @@
 #   scripts/ci.sh            # everything
 #   SKIP_TSAN=1 scripts/ci.sh  # skip the sanitizer stage (e.g. no tsan rt)
 #   SKIP_SERVE=1 scripts/ci.sh # skip the tango-serve daemon stage
+#   SKIP_FIT=1 scripts/ci.sh   # skip the estimate-tier fit/check stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -92,6 +93,23 @@ EOF
     wait "$serve_pid"
     echo "tango-serve drained cleanly on SIGTERM"
     rm -rf "$servedir"
+fi
+
+if [[ "${SKIP_FIT:-0}" != "1" ]]; then
+    echo "=== tango-fit: estimate tier holds its accuracy contract ==="
+    # Fit fresh models from a reduced sweep, then check them against
+    # fresh cycle-level truth: per-layer p95 relative cycle error <= 15%
+    # on alexnet + gru, and estimate-tier per-figType cycle totals must
+    # rank layers exactly as the simulator does.  The engine disk cache
+    # is shared between the two steps so the check's ground-truth sims
+    # replay from the sweep instead of re-simulating.
+    fitdir=$(mktemp -d)
+    TANGO_ENGINE_CACHE="$fitdir/cache.json" \
+        build/tools/tango-fit --reduced --out "$fitdir/weights"
+    TANGO_ENGINE_CACHE="$fitdir/cache.json" \
+        build/tools/tango-fit --check --weights "$fitdir/weights" \
+        --nets alexnet,gru --max-p95 0.15
+    rm -rf "$fitdir"
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then

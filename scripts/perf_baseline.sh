@@ -23,9 +23,12 @@
 #
 # Unless SKIP_SERVE=1, also boots a tango-serve daemon on an ephemeral
 # port and drives it with tango-load (the default mix: all seven nets x
-# the bench policy — never exact on the big CNNs), writing the serving
-# baseline (cold/warm QPS, p50/p99, warm-over-cold ratio) to
-# BENCH_serve.json (override with SERVE_OUT).
+# the bench policy — never exact on the big CNNs — at both the sim and
+# estimate tiers), writing the serving baseline (cold/warm QPS, p50/p99,
+# warm-over-cold ratio, per-tier breakdown) to BENCH_serve.json
+# (override with SERVE_OUT).  If a previous BENCH_serve.json exists, the
+# fresh warm QPS must stay within 2% of it — SKIP_PROF_GUARD=1 skips
+# this guard along with the profiling-off one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -163,16 +166,37 @@ cat "$OUT"
 
 if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
     SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
-    echo "measuring tango-serve cold vs warm QPS ..." >&2
+    echo "measuring tango-serve cold vs warm QPS (sim + estimate tiers) ..." >&2
     servedir=$(mktemp -d)
     build/tools/tango-serve --port 0 --port-file "$servedir/port" &
     serve_pid=$!
     for _ in $(seq 100); do [[ -s "$servedir/port" ]] && break; sleep 0.1; done
     [[ -s "$servedir/port" ]] || { echo "tango-serve never bound" >&2; exit 1; }
     build/tools/tango-load --port "$(cat "$servedir/port")" \
-        --conns 4 --requests 200 --json "$SERVE_OUT"
+        --conns 4 --requests 200 --tier sim,estimate \
+        --json "$servedir/serve.json"
     kill -TERM "$serve_pid"
     wait "$serve_pid"
+
+    # Serving-rate guard: the fresh warm QPS must stay within 2% of the
+    # published baseline (the warm path is pure cache/dedup serving, so
+    # any regression here is daemon overhead, not simulator speed).
+    if [[ "${SKIP_PROF_GUARD:-0}" != "1" && -f "$SERVE_OUT" ]]; then
+        old_qps=$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1]))["warm"]["qps"])' "$SERVE_OUT")
+        new_qps=$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1]))["warm"]["qps"])' "$servedir/serve.json")
+        if ! awk -v old="$old_qps" -v new="$new_qps" \
+                 'BEGIN { exit !(new >= old * 0.98) }'; then
+            echo "serve-QPS guard FAILED: warm ${new_qps} QPS is more than" \
+                 "2% below the $SERVE_OUT baseline ${old_qps} QPS" >&2
+            rm -rf "$servedir"
+            exit 1
+        fi
+        echo "serve-QPS guard: warm ${new_qps} QPS within 2% of" \
+             "baseline ${old_qps} QPS" >&2
+    fi
+    mv "$servedir/serve.json" "$SERVE_OUT"
     rm -rf "$servedir"
     echo "wrote $SERVE_OUT" >&2
 fi

@@ -1,0 +1,459 @@
+#include "estimate/dataset.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/models/models.hh"
+#include "runtime/run_cache.hh"
+
+namespace tango::estimate {
+
+namespace {
+
+using json::ObjWriter;
+using json::Reader;
+
+// ------------------------------------------------------- rows from NetRuns
+
+/** Sum one LayerRun's kernels into the six model targets. */
+void
+layerTargets(const rt::LayerRun &lr, double out[kNumTargets])
+{
+    for (int i = 0; i < kNumTargets; i++)
+        out[i] = 0.0;
+    for (const sim::KernelStats &k : lr.kernels) {
+        out[static_cast<int>(Target::Cycles)] += k.gpuCycles;
+        out[static_cast<int>(Target::Stalls)] +=
+            k.stats.sumPrefix("stall.");
+        out[static_cast<int>(Target::L1dMisses)] +=
+            k.stats.get("mem.l1d.misses");
+        out[static_cast<int>(Target::L2Misses)] +=
+            k.stats.get("mem.l2.misses");
+        out[static_cast<int>(Target::DramAccesses)] +=
+            k.stats.get("dram.accesses");
+        out[static_cast<int>(Target::EnergyJ)] += k.energyJ;
+    }
+}
+
+void
+rowsFromCnnRun(const nn::Network &net, const rt::NetRun &run,
+               const std::string &source, std::vector<Row> &out)
+{
+    const auto &layers = net.layers();
+    for (const rt::LayerRun &lr : run.layers) {
+        if (lr.kernels.empty())
+            continue;   // Concat placeholder
+        TANGO_ASSERT(lr.layerIndex >= 0 &&
+                         size_t(lr.layerIndex) < layers.size(),
+                     "layer index out of range");
+        const nn::Layer &l = layers[lr.layerIndex];
+        Row row;
+        if (!layerFamily(l.kind, row.family))
+            continue;
+        row.feat = layerFeatures(l);
+        layerTargets(lr, row.target);
+        row.source = source + ":" + lr.name;
+        out.push_back(std::move(row));
+    }
+}
+
+void
+rowsFromRnnRun(const nn::RnnModel &model, const rt::NetRun &run,
+               const std::string &source, std::vector<Row> &out)
+{
+    for (const rt::LayerRun &lr : run.layers) {
+        if (lr.kernels.empty())
+            continue;
+        Row row;
+        // Layer list shape (runtime/lowering): seqLen cell steps, then
+        // the dense readout at index seqLen.
+        const bool cell = lr.layerIndex < static_cast<int>(model.seqLen);
+        row.family = cell ? Family::RnnCell : Family::Fc;
+        row.feat =
+            cell ? rnnCellFeatures(model) : rnnReadoutFeatures(model);
+        layerTargets(lr, row.target);
+        row.source = source + ":" + lr.name;
+        out.push_back(std::move(row));
+    }
+}
+
+// ------------------------------------------------------- synthetic sweeps
+
+/** Launch-hint styles from the suite's Table III mappings. */
+nn::LaunchHint
+synthHint(Rng &rng, uint32_t out_channels, uint32_t p, uint32_t q)
+{
+    nn::LaunchHint h;
+    switch (rng.below(4)) {
+    case 0:
+        // In-thread channel loop, one block covering the plane
+        // (CifarNet style); only where a plane-sized block is legal.
+        if (uint64_t(p) * q <= 1024) {
+            h.chanSrc = kern::ChannelSrc::Loop;
+            h.pixMap = kern::PixelMap::TileOrigin;
+            h.grid = {1, 1, 1};
+            h.block = {q, p, 1};
+            break;
+        }
+        [[fallthrough]];
+    case 1:
+        // One block per output row (SqueezeNet style).
+        h.chanSrc = kern::ChannelSrc::Loop;
+        h.pixMap = kern::PixelMap::RowBlock;
+        h.grid = {p, 1, 1};
+        h.block = {q, 1, 1};
+        break;
+    case 2:
+        // One block per channel, block strides the plane (ResNet style).
+        h.chanSrc = kern::ChannelSrc::GridX;
+        h.pixMap = kern::PixelMap::StrideLoop;
+        h.grid = {out_channels, 1, 1};
+        h.block = {std::min(q, 16u), std::min(p, 16u), 1};
+        break;
+    default: {
+        // Plane tiled over grid x/y, channel on grid z (VGG style).
+        const uint32_t tile = std::min({8u, p, q});
+        h.chanSrc = kern::ChannelSrc::GridZ;
+        h.pixMap = kern::PixelMap::FromGridXY;
+        h.grid = {(q + tile - 1) / tile, (p + tile - 1) / tile,
+                  out_channels};
+        h.block = {tile, tile, 1};
+        break;
+    }
+    }
+    return h;
+}
+
+/** One randomized single-layer network.  Shapes and hint styles span
+ *  the ranges the suite's layers occupy so the fitted models
+ *  interpolate at serve time instead of extrapolating. */
+nn::Network
+makeSynthetic(uint32_t idx, Rng &rng)
+{
+    static const uint32_t kChan[] = {3, 8, 16, 32, 64};
+    static const uint32_t kPlane[] = {6, 8, 12, 16, 24, 32, 48};
+    static const uint32_t kFilt[] = {8, 16, 32, 64, 96};
+    static const uint32_t kFcIn[] = {64, 256, 1024, 4096};
+    static const uint32_t kFcOut[] = {16, 64, 256, 1024};
+    static const nn::LayerKind kKinds[] = {
+        nn::LayerKind::Conv,      nn::LayerKind::Conv,
+        nn::LayerKind::Depthwise, nn::LayerKind::Pool,
+        nn::LayerKind::FC,        nn::LayerKind::LRN,
+        nn::LayerKind::BatchNorm, nn::LayerKind::ReLU,
+        nn::LayerKind::Softmax,
+    };
+
+    nn::Network net;
+    net.name = "fitsyn" + std::to_string(idx);
+
+    nn::Layer l;
+    l.kind = kKinds[rng.below(sizeof kKinds / sizeof kKinds[0])];
+    l.name = "syn";
+    l.inputs = {-1};
+
+    if (l.kind == nn::LayerKind::FC || l.kind == nn::LayerKind::Softmax) {
+        l.figType = l.kind == nn::LayerKind::FC ? "FC" : "Others";
+        l.inN = kFcIn[rng.below(4)];
+        l.outN = l.kind == nn::LayerKind::Softmax ? l.inN
+                                                  : kFcOut[rng.below(4)];
+        net.inC = l.inN;
+        net.inH = net.inW = 1;
+        if (l.kind == nn::LayerKind::Softmax) {
+            l.hint.grid = {1, 1, 1};
+            l.hint.block = {32, 1, 1};
+        } else if (rng.below(2)) {
+            // Table III: one single-thread block per output neuron.
+            l.hint.grid = {l.outN, 1, 1};
+            l.hint.block = {1, 1, 1};
+        } else {
+            // Wide blocks over a linear neuron index.
+            const uint32_t bw = std::min(l.outN, 256u);
+            l.hint.grid = {(l.outN + bw - 1) / bw, 1, 1};
+            l.hint.block = {bw, 1, 1};
+        }
+        net.add(l);
+        return net;
+    }
+
+    l.C = kChan[rng.below(5)];
+    l.H = l.W = kPlane[rng.below(7)];
+    net.inC = l.C;
+    net.inH = net.inW = l.H;
+
+    switch (l.kind) {
+    case nn::LayerKind::Conv: {
+        l.figType = "Conv";
+        l.K = kFilt[rng.below(5)];
+        l.R = l.S = 1 + 2 * rng.below(3);   // 1, 3, 5
+        l.stride = l.H > l.R + 2 && rng.below(2) ? 2 : 1;
+        l.pad = l.R / 2;
+        l.relu = rng.below(2) != 0;
+        l.P = l.Q = (l.H + 2 * l.pad - l.R) / l.stride + 1;
+        l.hint = synthHint(rng, l.K, l.P, l.Q);
+        break;
+    }
+    case nn::LayerKind::Depthwise: {
+        l.figType = "Conv";
+        l.K = l.C;
+        l.R = l.S = 3;
+        l.stride = l.H > 5 && rng.below(2) ? 2 : 1;
+        l.pad = 1;
+        l.relu = rng.below(2) != 0;
+        l.P = l.Q = (l.H + 2 * l.pad - l.R) / l.stride + 1;
+        // The depthwise kernel's mapping is fixed: one block per
+        // channel, the block striding the output plane.
+        l.hint.chanSrc = kern::ChannelSrc::GridX;
+        l.hint.pixMap = kern::PixelMap::StrideLoop;
+        l.hint.grid = {l.C, 1, 1};
+        l.hint.block = {std::min(l.Q, 16u), std::min(l.P, 16u), 1};
+        break;
+    }
+    case nn::LayerKind::Pool: {
+        l.figType = "Pooling";
+        l.R = l.S = rng.below(2) ? 3 : 2;
+        l.stride = 2;
+        l.avg = rng.below(2) != 0;
+        l.P = l.Q = l.H >= l.R ? (l.H - l.R) / l.stride + 1 : 1;
+        l.hint = synthHint(rng, l.C, l.P, l.Q);
+        break;
+    }
+    case nn::LayerKind::LRN: {
+        // The LRN kernel's geometry is fixed (channel from ctaid.x,
+        // pixel from tid), so only the plane-per-block mapping is legal.
+        l.figType = "Norm";
+        l.localSize = 5;
+        l.H = l.W = std::min(l.H, 27u);
+        net.inH = net.inW = l.H;
+        l.hint.chanSrc = kern::ChannelSrc::GridX;
+        l.hint.pixMap = kern::PixelMap::TileOrigin;
+        l.hint.grid = {l.C, 1, 1};
+        l.hint.block = {l.W, l.H, 1};
+        break;
+    }
+    case nn::LayerKind::BatchNorm: {
+        l.figType = "Norm";
+        l.hint = synthHint(rng, l.C, l.H, l.W);
+        break;
+    }
+    default: {   // ReLU
+        l.figType = "Others";
+        l.relu = true;
+        l.hint = synthHint(rng, l.C, l.H, l.W);
+        break;
+    }
+    }
+    net.add(l);
+    return net;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- sweeps
+
+std::vector<Row>
+generate(rt::Engine &engine, const SweepOptions &opt,
+         const std::string &policy, const std::string &platform)
+{
+    const std::vector<std::string> nets =
+        opt.nets.empty() ? nn::models::runnableNames() : opt.nets;
+
+    // Phase 1: submit everything, so the worker pool overlaps the
+    // simulations; collect afterwards.
+    struct NamedJob
+    {
+        rt::JobSpec spec;
+        std::shared_future<const rt::NetRun *> future;
+    };
+    std::vector<NamedJob> named;
+    for (const std::string &net : nets) {
+        rt::JobSpec spec;
+        spec.net = net;
+        spec.policy = policy;
+        spec.platform = platform;
+        if (net == "gru" || net == "lstm")
+            spec.seqLen = opt.rnnSeqLen;
+        const std::string why = spec.validate();
+        if (!why.empty())
+            fatal("tango-fit sweep: %s", why.c_str());
+        NamedJob job;
+        job.spec = spec;
+        job.future = engine.submitJob(spec).future;
+        named.push_back(std::move(job));
+    }
+
+    rt::JobSpec proto;   // carries platform -> GpuConfig for custom jobs
+    proto.platform = platform;
+    const sim::GpuConfig cfg = proto.gpuConfig();
+    const rt::RunPolicy runPolicy = rt::RunPolicy::named(policy);
+
+    struct CustomJob
+    {
+        nn::AnyModel model;
+        std::string key;
+        std::shared_future<const rt::NetRun *> future;
+    };
+    std::vector<CustomJob> custom;
+
+    Rng rng(opt.seed);
+    for (uint32_t i = 0; i < opt.synthetic; i++) {
+        CustomJob job{nn::AnyModel(makeSynthetic(i, rng)),
+                      "fitsyn/" + std::to_string(i) + "/" + platform +
+                          "/" + policy,
+                      {}};
+        const nn::AnyModel &model = job.model;
+        job.future = engine.submit(job.key, cfg,
+                                   [model, runPolicy](sim::Gpu &gpu) {
+                                       rt::Runtime rt(gpu);
+                                       return rt.run(model, runPolicy);
+                                   });
+        custom.push_back(std::move(job));
+    }
+    for (uint32_t i = 0; i < opt.rnnHiddenSweep; i++) {
+        // Hidden-size sweep around the suite's hidden=100 cell.
+        const uint32_t hidden = 32 + 32 * rng.below(7);   // 32..224
+        for (const bool lstm : {false, true}) {
+            nn::RnnModel m = lstm ? nn::models::buildLstm(opt.rnnSeqLen)
+                                  : nn::models::buildGru(opt.rnnSeqLen);
+            m.hidden = hidden;
+            CustomJob job{nn::AnyModel(std::move(m)),
+                          "fitrnn/" + std::string(lstm ? "lstm" : "gru") +
+                              "/h" + std::to_string(hidden) + "/s" +
+                              std::to_string(opt.rnnSeqLen) + "/" +
+                              platform + "/" + policy,
+                          {}};
+            const nn::AnyModel &model = job.model;
+            job.future = engine.submit(job.key, cfg,
+                                       [model, runPolicy](sim::Gpu &gpu) {
+                                           rt::Runtime rt(gpu);
+                                           return rt.run(model, runPolicy);
+                                       });
+            custom.push_back(std::move(job));
+        }
+    }
+
+    // Phase 2: collect into rows.
+    std::vector<Row> rows;
+    for (const NamedJob &job : named) {
+        const rt::NetRun &run = *job.future.get();
+        const std::string source = job.spec.cacheKey().str;
+        if (job.spec.net == "gru" || job.spec.net == "lstm") {
+            const nn::RnnModel model =
+                job.spec.net == "gru"
+                    ? nn::models::buildGru(opt.rnnSeqLen)
+                    : nn::models::buildLstm(opt.rnnSeqLen);
+            rowsFromRnnRun(model, run, source, rows);
+        } else {
+            const nn::Network net = nn::models::buildCnn(job.spec.net);
+            rowsFromCnnRun(net, run, source, rows);
+        }
+    }
+    for (const CustomJob &job : custom) {
+        const rt::NetRun &run = *job.future.get();
+        if (job.model.isRnn())
+            rowsFromRnnRun(job.model.rnn(), run, job.key, rows);
+        else
+            rowsFromCnnRun(job.model.cnn(), run, job.key, rows);
+    }
+    return rows;
+}
+
+// ------------------------------------------------------------------- JSON
+
+std::string
+rowsToJson(const std::vector<Row> &rows, const std::string &policy,
+           const std::string &platform)
+{
+    std::string out;
+    out.reserve(rows.size() * 256 + 128);
+    ObjWriter o(out);
+    o.u64("version", kBundleVersion);
+    o.u64("statsVersion", rt::kSimStatsVersion);
+    o.str("policy", policy);
+    o.str("platform", platform);
+    o.key("rows");
+    out += '[';
+    for (size_t i = 0; i < rows.size(); i++) {
+        if (i)
+            out += ',';
+        const Row &r = rows[i];
+        ObjWriter ro(out);
+        ro.str("family", familyName(r.family));
+        ro.key("features");
+        out += '[';
+        for (int fi = 0; fi < kNumFeatures; fi++) {
+            if (fi)
+                out += ',';
+            json::appendDouble(out, r.feat.v[fi]);
+        }
+        out += ']';
+        ro.key("targets");
+        {
+            ObjWriter to(out);
+            for (int ti = 0; ti < kNumTargets; ti++)
+                to.num(targetName(static_cast<Target>(ti)), r.target[ti]);
+            to.close();
+        }
+        ro.str("source", r.source);
+        ro.close();
+    }
+    out += ']';
+    o.close();
+    return out;
+}
+
+bool
+rowsFromJson(const std::string &text, std::vector<Row> &out,
+             std::string *err)
+{
+    const auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    Reader::Value v;
+    try {
+        v = Reader(text).parse();
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+    if (v.kind != Reader::Value::Kind::Obj)
+        return fail("dataset must be a JSON object");
+    const int stats = static_cast<int>(v.u64Or("statsVersion", 0));
+    if (stats != rt::kSimStatsVersion)
+        return fail("dataset stats version " + std::to_string(stats) +
+                    " != simulator " +
+                    std::to_string(rt::kSimStatsVersion) +
+                    " (re-run the sweep)");
+
+    const Reader::Value *rows = v.find("rows");
+    if (!rows || rows->kind != Reader::Value::Kind::Arr)
+        return fail("dataset is missing its 'rows' array");
+    std::vector<Row> parsed;
+    parsed.reserve(rows->arr.size());
+    for (const Reader::Value &rv : rows->arr) {
+        Row r;
+        if (!familyFromName(rv.strOr("family"), r.family))
+            return fail("unknown family '" + rv.strOr("family") + "'");
+        const Reader::Value *feats = rv.find("features");
+        if (!feats || feats->kind != Reader::Value::Kind::Arr ||
+            feats->arr.size() != size_t(kNumFeatures))
+            return fail("bad feature vector");
+        for (int fi = 0; fi < kNumFeatures; fi++)
+            r.feat.v[fi] = feats->arr[fi].num;
+        const Reader::Value *tgts = rv.find("targets");
+        if (!tgts || tgts->kind != Reader::Value::Kind::Obj)
+            return fail("bad targets object");
+        for (int ti = 0; ti < kNumTargets; ti++)
+            r.target[ti] =
+                tgts->numOr(targetName(static_cast<Target>(ti)));
+        r.source = rv.strOr("source");
+        parsed.push_back(std::move(r));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+} // namespace tango::estimate

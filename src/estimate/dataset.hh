@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Training-set generation for the estimate-tier models (tango-fit).
+ *
+ * A sweep pushes jobs through the existing rt::Engine — the named suite
+ * networks plus randomized single-layer synthetic networks built from
+ * the same launch-hint styles the real models use (Table III: in-thread
+ * channel loop, row blocks, stride loops, grid-tiled planes) — and
+ * flattens each NetRun into per-layer training rows: the layer's
+ * shape-derived feature vector (estimate/model.hh) against the six
+ * statistics the simulator measured for it.  Rows are plain data; the
+ * JSON form exists so a sweep can be archived and refit without
+ * re-simulating.
+ */
+
+#ifndef TANGO_ESTIMATE_DATASET_HH
+#define TANGO_ESTIMATE_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "estimate/model.hh"
+#include "runtime/engine.hh"
+
+namespace tango::estimate {
+
+/** What to sweep for one (policy, platform) training set. */
+struct SweepOptions
+{
+    /** Suite networks to run; empty = every runnable network. */
+    std::vector<std::string> nets;
+    /** Randomized single-layer synthetic networks (shape coverage the
+     *  suite alone does not reach). */
+    uint32_t synthetic = 24;
+    /** Extra RNN cell shapes (hidden-size sweep) per RNN kind. */
+    uint32_t rnnHiddenSweep = 3;
+    /** Sequence length for the sweep's RNN runs.  Short on purpose: a
+     *  cell step's features are identical across timesteps, so extra
+     *  steps add simulation time but no new training information. */
+    uint32_t rnnSeqLen = 8;
+    uint64_t seed = 1;
+};
+
+/**
+ * Run the sweep through @p engine (blocking; jobs are submitted up
+ * front so the worker pool runs them concurrently) and return one Row
+ * per simulated layer with kernels.
+ */
+std::vector<Row> generate(rt::Engine &engine, const SweepOptions &opt,
+                          const std::string &policy,
+                          const std::string &platform);
+
+/** Serialize rows (with their sweep provenance) as a JSON document. */
+std::string rowsToJson(const std::vector<Row> &rows,
+                       const std::string &policy,
+                       const std::string &platform);
+
+/** Parse a rowsToJson() document; fails on malformed JSON or a stats
+ *  version other than the current simulator's. */
+bool rowsFromJson(const std::string &text, std::vector<Row> &out,
+                  std::string *err = nullptr);
+
+} // namespace tango::estimate
+
+#endif // TANGO_ESTIMATE_DATASET_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * tango::estimate — learned per-kernel-family performance models.
+ *
+ * The cycle-level simulator answers one (net, policy, platform) query in
+ * seconds; a serve query budget is microseconds.  This module closes the
+ * gap with per-kernel-family models (conv / fc / pool / norm /
+ * activation / rnn-cell) fit on training rows the simulator itself
+ * produced (estimate/dataset.hh): an exact-shape lookup table covering
+ * every swept shape, backed by small least-squares regressors for
+ * shapes the sweep never saw.  Each maps a layer's shape-derived
+ * feature vector to the six statistics the figures are built from
+ * (cycles, stalls, L1D/L2 misses, DRAM accesses, energy).
+ *
+ * Models are linear in log space — phi = [1, log1p(feature)...] against
+ * log1p(target) — which is the right family for this simulator: every
+ * target is a near-multiplicative function of work (MACs), parallelism
+ * (CTAs x threads) and footprint, and log space keeps a 1e4x dynamic
+ * range across layers fittable by one 9-weight regressor.  Fitting is
+ * ridge-regularized ordinary least squares (tools/tango-fit, offline);
+ * each family model carries the p50/p95 *relative* error it achieved on
+ * a held-out split vs cycle-level truth, and those validated bounds are
+ * what the dispatcher (estimate/estimator.hh) compares against a job's
+ * requested accuracy.
+ *
+ * A Bundle is one (policy, platform) set of family models, serialized as
+ * versioned JSON under weights/estimate/.  Bundles embed the simulator's
+ * kSimStatsVersion: a bundle fit against another statistics revision is
+ * rejected at load, exactly like a stale run-cache spill.
+ */
+
+#ifndef TANGO_ESTIMATE_MODEL_HH
+#define TANGO_ESTIMATE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/network.hh"
+
+namespace tango::estimate {
+
+/** Bundle format version (independent of the stats version it embeds). */
+inline constexpr int kBundleVersion = 1;
+
+// ---------------------------------------------------------------- families
+
+/** Kernel families, one model each.  Every layer kind that lowers to at
+ *  least one kernel maps to exactly one family. */
+enum class Family : uint8_t
+{
+    Conv,         ///< Conv + Depthwise
+    Fc,           ///< FC + the RNN dense readout
+    Pool,
+    Norm,         ///< LRN + BatchNorm + Scale
+    Activation,   ///< ReLU + Eltwise + Softmax
+    RnnCell       ///< GRU / LSTM cell step
+};
+inline constexpr int kNumFamilies = 6;
+
+const char *familyName(Family f);
+bool familyFromName(const std::string &name, Family &out);
+
+/** Map a CNN layer kind to its family.
+ *  @return false for kinds that emit no kernels (Input, Concat). */
+bool layerFamily(nn::LayerKind kind, Family &out);
+
+// ---------------------------------------------------------------- features
+
+/** Feature count (excluding the intercept the model adds itself). */
+inline constexpr int kNumFeatures = 8;
+
+/**
+ * The feature vector of one layer, in RAW (not log) units:
+ *   [0] macs          multiply-accumulates
+ *   [1] outElems      output element count
+ *   [2] inElems       input element count
+ *   [3] params        weight + bias element count
+ *   [4] ctas          total CTAs across the layer's kernels
+ *   [5] threads       threads per CTA
+ *   [6] rs            filter plane R*S (1 when not applicable)
+ *   [7] chanIn        input channels (C, or inN for FC-shaped layers)
+ * Everything is statically known from the layer description and its
+ * launch hint — extraction never touches the simulator.
+ */
+struct Features
+{
+    double v[kNumFeatures] = {0};
+
+    /** Deterministic identity key (exact raw values) used to dedupe
+     *  training rows and to split train/holdout without leakage. */
+    std::string key() const;
+};
+
+/** Features of a CNN layer (kind must map to a family). */
+Features layerFeatures(const nn::Layer &layer);
+
+/** Features of one recurrent cell step (family RnnCell). */
+Features rnnCellFeatures(const nn::RnnModel &model);
+
+/** Features of the RNN dense readout (family Fc). */
+Features rnnReadoutFeatures(const nn::RnnModel &model);
+
+// ----------------------------------------------------------------- targets
+
+/** The statistics each family model predicts. */
+enum class Target : uint8_t
+{
+    Cycles,         ///< kernel gpuCycles
+    Stalls,         ///< sum of all stall.* counters
+    L1dMisses,      ///< mem.l1d.misses
+    L2Misses,       ///< mem.l2.misses
+    DramAccesses,   ///< dram.accesses
+    EnergyJ         ///< kernel energy (joules)
+};
+inline constexpr int kNumTargets = 6;
+
+const char *targetName(Target t);
+
+// ------------------------------------------------------------------ models
+
+/** One fitted regressor: weights over [1, log1p(features)...] plus the
+ *  relative-error bounds it validated on the holdout split. */
+struct TargetModel
+{
+    double w[kNumFeatures + 1] = {0};
+    double p50 = 0.0;   ///< holdout median relative error
+    double p95 = 0.0;   ///< holdout p95 relative error
+};
+
+/** One memorized shape: the log1p-mean of every target over all sweep
+ *  rows that shared this exact feature vector. */
+struct TableEntry
+{
+    Features feat;
+    std::string key;   ///< feat.key(), rebuilt on load (not serialized)
+    double logTarget[kNumTargets] = {0};
+    uint32_t rows = 0;
+};
+
+/**
+ * All targets of one kernel family: an exact-shape lookup table over
+ * every shape the sweep simulated, plus log-space regressors for shapes
+ * it did not.
+ *
+ * The split matters for accuracy: per-kernel cycle cost in this
+ * simulator switches regimes (latency-bound small launches vs
+ * throughput-bound waves of CTAs), which no smooth 8-feature model
+ * captures to a few percent across families.  Shapes the sweep has seen
+ * — in practice every suite-network layer — answer from the table with
+ * only replay/memoization spread as error (tableP50/tableP95); novel
+ * shapes fall to the regressor and carry its (much looser, honestly
+ * holdout-measured) p50/p95 bounds instead.
+ */
+struct FamilyModel
+{
+    bool fitted = false;
+    uint64_t trainRows = 0;
+    uint64_t holdoutRows = 0;   ///< 0 = bounds measured on the train set
+    TargetModel targets[kNumTargets];
+
+    std::vector<TableEntry> table;   ///< sorted by key
+    /** Relative cycle spread of duplicate-shape rows around their table
+     *  entry (0 when every shape was observed once). */
+    double tableP50 = 0.0;
+    double tableP95 = 0.0;
+
+    /** Exact-shape table probe.  @return true with all targets (raw
+     *  units) in @p out on a hit.  Requires fitted. */
+    bool lookup(const Features &f, double out[kNumTargets]) const;
+
+    /** Evaluate one target by regression (ignoring the table); clamped
+     *  to >= 0.  Requires fitted. */
+    double predict(Target t, const Features &f) const;
+};
+
+/** One (policy, platform) set of family models. */
+struct Bundle
+{
+    std::string policy;     ///< named RunPolicy the rows ran under
+    std::string platform;   ///< GP102 | GK210 | TX1
+    FamilyModel families[kNumFamilies];
+
+    const FamilyModel &family(Family f) const
+    {
+        return families[static_cast<int>(f)];
+    }
+    FamilyModel &family(Family f)
+    {
+        return families[static_cast<int>(f)];
+    }
+
+    /** Versioned JSON (kBundleVersion + the simulator's stats version). */
+    std::string toJson() const;
+
+    /** Parse; fails (with @p err) on malformed JSON, a bundle-version
+     *  mismatch, or a stats-version mismatch — a bundle fit against
+     *  another simulator revision predicts the wrong statistics. */
+    static bool fromJson(const std::string &text, Bundle &out,
+                         std::string *err = nullptr);
+
+    /** Canonical bundle file name, e.g. "bench_GP102.json". */
+    static std::string fileName(const std::string &policy,
+                                const std::string &platform);
+};
+
+// ----------------------------------------------------------------- fitting
+
+/** One training row: what the simulator measured for one layer. */
+struct Row
+{
+    Family family = Family::Conv;
+    Features feat;
+    double target[kNumTargets] = {0};
+    std::string source;   ///< provenance: "<cacheKey>:<layer>" (logs only)
+};
+
+/**
+ * Fit every family that has rows.  Rows are grouped by exact feature
+ * vector; groups are split ~80/20 train/holdout by a deterministic hash
+ * of the feature key (identical shapes can never leak across the
+ * split).  Families whose holdout would be empty fit on everything and
+ * report train-set error with holdoutRows = 0.
+ */
+Bundle fit(const std::vector<Row> &rows, const std::string &policy,
+           const std::string &platform);
+
+} // namespace tango::estimate
+
+#endif // TANGO_ESTIMATE_MODEL_HH

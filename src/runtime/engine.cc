@@ -214,6 +214,11 @@ Engine::submitJob(const JobSpec &spec, unsigned maxInFlight, JobFn fn)
     const sim::GpuConfig cfg = job.gpuConfig();
 
     std::unique_lock<std::mutex> lock(mu_);
+    switch (job.tier) {
+      case Tier::Sim:      stats_.tierSim++; break;
+      case Tier::Replay:   stats_.tierReplay++; break;
+      case Tier::Estimate: stats_.tierEstimate++; break;
+    }
     Submitted out;
     auto it = slots_.find(key);
     if (it != slots_.end()) {
@@ -326,6 +331,12 @@ Engine::logCacheStats()
            s.misses == 1 ? "" : "es",
            static_cast<unsigned long long>(s.failures),
            s.failures == 1 ? "" : "s");
+    if (s.tierSim + s.tierReplay + s.tierEstimate > 0) {
+        inform("engine: tiers %llu sim, %llu replay, %llu estimate",
+               static_cast<unsigned long long>(s.tierSim),
+               static_cast<unsigned long long>(s.tierReplay),
+               static_cast<unsigned long long>(s.tierEstimate));
+    }
 }
 
 Engine::CacheStats

@@ -185,6 +185,11 @@ class Engine
         uint64_t diskHits = 0;   ///< recalled from the JSON spill
         uint64_t misses = 0;     ///< actually simulated
         uint64_t failures = 0;   ///< jobs that threw
+        // Per-tier submitJob() counts (JobSpec::tier; all zero when the
+        // engine only saw legacy RunKey / custom-fn traffic).
+        uint64_t tierSim = 0;
+        uint64_t tierReplay = 0;
+        uint64_t tierEstimate = 0;
     };
     CacheStats cacheStats() const;
 

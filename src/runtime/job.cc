@@ -5,6 +5,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "estimate/estimator.hh"
 #include "nn/models/models.hh"
 #include "nn/weights.hh"
 #include "runtime/run_cache.hh"
@@ -105,6 +106,33 @@ inlinePolicyTag(const RunPolicy &p)
 
 } // namespace
 
+// -------------------------------------------------------------------- Tier
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Sim:      return "sim";
+      case Tier::Replay:   return "replay";
+      case Tier::Estimate: return "estimate";
+    }
+    panic("bad tier %d", static_cast<int>(t));
+}
+
+bool
+tierFromName(const std::string &name, Tier &out)
+{
+    if (name == "sim")
+        out = Tier::Sim;
+    else if (name == "replay")
+        out = Tier::Replay;
+    else if (name == "estimate")
+        out = Tier::Estimate;
+    else
+        return false;
+    return true;
+}
+
 // ----------------------------------------------------------------- JobSpec
 
 std::string
@@ -124,6 +152,14 @@ JobSpec::validate() const
     if (seqLen > (1u << 20))
         return "seqLen " + std::to_string(seqLen) + " out of range [0, " +
                std::to_string(1u << 20) + "]";
+    if (tier == Tier::Estimate && (functional || profile))
+        return "estimate-tier jobs cannot be functional or profiled "
+               "(the models predict statistics, not outputs)";
+    if (maxRelErr < 0.0 || maxRelErr > 1.0)
+        return "maxRelErr " + std::to_string(maxRelErr) +
+               " out of range [0, 1]";
+    if (maxRelErr > 0.0 && tier != Tier::Estimate)
+        return "maxRelErr only applies to estimate-tier jobs";
     return "";
 }
 
@@ -134,6 +170,10 @@ JobSpec::resolvedPolicy() const
         hasInlinePolicy ? inlinePolicy : RunPolicy::named(policy);
     p.functional |= functional;
     p.sim.profile |= profile;
+    // Replay tier IS the policy with launch memoization forced on; an
+    // estimate-tier job that falls back to simulation gets the same.
+    if (tier != Tier::Sim)
+        p.sim.memoize = true;
     return p;
 }
 
@@ -180,6 +220,17 @@ JobSpec::cacheKey() const
     const uint32_t k = sim::effectiveShards(resolvedPolicy().sim);
     if (k > 1)
         key += "/k=" + std::to_string(k);
+    // Tiers answer with different fidelity, so they must never share a
+    // cache entry: an estimated NetRun recalled for a sim-tier job would
+    // silently hand model output to a caller who paid for cycle-level
+    // truth.  The default tier stays suffix-free (legacy keys unchanged).
+    if (tier != Tier::Sim)
+        key += std::string("/tier=") + tierName(tier);
+    if (maxRelErr > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "/err=%g", maxRelErr);
+        key += buf;
+    }
     return CacheKey{key};
 }
 
@@ -199,6 +250,10 @@ JobSpec::toJson() const
     o.u64("l1dBytes", l1dBytes);
     o.str("sched", sim::schedName(sched));
     o.u64("seqLen", seqLen);
+    if (tier != Tier::Sim)
+        o.str("tier", tierName(tier));
+    if (maxRelErr > 0.0)
+        o.num("maxRelErr", maxRelErr);
     o.boolean("functional", functional);
     o.boolean("profile", profile);
     o.boolean("trace", trace);
@@ -257,6 +312,13 @@ JobSpec::fromJson(const std::string &text, JobSpec &out, std::string *err)
                         "' (known: gto, lrr, tlv)");
     }
     spec.seqLen = static_cast<uint32_t>(v.u64Or("seqLen", 0));
+    if (const Reader::Value *t = v.find("tier")) {
+        if (t->kind != Reader::Value::Kind::Str ||
+            !tierFromName(t->str, spec.tier))
+            return fail("unknown tier '" + t->str +
+                        "' (known: sim, replay, estimate)");
+    }
+    spec.maxRelErr = v.numOr("maxRelErr", 0.0);
     spec.functional = v.boolOr("functional", false);
     spec.profile = v.boolOr("profile", false);
     spec.trace = v.boolOr("trace", false);
@@ -333,6 +395,15 @@ Runtime::run(const JobSpec &spec)
     const std::string why = spec.validate();
     if (!why.empty())
         fatal("invalid job %s: %s", spec.toJson().c_str(), why.c_str());
+
+    if (spec.tier == Tier::Estimate) {
+        NetRun est;
+        std::string reason;
+        if (estimate::Estimator::global().estimate(spec, est, &reason))
+            return est;
+        inform("estimate tier: %s falling back to simulation (%s)",
+               spec.cacheKey().str.c_str(), reason.c_str());
+    }
 
     const RunPolicy policy = spec.resolvedPolicy();
     nn::AnyModel model = [&] {

@@ -33,6 +33,31 @@
 namespace tango::rt {
 
 /**
+ * Accuracy tier of one job — how much fidelity the caller is paying for.
+ * Higher tiers answer faster by giving up cycle-level guarantees:
+ *  - Sim: full cycle-level simulation (the default; the only tier whose
+ *    results are bit-exact against the golden fixtures).
+ *  - Replay: cycle-level simulation with launch memoization forced on —
+ *    repeated identical launches replay their steady-state statistics.
+ *  - Estimate: no simulation at all; the fitted per-kernel-family models
+ *    (estimate/estimator.hh) answer from layer shapes alone, with the
+ *    bundle's validated error bounds attached.  Falls back to Replay
+ *    semantics when the models cannot honour the request.
+ */
+enum class Tier : uint8_t
+{
+    Sim,
+    Replay,
+    Estimate
+};
+
+/** @return the tier's wire name: "sim" | "replay" | "estimate". */
+const char *tierName(Tier t);
+
+/** Parse a wire name; @return false on an unknown name. */
+bool tierFromName(const std::string &name, Tier &out);
+
+/**
  * The Engine's cache-key form of a job: a canonical, human-readable
  * string (e.g. "alexnet/GP102/l1=64K/gto/bench" or
  * "gru/TX1/l1=off/lrr/exact/seq=512/fn").  Derived exclusively from
@@ -73,6 +98,16 @@ struct JobSpec
     /** RNN sequence length; 0 = the model default
      *  (nn::models::kDefaultRnnSeqLen).  Ignored for CNNs. */
     uint32_t seqLen = 0;
+
+    /** Accuracy tier (see Tier).  The default, Tier::Sim, is elided
+     *  from the cache key and the wire format, so sim-tier jobs key and
+     *  serialize exactly as they did before tiers existed. */
+    Tier tier = Tier::Sim;
+    /** Estimate-tier only: the relative cycle error the caller will
+     *  accept, in (0, 1]; 0 = take whatever the models validated.  A
+     *  bound tighter than the fitted models' holdout p95 makes the job
+     *  fall back to simulation. */
+    double maxRelErr = 0.0;
 
     // Execution flags, folded into the resolved policy.
     bool functional = false;   ///< upload weights, compute real outputs

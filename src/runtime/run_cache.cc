@@ -291,6 +291,9 @@ parseNetRun(const Json::Value &v)
     run.maxResidentWarps =
         static_cast<uint32_t>(v.u64Or("maxResidentWarps"));
     run.checkFailures = v.u64Or("checkFailures");
+    run.estimated = v.u64Or("estimated") != 0;
+    run.estErrP50 = v.numOr("estErrP50");
+    run.estErrP95 = v.numOr("estErrP95");
     if (const auto *layers = v.find("layers")) {
         for (const auto &lv : layers->arr) {
             LayerRun l;
@@ -333,6 +336,14 @@ serializeNetRun(const NetRun &run)
     o.u64("maxLiveRegs", run.maxLiveRegs);
     o.u64("maxResidentWarps", run.maxResidentWarps);
     o.u64("checkFailures", run.checkFailures);
+    // Estimate-tier marker + error bounds; elided entirely for
+    // simulated runs so their serialized form is byte-identical to
+    // what it was before the estimate tier existed.
+    if (run.estimated) {
+        o.u64("estimated", 1);
+        o.num("estErrP50", run.estErrP50);
+        o.num("estErrP95", run.estErrP95);
+    }
     o.key("layers");
     out += '[';
     for (size_t i = 0; i < run.layers.size(); i++) {

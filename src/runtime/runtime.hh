@@ -90,6 +90,14 @@ struct NetRun
     uint32_t maxResidentWarps = 0;   ///< warps/SM at the widest kernel
     uint64_t checkFailures = 0;   ///< mismatches found in check mode
 
+    /** Whether these statistics are model predictions (estimate tier,
+     *  see estimate/estimator.hh) rather than simulation output.  When
+     *  set, estErrP50/estErrP95 carry the fitted models' validated
+     *  relative cycle error bounds (the worst family used). */
+    bool estimated = false;
+    double estErrP50 = 0.0;
+    double estErrP95 = 0.0;
+
     /** Sum a counter over layers whose figType is @p fig. */
     double figTypeStat(const std::string &fig,
                        const std::string &stat) const;

@@ -326,6 +326,11 @@ Server::handleRun(const Request &req)
         case Served::DiskHit: metrics_.servedDisk++; break;
         case Served::Rejected: break;
         }
+        switch (req.job.tier) {
+        case rt::Tier::Sim: metrics_.tierSim++; break;
+        case rt::Tier::Replay: metrics_.tierReplay++; break;
+        case rt::Tier::Estimate: metrics_.tierEstimate++; break;
+        }
     }
 
     try {
@@ -400,6 +405,9 @@ Server::statsJson() const
     o.u64("served_mem", m.servedMem);
     o.u64("served_disk", m.servedDisk);
     o.u64("failures", m.failures);
+    o.u64("tier_sim", m.tierSim);
+    o.u64("tier_replay", m.tierReplay);
+    o.u64("tier_estimate", m.tierEstimate);
     o.u64("cache_mem_hits", cache.memHits);
     o.u64("cache_disk_hits", cache.diskHits);
     o.u64("cache_misses", cache.misses);

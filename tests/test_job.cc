@@ -186,6 +186,122 @@ TEST(Job, InlinePolicyKeysByContent)
     EXPECT_EQ(back.cacheKey().str, a.cacheKey().str);
 }
 
+// ----------------------------------------------------------- accuracy tiers
+
+TEST(Job, TierJsonRoundTrip)
+{
+    JobSpec spec;
+    spec.net = "alexnet";
+    spec.tier = rt::Tier::Estimate;
+    spec.maxRelErr = 0.1;
+
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(spec.toJson(), back, &err)) << err;
+    EXPECT_EQ(back.tier, rt::Tier::Estimate);
+    EXPECT_EQ(back.maxRelErr, 0.1);
+    EXPECT_EQ(back.toJson(), spec.toJson());
+
+    spec.tier = rt::Tier::Replay;
+    spec.maxRelErr = 0.0;
+    ASSERT_TRUE(JobSpec::fromJson(spec.toJson(), back, &err)) << err;
+    EXPECT_EQ(back.tier, rt::Tier::Replay);
+}
+
+TEST(Job, TierDefaultElidedFromJsonAndKey)
+{
+    // A default-tier spec serializes without any tier field, so specs
+    // written before tiers existed parse to byte-identical JSON...
+    JobSpec spec;
+    spec.net = "alexnet";
+    EXPECT_EQ(spec.toJson().find("tier"), std::string::npos);
+    EXPECT_EQ(spec.toJson().find("maxRelErr"), std::string::npos);
+
+    JobSpec legacy;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(
+        R"({"net":"alexnet","policy":"bench","platform":"GP102"})",
+        legacy, &err))
+        << err;
+    EXPECT_EQ(legacy.tier, rt::Tier::Sim);
+    EXPECT_EQ(legacy.toJson(), spec.toJson());
+
+    // ...and sim-tier cache keys are unchanged: serve traffic and the
+    // bench sweeps keep sharing one Engine cache.
+    rt::RunKey key;
+    key.net = "alexnet";
+    EXPECT_EQ(spec.cacheKey().str, key.str());
+
+    // Non-default tiers suffix the key (distinct result spaces).
+    JobSpec est = spec;
+    est.tier = rt::Tier::Estimate;
+    EXPECT_NE(est.cacheKey().str, spec.cacheKey().str);
+    EXPECT_NE(est.cacheKey().str.find("/tier=estimate"),
+              std::string::npos);
+    JobSpec replay = spec;
+    replay.tier = rt::Tier::Replay;
+    EXPECT_NE(replay.cacheKey().str.find("/tier=replay"),
+              std::string::npos);
+    EXPECT_NE(est.cacheKey().str, replay.cacheKey().str);
+
+    // A requested error bound keys separately too: a tighter bound can
+    // change which tier actually serves the job.
+    JobSpec bounded = est;
+    bounded.maxRelErr = 0.05;
+    EXPECT_NE(bounded.cacheKey().str, est.cacheKey().str);
+    EXPECT_NE(bounded.cacheKey().str.find("/err=0.05"),
+              std::string::npos);
+}
+
+TEST(Job, TierUnknownNameRejected)
+{
+    JobSpec out;
+    std::string err;
+    EXPECT_FALSE(JobSpec::fromJson(
+        R"({"net":"alexnet","tier":"quantum"})", out, &err));
+    EXPECT_NE(err.find("unknown tier"), std::string::npos) << err;
+    EXPECT_FALSE(JobSpec::fromJson(
+        R"({"net":"alexnet","tier":3})", out, &err))
+        << "tier must be a string";
+
+    rt::Tier t;
+    EXPECT_TRUE(rt::tierFromName("sim", t));
+    EXPECT_EQ(t, rt::Tier::Sim);
+    EXPECT_TRUE(rt::tierFromName("replay", t));
+    EXPECT_EQ(t, rt::Tier::Replay);
+    EXPECT_TRUE(rt::tierFromName("estimate", t));
+    EXPECT_EQ(t, rt::Tier::Estimate);
+    EXPECT_FALSE(rt::tierFromName("Sim", t));
+    EXPECT_FALSE(rt::tierFromName("", t));
+}
+
+TEST(Job, TierValidate)
+{
+    JobSpec spec;
+    spec.net = "alexnet";
+    spec.tier = rt::Tier::Estimate;
+    EXPECT_EQ(spec.validate(), "");
+
+    // The estimate tier produces statistics, not tensors or profiles.
+    JobSpec fn = spec;
+    fn.functional = true;
+    EXPECT_NE(fn.validate(), "");
+    JobSpec prof = spec;
+    prof.profile = true;
+    EXPECT_NE(prof.validate(), "");
+
+    // maxRelErr is a fraction, and only meaningful for estimates.
+    JobSpec bad = spec;
+    bad.maxRelErr = 1.5;
+    EXPECT_NE(bad.validate(), "");
+    bad.maxRelErr = -0.1;
+    EXPECT_NE(bad.validate(), "");
+    JobSpec simBound;
+    simBound.net = "alexnet";
+    simBound.maxRelErr = 0.1;
+    EXPECT_NE(simBound.validate(), "");
+}
+
 // ------------------------------------------------------------------ validate
 
 TEST(Job, Validate)

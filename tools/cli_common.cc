@@ -96,6 +96,14 @@ makeJobSpec(const std::string &net, const JobSpecArgs &args)
     spec.policy = args.policy;
     spec.platform = args.platform;
     spec.seqLen = args.seqLen;
+    std::string tier = args.tier;
+    if (tier.empty()) {
+        const char *env = std::getenv("TANGO_TIER");
+        tier = env && *env ? lower(env) : "sim";
+    }
+    if (!rt::tierFromName(tier, spec.tier))
+        fatal("unknown tier '%s' (known: sim, replay, estimate)",
+              tier.c_str());
     spec.functional = args.functional;
     spec.profile = args.profile;
     spec.trace = args.trace;

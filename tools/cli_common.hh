@@ -62,6 +62,9 @@ struct JobSpecArgs
     std::string policy = "bench";
     std::string platform = "GP102";
     uint32_t seqLen = 0;       ///< 0 = model default (RNNs only)
+    /** Accuracy tier name ("sim" | "replay" | "estimate"); "" resolves
+     *  the TANGO_TIER environment knob, itself defaulting to "sim". */
+    std::string tier;
     bool functional = false;
     bool profile = false;
     bool trace = false;

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * tango-fit — fits (and validates) the estimate-tier performance models.
+ *
+ * Fit mode (default):
+ *
+ *   tango-fit --out weights/estimate [--policies LIST] [--platforms LIST]
+ *
+ * sweeps the suite networks plus randomized synthetic layers through the
+ * simulation engine (estimate/dataset.hh), fits one model bundle per
+ * (policy, platform) pair (estimate/model.hh) and writes them as
+ * versioned JSON under --out.  --dataset-out archives the raw training
+ * rows; --dataset refits from such an archive without re-simulating.
+ *
+ * Check mode:
+ *
+ *   tango-fit --check --weights DIR --nets alexnet,gru --max-p95 0.15
+ *
+ * loads a fitted bundle and, per network, (a) asserts every kernel
+ * family the network uses validated a holdout p95 relative cycle error
+ * within --max-p95, and (b) simulates ground truth and asserts the
+ * estimate tier ranks the per-figType cycle totals in the same order —
+ * the paper's per-layer-type breakdown (Fig 1) must not be reshuffled
+ * by model error.  Exits nonzero on any violation (CI runs this).
+ *
+ * Sharing TANGO_ENGINE_CACHE between a fit and a later check recalls
+ * the check's ground-truth simulations from the fit's sweep.
+ */
+
+#include <algorithm>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_common.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "estimate/dataset.hh"
+#include "estimate/estimator.hh"
+#include "estimate/model.hh"
+#include "nn/models/models.hh"
+#include "runtime/engine.hh"
+
+namespace {
+
+using namespace tango;
+
+struct Options
+{
+    // Fit mode.
+    std::string outDir;
+    std::string datasetIn;      ///< refit from archived rows
+    std::string datasetOut;     ///< archive swept rows
+    std::vector<std::string> policies = {"bench"};
+    std::vector<std::string> platforms = {"GP102"};
+    estimate::SweepOptions sweep;
+    bool reduced = false;
+
+    // Check mode.
+    bool check = false;
+    std::string weightsDir;
+    std::vector<std::string> nets;   ///< check targets (fit: sweep nets)
+    std::string policy = "bench";
+    std::string platform = "GP102";
+    double maxP95 = 0.15;
+};
+
+void
+usage(FILE *to)
+{
+    std::fprintf(to,
+        "usage: tango-fit --out DIR [options]        (fit)\n"
+        "       tango-fit --check --weights DIR [options]\n"
+        "\n"
+        "fit options:\n"
+        "  --out DIR        write fitted bundles to DIR (required)\n"
+        "  --policies LIST  policies to fit (default: bench)\n"
+        "  --platforms LIST platforms to fit (default: GP102)\n"
+        "  --nets LIST      sweep networks (default: every runnable)\n"
+        "  --synthetic N    randomized single-layer networks (default %u)\n"
+        "  --rnn-sweep N    extra RNN hidden sizes per kind (default %u)\n"
+        "  --seed N         synthetic-shape seed (default 1)\n"
+        "  --reduced        small sweep for CI (fewer nets/synthetics)\n"
+        "  --dataset-out F  also archive the training rows as JSON\n"
+        "  --dataset F      refit from an archived row file (no sweep)\n"
+        "\n"
+        "check options:\n"
+        "  --weights DIR    fitted bundle directory (required)\n"
+        "  --nets LIST      networks to validate (default: alexnet,gru)\n"
+        "  --policy P       bundle policy (default bench)\n"
+        "  --platform P     bundle platform (default GP102)\n"
+        "  --max-p95 X      holdout p95 rel. cycle error bound "
+        "(default 0.15)\n"
+        "\n"
+        "  -h, --help       this message\n",
+        estimate::SweepOptions().synthetic,
+        estimate::SweepOptions().rnnHiddenSweep);
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s expects a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg == "--out") {
+            opt.outDir = value();
+        } else if (arg == "--policies") {
+            opt.policies = splitList(tools::lower(value()));
+        } else if (arg == "--platforms") {
+            opt.platforms = splitList(value());
+            for (const std::string &p : opt.platforms)
+                tools::validatePlatform(p);
+        } else if (arg == "--nets") {
+            opt.nets = splitList(tools::lower(value()));
+        } else if (arg == "--synthetic") {
+            opt.sweep.synthetic = static_cast<uint32_t>(
+                tools::parseUint("--synthetic", value()));
+        } else if (arg == "--rnn-sweep") {
+            opt.sweep.rnnHiddenSweep = static_cast<uint32_t>(
+                tools::parseUint("--rnn-sweep", value()));
+        } else if (arg == "--seed") {
+            opt.sweep.seed = tools::parseUint("--seed", value());
+        } else if (arg == "--reduced") {
+            opt.reduced = true;
+        } else if (arg == "--dataset-out") {
+            opt.datasetOut = value();
+        } else if (arg == "--dataset") {
+            opt.datasetIn = value();
+        } else if (arg == "--check") {
+            opt.check = true;
+        } else if (arg == "--weights") {
+            opt.weightsDir = value();
+        } else if (arg == "--policy") {
+            opt.policy = tools::lower(value());
+        } else if (arg == "--platform") {
+            opt.platform = value();
+            tools::validatePlatform(opt.platform);
+        } else if (arg == "--max-p95") {
+            char *end = nullptr;
+            opt.maxP95 = std::strtod(value().c_str(), &end);
+            if (!end || *end != '\0' || opt.maxP95 <= 0 || opt.maxP95 > 1)
+                fatal("--max-p95 expects a number in (0, 1]");
+        } else {
+            usage(stderr);
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.check) {
+        if (opt.weightsDir.empty())
+            fatal("--check requires --weights DIR");
+        if (opt.nets.empty())
+            opt.nets = {"alexnet", "gru"};
+    } else {
+        if (opt.outDir.empty() && opt.datasetOut.empty())
+            fatal("fit mode requires --out DIR (or --dataset-out F)");
+        if (opt.reduced) {
+            // The CI sweep: enough coverage to fit every family the
+            // check nets use, small enough to run on every push.
+            if (opt.nets.empty())
+                opt.nets = {"cifarnet", "alexnet", "gru", "lstm"};
+            opt.sweep.synthetic = std::min(opt.sweep.synthetic, 16u);
+            opt.sweep.rnnHiddenSweep =
+                std::min(opt.sweep.rnnHiddenSweep, 2u);
+        }
+        opt.sweep.nets = opt.nets;
+    }
+    return opt;
+}
+
+/** mkdir -p: create @p dir and any missing parents. */
+void
+ensureDir(const std::string &dir)
+{
+    std::string prefix;
+    for (size_t i = 0; i <= dir.size(); i++) {
+        if (i < dir.size() && dir[i] != '/')
+            continue;
+        prefix = dir.substr(0, i);
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            fatal("mkdir '%s': %s", prefix.c_str(),
+                  std::strerror(errno));
+    }
+    if (prefix != dir && !dir.empty() &&
+        mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        fatal("mkdir '%s': %s", dir.c_str(), std::strerror(errno));
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path, std::ios::trunc | std::ios::binary);
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    f << text << "\n";
+}
+
+void
+printBundle(const estimate::Bundle &bundle)
+{
+    std::printf("  %-10s %6s %6s %7s   %-17s %s\n", "family", "shapes",
+                "train", "holdout", "table p50 / p95",
+                "regress p50 / p95");
+    for (int fi = 0; fi < estimate::kNumFamilies; fi++) {
+        const auto fam = static_cast<estimate::Family>(fi);
+        const estimate::FamilyModel &fm = bundle.family(fam);
+        if (!fm.fitted) {
+            std::printf("  %-10s (no rows)\n", estimate::familyName(fam));
+            continue;
+        }
+        const estimate::TargetModel &cyc =
+            fm.targets[static_cast<int>(estimate::Target::Cycles)];
+        std::printf("  %-10s %6zu %6llu %7llu   %.3f / %.3f     "
+                    "%.3f / %.3f\n",
+                    estimate::familyName(fam), fm.table.size(),
+                    static_cast<unsigned long long>(fm.trainRows),
+                    static_cast<unsigned long long>(fm.holdoutRows),
+                    fm.tableP50, fm.tableP95, cyc.p50, cyc.p95);
+    }
+}
+
+int
+fitMain(const Options &opt)
+{
+    struct Job
+    {
+        std::string policy, platform;
+        std::vector<estimate::Row> rows;
+    };
+    std::vector<Job> work;
+
+    if (!opt.datasetIn.empty()) {
+        std::ifstream in(opt.datasetIn, std::ios::binary);
+        if (!in)
+            fatal("cannot read '%s'", opt.datasetIn.c_str());
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        Job job;
+        std::string err;
+        // Policy/platform travel inside the archive.
+        json::Reader::Value v;
+        try {
+            v = json::Reader(ss.str()).parse();
+        } catch (const std::exception &e) {
+            fatal("%s: %s", opt.datasetIn.c_str(), e.what());
+        }
+        job.policy = v.strOr("policy");
+        job.platform = v.strOr("platform");
+        if (job.policy.empty() || job.platform.empty())
+            fatal("%s: archive is missing its policy/platform",
+                  opt.datasetIn.c_str());
+        if (!estimate::rowsFromJson(ss.str(), job.rows, &err))
+            fatal("%s: %s", opt.datasetIn.c_str(), err.c_str());
+        work.push_back(std::move(job));
+    } else {
+        rt::Engine &engine = rt::Engine::global();
+        for (const std::string &platform : opt.platforms) {
+            for (const std::string &policy : opt.policies) {
+                Job job;
+                job.policy = policy;
+                job.platform = platform;
+                std::printf("sweeping %s/%s...\n", policy.c_str(),
+                            platform.c_str());
+                job.rows = estimate::generate(engine, opt.sweep, policy,
+                                              platform);
+                std::printf("  %zu training rows\n", job.rows.size());
+                work.push_back(std::move(job));
+            }
+        }
+    }
+
+    if (!opt.outDir.empty())
+        ensureDir(opt.outDir);
+    if (!opt.datasetOut.empty() &&
+        opt.datasetOut.find('/') != std::string::npos)
+        ensureDir(opt.datasetOut.substr(0, opt.datasetOut.rfind('/')));
+
+    for (const Job &job : work) {
+        if (!opt.datasetOut.empty() && opt.datasetIn.empty()) {
+            const std::string path =
+                work.size() == 1
+                    ? opt.datasetOut
+                    : opt.datasetOut + "." + job.policy + "_" +
+                          job.platform;
+            writeFile(path, estimate::rowsToJson(job.rows, job.policy,
+                                                 job.platform));
+            std::printf("wrote %s\n", path.c_str());
+        }
+        const estimate::Bundle bundle =
+            estimate::fit(job.rows, job.policy, job.platform);
+        std::printf("fitted %s/%s:\n", job.policy.c_str(),
+                    job.platform.c_str());
+        printBundle(bundle);
+        if (!opt.outDir.empty()) {
+            const std::string path =
+                opt.outDir + "/" +
+                estimate::Bundle::fileName(job.policy, job.platform);
+            writeFile(path, bundle.toJson());
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+    return 0;
+}
+
+/** Per-figType cycle totals in first-appearance order. */
+std::vector<std::pair<std::string, double>>
+figCycles(const rt::NetRun &run)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const std::string &fig : run.figTypes()) {
+        double cycles = 0.0;
+        for (const rt::LayerRun &lr : run.layers) {
+            if (lr.figType == fig)
+                cycles += lr.gpuCycles();
+        }
+        out.emplace_back(fig, cycles);
+    }
+    return out;
+}
+
+/** FigTypes sorted by descending cycle total (the Fig 1 ranking). */
+std::vector<std::string>
+ranking(const std::vector<std::pair<std::string, double>> &totals)
+{
+    auto sorted = totals;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[fig, cycles] : sorted)
+        out.push_back(fig);
+    return out;
+}
+
+int
+checkMain(const Options &opt)
+{
+    estimate::Estimator estimator(opt.weightsDir);
+    rt::Engine &engine = rt::Engine::global();
+    bool failed = false;
+
+    for (const std::string &net : opt.nets) {
+        tools::JobSpecArgs args;
+        args.policy = opt.policy;
+        args.platform = opt.platform;
+        args.tier = "estimate";
+        rt::JobSpec spec = tools::makeJobSpec(net, args);
+
+        rt::NetRun est;
+        std::string reason;
+        if (!estimator.estimate(spec, est, &reason))
+            fatal("%s: estimate tier refused: %s", net.c_str(),
+                  reason.c_str());
+
+        spec.tier = rt::Tier::Sim;
+        const rt::NetRun &truth = *engine.submitJob(spec).future.get();
+
+        // (a) Measured per-layer relative cycle error vs cycle-level
+        // truth (same config => truth is bit-identical to the golden
+        // fixtures).  Layers match by name.
+        std::vector<double> errs;
+        for (const rt::LayerRun &tl : truth.layers) {
+            if (tl.kernels.empty())
+                continue;
+            for (const rt::LayerRun &el : est.layers) {
+                if (el.name != tl.name)
+                    continue;
+                const double t = tl.gpuCycles();
+                errs.push_back(std::abs(el.gpuCycles() - t) /
+                               std::max(t, 1.0));
+                break;
+            }
+        }
+        std::sort(errs.begin(), errs.end());
+        const auto pct = [&errs](double p) {
+            return errs.empty()
+                       ? 0.0
+                       : errs[std::min(errs.size() - 1,
+                                       size_t(p * double(errs.size() - 1) +
+                                              0.5))];
+        };
+        const double p50 = pct(0.50), p95 = pct(0.95);
+        if (errs.empty() || p95 > opt.maxP95) {
+            std::printf("FAIL %s: per-layer cycle error p50 %.3f p95 "
+                        "%.3f > bound %.3f (%zu layers; validated "
+                        "bound %.3f)\n",
+                        net.c_str(), p50, p95, opt.maxP95, errs.size(),
+                        est.estErrP95);
+            failed = true;
+        } else {
+            std::printf("ok   %s: per-layer cycle error p50 %.3f p95 "
+                        "%.3f <= %.3f (%zu layers; validated bound "
+                        "%.3f)\n",
+                        net.c_str(), p50, p95, opt.maxP95, errs.size(),
+                        est.estErrP95);
+        }
+
+        // (b) The estimate must rank per-figType cycle totals like the
+        // cycle-level truth.
+        const auto estTotals = figCycles(est);
+        const auto truthTotals = figCycles(truth);
+        const auto estRank = ranking(estTotals);
+        const auto truthRank = ranking(truthTotals);
+        if (estRank != truthRank) {
+            std::printf("FAIL %s: estimate reorders the per-figType "
+                        "cycle ranking\n", net.c_str());
+            for (size_t i = 0; i < truthRank.size(); i++) {
+                std::printf("   truth #%zu %-10s estimate #%zu %s\n", i,
+                            truthRank[i].c_str(), i,
+                            i < estRank.size() ? estRank[i].c_str()
+                                               : "?");
+            }
+            failed = true;
+        } else {
+            std::printf("ok   %s: per-figType cycle ranking matches "
+                        "(%zu figTypes)\n",
+                        net.c_str(), truthRank.size());
+        }
+
+        // Informational: whole-net cycle error (not asserted — the
+        // per-family holdout bound is the contract).
+        double estCycles = 0.0, truthCycles = 0.0;
+        for (const auto &[fig, c] : estTotals)
+            estCycles += c;
+        for (const auto &[fig, c] : truthTotals)
+            truthCycles += c;
+        const double rel =
+            std::abs(estCycles - truthCycles) /
+            std::max(truthCycles, 1.0);
+        std::printf("     %s: total cycles est %.3e truth %.3e "
+                    "(rel err %.3f)\n",
+                    net.c_str(), estCycles, truthCycles, rel);
+    }
+    if (failed)
+        fatal("tango-fit --check failed");
+    std::printf("check passed\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    return opt.check ? checkMain(opt) : fitMain(opt);
+}

@@ -47,6 +47,7 @@ struct Options
     unsigned requests = 50;     ///< per connection, warm phase
     std::vector<std::string> nets;
     std::vector<std::string> policies = {"bench"};
+    std::vector<std::string> tiers = {"sim"};
     std::string platform = "GP102";
     uint64_t seed = 1;
     bool skipCold = false;
@@ -66,6 +67,8 @@ usage(FILE *to)
         "  --requests M     warm requests per connection (default 50)\n"
         "  --nets LIST      comma list of networks (default: all seven)\n"
         "  --policies LIST  comma list of policies (default: bench)\n"
+        "  --tier LIST      comma list of accuracy tiers to mix into the\n"
+        "                   job list: sim | replay | estimate (default: sim)\n"
         "  --platform P     GP102 | GK210 | TX1 (default GP102)\n"
         "  --seed N         zipf sampling seed (default 1)\n"
         "  --skip-cold      skip the cold phase (server already warm)\n"
@@ -122,6 +125,8 @@ parseArgs(int argc, char **argv)
             opt.nets = splitList(value());
         } else if (arg == "--policies") {
             opt.policies = splitList(value());
+        } else if (arg == "--tier") {
+            opt.tiers = splitList(value());
         } else if (arg == "--platform") {
             opt.platform = value();
             tools::validatePlatform(opt.platform);
@@ -144,6 +149,14 @@ parseArgs(int argc, char **argv)
         opt.nets = nn::models::allNames();
     if (opt.policies.empty())
         fatal("--policies selected nothing");
+    if (opt.tiers.empty())
+        fatal("--tier selected nothing");
+    for (const std::string &tier : opt.tiers) {
+        rt::Tier t;
+        if (!rt::tierFromName(tier, t))
+            fatal("unknown tier '%s' (known: sim, replay, estimate)",
+                  tier.c_str());
+    }
     return opt;
 }
 
@@ -179,6 +192,8 @@ struct WarmShard
     unsigned ok = 0;
     unsigned rejected = 0;
     std::vector<double> latenciesMs;
+    std::vector<size_t> tierIdx;   ///< per request, parallel to latenciesMs
+    std::vector<bool> okFlags;     ///< per request, parallel to latenciesMs
     std::string error;   ///< transport failure, if any
 };
 
@@ -200,18 +215,35 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
-    // The job list: nets x policies, in rank order for the zipf draw.
+    // The job list: nets x policies x tiers, in rank order for the zipf
+    // draw (tier varies fastest, so the head of the zipf still spans
+    // every tier when several are mixed).
     std::vector<rt::JobSpec> jobs;
+    std::vector<size_t> jobTier;   ///< index into opt.tiers, per job
     for (const std::string &net : opt.nets) {
         for (const std::string &policy : opt.policies) {
-            tools::JobSpecArgs args;
-            args.policy = policy;
-            args.platform = opt.platform;
-            jobs.push_back(tools::makeJobSpec(net, args));
+            for (size_t t = 0; t < opt.tiers.size(); t++) {
+                tools::JobSpecArgs args;
+                args.policy = policy;
+                args.platform = opt.platform;
+                args.tier = opt.tiers[t];
+                jobs.push_back(tools::makeJobSpec(net, args));
+                jobTier.push_back(t);
+            }
         }
     }
 
     // ---------------------------------------------------------- cold
+    struct TierAgg
+    {
+        unsigned coldOk = 0;
+        double coldSec = 0.0;
+        unsigned warmCount = 0;
+        unsigned warmOk = 0;
+        std::vector<double> warmLatMs;
+    };
+    std::vector<TierAgg> tierAgg(opt.tiers.size());
+
     double coldSec = 0.0;
     unsigned coldOk = 0;
     if (!opt.skipCold) {
@@ -220,16 +252,23 @@ main(int argc, char **argv)
         if (!client.connect(opt.host, opt.port, &err))
             fatal("tango-load: %s", err.c_str());
         const auto t0 = Clock::now();
-        for (const rt::JobSpec &job : jobs) {
+        for (size_t j = 0; j < jobs.size(); j++) {
+            const rt::JobSpec &job = jobs[j];
             rt::JobResult res;
+            const auto c0 = Clock::now();
             if (!client.run(job, res, &err))
                 fatal("tango-load: cold %s: %s",
                       job.cacheKey().str.c_str(), err.c_str());
-            if (res.ok)
+            TierAgg &agg = tierAgg[jobTier[j]];
+            agg.coldSec +=
+                std::chrono::duration<double>(Clock::now() - c0).count();
+            if (res.ok) {
                 coldOk++;
-            else
+                agg.coldOk++;
+            } else {
                 warn("cold %s: %s", job.cacheKey().str.c_str(),
                      res.error.c_str());
+            }
         }
         coldSec = std::chrono::duration<double>(Clock::now() - t0).count();
         std::printf("cold:  %u/%zu jobs in %.3fs  (%.2f QPS)\n", coldOk,
@@ -253,7 +292,8 @@ main(int argc, char **argv)
             }
             Rng rng(opt.seed + t * 0x9e3779b9ULL);
             for (unsigned i = 0; i < opt.requests; i++) {
-                const rt::JobSpec &job = jobs[zipf.sample(rng)];
+                const size_t pick = zipf.sample(rng);
+                const rt::JobSpec &job = jobs[pick];
                 rt::JobResult res;
                 const auto r0 = Clock::now();
                 if (!client.run(job, res, &err)) {
@@ -265,6 +305,8 @@ main(int argc, char **argv)
                     std::chrono::duration<double, std::milli>(
                         Clock::now() - r0)
                         .count());
+                shard.tierIdx.push_back(jobTier[pick]);
+                shard.okFlags.push_back(res.ok);
                 if (res.ok)
                     shard.ok++;
                 else
@@ -287,6 +329,13 @@ main(int argc, char **argv)
         warmRejected += s.rejected;
         latencies.insert(latencies.end(), s.latenciesMs.begin(),
                          s.latenciesMs.end());
+        for (size_t i = 0; i < s.tierIdx.size(); i++) {
+            TierAgg &agg = tierAgg[s.tierIdx[i]];
+            agg.warmCount++;
+            if (s.okFlags[i])
+                agg.warmOk++;
+            agg.warmLatMs.push_back(s.latenciesMs[i]);
+        }
     }
     std::sort(latencies.begin(), latencies.end());
     const double warmQps = warmSec > 0 ? double(warmSent) / warmSec : 0.0;
@@ -296,6 +345,17 @@ main(int argc, char **argv)
                 "%.3fs  (%.1f QPS, p50 %.3fms, p99 %.3fms)\n",
                 warmSent, warmOk, warmRejected, opt.conns, warmSec,
                 warmQps, p50, p99);
+    if (opt.tiers.size() > 1) {
+        for (size_t t = 0; t < opt.tiers.size(); t++) {
+            TierAgg &agg = tierAgg[t];
+            std::sort(agg.warmLatMs.begin(), agg.warmLatMs.end());
+            std::printf("  tier %-8s warm %u ok/%u  p50 %.3fms  "
+                        "p99 %.3fms\n",
+                        opt.tiers[t].c_str(), agg.warmOk, agg.warmCount,
+                        percentileSorted(agg.warmLatMs, 0.50),
+                        percentileSorted(agg.warmLatMs, 0.99));
+        }
+    }
 
     // Final server-side view (dedup/hit counters live there).
     std::string statsJson;
@@ -336,6 +396,50 @@ main(int argc, char **argv)
         if (!opt.skipCold && coldSec > 0) {
             o.num("warm_over_cold_qps",
                   coldOk ? warmQps / (double(coldOk) / coldSec) : 0.0);
+        }
+        // Per-tier cold/warm breakdown, side by side.  Always present
+        // (even for the default single-tier run) so downstream guards
+        // can read one shape.
+        o.key("tiers");
+        {
+            std::string &t_out = out;
+            t_out += '{';
+            for (size_t t = 0; t < opt.tiers.size(); t++) {
+                if (t)
+                    t_out += ',';
+                json::appendEscaped(t_out, opt.tiers[t]);
+                t_out += ':';
+                TierAgg &agg = tierAgg[t];
+                std::sort(agg.warmLatMs.begin(), agg.warmLatMs.end());
+                json::ObjWriter to(t_out);
+                to.key("cold");
+                {
+                    json::ObjWriter c(t_out);
+                    c.boolean("skipped", opt.skipCold);
+                    c.u64("ok", agg.coldOk);
+                    c.num("seconds", agg.coldSec);
+                    c.num("qps", agg.coldSec > 0
+                                     ? double(agg.coldOk) / agg.coldSec
+                                     : 0.0);
+                    c.close();
+                }
+                to.key("warm");
+                {
+                    json::ObjWriter w(t_out);
+                    w.u64("requests", agg.warmCount);
+                    w.u64("ok", agg.warmOk);
+                    w.num("qps", warmSec > 0
+                                     ? double(agg.warmCount) / warmSec
+                                     : 0.0);
+                    w.num("p50_ms",
+                          percentileSorted(agg.warmLatMs, 0.50));
+                    w.num("p99_ms",
+                          percentileSorted(agg.warmLatMs, 0.99));
+                    w.close();
+                }
+                to.close();
+            }
+            t_out += '}';
         }
         if (!statsJson.empty()) {
             o.key("server_stats");

@@ -50,6 +50,8 @@ usage(FILE *to)
         "  --seq-len N      RNN sequence length (default %u; ignored for\n"
         "                   CNNs)\n"
         "  --platform P     GP102 | GK210 | TX1 (default GP102)\n"
+        "  --tier T         accuracy tier: sim | replay | estimate\n"
+        "                   (default $TANGO_TIER, else sim)\n"
         "  --functional     upload weights and compute real outputs\n"
         "  -h, --help       this message\n"
         "\n"
@@ -81,6 +83,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--platform") {
             opt.args.platform = value();
             tools::validatePlatform(opt.args.platform);
+        } else if (arg == "--tier") {
+            opt.args.tier = tools::lower(value());
         } else if (arg == "--functional") {
             opt.args.functional = true;
         } else if (!arg.empty() && arg[0] == '-') {
