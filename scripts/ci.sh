@@ -65,7 +65,7 @@ echo "top conv-layer label: $convtop"
 rm -rf "$profdir"
 
 if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
-    echo "=== tango-serve: in-flight dedup, cache hits, graceful drain ==="
+    echo "=== tango-serve: dedup, cache hits, metrics scrape, drain ==="
     servedir=$(mktemp -d)
     build/tools/tango-serve --port 0 --port-file "$servedir/port" &
     serve_pid=$!
@@ -87,6 +87,39 @@ assert stats["failures"] == 0, stats
 print("serve: %d jobs simulated once, %d warm hits (hit rate %.3f)"
       % (stats["cache_misses"], stats["cache_mem_hits"],
          stats["cache_hit_rate"]))
+EOF
+    # Scrape the live metrics frame (tango-top --raw = one Prometheus
+    # scrape) and assert it agrees with itself and the stats endpoint.
+    build/tools/tango-top --raw --port "$(cat "$servedir/port")" \
+        > "$servedir/metrics.prom"
+    python3 - "$servedir/metrics.prom" "$servedir/load.json" <<'EOF'
+import json, sys
+series = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name_labels, value = line.rsplit(" ", 1)
+    series[name_labels] = float(value)
+
+def total(family):
+    return sum(v for k, v in series.items()
+               if k == family or k.startswith(family + "{"))
+
+served = total("tango_serve_served_total")
+tiers = total("tango_serve_tier_total")
+assert served == tiers > 0, (served, tiers)
+rejects = total("tango_serve_rejects_total")
+stats = json.load(open(sys.argv[2]))["server_stats"]
+assert rejects == stats["rejected_queue_full"] + stats["rejected_draining"], \
+    (rejects, stats)
+assert served == (stats["served_sim"] + stats["served_join"] +
+                  stats["served_mem"] + stats["served_disk"]), (served, stats)
+depth = series.get("tango_engine_inflight_sims", -1)
+assert depth == 0, "queue depth %r after drain" % depth
+assert total("tango_serve_latency_us_count") == served, series
+print("metrics scrape: %d served == tier sum, %d rejects, queue drained"
+      % (served, rejects))
 EOF
     # SIGTERM must drain gracefully and exit 0 (set -e enforces it).
     kill -TERM "$serve_pid"

@@ -44,9 +44,10 @@ class ObjWriter
         if (!first_)
             out_ += ',';
         first_ = false;
-        out_ += '"';
-        out_ += name;
-        out_ += "\":";
+        // Escape: keys are usually literals, but metric series ids
+        // carry quoted label values (name{k="v"}).
+        appendEscaped(out_, name);
+        out_ += ':';
     }
     void num(const char *name, double v) { key(name); appendDouble(out_, v); }
     void u64(const char *name, uint64_t v) { key(name); appendU64(out_, v); }

@@ -2,27 +2,92 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#include "common/json.hh"
 
 namespace tango {
 
 namespace {
 bool verboseFlag = true;
 
-void
-vreport(const char *tag, const char *fmt, va_list ap)
+/** printf the varargs into a std::string (any length). */
+std::string
+vformat(const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    va_list ap2;
+    va_copy(ap2, ap);
+    char stack[256];
+    const int n = std::vsnprintf(stack, sizeof stack, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;   // formatting failed; the raw format beats nothing
+    }
+    if (static_cast<size_t>(n) < sizeof stack) {
+        va_end(ap2);
+        return std::string(stack, static_cast<size_t>(n));
+    }
+    std::vector<char> heap(static_cast<size_t>(n) + 1);
+    std::vsnprintf(heap.data(), heap.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(heap.data(), static_cast<size_t>(n));
+}
+
+void
+vreport(FILE *to, const char *tag, const char *fmt, va_list ap)
+{
+    const std::string line = logLine(tag, vformat(fmt, ap));
+    std::fprintf(to, "%s\n", line.c_str());
 }
 } // namespace
+
+std::string
+logTimestampUtc()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_REALTIME, &ts);
+    tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+    char buf[40];
+    const size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+    std::snprintf(buf + n, sizeof buf - n, ".%03ldZ",
+                  ts.tv_nsec / 1000000);
+    return buf;
+}
+
+bool
+logJsonMode()
+{
+    // Read per call (not cached): cheap, lets tests flip the knob, and
+    // never calls back into fatal() the way strict env parsing would.
+    const char *e = std::getenv("TANGO_LOG_JSON");
+    return e && std::strcmp(e, "1") == 0;
+}
+
+std::string
+logLine(const char *tag, const std::string &msg)
+{
+    const std::string ts = logTimestampUtc();
+    if (!logJsonMode())
+        return "[" + ts + "] " + tag + ": " + msg;
+    std::string out = "{\"ts\":";
+    json::appendEscaped(out, ts);
+    out += ",\"level\":";
+    json::appendEscaped(out, tag);
+    out += ",\"msg\":";
+    json::appendEscaped(out, msg);
+    out += '}';
+    return out;
+}
 
 void
 fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("fatal", fmt, ap);
+    vreport(stderr, "fatal", fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -32,7 +97,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("panic", fmt, ap);
+    vreport(stderr, "panic", fmt, ap);
     va_end(ap);
     std::abort();
 }
@@ -42,7 +107,7 @@ warn(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    vreport(stderr, "warn", fmt, ap);
     va_end(ap);
 }
 
@@ -53,9 +118,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    std::fprintf(stdout, "info: ");
-    std::vfprintf(stdout, fmt, ap);
-    std::fprintf(stdout, "\n");
+    vreport(stdout, "info", fmt, ap);
     va_end(ap);
 }
 

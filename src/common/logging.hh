@@ -8,6 +8,15 @@
  *            Aborts so a core dump / debugger can catch it.
  * warn()   — something is suspicious but the run continues.
  * inform() — plain status output.
+ *
+ * Every line carries a UTC timestamp:
+ *
+ *   [2026-08-09T12:00:00.123Z] warn: message
+ *
+ * and TANGO_LOG_JSON=1 switches all four to one JSON object per line
+ * ({"ts":...,"level":...,"msg":...}) for log shippers.  The knob is
+ * read per message, deliberately NOT through the strict env parser:
+ * logging must never fatal() from inside logging.
  */
 
 #ifndef TANGO_COMMON_LOGGING_HH
@@ -29,6 +38,17 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** @return "YYYY-MM-DDTHH:MM:SS.mmmZ" — the wall clock, UTC. */
+std::string logTimestampUtc();
+
+/** @return whether TANGO_LOG_JSON=1 (read per call). */
+bool logJsonMode();
+
+/** Format one finished log line (no trailing newline) for level @p tag:
+ *  the timestamped plain form, or a JSON object under TANGO_LOG_JSON=1.
+ *  Exposed for tests; fatal()/warn()/inform() route through it. */
+std::string logLine(const char *tag, const std::string &msg);
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 #include "nn/models/models.hh"
 
 #ifndef TANGO_DEFAULT_ESTIMATE_WEIGHTS
@@ -115,20 +116,32 @@ bool
 Estimator::estimate(const rt::JobSpec &spec, rt::NetRun &run,
                     std::string *reason)
 {
-    const auto fall = [&](const std::string &why) {
+    // Answered vs fell-back-and-why, scrapeable live: the fallback mix
+    // is the first thing to look at when the estimate tier stops
+    // holding its <1ms promise (a missing bundle turns every request
+    // into a full simulation).
+    const auto fallCounter = [](const char *slug) -> metrics::Counter & {
+        return metrics::counter("tango_estimate_fallbacks_total",
+                                "Estimate-tier jobs that fell back to "
+                                "simulation, by reason",
+                                {{"reason", slug}});
+    };
+    const auto fall = [&](const char *slug, const std::string &why) {
+        fallCounter(slug).inc();
         if (reason)
             *reason = why;
         return false;
     };
     if (spec.hasInlinePolicy)
-        return fall("inline policies have no fitted bundle");
+        return fall("inline_policy", "inline policies have no fitted bundle");
     if (spec.functional || spec.profile)
-        return fall("functional/profile runs need the simulator");
+        return fall("needs_simulator",
+                    "functional/profile runs need the simulator");
 
     std::lock_guard<std::mutex> lock(mu_);
     const Entry &entry = load(spec.policy, spec.platform);
     if (!entry.bundle)
-        return fall(entry.error);
+        return fall("no_bundle", entry.error);
     const Bundle &bundle = *entry.bundle;
 
     // Collect (family, features, name-parts) per layer first so an
@@ -193,8 +206,9 @@ Estimator::estimate(const rt::JobSpec &spec, rt::NetRun &run,
     for (Pending &p : pending) {
         const FamilyModel &fm = bundle.family(p.family);
         if (!fm.fitted)
-            return fall(std::string("no fitted model for family ") +
-                        familyName(p.family));
+            return fall("unfitted_family",
+                        std::string("no fitted model for family ") +
+                            familyName(p.family));
         double layerP50, layerP95;
         if (fm.lookup(p.feat, p.targets)) {
             layerP50 = fm.tableP50;
@@ -215,7 +229,7 @@ Estimator::estimate(const rt::JobSpec &spec, rt::NetRun &run,
                           "exceeds requested bound %.3f",
                           p.name.c_str(), familyName(p.family), layerP95,
                           spec.maxRelErr);
-            return fall(buf);
+            return fall("bound_exceeded", buf);
         }
         p50 = std::max(p50, layerP50);
         p95 = std::max(p95, layerP95);
@@ -239,6 +253,11 @@ Estimator::estimate(const rt::JobSpec &spec, rt::NetRun &run,
     run.estimated = true;
     run.estErrP50 = p50;
     run.estErrP95 = p95;
+    static metrics::Counter &answers =
+        metrics::counter("tango_estimate_answers_total",
+                         "Estimate-tier jobs answered from fitted "
+                         "bundles (no simulation)");
+    answers.inc();
     return true;
 }
 

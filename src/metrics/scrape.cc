@@ -1,0 +1,165 @@
+#include "metrics/scrape.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace tango::metrics {
+
+std::string
+Sample::label(const std::string &key) const
+{
+    for (const auto &[k, v] : labels) {
+        if (k == key)
+            return v;
+    }
+    return std::string();
+}
+
+namespace {
+
+bool
+parseLine(const std::string &line, Sample &out, std::string *err)
+{
+    const auto fail = [&](const char *why) {
+        if (err)
+            *err = std::string(why) + ": '" + line + "'";
+        return false;
+    };
+
+    size_t pos = 0;
+    const auto nameEnd = line.find_first_of("{ \t", pos);
+    if (nameEnd == std::string::npos || nameEnd == 0)
+        return fail("missing sample name");
+    Sample s;
+    s.name = line.substr(0, nameEnd);
+    pos = nameEnd;
+
+    if (line[pos] == '{') {
+        pos++;
+        while (pos < line.size() && line[pos] != '}') {
+            const size_t eq = line.find('=', pos);
+            if (eq == std::string::npos || line.size() <= eq + 1 ||
+                line[eq + 1] != '"')
+                return fail("malformed label");
+            std::string key = line.substr(pos, eq - pos);
+            std::string value;
+            size_t i = eq + 2;
+            for (; i < line.size() && line[i] != '"'; i++) {
+                char c = line[i];
+                if (c == '\\' && i + 1 < line.size())
+                    c = line[++i];
+                value += c;
+            }
+            if (i >= line.size())
+                return fail("unterminated label value");
+            s.labels.emplace_back(std::move(key), std::move(value));
+            pos = i + 1;
+            if (pos < line.size() && line[pos] == ',')
+                pos++;
+        }
+        if (pos >= line.size() || line[pos] != '}')
+            return fail("unterminated label set");
+        pos++;
+    }
+
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t'))
+        pos++;
+    if (pos >= line.size())
+        return fail("missing sample value");
+    char *end = nullptr;
+    const std::string value = line.substr(pos);
+    if (value == "+Inf") {
+        s.value = std::numeric_limits<double>::infinity();
+    } else {
+        s.value = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || (end && *end != '\0'))
+            return fail("malformed sample value");
+    }
+    out = std::move(s);
+    return true;
+}
+
+} // namespace
+
+bool
+Scrape::parse(const std::string &text, Scrape &out, std::string *err)
+{
+    Scrape scr;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        Sample s;
+        if (!parseLine(line, s, err))
+            return false;
+        scr.samples_.push_back(std::move(s));
+    }
+    out = std::move(scr);
+    return true;
+}
+
+double
+Scrape::sum(const std::string &name) const
+{
+    double total = 0.0;
+    for (const Sample &s : samples_) {
+        if (s.name == name)
+            total += s.value;
+    }
+    return total;
+}
+
+const Sample *
+Scrape::find(const std::string &name, const std::string &key,
+             const std::string &value) const
+{
+    for (const Sample &s : samples_) {
+        if (s.name != name)
+            continue;
+        if (key.empty() || s.label(key) == value)
+            return &s;
+    }
+    return nullptr;
+}
+
+bool
+Scrape::histogram(const std::string &name, HistogramSnapshot &out) const
+{
+    // Cumulative buckets back to per-bucket counts: samples arrive in
+    // ascending-le order (renderPrometheus emits them that way), each
+    // le being the exact upper bound of its source bucket.
+    HistogramSnapshot s;
+    s.buckets.assign(Buckets::kCount, 0);
+    bool any = false;
+    double prevCum = 0.0;
+    for (const Sample &sample : samples_) {
+        if (sample.name == name + "_sum") {
+            s.sum = static_cast<uint64_t>(sample.value);
+            continue;
+        }
+        if (sample.name != name + "_bucket")
+            continue;
+        const std::string le = sample.label("le");
+        if (le == "+Inf")
+            continue;   // equals _count; per-bucket info already seen
+        any = true;
+        const uint64_t upper =
+            std::strtoull(le.c_str(), nullptr, 10);
+        const uint64_t delta =
+            static_cast<uint64_t>(sample.value - prevCum);
+        s.buckets[Buckets::index(upper)] += delta;
+        prevCum = sample.value;
+    }
+    if (!any)
+        return false;
+    out = std::move(s);
+    return true;
+}
+
+} // namespace tango::metrics

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prometheus text-format parsing — the read side of metrics.hh.
+ *
+ * tango-top polls the serve protocol's "metrics" frame, tango-load
+ * embeds the final scrape into BENCH_serve.json, and test_metrics
+ * round-trips renderPrometheus() through this parser.  Only the subset
+ * renderPrometheus() emits is supported: `name value` and
+ * `name{k="v",...} value` sample lines, `#` comment lines skipped.
+ */
+
+#ifndef TANGO_METRICS_SCRAPE_HH
+#define TANGO_METRICS_SCRAPE_HH
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hh"
+
+namespace tango::metrics {
+
+/** One parsed sample line. */
+struct Sample
+{
+    std::string name;     ///< family name (includes _bucket/_sum/_count)
+    Labels labels;        ///< in line order
+    double value = 0.0;
+
+    /** Value of label @p key, or "" when absent. */
+    std::string label(const std::string &key) const;
+};
+
+/** A parsed scrape with the lookups the consumers need. */
+class Scrape
+{
+  public:
+    /** Parse @p text.  @return false with @p err on a malformed line. */
+    static bool parse(const std::string &text, Scrape &out,
+                      std::string *err = nullptr);
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Sum of every sample of family @p name (0 when absent). */
+    double sum(const std::string &name) const;
+
+    /** The one sample of @p name whose labels include key=value, or
+     *  nullptr.  Empty @p key matches an unlabeled sample. */
+    const Sample *find(const std::string &name, const std::string &key = "",
+                       const std::string &value = "") const;
+
+    /** Rebuild family @p name's histogram from its cumulative
+     *  `_bucket{le=...}` samples (le values must be exact bucket upper
+     *  bounds, which is what renderPrometheus emits).  @return false
+     *  when the family has no buckets. */
+    bool histogram(const std::string &name, HistogramSnapshot &out) const;
+
+  private:
+    std::vector<Sample> samples_;
+};
+
+} // namespace tango::metrics
+
+#endif // TANGO_METRICS_SCRAPE_HH

@@ -1,17 +1,63 @@
 #include "runtime/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 #include <tuple>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 #include "runtime/run_cache.hh"
 #include "sim/gpu.hh"
 #include "sim/shard.hh"
 
 namespace tango::rt {
+
+namespace {
+
+/** Process-wide engine instruments (see metrics.hh).  Every Engine in
+ *  the process feeds the same series — counters are monotonic across
+ *  engines and the in-flight gauge moves by deltas, so the composition
+ *  stays coherent; per-engine exact counts remain in CacheStats. */
+struct EngineMetrics
+{
+    metrics::Counter &memHits, &diskHits, &misses, &failures;
+    metrics::Counter &tierSim, &tierReplay, &tierEstimate;
+    metrics::Gauge &inflight;
+    metrics::Histogram &simWallUs;
+
+    static EngineMetrics &get()
+    {
+        static constexpr const char *kCache = "tango_engine_cache_total";
+        static constexpr const char *kCacheHelp =
+            "Engine cache lookups by result";
+        static constexpr const char *kJobs = "tango_engine_jobs_total";
+        static constexpr const char *kJobsHelp =
+            "Engine submitJob() calls by requested accuracy tier";
+        static EngineMetrics m{
+            metrics::counter(kCache, kCacheHelp, {{"result", "mem_hit"}}),
+            metrics::counter(kCache, kCacheHelp, {{"result", "disk_hit"}}),
+            metrics::counter(kCache, kCacheHelp, {{"result", "miss"}}),
+            metrics::counter("tango_engine_failures_total",
+                             "Simulations that threw (evicted so a "
+                             "retry re-simulates)"),
+            metrics::counter(kJobs, kJobsHelp, {{"tier", "sim"}}),
+            metrics::counter(kJobs, kJobsHelp, {{"tier", "replay"}}),
+            metrics::counter(kJobs, kJobsHelp, {{"tier", "estimate"}}),
+            metrics::gauge("tango_engine_inflight_sims",
+                           "Simulations submitted and not yet finished "
+                           "(the admission queue depth)"),
+            metrics::histogram("tango_engine_sim_wall_us",
+                               "Per-job simulation wall time in "
+                               "microseconds (cache hits excluded)"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 // ------------------------------------------------------------------ RunKey
 
@@ -128,8 +174,15 @@ Engine::workerGpu(const sim::GpuConfig &cfg)
 void
 Engine::execute(const std::shared_ptr<Slot> &slot)
 {
+    EngineMetrics &em = EngineMetrics::get();
     try {
+        const auto t0 = std::chrono::steady_clock::now();
         NetRun run = slot->fn(workerGpu(slot->cfg));
+        em.simWallUs.observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        em.inflight.sub();
         std::unique_lock<std::mutex> lock(mu_);
         slot->fn = nullptr;
         slot->result = std::make_unique<NetRun>(std::move(run));
@@ -137,6 +190,8 @@ Engine::execute(const std::shared_ptr<Slot> &slot)
         inflight_--;
         slot->promise.set_value(slot->result.get());
     } catch (...) {
+        em.failures.inc();
+        em.inflight.sub();
         std::unique_lock<std::mutex> lock(mu_);
         slot->fn = nullptr;
         stats_.failures++;
@@ -155,6 +210,7 @@ Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
     auto it = slots_.find(key);
     if (it != slots_.end()) {
         stats_.memHits++;
+        EngineMetrics::get().memHits.inc();
         return it->second->future;
     }
 
@@ -167,6 +223,7 @@ Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
     if (disk != disk_.end()) {
         // Recalled from the JSON spill: resolve immediately.
         stats_.diskHits++;
+        EngineMetrics::get().diskHits.inc();
         slot->result = std::make_unique<NetRun>(std::move(disk->second));
         disk_.erase(disk);
         slot->promise.set_value(slot->result.get());
@@ -177,6 +234,8 @@ Engine::submitLocked(const std::string &key, const sim::GpuConfig &cfg,
 
     stats_.misses++;
     inflight_++;
+    EngineMetrics::get().misses.inc();
+    EngineMetrics::get().inflight.add();
     slot->fn = std::move(fn);
     slots_.emplace(key, slot);
     pool_.submit([this, slot] { execute(slot); });
@@ -213,16 +272,21 @@ Engine::submitJob(const JobSpec &spec, unsigned maxInFlight, JobFn fn)
     const std::string key = job.cacheKey().str;
     const sim::GpuConfig cfg = job.gpuConfig();
 
+    EngineMetrics &em = EngineMetrics::get();
     std::unique_lock<std::mutex> lock(mu_);
     switch (job.tier) {
-      case Tier::Sim:      stats_.tierSim++; break;
-      case Tier::Replay:   stats_.tierReplay++; break;
-      case Tier::Estimate: stats_.tierEstimate++; break;
+      case Tier::Sim:      stats_.tierSim++; em.tierSim.inc(); break;
+      case Tier::Replay:   stats_.tierReplay++; em.tierReplay.inc(); break;
+      case Tier::Estimate:
+        stats_.tierEstimate++;
+        em.tierEstimate.inc();
+        break;
     }
     Submitted out;
     auto it = slots_.find(key);
     if (it != slots_.end()) {
         stats_.memHits++;
+        em.memHits.inc();
         out.served = it->second->result ? Submitted::Served::MemHit
                                         : Submitted::Served::Joined;
         out.future = it->second->future;

@@ -116,6 +116,12 @@ makeStatsRequest()
 }
 
 std::string
+makeMetricsRequest()
+{
+    return "{\"type\":\"metrics\"}";
+}
+
+std::string
 makePingRequest()
 {
     return "{\"type\":\"ping\"}";
@@ -160,6 +166,8 @@ parseRequest(const std::string &text, Request &out, std::string *err)
             return false;
     } else if (type == "stats") {
         req.type = Request::Type::Stats;
+    } else if (type == "metrics") {
+        req.type = Request::Type::Metrics;
     } else if (type == "ping") {
         req.type = Request::Type::Ping;
     } else if (type == "shutdown") {
@@ -298,6 +306,12 @@ bool
 Client::stats(std::string &json, std::string *err)
 {
     return roundTrip(makeStatsRequest(), json, err);
+}
+
+bool
+Client::metrics(std::string &text, std::string *err)
+{
+    return roundTrip(makeMetricsRequest(), text, err);
 }
 
 bool

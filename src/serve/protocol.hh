@@ -7,13 +7,18 @@
  *
  *   {"type":"run","id":N,"job":{JobSpec}}   run one simulation job
  *   {"type":"stats"}                        server metrics snapshot
+ *   {"type":"metrics"}                      Prometheus scrape
  *   {"type":"ping"}                         liveness probe
  *   {"type":"shutdown"}                     begin graceful drain
  *
  * The run response is a JobResult object extended with "type":"result"
  * and the request's "id"; rejections (queue full, draining, invalid
  * spec) arrive as ok=false results with the reason in "error", so a
- * client needs exactly one response shape.  Connections are
+ * client needs exactly one response shape.  The metrics response is
+ * the one deliberate exception to JSON payloads: its frame carries the
+ * process-wide metrics registry rendered as Prometheus text exposition
+ * (metrics/metrics.hh), so tango-top and any scraper-side tooling read
+ * the standard format unmodified.  Connections are
  * request/response sequential: a client sends one frame and reads one
  * frame back (concurrency comes from opening several connections, which
  * is also how tango-load generates load).
@@ -51,13 +56,15 @@ bool writeFrame(int fd, const std::string &payload);
 
 struct Request
 {
-    enum class Type { Run, Stats, Ping, Shutdown } type = Type::Ping;
+    enum class Type { Run, Stats, Metrics, Ping, Shutdown } type =
+        Type::Ping;
     uint64_t id = 0;     ///< run requests only; echoed in the response
     rt::JobSpec job;     ///< run requests only (parsed, NOT validated)
 };
 
 std::string makeRunRequest(uint64_t id, const rt::JobSpec &job);
 std::string makeStatsRequest();
+std::string makeMetricsRequest();
 std::string makePingRequest();
 std::string makeShutdownRequest();
 
@@ -111,6 +118,10 @@ class Client
 
     /** Fetch the server metrics snapshot as raw JSON. */
     bool stats(std::string &json, std::string *err = nullptr);
+
+    /** Fetch the process-wide metrics registry as Prometheus text
+     *  exposition (parse with metrics::Scrape if needed). */
+    bool metrics(std::string &text, std::string *err = nullptr);
 
     bool ping(std::string *err = nullptr);
 

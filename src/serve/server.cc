@@ -14,28 +14,60 @@
 #include "common/env.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 
 namespace tango::serve {
 
 namespace {
 
-/** Latency sample cap: enough for percentiles, bounded for a daemon
- *  that serves millions of warm hits.  Once full, old samples are
- *  overwritten round-robin. */
-constexpr size_t kMaxLatencySamples = 1u << 16;
-
-double
-percentile(std::vector<double> sorted, double p)
+/** Process-wide serve instruments.  The registry view is cumulative
+ *  across every Server in the process (one, for the daemon); the
+ *  per-server Metrics struct remains the stats-reply source so tests
+ *  with several servers still see exact per-server counts. */
+struct ServeMetrics
 {
-    if (sorted.empty())
-        return 0.0;
-    const size_t idx = std::min(
-        sorted.size() - 1,
-        static_cast<size_t>(p * double(sorted.size() - 1) + 0.5));
-    std::nth_element(sorted.begin(), sorted.begin() + long(idx),
-                     sorted.end());
-    return sorted[idx];
-}
+    metrics::Counter &requests, &invalid, &runRequests, &failures;
+    metrics::Counter &rejectQueueFull, &rejectDraining;
+    metrics::Counter &servedSim, &servedJoin, &servedMem, &servedDisk;
+    metrics::Counter &tierSim, &tierReplay, &tierEstimate;
+    metrics::Histogram &latencyUs;
+
+    static ServeMetrics &get()
+    {
+        static constexpr const char *kRej = "tango_serve_rejects_total";
+        static constexpr const char *kRejHelp =
+            "Run requests rejected, by reason";
+        static constexpr const char *kSrv = "tango_serve_served_total";
+        static constexpr const char *kSrvHelp =
+            "Run requests served, by how the engine satisfied them";
+        static constexpr const char *kTier = "tango_serve_tier_total";
+        static constexpr const char *kTierHelp =
+            "Admitted run requests by requested accuracy tier";
+        static ServeMetrics m{
+            metrics::counter("tango_serve_requests_total",
+                             "Frames parsed successfully"),
+            metrics::counter("tango_serve_invalid_total",
+                             "Malformed frames or invalid job specs"),
+            metrics::counter("tango_serve_run_requests_total",
+                             "Run requests received"),
+            metrics::counter("tango_serve_failures_total",
+                             "Admitted runs whose simulation threw"),
+            metrics::counter(kRej, kRejHelp, {{"reason", "queue_full"}}),
+            metrics::counter(kRej, kRejHelp, {{"reason", "draining"}}),
+            metrics::counter(kSrv, kSrvHelp, {{"how", "sim"}}),
+            metrics::counter(kSrv, kSrvHelp, {{"how", "join"}}),
+            metrics::counter(kSrv, kSrvHelp, {{"how", "mem"}}),
+            metrics::counter(kSrv, kSrvHelp, {{"how", "disk"}}),
+            metrics::counter(kTier, kTierHelp, {{"tier", "sim"}}),
+            metrics::counter(kTier, kTierHelp, {{"tier", "replay"}}),
+            metrics::counter(kTier, kTierHelp, {{"tier", "estimate"}}),
+            metrics::histogram("tango_serve_latency_us",
+                               "End-to-end latency of admitted run "
+                               "requests in microseconds"),
+        };
+        return m;
+    }
+};
 
 double
 nowMs()
@@ -233,6 +265,7 @@ Server::handleRequest(const std::string &payload)
     Request req;
     std::string why;
     if (!parseRequest(payload, req, &why)) {
+        ServeMetrics::get().invalid.inc();
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.invalid++;
         rt::JobResult res;
@@ -240,6 +273,7 @@ Server::handleRequest(const std::string &payload)
         res.error = "bad request: " + why;
         return makeResultResponse(0, res);
     }
+    ServeMetrics::get().requests.inc();
     {
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.requests++;
@@ -249,6 +283,12 @@ Server::handleRequest(const std::string &payload)
         return "{\"type\":\"pong\"}";
     case Request::Type::Stats:
         return statsJson();
+    case Request::Type::Metrics:
+        // The scrape endpoint: the whole process's metrics registry —
+        // serve counters, engine cache/queue state, sim launch mix,
+        // estimate fallbacks — as one Prometheus text document.  This
+        // is what tango-top and the CI invariants consume.
+        return metrics::Registry::global().renderPrometheus();
     case Request::Type::Shutdown:
         requestDrain();
         return "{\"type\":\"ok\",\"draining\":true}";
@@ -272,12 +312,14 @@ Server::handleRun(const Request &req)
         return makeResultResponse(req.id, res);
     };
 
+    ServeMetrics::get().runRequests.inc();
     {
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.runRequests++;
         if (draining_) {
             metrics_.rejectedDraining++;
             lock.unlock();
+            ServeMetrics::get().rejectDraining.inc();
             return reject("draining");
         }
         activeRuns_++;
@@ -293,6 +335,7 @@ Server::handleRun(const Request &req)
     if (why.empty() && req.job.trace)
         why = "traced jobs are not served (use tango-trace locally)";
     if (!why.empty()) {
+        ServeMetrics::get().invalid.inc();
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.invalid++;
         lock.unlock();
@@ -311,11 +354,25 @@ Server::handleRun(const Request &req)
 
     using Served = rt::Engine::Submitted::Served;
     if (sub.served == Served::Rejected) {
+        ServeMetrics::get().rejectQueueFull.inc();
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.rejectedQueueFull++;
         lock.unlock();
         release();
         return reject("queue_full");
+    }
+    ServeMetrics &sm = ServeMetrics::get();
+    switch (sub.served) {
+    case Served::Simulated: sm.servedSim.inc(); break;
+    case Served::Joined: sm.servedJoin.inc(); break;
+    case Served::MemHit: sm.servedMem.inc(); break;
+    case Served::DiskHit: sm.servedDisk.inc(); break;
+    case Served::Rejected: break;
+    }
+    switch (req.job.tier) {
+    case rt::Tier::Sim: sm.tierSim.inc(); break;
+    case rt::Tier::Replay: sm.tierReplay.inc(); break;
+    case rt::Tier::Estimate: sm.tierEstimate.inc(); break;
     }
     {
         std::unique_lock<std::mutex> lock(mu_);
@@ -342,6 +399,7 @@ Server::handleRun(const Request &req)
                      : sub.served == Served::MemHit  ? "mem"
                                                      : "disk";
     } catch (const std::exception &e) {
+        ServeMetrics::get().failures.inc();
         std::unique_lock<std::mutex> lock(mu_);
         metrics_.failures++;
         res.error = std::string("simulation failed: ") + e.what();
@@ -355,13 +413,12 @@ Server::handleRun(const Request &req)
 void
 Server::recordLatency(double ms)
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (latenciesMs_.size() < kMaxLatencySamples) {
-        latenciesMs_.push_back(ms);
-    } else {
-        latenciesMs_[latencyNext_] = ms;
-        latencyNext_ = (latencyNext_ + 1) % kMaxLatencySamples;
-    }
+    // Lock-free: two relaxed atomic adds per histogram.  Every request
+    // is recorded — the old fixed sample ring (and its whole-history
+    // bias once full) is gone.
+    const uint64_t us = ms > 0 ? static_cast<uint64_t>(ms * 1000.0) : 0;
+    latencyUs_.observe(us);
+    ServeMetrics::get().latencyUs.observe(us);
 }
 
 Server::Metrics
@@ -378,14 +435,13 @@ Server::statsJson() const
     const unsigned depth = engine_.inFlightSims();
 
     Metrics m;
-    std::vector<double> lat;
     bool draining;
     {
         std::unique_lock<std::mutex> lock(mu_);
         m = metrics_;
-        lat = latenciesMs_;
         draining = draining_;
     }
+    const metrics::HistogramSnapshot lat = latencyUs_.snapshot();
 
     const uint64_t lookups = cache.memHits + cache.diskHits + cache.misses;
     const double hitRate =
@@ -417,10 +473,12 @@ Server::statsJson() const
     o.boolean("draining", draining);
     o.key("latency_ms");
     {
+        // Percentiles are exact log2-bucket upper bounds (≤12.5%
+        // resolution error) over EVERY run this server served.
         json::ObjWriter l(out);
-        l.u64("count", lat.size());
-        l.num("p50", percentile(lat, 0.50));
-        l.num("p99", percentile(lat, 0.99));
+        l.u64("count", lat.count());
+        l.num("p50", double(lat.percentileUpper(0.50)) / 1000.0);
+        l.num("p99", double(lat.percentileUpper(0.99)) / 1000.0);
         l.close();
     }
     o.close();

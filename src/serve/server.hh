@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics.hh"
 #include "runtime/engine.hh"
 #include "serve/protocol.hh"
 
@@ -118,7 +119,10 @@ class Server
     Metrics metrics() const;
 
     /** The "stats" response payload: metrics, cache hit rate, queue
-     *  depth and service-time percentiles as one JSON object. */
+     *  depth and service-time percentiles as one JSON object.  The
+     *  p50/p99 values are exact log2-bucket upper bounds from the
+     *  run-latency histogram (metrics.hh), aggregated over every
+     *  request this server ever served — no sample ring, no cap. */
     std::string statsJson() const;
 
   private:
@@ -150,8 +154,10 @@ class Server
     bool draining_ = false;
     unsigned activeRuns_ = 0;   ///< run requests being served right now
     Metrics metrics_;
-    std::vector<double> latenciesMs_;   ///< capped sample buffer
-    size_t latencyNext_ = 0;            ///< overwrite cursor once full
+    /** End-to-end run-request latency (µs).  Per-server (the stats
+     *  reply is this server's view); the process-wide registry carries
+     *  a second copy under tango_serve_latency_us for scrapes. */
+    metrics::Histogram latencyUs_;
 };
 
 } // namespace tango::serve

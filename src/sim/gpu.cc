@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 #include "sim/cache.hh"
 #include "sim/digest.hh"
 #include "sim/interp.hh"
@@ -16,6 +17,36 @@
 namespace tango::sim {
 
 namespace {
+
+/** Launch-level runtime metrics (one bump per kernel launch — noise
+ *  next to the millions of simulated cycles each launch costs). */
+struct SimMetrics
+{
+    metrics::Counter &simulated, &replayed, &memoMismatches;
+    metrics::Counter &shardedLaunches, &shardFanout;
+
+    static SimMetrics &get()
+    {
+        static constexpr const char *kLaunch = "tango_sim_launches_total";
+        static constexpr const char *kLaunchHelp =
+            "Kernel launches by how they ran (full simulation vs "
+            "memoized steady-state replay)";
+        static SimMetrics m{
+            metrics::counter(kLaunch, kLaunchHelp,
+                             {{"mode", "simulated"}}),
+            metrics::counter(kLaunch, kLaunchHelp, {{"mode", "replayed"}}),
+            metrics::counter("tango_sim_memo_mismatches_total",
+                             "Armed memo replays whose stream digest "
+                             "diverged (restored and re-simulated)"),
+            metrics::counter("tango_sim_sharded_launches_total",
+                             "Launches split across >1 CTA shard"),
+            metrics::counter("tango_sim_shard_fanout_total",
+                             "Shard simulation threads forked across "
+                             "all sharded launches"),
+        };
+        return m;
+    }
+};
 
 /**
  * Reject configurations that would divide by zero, build a cache smaller
@@ -337,6 +368,7 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
         const uint64_t h = runFunctionalOnly(launch, ids, warpIds, mem_);
         if (h == entry->streamHash) {
             entry->replays++;
+            SimMetrics::get().replayed.inc();
             KernelStats ks = entry->stats;
             ks.replayed = true;
             trace::TraceSink *ts = trace::threadSink();
@@ -375,7 +407,9 @@ Gpu::launch(const KernelLaunch &launch, const SimPolicy &requested)
         std::copy(memoSnapshot_.begin(), memoSnapshot_.end(), mem_.data());
         entry->armed = false;
         entry->hasBaseline = false;
+        SimMetrics::get().memoMismatches.inc();
     }
+    SimMetrics::get().simulated.inc();
 
     // The L2 and DRAM persist across launches (a layer's consumer reads
     // the data the producer just wrote through a warm L2, as on real
@@ -536,6 +570,8 @@ Gpu::launchSharded(const KernelLaunch &launch, const SimPolicy &policy,
         std::unique_ptr<Cache> l2;
     };
     std::vector<ShardResult> results(plan.size());
+    SimMetrics::get().shardedLaunches.inc();
+    SimMetrics::get().shardFanout.inc(plan.size());
 
     // When the launch is traced, each shard records into a private ring
     // (same event selection as the parent) that is merged below in shard

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -149,6 +152,53 @@ TEST(Table, NumberFormatting)
 {
     EXPECT_EQ(Table::num(1.23456, 2), "1.23");
     EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+}
+
+TEST(Logging, TimestampShape)
+{
+    // "YYYY-MM-DDTHH:MM:SS.mmmZ" — 24 characters, fixed layout.
+    const std::string ts = logTimestampUtc();
+    ASSERT_EQ(ts.size(), 24u);
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[13], ':');
+    EXPECT_EQ(ts[19], '.');
+    EXPECT_EQ(ts[23], 'Z');
+}
+
+TEST(Logging, PlainLineHasTimestampAndTag)
+{
+    ::unsetenv("TANGO_LOG_JSON");
+    const std::string line = logLine("warn", "disk full");
+    ASSERT_GT(line.size(), 26u);
+    EXPECT_EQ(line[0], '[');
+    EXPECT_EQ(line[25], ']');
+    EXPECT_EQ(line.substr(26), " warn: disk full");
+}
+
+TEST(Logging, JsonLineMode)
+{
+    ::setenv("TANGO_LOG_JSON", "1", 1);
+    EXPECT_TRUE(logJsonMode());
+    const std::string line = logLine("info", "a \"quoted\" \\ message");
+    ::unsetenv("TANGO_LOG_JSON");
+    EXPECT_FALSE(logJsonMode());
+
+    json::Reader::Value v;
+    ASSERT_NO_THROW(v = json::Reader(line).parse());
+    ASSERT_EQ(v.kind, json::Reader::Value::Kind::Obj);
+    EXPECT_EQ(v.strOr("level"), "info");
+    EXPECT_EQ(v.strOr("msg"), "a \"quoted\" \\ message");
+    EXPECT_EQ(v.strOr("ts").size(), 24u);
+}
+
+TEST(Logging, JsonModeRequiresExactlyOne)
+{
+    ::setenv("TANGO_LOG_JSON", "0", 1);
+    EXPECT_FALSE(logJsonMode());
+    ::setenv("TANGO_LOG_JSON", "yes", 1);
+    EXPECT_FALSE(logJsonMode());
+    ::unsetenv("TANGO_LOG_JSON");
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include "common/json.hh"
+#include "metrics/scrape.hh"
 #include "runtime/job.hh"
 #include "runtime/run_cache.hh"
 #include "serve/protocol.hh"
@@ -93,6 +94,9 @@ TEST(ServeProtocol, RequestRoundTrip)
 
     ASSERT_TRUE(serve::parseRequest(serve::makeStatsRequest(), req, &err));
     EXPECT_EQ(req.type, serve::Request::Type::Stats);
+    ASSERT_TRUE(
+        serve::parseRequest(serve::makeMetricsRequest(), req, &err));
+    EXPECT_EQ(req.type, serve::Request::Type::Metrics);
     ASSERT_TRUE(serve::parseRequest(serve::makePingRequest(), req, &err));
     EXPECT_EQ(req.type, serve::Request::Type::Ping);
     ASSERT_TRUE(
@@ -402,6 +406,70 @@ TEST(Serve, GracefulDrainFinishesInFlightAndRefusesNew)
     EXPECT_EQ(m.rejectedDraining, 1u);
     EXPECT_EQ(m.servedSim, 1u);
     expectRunsAccounted(m);
+}
+
+TEST(Serve, MetricsFrameScrapeDeltas)
+{
+    // The registry is process-wide and cumulative across every Server
+    // in this binary, so the frame is asserted on DELTAS around one
+    // served run, not absolute values.
+    TestServer ts;
+    serve::Client client = ts.connect();
+    std::string err, text;
+
+    ASSERT_TRUE(client.metrics(text, &err)) << err;
+    metrics::Scrape before;
+    ASSERT_TRUE(metrics::Scrape::parse(text, before, &err)) << err;
+
+    JobResult res;
+    ASSERT_TRUE(client.run(gruExactJob(), res, &err)) << err;
+    ASSERT_TRUE(res.ok) << res.error;
+
+    ASSERT_TRUE(client.metrics(text, &err)) << err;
+    metrics::Scrape after;
+    ASSERT_TRUE(metrics::Scrape::parse(text, after, &err)) << err;
+
+    const auto delta = [&](const char *family) {
+        return after.sum(family) - before.sum(family);
+    };
+    EXPECT_EQ(delta("tango_serve_run_requests_total"), 1.0);
+    EXPECT_EQ(delta("tango_serve_served_total"), 1.0);
+    EXPECT_EQ(delta("tango_serve_rejects_total"), 0.0);
+    // Every served run was admitted under exactly one accuracy tier.
+    EXPECT_EQ(delta("tango_serve_tier_total"),
+              delta("tango_serve_served_total"));
+    const metrics::Sample *sim =
+        after.find("tango_serve_served_total", "how", "sim");
+    ASSERT_NE(sim, nullptr);
+    EXPECT_GE(sim->value, 1.0);
+
+    // The engine saw one miss for the cold job, and its in-flight gauge
+    // is back to zero now that the run was answered.
+    EXPECT_EQ(delta("tango_engine_cache_total"), 1.0);
+    const metrics::Sample *depth =
+        after.find("tango_engine_inflight_sims");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->value, 0.0);
+
+    // The scrape-side latency histogram counted the run too.
+    metrics::HistogramSnapshot hb, ha;
+    const double countBefore =
+        before.histogram("tango_serve_latency_us", hb)
+            ? double(hb.count())
+            : 0.0;
+    ASSERT_TRUE(after.histogram("tango_serve_latency_us", ha));
+    EXPECT_EQ(double(ha.count()) - countBefore, 1.0);
+
+    // And the stats reply's bucket-bound percentiles agree with this
+    // server's own view: one run recorded, p99 >= p50 >= 0.
+    std::string stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    const json::Reader::Value v = json::Reader(stats).parse();
+    const json::Reader::Value *lat = v.find("latency_ms");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->u64Or("count", 0), 1u);
+    EXPECT_GE(lat->numOr("p99", -1.0), lat->numOr("p50", -1.0));
+    EXPECT_GE(lat->numOr("p50", -1.0), 0.0);
 }
 
 TEST(Serve, ShutdownRequestTriggersDrain)

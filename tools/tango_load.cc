@@ -31,6 +31,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "metrics/scrape.hh"
 #include "nn/models/models.hh"
 #include "serve/protocol.hh"
 
@@ -190,7 +191,8 @@ struct WarmShard
 {
     unsigned sent = 0;
     unsigned ok = 0;
-    unsigned rejected = 0;
+    unsigned rejected = 0;   ///< server said "reject" (queue full/draining)
+    unsigned errors = 0;     ///< any other failed result (sim threw, ...)
     std::vector<double> latenciesMs;
     std::vector<size_t> tierIdx;   ///< per request, parallel to latenciesMs
     std::vector<bool> okFlags;     ///< per request, parallel to latenciesMs
@@ -309,8 +311,10 @@ main(int argc, char **argv)
                 shard.okFlags.push_back(res.ok);
                 if (res.ok)
                     shard.ok++;
-                else
+                else if (res.served == "reject")
                     shard.rejected++;
+                else
+                    shard.errors++;
             }
         });
     }
@@ -319,7 +323,7 @@ main(int argc, char **argv)
     const double warmSec =
         std::chrono::duration<double>(Clock::now() - w0).count();
 
-    unsigned warmSent = 0, warmOk = 0, warmRejected = 0;
+    unsigned warmSent = 0, warmOk = 0, warmRejected = 0, warmErrors = 0;
     std::vector<double> latencies;
     for (const WarmShard &s : shards) {
         if (!s.error.empty())
@@ -327,6 +331,7 @@ main(int argc, char **argv)
         warmSent += s.sent;
         warmOk += s.ok;
         warmRejected += s.rejected;
+        warmErrors += s.errors;
         latencies.insert(latencies.end(), s.latenciesMs.begin(),
                          s.latenciesMs.end());
         for (size_t i = 0; i < s.tierIdx.size(); i++) {
@@ -341,10 +346,10 @@ main(int argc, char **argv)
     const double warmQps = warmSec > 0 ? double(warmSent) / warmSec : 0.0;
     const double p50 = percentileSorted(latencies, 0.50);
     const double p99 = percentileSorted(latencies, 0.99);
-    std::printf("warm:  %u requests (%u ok, %u rejected) on %u conns in "
-                "%.3fs  (%.1f QPS, p50 %.3fms, p99 %.3fms)\n",
-                warmSent, warmOk, warmRejected, opt.conns, warmSec,
-                warmQps, p50, p99);
+    std::printf("warm:  %u requests (%u ok, %u rejected, %u errors) on "
+                "%u conns in %.3fs  (%.1f QPS, p50 %.3fms, p99 %.3fms)\n",
+                warmSent, warmOk, warmRejected, warmErrors, opt.conns,
+                warmSec, warmQps, p50, p99);
     if (opt.tiers.size() > 1) {
         for (size_t t = 0; t < opt.tiers.size(); t++) {
             TierAgg &agg = tierAgg[t];
@@ -357,13 +362,16 @@ main(int argc, char **argv)
         }
     }
 
-    // Final server-side view (dedup/hit counters live there).
-    std::string statsJson;
+    // Final server-side view (dedup/hit counters live there), plus the
+    // full Prometheus scrape for the benchmark record.
+    std::string statsJson, metricsText;
     {
         serve::Client client;
         std::string err;
-        if (client.connect(opt.host, opt.port, &err))
+        if (client.connect(opt.host, opt.port, &err)) {
             client.stats(statsJson, &err);
+            client.metrics(metricsText, &err);
+        }
     }
 
     if (!opt.jsonPath.empty()) {
@@ -387,6 +395,7 @@ main(int argc, char **argv)
             w.u64("requests", warmSent);
             w.u64("ok", warmOk);
             w.u64("rejected", warmRejected);
+            w.u64("errors", warmErrors);
             w.num("seconds", warmSec);
             w.num("qps", warmQps);
             w.num("p50_ms", p50);
@@ -444,6 +453,38 @@ main(int argc, char **argv)
         if (!statsJson.empty()) {
             o.key("server_stats");
             out += statsJson;
+        }
+        // The daemon's final metrics scrape, flattened to one value per
+        // series ('name{k="v"}' keys) so the record carries the same
+        // counters tango-top renders live.
+        metrics::Scrape scrape;
+        if (!metricsText.empty() &&
+            metrics::Scrape::parse(metricsText, scrape)) {
+            o.key("server_metrics");
+            out += '{';
+            bool first = true;
+            for (const metrics::Sample &s : scrape.samples()) {
+                if (!first)
+                    out += ',';
+                first = false;
+                std::string series = s.name;
+                if (!s.labels.empty()) {
+                    series += '{';
+                    for (size_t l = 0; l < s.labels.size(); l++) {
+                        if (l)
+                            series += ',';
+                        series += s.labels[l].first;
+                        series += "=\"";
+                        series += s.labels[l].second;
+                        series += '"';
+                    }
+                    series += '}';
+                }
+                json::appendEscaped(out, series);
+                out += ':';
+                json::appendDouble(out, s.value);
+            }
+            out += '}';
         }
         o.close();
         std::ofstream f(opt.jsonPath, std::ios::trunc);

@@ -14,6 +14,11 @@
  * SIGTERM/SIGINT (or a client "shutdown" request) drains gracefully:
  * new run requests are refused with "draining", in-flight ones finish
  * and are answered, the disk spill is flushed, and the process exits 0.
+ *
+ * Observability: the "metrics" frame serves the process-wide registry
+ * as a Prometheus scrape (watch it with tango-top), and
+ * TANGO_METRICS_DUMP=<path>,<ms> additionally writes periodic JSON
+ * snapshots for post-mortems.
  */
 
 #include <csignal>
@@ -24,6 +29,7 @@
 
 #include "cli_common.hh"
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 #include "serve/server.hh"
 
 namespace {
@@ -61,7 +67,10 @@ usage(FILE *to)
         "\n"
         "environment: TANGO_SERVE_HOST, TANGO_SERVE_PORT,\n"
         "TANGO_SERVE_QUEUE_MAX, TANGO_ENGINE_THREADS, TANGO_ENGINE_CACHE,\n"
-        "TANGO_ENGINE_CACHE_MAX_MB (flags win over environment).\n");
+        "TANGO_ENGINE_CACHE_MAX_MB (flags win over environment).\n"
+        "TANGO_METRICS_DUMP=<path>,<ms> writes a periodic JSON metrics\n"
+        "snapshot; TANGO_LOG_JSON=1 switches log lines to JSON.  A live\n"
+        "Prometheus scrape is served on the \"metrics\" frame (tango-top).\n");
 }
 
 } // namespace
@@ -104,6 +113,10 @@ main(int argc, char **argv)
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    // Instantiate the registry up front so TANGO_METRICS_DUMP starts
+    // its periodic snapshot writer even before the first request.
+    metrics::Registry::global();
 
     serve::Server server(opt);
     std::string err;
